@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Design-space ablations called out in DESIGN.md:
+ *  (a) §IV-A1 — the three reasonable loop-predictor integration
+ *      topologies for a tournament design, expressed and evaluated
+ *      through the composer;
+ *  (b) history-file capacity — the management-structure backpressure
+ *      the paper's generated structures must absorb (§IV-B1);
+ *  (c) uBTB presence — the value of a 1-cycle next-line component in
+ *      hiding taken-branch fetch bubbles (§II, predictor delay).
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "components/bim.hpp"
+#include "components/btb.hpp"
+#include "components/loop.hpp"
+#include "components/stat_corrector.hpp"
+#include "components/tage.hpp"
+#include "components/tourney.hpp"
+
+using namespace cobra;
+using namespace cobra::comps;
+
+namespace {
+
+enum class LoopPlacement { OnGlobal, OnLocal, OnTop };
+
+bpu::Topology
+tourneyWithLoop(LoopPlacement place)
+{
+    bpu::Topology topo;
+    HbimParams gp;
+    gp.sets = 4096;
+    gp.mode = IndexMode::GshareHash;
+    gp.histBits = 12;
+    gp.latency = 2;
+    gp.fetchWidth = 4;
+    auto* gbim = topo.make<Hbim>("GBIM", gp);
+
+    HbimParams lp;
+    lp.sets = 1024;
+    lp.mode = IndexMode::LshareHash;
+    lp.histBits = 10;
+    lp.latency = 2;
+    lp.fetchWidth = 4;
+    auto* lbim = topo.make<Hbim>("LBIM", lp);
+
+    TourneyParams tp;
+    tp.sets = 1024;
+    tp.histBits = 10;
+    tp.latency = 3;
+    tp.fetchWidth = 4;
+    auto* tourney = topo.make<Tourney>("TOURNEY", tp);
+
+    LoopParams loopP;
+    loopP.entries = 128;
+    loopP.latency = place == LoopPlacement::OnTop ? 3u : 2u;
+    loopP.fetchWidth = 4;
+    auto* loop = topo.make<LoopPredictor>("LOOP", loopP);
+
+    switch (place) {
+      case LoopPlacement::OnGlobal:
+        topo.setRoot(topo.arb(
+            tourney, {topo.chain({topo.leaf(loop), topo.leaf(gbim)}),
+                      topo.leaf(lbim)}));
+        break;
+      case LoopPlacement::OnLocal:
+        topo.setRoot(topo.arb(
+            tourney, {topo.leaf(gbim),
+                      topo.chain({topo.leaf(loop), topo.leaf(lbim)})}));
+        break;
+      case LoopPlacement::OnTop:
+        topo.setRoot(topo.chain(
+            {topo.leaf(loop),
+             topo.arb(tourney, {topo.leaf(gbim), topo.leaf(lbim)})}));
+        break;
+    }
+    topo.validate();
+    return topo;
+}
+
+bpu::Topology
+tageLNoUbtb()
+{
+    bpu::Topology topo;
+    LoopParams lp;
+    lp.entries = 256;
+    lp.latency = 3;
+    lp.fetchWidth = 4;
+    auto* loop = topo.make<LoopPredictor>("LOOP", lp);
+    TageParams tp = TageParams::tageL(4);
+    for (auto& t : tp.tables)
+        t.sets = 1024;
+    auto* tage = topo.make<Tage>("TAGE", tp);
+    BtbParams bp;
+    bp.sets = 256;
+    bp.ways = 2;
+    bp.latency = 2;
+    bp.fetchWidth = 4;
+    auto* btb = topo.make<Btb>("BTB", bp);
+    HbimParams ip;
+    ip.sets = 4096;
+    ip.mode = IndexMode::Pc;
+    ip.latency = 2;
+    ip.fetchWidth = 4;
+    auto* bim = topo.make<Hbim>("BIM", ip);
+    topo.setRoot(topo.chainOf({loop, tage, btb, bim}));
+    topo.validate();
+    return topo;
+}
+
+} // namespace
+
+int
+main()
+{
+    const bench::RunScale scale = bench::RunScale::fromEnv();
+    bench::WorkloadCache cache;
+    bool ok = true;
+
+    // ---- (a) §IV-A1 loop placement ------------------------------------
+    std::cout << "== Ablation (a): loop-predictor placement in a "
+                 "tournament design (§IV-A1) ==\n\n";
+    {
+        TextTable t;
+        t.addRow({"Topology", "x264 acc", "exchange2 acc",
+                  "x264 IPC", "exchange2 IPC"});
+        const LoopPlacement places[] = {LoopPlacement::OnGlobal,
+                                        LoopPlacement::OnLocal,
+                                        LoopPlacement::OnTop};
+        double bestTopAcc = 0, bestAnyAcc = 0;
+        for (LoopPlacement place : places) {
+            bpu::Topology topoDesc = tourneyWithLoop(place);
+            t.beginRow();
+            t.cell(topoDesc.describe());
+            double accs[2], ipcs[2];
+            int i = 0;
+            for (const std::string wl : {"x264", "exchange2"}) {
+                sim::SimConfig cfg =
+                    sim::makeConfig(sim::Design::Tourney);
+                cfg.warmupInsts = scale.warmup;
+                cfg.maxInsts = scale.measure;
+                sim::Simulator s(cache.get(wl),
+                                 tourneyWithLoop(place), cfg);
+                const auto r = s.run();
+                accs[i] = r.accuracy();
+                ipcs[i] = r.ipc();
+                ++i;
+            }
+            t.cell(accs[0], 4);
+            t.cell(accs[1], 4);
+            t.cell(ipcs[0], 3);
+            t.cell(ipcs[1], 3);
+            const double mean = (accs[0] + accs[1]) / 2;
+            bestAnyAcc = std::max(bestAnyAcc, mean);
+            if (place == LoopPlacement::OnTop)
+                bestTopAcc = mean;
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+        ok &= bench::shapeCheck(
+            "correcting the final tournament prediction (LOOP on "
+            "top) is competitive with per-side placement",
+            bestTopAcc > bestAnyAcc - 0.01);
+    }
+
+    // ---- (b) history-file capacity --------------------------------------
+    std::cout << "\n== Ablation (b): history-file capacity (§IV-B1) "
+                 "==\n\n";
+    {
+        TextTable t;
+        t.addRow({"Entries", "gcc IPC", "x264 IPC"});
+        double ipcSmall = 0, ipcBig = 0;
+        for (unsigned entries : {8u, 16u, 32u, 64u, 128u}) {
+            t.beginRow();
+            t.cell(std::to_string(entries));
+            double vals[2];
+            int i = 0;
+            for (const std::string wl : {"gcc", "x264"}) {
+                const auto r = bench::runOne(
+                    sim::Design::TageL, cache.get(wl), scale,
+                    [entries](sim::SimConfig& cfg) {
+                        cfg.bpu.historyFileEntries = entries;
+                    });
+                vals[i++] = r.ipc();
+                t.cell(r.ipc(), 3);
+            }
+            if (entries == 8)
+                ipcSmall = vals[1];
+            if (entries == 128)
+                ipcBig = vals[1];
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+        ok &= bench::shapeCheck(
+            "an undersized history file backpressures fetch and "
+            "costs IPC",
+            ipcSmall < ipcBig * 0.95);
+    }
+
+    // ---- (c) uBTB presence ----------------------------------------------
+    std::cout << "\n== Ablation (c): 1-cycle uBTB presence ==\n\n";
+    {
+        TextTable t;
+        t.addRow({"Workload", "IPC with uBTB", "IPC without",
+                  "delta"});
+        double meanDelta = 0;
+        int n = 0;
+        for (const std::string wl :
+             {"dhrystone", "x264", "xalancbmk"}) {
+            sim::SimConfig cfg = sim::makeConfig(sim::Design::TageL);
+            cfg.warmupInsts = scale.warmup;
+            cfg.maxInsts = scale.measure;
+            sim::Simulator with(cache.get(wl),
+                                sim::buildTopology(sim::Design::TageL),
+                                cfg);
+            const auto rw = with.run();
+            sim::Simulator without(cache.get(wl), tageLNoUbtb(), cfg);
+            const auto ro = without.run();
+            const double delta = (rw.ipc() - ro.ipc()) / ro.ipc();
+            meanDelta += delta;
+            ++n;
+            t.beginRow();
+            t.cell(wl);
+            t.cell(rw.ipc(), 3);
+            t.cell(ro.ipc(), 3);
+            t.cell(formatDouble(100 * delta, 1) + "%");
+        }
+        t.print(std::cout);
+        meanDelta /= n;
+        std::cout << "\n";
+        ok &= bench::shapeCheck(
+            "the 1-cycle uBTB hides taken-branch bubbles (IPC gain)",
+            meanDelta > 0.0);
+    }
+
+    // ---- (d) statistical corrector (TAGE-SC-L completion) --------------
+    std::cout << "\n== Ablation (d): statistical corrector (the paper "
+                 "calls TAGE-L 'TAGE-SC-L with no statistical "
+                 "corrector') ==\n\n";
+    {
+        auto tageScL = [] {
+            bpu::Topology topo;
+            StatCorrectorParams scp;
+            scp.sets = 512;
+            scp.latency = 3;
+            scp.fetchWidth = 4;
+            auto* sc = topo.make<StatCorrector>("SC", scp);
+            LoopParams lp;
+            lp.entries = 256;
+            lp.latency = 3;
+            lp.fetchWidth = 4;
+            auto* loop = topo.make<LoopPredictor>("LOOP", lp);
+            TageParams tp = TageParams::tageL(4);
+            for (auto& t : tp.tables)
+                t.sets = 1024;
+            auto* tage = topo.make<Tage>("TAGE", tp);
+            BtbParams bp;
+            bp.sets = 256;
+            bp.ways = 2;
+            bp.latency = 2;
+            bp.fetchWidth = 4;
+            auto* btb = topo.make<Btb>("BTB", bp);
+            HbimParams ip;
+            ip.sets = 4096;
+            ip.mode = IndexMode::Pc;
+            ip.latency = 2;
+            ip.fetchWidth = 4;
+            auto* bim = topo.make<Hbim>("BIM", ip);
+            MicroBtbParams up;
+            up.entries = 32;
+            up.fetchWidth = 4;
+            auto* ubtb = topo.make<MicroBtb>("uBTB", up);
+            // SC3 > LOOP3 > TAGE3 > BTB2 > BIM2 > uBTB1
+            topo.setRoot(
+                topo.chainOf({sc, loop, tage, btb, bim, ubtb}));
+            topo.validate();
+            return topo;
+        };
+
+        TextTable t;
+        t.addRow({"Workload", "TAGE-L acc", "TAGE-SC-L acc",
+                  "delta (pp)"});
+        double sumDelta = 0;
+        int n = 0;
+        for (const std::string wl : {"mcf", "deepsjeng", "leela",
+                                     "coremark"}) {
+            sim::SimConfig cfgSc = sim::makeConfig(sim::Design::TageL);
+            cfgSc.warmupInsts = scale.warmup;
+            cfgSc.maxInsts = scale.measure;
+            sim::Simulator base(cache.get(wl),
+                                sim::buildTopology(sim::Design::TageL),
+                                cfgSc);
+            const auto rb = base.run();
+            sim::Simulator sc(cache.get(wl), tageScL(), cfgSc);
+            const auto rs = sc.run();
+            const double delta = rs.accuracy() - rb.accuracy();
+            sumDelta += delta;
+            ++n;
+            t.beginRow();
+            t.cell(wl);
+            t.cell(rb.accuracy(), 4);
+            t.cell(rs.accuracy(), 4);
+            t.cell(formatDouble(100 * delta, 2));
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+        ok &= bench::shapeCheck(
+            "the statistical corrector does not hurt accuracy on "
+            "hard workloads (mean delta > -0.2 pp)",
+            sumDelta / n > -0.002);
+    }
+
+    return ok ? 0 : 1;
+}

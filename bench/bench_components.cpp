@@ -1,0 +1,131 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: model-evaluation throughput of
+ * the predictor sub-components and the full simulator (host-side
+ * performance, not simulated metrics) — useful for keeping the
+ * framework fast enough for the multi-billion-cycle studies the
+ * paper's methodology implies.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "components/bim.hpp"
+#include "components/tage.hpp"
+#include "program/workload.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulator.hpp"
+
+using namespace cobra;
+
+namespace {
+
+void
+BM_HbimPredict(benchmark::State& state)
+{
+    comps::HbimParams p;
+    p.sets = 4096;
+    p.mode = comps::IndexMode::GshareHash;
+    p.histBits = 12;
+    p.latency = 2;
+    p.fetchWidth = 4;
+    comps::Hbim bim("BIM", p);
+    HistoryRegister gh(64);
+    Addr pc = 0x1'0000;
+    for (auto _ : state) {
+        bpu::PredictContext ctx;
+        ctx.pc = pc;
+        ctx.validSlots = 4;
+        ctx.ghist = &gh;
+        bpu::PredictionBundle b;
+        b.width = 4;
+        bpu::Metadata meta{};
+        bim.predict(ctx, b, meta);
+        benchmark::DoNotOptimize(b);
+        pc += 16;
+        gh.push(pc & 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HbimPredict);
+
+void
+BM_TagePredict(benchmark::State& state)
+{
+    comps::TageParams tp = comps::TageParams::tageL(4);
+    comps::Tage tage("TAGE", tp);
+    HistoryRegister gh(64);
+    Addr pc = 0x1'0000;
+    for (auto _ : state) {
+        bpu::PredictContext ctx;
+        ctx.pc = pc;
+        ctx.validSlots = 4;
+        ctx.ghist = &gh;
+        bpu::PredictionBundle b;
+        b.width = 4;
+        bpu::Metadata meta{};
+        tage.predict(ctx, b, meta);
+        benchmark::DoNotOptimize(b);
+        pc += 16;
+        gh.push(pc & 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TagePredict);
+
+void
+BM_ComposedPipelineQuery(benchmark::State& state)
+{
+    const auto design = static_cast<sim::Design>(state.range(0));
+    bpu::BpuConfig bc = sim::makeConfig(design).bpu;
+    bpu::BranchPredictorUnit unit(sim::buildTopology(design), bc);
+    Addr pc = 0x1'0000;
+    for (auto _ : state) {
+        bpu::QueryState q;
+        unit.beginQuery(q, pc, 4);
+        unit.stage(q, 1);
+        unit.captureHistory(q);
+        unit.stage(q, 2);
+        auto b = unit.stage(q, 3);
+        benchmark::DoNotOptimize(b);
+        pc += 16;
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(sim::designName(design));
+}
+BENCHMARK(BM_ComposedPipelineQuery)
+    ->Arg(static_cast<int>(sim::Design::Tourney))
+    ->Arg(static_cast<int>(sim::Design::B2))
+    ->Arg(static_cast<int>(sim::Design::TageL));
+
+void
+BM_SimulatorCycles(benchmark::State& state)
+{
+    const prog::Program p = prog::buildWorkload(
+        prog::WorkloadLibrary::profile("x264"));
+    sim::SimConfig cfg = sim::makeConfig(sim::Design::TageL);
+    sim::Simulator s(p, sim::buildTopology(sim::Design::TageL), cfg);
+    for (auto _ : state)
+        s.tickOnce();
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel("simulated cycles per second");
+}
+BENCHMARK(BM_SimulatorCycles);
+
+void
+BM_OracleGeneration(benchmark::State& state)
+{
+    const prog::Program p = prog::buildWorkload(
+        prog::WorkloadLibrary::profile("gcc"));
+    exec::Oracle o(p);
+    for (auto _ : state) {
+        const auto& di = o.consume();
+        benchmark::DoNotOptimize(di);
+        o.retireUpTo(di.seq);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OracleGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

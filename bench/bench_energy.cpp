@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Implements the paper's §VI-A future-work item: predictor access
+ * energy ("the energy cost of continuously reading predictor SRAMs
+ * is significant" [36]). Runs each design and reports access energy
+ * per kilo-instruction broken down by sub-component, exposing the
+ * accuracy-vs-energy trade the paper says it plans to tune.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "program/workload.hpp"
+#include "sim/simulator.hpp"
+
+using namespace cobra;
+
+int
+main()
+{
+    const bench::RunScale scale = bench::RunScale::fromEnv();
+    bench::WorkloadCache cache;
+    const phys::EnergyModel model;
+
+    std::cout << "== §VI-A (future work): predictor access energy "
+                 "==\n\n";
+
+    TextTable t;
+    t.addRow({"Design", "nJ / kilo-inst", "accuracy", "top consumer"});
+
+    struct Summary
+    {
+        std::string design;
+        double njPerKi = 0;
+    };
+    std::vector<Summary> sums;
+
+    for (sim::Design d : sim::paperDesigns()) {
+        const prog::Program& p = cache.get("gcc");
+        sim::SimConfig cfg = sim::makeConfig(d);
+        cfg.warmupInsts = scale.warmup;
+        cfg.maxInsts = scale.measure;
+        sim::Simulator s(p, sim::buildTopology(d), cfg);
+        const auto r = s.run();
+
+        const phys::EnergyReport er = s.bpu().energyReport(model);
+        const double njPerKi =
+            er.totalPj() / 1000.0 / (r.insts / 1000.0);
+        std::string top = "?";
+        double topPj = -1;
+        for (const auto& item : er.items) {
+            if (item.pj > topPj) {
+                topPj = item.pj;
+                top = item.name;
+            }
+        }
+        sums.push_back({sim::designName(d), njPerKi});
+
+        t.beginRow();
+        t.cell(sim::designName(d));
+        t.cell(njPerKi, 2);
+        t.cell(r.accuracy(), 4);
+        t.cell(top + " (" +
+               formatDouble(100 * topPj / er.totalPj(), 0) + "%)");
+
+        std::cout << sim::designName(d) << " breakdown (pJ):\n";
+        for (const auto& item : er.items)
+            std::cout << "  " << item.name << ": "
+                      << formatDouble(item.pj / 1e6, 2) << " uJ\n";
+        std::cout << "\n";
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+
+    auto get = [&](const std::string& n) {
+        for (const auto& s : sums)
+            if (s.design == n)
+                return s.njPerKi;
+        return 0.0;
+    };
+    bool ok = true;
+    ok &= bench::shapeCheck(
+        "the accurate TAGE-L pays the most access energy (its 7 "
+        "tagged tables are read every fetch)",
+        get("TAGE-L") > get("B2") && get("TAGE-L") > get("Tournament"));
+    return ok ? 0 : 1;
+}

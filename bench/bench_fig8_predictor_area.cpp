@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Regenerates Fig. 8: area utilization of the three predictor
+ * pipelines broken down across sub-components, including the cost of
+ * the generated management structures ("Meta": history file + history
+ * providers). Uses the analytical FinFET-proxy area model (DESIGN.md
+ * §1); relative areas are the reproduction target.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace cobra;
+
+int
+main()
+{
+    const phys::AreaModel model;
+    std::cout << "== Fig. 8: predictor area utilization breakdown ==\n\n";
+
+    struct Row
+    {
+        std::string design;
+        phys::AreaReport report;
+    };
+    std::vector<Row> rows;
+
+    for (sim::Design d : sim::paperDesigns()) {
+        bpu::BpuConfig bc = sim::makeConfig(d).bpu;
+        bpu::BranchPredictorUnit unit(sim::buildTopology(d), bc);
+        rows.push_back({sim::designName(d), unit.areaReport(model)});
+    }
+
+    for (const auto& row : rows) {
+        std::cout << row.design << " (total "
+                  << formatDouble(row.report.total() / 1e3, 1)
+                  << " kum^2):\n";
+        for (const auto& item : row.report.items) {
+            const double frac = item.um2 / row.report.total();
+            std::cout << "  " << std::left << std::setw(10) << item.name
+                      << formatDouble(item.um2 / 1e3, 2) << " kum^2  |"
+                      << std::string(
+                             static_cast<std::size_t>(frac * 50), '#')
+                      << "\n";
+        }
+        std::cout << "\n";
+    }
+
+    auto total = [&](const std::string& name) {
+        for (const auto& r : rows)
+            if (r.design == name)
+                return r.report.total();
+        return 0.0;
+    };
+    auto item = [&](const std::string& name, const std::string& comp) {
+        for (const auto& r : rows)
+            if (r.design == name)
+                for (const auto& it : r.report.items)
+                    if (it.name == comp)
+                        return it.um2;
+        return 0.0;
+    };
+
+    bool ok = true;
+    ok &= bench::shapeCheck(
+        "TAGE-L is the largest predictor pipeline",
+        total("TAGE-L") > total("B2") &&
+            total("TAGE-L") > total("Tournament"));
+    ok &= bench::shapeCheck(
+        "tagged structures (TAGE tables, BTB) dominate their designs",
+        item("TAGE-L", "TAGE") + item("TAGE-L", "BTB") >
+            0.5 * total("TAGE-L"));
+    ok &= bench::shapeCheck(
+        "management structures (Meta) incur non-trivial cost",
+        item("Tournament", "Meta") > 0.05 * total("Tournament") &&
+            item("TAGE-L", "Meta") > 0.02 * total("TAGE-L"));
+    ok &= bench::shapeCheck(
+        "the Tournament's local history provider makes its Meta "
+        "slice comparatively large",
+        item("Tournament", "Meta") / total("Tournament") >
+            item("B2", "Meta") / total("B2"));
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates Fig. 9: area utilization of the full 4-wide BOOM-like
+ * core with each of the three evaluated predictors, highlighting the
+ * paper's observation that even a large predictor is only a small
+ * portion of a big out-of-order core.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sim/core_area.hpp"
+
+using namespace cobra;
+
+int
+main()
+{
+    const phys::AreaModel model;
+    std::cout << "== Fig. 9: core area with each evaluated predictor "
+                 "==\n\n";
+
+    double bpuFracMax = 0.0;
+    double totalMin = 1e30, totalMax = 0.0;
+    for (sim::Design d : sim::paperDesigns()) {
+        const phys::AreaReport r = sim::coreAreaReport(d, model);
+        std::cout << r.title << " — total "
+                  << formatDouble(r.total() / 1e6, 3) << " mm^2:\n";
+        for (const auto& item : r.items) {
+            const double frac = item.um2 / r.total();
+            std::cout << "  " << std::left << std::setw(14)
+                      << item.name << std::right << std::setw(8)
+                      << formatDouble(item.um2 / 1e3, 0) << " kum^2  "
+                      << formatDouble(100 * frac, 1) << "%  |"
+                      << std::string(
+                             static_cast<std::size_t>(frac * 40), '#')
+                      << "\n";
+            if (item.name == "BPU")
+                bpuFracMax = std::max(bpuFracMax, frac);
+        }
+        totalMin = std::min(totalMin, r.total());
+        totalMax = std::max(totalMax, r.total());
+        std::cout << "\n";
+    }
+
+    bool ok = true;
+    ok &= bench::shapeCheck(
+        "even the largest predictor is a small portion of the core "
+        "(< 15%)",
+        bpuFracMax < 0.15);
+    ok &= bench::shapeCheck(
+        "the predictor choice barely moves total core area (< 10%)",
+        (totalMax - totalMin) / totalMax < 0.10);
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Regenerates Table I: parameters and storage of the three evaluated
+ * COBRA-designed predictors. Storage is computed from the actual
+ * component geometries; the paper's reported values are printed for
+ * comparison (the big shared BTB is accounted separately, matching
+ * the paper's convention — see DESIGN.md §4).
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace cobra;
+
+int
+main()
+{
+    std::cout << "== Table I: Parameters of evaluated COBRA-designed "
+                 "predictors ==\n\n";
+
+    const double paperKib[3] = {6.8, 6.5, 28.0};
+
+    TextTable t;
+    t.addRow({"Topology", "Description", "Storage (model)",
+              "Storage (paper)", "BTB extra"});
+
+    int i = 0;
+    for (sim::Design d : sim::paperDesigns()) {
+        const sim::SimConfig cfg = sim::makeConfig(d);
+        bpu::Topology topo = sim::buildTopology(d);
+
+        std::uint64_t dirBits = 0;
+        std::uint64_t btbBits = 0;
+        for (auto* c : topo.componentList()) {
+            if (c->name().find("BTB") != std::string::npos)
+                btbBits += c->storageBits();
+            else
+                dirBits += c->storageBits();
+        }
+        dirBits += cfg.bpu.ghistBits;
+        if (d == sim::Design::Tourney)
+            dirBits += std::uint64_t{cfg.bpu.lhistSets} *
+                       cfg.bpu.lhistBits;
+
+        t.beginRow();
+        t.cell(sim::designName(d));
+        t.cell(sim::designDescription(d));
+        t.cell(formatKiB(dirBits));
+        t.cell(formatDouble(paperKib[i], 1) + " KB");
+        t.cell(formatKiB(btbBits));
+        ++i;
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPer-component detail:\n";
+    for (sim::Design d : sim::paperDesigns()) {
+        bpu::Topology topo = sim::buildTopology(d);
+        std::cout << "  " << sim::designName(d) << " ("
+                  << topo.describe() << ")\n";
+        for (auto* c : topo.componentList()) {
+            std::cout << "    " << c->describe() << " — "
+                      << formatKiB(c->storageBits()) << "\n";
+        }
+    }
+
+    // Shape checks: relative storage ordering must match the paper.
+    bool ok = true;
+    auto dirStorage = [](sim::Design d) {
+        bpu::Topology topo = sim::buildTopology(d);
+        std::uint64_t bits = 0;
+        for (auto* c : topo.componentList())
+            if (c->name().find("BTB") == std::string::npos)
+                bits += c->storageBits();
+        return bits;
+    };
+    std::cout << "\n";
+    ok &= bench::shapeCheck(
+        "TAGE-L needs several times the storage of B2/Tourney",
+        dirStorage(sim::Design::TageL) >
+            2 * dirStorage(sim::Design::B2) &&
+            dirStorage(sim::Design::TageL) >
+                2 * dirStorage(sim::Design::Tourney));
+    ok &= bench::shapeCheck(
+        "B2 and Tourney are within 2x of each other",
+        dirStorage(sim::Design::B2) <
+            2 * dirStorage(sim::Design::Tourney) &&
+            dirStorage(sim::Design::Tourney) <
+                2 * dirStorage(sim::Design::B2));
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Regenerates Table II: the evaluated BOOM core configuration, read
+ * back from the model's actual configuration structures (so the
+ * table can never drift from what the simulator runs).
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace cobra;
+
+int
+main()
+{
+    const sim::SimConfig cfg = sim::makeConfig(sim::Design::TageL);
+
+    std::cout << "== Table II: Configuration of the evaluated core ==\n\n";
+    TextTable t;
+    t.addRow({"Unit", "Configuration"});
+
+    auto row = [&t](const std::string& a, const std::string& b) {
+        t.beginRow();
+        t.cell(a);
+        t.cell(b);
+    };
+
+    row("Frontend",
+        std::to_string(cfg.frontend.fetchWidth * kInstBytes) +
+            "-byte wide fetch");
+    row("", std::to_string(cfg.backend.coreWidth) +
+                "-wide decode/rename/commit");
+    row("Execute", std::to_string(cfg.backend.robEntries) +
+                       "-entry ROB");
+    row("", std::to_string(cfg.backend.aluPorts + cfg.backend.memPorts +
+                           cfg.backend.fpPorts) +
+                " pipelines (" + std::to_string(cfg.backend.aluPorts) +
+                " ALU, " + std::to_string(cfg.backend.memPorts) +
+                " MEM, " + std::to_string(cfg.backend.fpPorts) + " FP)");
+    row("", "3x " + std::to_string(cfg.backend.intIqEntries) +
+                "-entry IQs (INT, MEM, FP)");
+    row("Load-Store Unit",
+        std::to_string(cfg.backend.ldqEntries) + "-entry LDQ, " +
+            std::to_string(cfg.backend.stqEntries) + "-entry STQ");
+    row("", std::to_string(cfg.backend.memPorts) + " LD/ST per cycle");
+    row("L1 Caches",
+        std::to_string(cfg.caches.l1i.ways) + "-way " +
+            std::to_string(cfg.caches.l1i.sizeBytes / 1024) +
+            " KB ICache and DCache");
+    row("", "next-line prefetcher");
+    row("L2 Cache", std::to_string(cfg.caches.l2.ways) + "-way " +
+                        std::to_string(cfg.caches.l2.sizeBytes / 1024) +
+                        " KB");
+    row("L3 Cache",
+        std::to_string(cfg.caches.l3.sizeBytes / 1024 / 1024) +
+            " MB LLC model (stand-in for the FASED model)");
+    row("Memory", "fixed " + std::to_string(cfg.caches.memLatency) +
+                      "-cycle DRAM model (stand-in for FASED DDR3)");
+    t.print(std::cout);
+
+    std::cout << "\nBranch-prediction management structures:\n"
+              << "  history file: " << cfg.bpu.historyFileEntries
+              << " entries\n"
+              << "  repair walk width: " << cfg.bpu.walkWidth
+              << "/cycle, update width: " << cfg.bpu.updateWidth
+              << "/cycle\n";
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration harnesses: run a
+ * (design, workload) pair and collect the paper's metrics.
+ */
+
+#ifndef COBRA_BENCH_BENCH_UTIL_HPP
+#define COBRA_BENCH_BENCH_UTIL_HPP
+
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "program/workload.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulator.hpp"
+
+namespace cobra::bench {
+
+/** Standard measurement lengths (override with COBRA_FAST=1). */
+struct RunScale
+{
+    std::uint64_t warmup = 120'000;
+    std::uint64_t measure = 400'000;
+
+    static RunScale
+    fromEnv()
+    {
+        RunScale s;
+        const char* fast = std::getenv("COBRA_FAST");
+        if (fast != nullptr && fast[0] == '1') {
+            s.warmup = 20'000;
+            s.measure = 60'000;
+        }
+        return s;
+    }
+};
+
+/** Run one design on one workload with optional config tweaks. */
+template <typename Tweak>
+sim::SimResult
+runOne(sim::Design d, const prog::Program& program, const RunScale& scale,
+       Tweak&& tweak)
+{
+    sim::SimConfig cfg = sim::makeConfig(d);
+    cfg.warmupInsts = scale.warmup;
+    cfg.maxInsts = scale.measure;
+    tweak(cfg);
+    sim::Simulator s(program, sim::buildTopology(d), cfg);
+    return s.run();
+}
+
+inline sim::SimResult
+runOne(sim::Design d, const prog::Program& program, const RunScale& scale)
+{
+    return runOne(d, program, scale, [](sim::SimConfig&) {});
+}
+
+/** Cache of built workloads (program generation is deterministic). */
+class WorkloadCache
+{
+  public:
+    const prog::Program&
+    get(const std::string& name)
+    {
+        auto it = cache_.find(name);
+        if (it == cache_.end()) {
+            it = cache_
+                     .emplace(name,
+                              prog::buildWorkload(
+                                  prog::WorkloadLibrary::profile(name)))
+                     .first;
+        }
+        return it->second;
+    }
+
+  private:
+    std::map<std::string, prog::Program> cache_;
+};
+
+/** Print a PASS/FAIL shape check (the reproduction criterion). */
+inline bool
+shapeCheck(const std::string& what, bool ok)
+{
+    std::cout << (ok ? "  [SHAPE PASS] " : "  [SHAPE FAIL] ") << what
+              << "\n";
+    return ok;
+}
+
+} // namespace cobra::bench
+
+#endif // COBRA_BENCH_BENCH_UTIL_HPP

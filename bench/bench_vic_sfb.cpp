@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Regenerates §VI-C: decoding short-forwards-branches ("hammocks")
+ * into set-flag / conditional-execute micro-ops. Paper: on CoreMark
+ * with the TAGE-L predictor, the optimization improved 4.9 -> 6.1
+ * CoreMarks/MHz (i.e., IPC) and 97% -> 99.1% branch prediction
+ * accuracy, through two effects — converted branches stop
+ * mispredicting, and predictor capacity is freed for other branches.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace cobra;
+
+int
+main()
+{
+    const bench::RunScale scale = bench::RunScale::fromEnv();
+    bench::WorkloadCache cache;
+
+    std::cout << "== §VI-C: short-forwards-branch predication ==\n\n";
+
+    TextTable t;
+    t.addRow({"Workload", "Design", "IPC off", "IPC on", "acc off",
+              "acc on", "SFB conversions"});
+
+    double coremarkAccOff = 0, coremarkAccOn = 0;
+    double coremarkIpcOff = 0, coremarkIpcOn = 0;
+    int designsImprovedAcc = 0;
+
+    for (const std::string wl : {"coremark", "dhrystone"}) {
+        const prog::Program& p = cache.get(wl);
+        for (sim::Design d : sim::paperDesigns()) {
+            const auto off = bench::runOne(d, p, scale);
+            const auto on = bench::runOne(
+                d, p, scale, [](sim::SimConfig& cfg) {
+                    cfg.backend.sfbEnabled = true;
+                });
+            if (wl == "coremark") {
+                if (on.accuracy() > off.accuracy())
+                    ++designsImprovedAcc;
+                if (d == sim::Design::TageL) {
+                    coremarkAccOff = off.accuracy();
+                    coremarkAccOn = on.accuracy();
+                    coremarkIpcOff = off.ipc();
+                    coremarkIpcOn = on.ipc();
+                }
+            }
+            t.beginRow();
+            t.cell(wl);
+            t.cell(sim::designName(d));
+            t.cell(off.ipc(), 3);
+            t.cell(on.ipc(), 3);
+            t.cell(off.accuracy(), 4);
+            t.cell(on.accuracy(), 4);
+            t.cell(on.sfbConversions);
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nCoreMark proxy with TAGE-L: IPC "
+              << formatDouble(coremarkIpcOff, 3) << " -> "
+              << formatDouble(coremarkIpcOn, 3) << " ("
+              << formatDouble(
+                     100 * (coremarkIpcOn / coremarkIpcOff - 1), 1)
+              << "%), accuracy "
+              << formatDouble(100 * coremarkAccOff, 1) << "% -> "
+              << formatDouble(100 * coremarkAccOn, 1) << "%\n"
+              << "Paper: 4.9 -> 6.1 CoreMarks/MHz (+24%), accuracy "
+                 "97% -> 99.1%\n\n";
+
+    bool ok = true;
+    ok &= bench::shapeCheck(
+        "SFB improves the accuracy of all three predictor designs "
+        "on hammock-heavy code (paper §VI-C)",
+        designsImprovedAcc == 3);
+    ok &= bench::shapeCheck(
+        "SFB improves CoreMark-proxy IPC with TAGE-L",
+        coremarkIpcOn > coremarkIpcOff);
+    ok &= bench::shapeCheck(
+        "the accuracy gain is substantial (> 2 pp)",
+        coremarkAccOn - coremarkAccOff > 0.02);
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Reproduces the paper's Fig. 5 workflow: constructing a predictor
+ * pipeline from a desired topology and available sub-components —
+ *
+ *   // Construct the predictor sub-components
+ *   val loop    = Module(new LoopPred(nEntries=16))
+ *   val gbim    = Module(new HBIM(useGlobal=true))
+ *   val lbim    = Module(new HBIM(useLocal=true))
+ *   val tourney = Module(new Tourney)
+ *   // Express the edges of the topology ... (paper Fig. 5)
+ *
+ * and shows how the same components re-compose into the three
+ * §IV-A1 integration variants with one-line changes.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "components/bim.hpp"
+#include "components/loop.hpp"
+#include "components/tourney.hpp"
+#include "program/workload.hpp"
+#include "sim/simulator.hpp"
+
+using namespace cobra;
+using namespace cobra::comps;
+
+namespace {
+
+/** Which §IV-A1 integration to elaborate. */
+enum class Variant { LoopOnGlobal, LoopOnLocal, LoopOnTop };
+
+bpu::Topology
+buildPipeline(Variant variant)
+{
+    bpu::Topology topo;
+
+    // ---- Construct the predictor sub-components (Fig. 5) -------------
+    LoopParams loopParams;
+    loopParams.entries = 16;
+    loopParams.latency = variant == Variant::LoopOnTop ? 3u : 2u;
+    auto* loop = topo.make<LoopPredictor>("LOOP", loopParams);
+
+    HbimParams gParams;
+    gParams.sets = 2048;
+    gParams.mode = IndexMode::GshareHash; // useGlobal=true
+    gParams.latency = 2;
+    auto* gbim = topo.make<Hbim>("GBIM", gParams);
+
+    HbimParams lParams;
+    lParams.sets = 1024;
+    lParams.mode = IndexMode::LshareHash; // useLocal=true
+    lParams.latency = 2;
+    auto* lbim = topo.make<Hbim>("LBIM", lParams);
+
+    TourneyParams tParams;
+    tParams.sets = 1024;
+    tParams.latency = 3;
+    auto* tourney = topo.make<Tourney>("TOURNEY", tParams);
+
+    // ---- Express the edges of the topology ---------------------------
+    // Notice how the code can be modified to elaborate any of the
+    // three pipelines described in §IV-A1 (the paper's observation).
+    switch (variant) {
+      case Variant::LoopOnGlobal:
+        // TOURNEY3 > [(LOOP2 > GBIM2), LBIM2]
+        topo.setRoot(topo.arb(
+            tourney, {topo.chain({topo.leaf(loop), topo.leaf(gbim)}),
+                      topo.leaf(lbim)}));
+        break;
+      case Variant::LoopOnLocal:
+        // TOURNEY3 > [GBIM2, (LOOP2 > LBIM2)]
+        topo.setRoot(topo.arb(
+            tourney, {topo.leaf(gbim),
+                      topo.chain({topo.leaf(loop), topo.leaf(lbim)})}));
+        break;
+      case Variant::LoopOnTop:
+        // LOOP3 > TOURNEY3 > [GBIM2, LBIM2]  — the final prediction
+        // comes from the loop predictor (Fig. 5's last line).
+        topo.setRoot(topo.chain(
+            {topo.leaf(loop),
+             topo.arb(tourney, {topo.leaf(gbim), topo.leaf(lbim)})}));
+        break;
+    }
+    topo.validate();
+    return topo;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Fig. 5 / §IV-A1: one set of sub-components, three "
+                 "topologies\n\n";
+
+    const prog::Program program = prog::buildWorkload(
+        prog::WorkloadLibrary::profile("exchange2"));
+
+    for (Variant v : {Variant::LoopOnGlobal, Variant::LoopOnLocal,
+                      Variant::LoopOnTop}) {
+        bpu::Topology topo = buildPipeline(v);
+        std::cout << topo.pipelineDiagram();
+
+        sim::SimConfig cfg;
+        cfg.bpu.ghistBits = 32;
+        cfg.bpu.lhistSets = 256;
+        cfg.bpu.lhistBits = 32;
+        cfg.maxInsts = 150'000;
+        cfg.warmupInsts = 50'000;
+        sim::Simulator s(program, std::move(topo), cfg);
+        const auto r = s.run();
+        std::cout << "  accuracy " << formatDouble(r.accuracy(), 4)
+                  << ", IPC " << formatDouble(r.ipc(), 3) << "\n\n";
+    }
+    return 0;
+}

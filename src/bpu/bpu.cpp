@@ -1,0 +1,375 @@
+#include "bpu/bpu.hpp"
+
+#include <cassert>
+
+namespace cobra::bpu {
+
+const char*
+ghistRepairModeName(GhistRepairMode m)
+{
+    switch (m) {
+      case GhistRepairMode::None: return "none";
+      case GhistRepairMode::RepairOnly: return "repair-only";
+      case GhistRepairMode::RepairAndReplay: return "repair+replay";
+    }
+    return "?";
+}
+
+BranchPredictorUnit::BranchPredictorUnit(Topology topo, const BpuConfig& cfg)
+    : cfg_(cfg),
+      pred_(std::move(topo), cfg.fetchWidth),
+      ghist_(cfg.ghistBits),
+      lhist_(cfg.lhistSets, cfg.lhistBits),
+      phist_(cfg.phistBits),
+      hf_(cfg.historyFileEntries)
+{
+    // Only generate a real local-history provider when a component
+    // consumes local histories (§IV-B3).
+    if (!pred_.usesLocalHistory())
+        lhist_ = LocalHistoryProvider(1, 1);
+}
+
+void
+BranchPredictorUnit::beginQuery(QueryState& q, Addr pc, unsigned valid_slots)
+{
+    q.reset(pc, valid_slots, static_cast<unsigned>(
+                pred_.components().size()),
+            cfg_.fetchWidth);
+    ++stats_.counter("queries");
+}
+
+PredictionBundle
+BranchPredictorUnit::stage(QueryState& q, unsigned d)
+{
+    // Histories are provided at the end of Fetch-1 (paper Fig. 2):
+    // capture them the first time a stage >= 2 is evaluated, before
+    // this packet's own speculative push is visible to itself.
+    if (d >= 2 && !q.historyCaptured()) {
+        q.captureHistory(ghist_.current(), lhist_.read(q.pc()),
+                         phist_.current());
+    }
+    return pred_.evaluateStage(q, d);
+}
+
+FtqPos
+BranchPredictorUnit::finalize(QueryState& q, const FinalizeArgs& args)
+{
+    assert(canFinalize());
+    assert(args.finalPred != nullptr);
+
+    HistoryFileEntry e;
+    e.pc = q.pc();
+    e.fetchedSlots = args.fetchedSlots;
+    // If the packet never reached stage 2 (killed early this cannot
+    // happen for finalized packets), histories were captured.
+    e.ghist = q.historyCaptured() ? q.ghist()
+                                  : ghist_.current();
+    e.lhist = q.lhist();
+    e.phist = q.phist();
+    e.lhistBefore = lhist_.read(q.pc());
+    e.metas = q.metadata();
+    e.finalPred = *args.finalPred;
+    e.brMask = args.brMask;
+    e.firstSeq = args.firstSeq;
+    e.rasPtr = args.rasPtr;
+
+    // Speculative directions: the predicted-taken CFI slot is taken,
+    // every other fetched conditional branch is implicitly not-taken.
+    const unsigned takenSlot = args.finalPred->firstTakenSlot();
+    for (unsigned i = 0; i < args.fetchedSlots; ++i)
+        e.specTakenMask[i] = e.brMask[i] && i == takenSlot &&
+                             args.finalPred->slots[i].type == CfiType::Br;
+
+    // Branchless packets never need resolution.
+    bool anyBr = false;
+    for (unsigned i = 0; i < args.fetchedSlots; ++i)
+        anyBr |= e.brMask[i];
+    bool anyCf = anyBr;
+    for (unsigned i = 0; i < args.fetchedSlots; ++i) {
+        const auto& s = args.finalPred->slots[i];
+        anyCf |= s.type != CfiType::None;
+    }
+    e.resolved = !anyCf;
+
+    const FtqPos pos = hf_.enqueue(std::move(e));
+    HistoryFileEntry& entry = hf_.at(pos);
+
+    // Deliver fire events (speculative local-state update, §III-E).
+    FireEvent fev;
+    fev.pc = entry.pc;
+    fev.ftqIdx = static_cast<std::uint32_t>(pos);
+    fev.finalPred = &entry.finalPred;
+    fev.ghist = &entry.ghist;
+    fev.lhist = entry.lhist;
+    pred_.fire(fev, entry.metas);
+
+    // Speculative local-history update: one bit per packet that
+    // contains a conditional branch (packet-granularity histories).
+    if (anyBr) {
+        const bool takenBit = takenSlot < entry.fetchedSlots &&
+                              entry.brMask[takenSlot];
+        lhist_.specUpdate(entry.pc, takenBit);
+    }
+
+    // Speculative path-history update: record the packet's predicted
+    // taken CFI, if any (§IV-B3 path-history provider).
+    if (takenSlot < cfg_.fetchWidth &&
+        args.finalPred->slots[takenSlot].valid &&
+        args.finalPred->slots[takenSlot].taken) {
+        const Addr blockBase =
+            entry.pc & ~static_cast<Addr>(cfg_.fetchWidth * 4 - 1);
+        phist_.push(blockBase + takenSlot * 4);
+    }
+
+    ++stats_.counter("finalized");
+    return pos;
+}
+
+ResolveEvent
+BranchPredictorUnit::makeEvent(const HistoryFileEntry& e, FtqPos pos) const
+{
+    ResolveEvent ev;
+    ev.pc = e.pc;
+    ev.ftqIdx = static_cast<std::uint32_t>(pos);
+    ev.ghist = &e.ghist;
+    ev.lhist = e.lhist;
+    ev.brMask = e.brMask;
+    ev.takenMask = e.takenMask;
+    ev.cfiValid = e.cfiValid;
+    ev.cfiIdx = e.cfiIdx;
+    ev.cfiType = e.cfiType;
+    ev.cfiTaken = e.cfiTaken;
+    ev.cfiIsCall = e.cfiIsCall;
+    ev.cfiIsRet = e.cfiIsRet;
+    ev.target = e.actualTarget;
+    ev.phist = e.phist;
+    ev.mispredicted = e.mispredicted;
+    ev.predicted = &e.finalPred;
+    return ev;
+}
+
+void
+BranchPredictorUnit::queueRepairWalk(FtqPos after)
+{
+    // Collect squashed entries youngest-first so that unconditional
+    // per-entry restores compose to the oldest pre-update state
+    // (equivalent in cost to the paper's forwards-walk, §IV-B2).
+    if (hf_.tailPos() == after + 1)
+        return;
+    for (FtqPos pos = hf_.tailPos(); pos-- > after + 1;)
+        repairQueue_.push_back(hf_.at(pos));
+    ++stats_.counter("repair_walks");
+}
+
+void
+BranchPredictorUnit::resolve(const BranchResolution& res)
+{
+    if (!hf_.contains(res.ftq)) {
+        // The entry was squashed by an older mispredict; nothing to do.
+        return;
+    }
+    HistoryFileEntry& e = hf_.at(res.ftq);
+
+    if (res.slot < kMaxFetchWidth) {
+        if (res.type == CfiType::Br)
+            e.takenMask[res.slot] = res.taken;
+        if (res.sfbConverted)
+            e.sfbMask[res.slot] = true;
+    }
+
+    // Record the packet's resolved CFI: the oldest taken CF inst.
+    if (res.taken && (!e.cfiValid || res.slot < e.cfiIdx)) {
+        e.cfiValid = true;
+        e.cfiIdx = res.slot;
+        e.cfiType = res.type;
+        e.cfiTaken = true;
+        e.cfiIsCall = res.isCall;
+        e.cfiIsRet = res.isRet;
+        e.actualTarget = res.target;
+    }
+    e.resolved = true;
+
+    if (res.mispredicted && !res.sfbConverted) {
+        e.mispredicted = true;
+        // Truncate the packet at the mispredicted CFI: younger slots
+        // of this packet are refetched as a new packet.
+        if (res.slot + 1 < e.fetchedSlots) {
+            for (unsigned i = res.slot + 1; i < e.fetchedSlots; ++i) {
+                e.brMask[i] = false;
+                e.takenMask[i] = false;
+                e.specTakenMask[i] = false;
+            }
+            e.fetchedSlots = res.slot + 1;
+        }
+
+        // Fast mispredict event (§III-E).
+        pred_.mispredict(makeEvent(e, res.ftq), e.metas);
+
+        // Queue the walk over squashed younger entries, then drop them.
+        queueRepairWalk(res.ftq);
+        hf_.squashAfter(res.ftq);
+
+        // Path-history repair: restore the predict-time value, then
+        // re-apply the resolved taken CFI if any.
+        phist_.restore(e.phist);
+        if (res.taken) {
+            const Addr blockBase =
+                e.pc & ~static_cast<Addr>(cfg_.fetchWidth * 4 - 1);
+            phist_.push(blockBase + res.slot * 4);
+        }
+
+        // Local-history repair for the mispredicted packet itself:
+        // rewind to the pre-fire value and re-push the resolved
+        // direction.
+        bool anyBr = false;
+        for (unsigned i = 0; i < e.fetchedSlots; ++i)
+            anyBr |= e.brMask[i];
+        if (anyBr) {
+            lhist_.restore(e.pc, e.lhistBefore);
+            const bool takenBit = res.type == CfiType::Br && res.taken;
+            lhist_.specUpdate(e.pc, takenBit);
+        }
+
+        ++stats_.counter("mispredicts");
+    }
+}
+
+void
+BranchPredictorUnit::commitPacket(FtqPos pos)
+{
+    if (hf_.contains(pos))
+        hf_.at(pos).committed = true;
+}
+
+void
+BranchPredictorUnit::squashAll()
+{
+    hf_.squashAll();
+    repairQueue_.clear();
+}
+
+void
+BranchPredictorUnit::tick()
+{
+    // Repair walk has priority over commit updates (§IV-B2).
+    unsigned walked = 0;
+    while (walked < cfg_.walkWidth && !repairQueue_.empty()) {
+        const HistoryFileEntry& e = repairQueue_.front();
+        ResolveEvent ev = makeEvent(e, 0);
+        // For squashed entries the "resolved" directions are the
+        // misspeculated ones recorded at fire time.
+        ev.takenMask = e.specTakenMask;
+        pred_.repair(ev, e.metas);
+        // Restore the local history the entry speculatively updated.
+        bool anyBr = false;
+        for (unsigned i = 0; i < e.fetchedSlots; ++i)
+            anyBr |= e.brMask[i];
+        if (anyBr)
+            lhist_.restore(e.pc, e.lhistBefore);
+        repairQueue_.pop_front();
+        ++walked;
+        ++stats_.counter("repair_events");
+    }
+    if (walked > 0)
+        return;
+
+    // Branchless packets drain for free; real updates cost a slot.
+    while (!hf_.empty()) {
+        HistoryFileEntry& head = hf_.head();
+        bool anyWork = false;
+        for (unsigned i = 0; i < head.fetchedSlots; ++i)
+            anyWork |= head.brMask[i] && !head.sfbMask[i];
+        anyWork |= head.cfiValid;
+        if (!head.committed)
+            break;
+        if (!anyWork) {
+            hf_.dequeueHead();
+            continue;
+        }
+        break;
+    }
+
+    unsigned updated = 0;
+    while (updated < cfg_.updateWidth && !hf_.empty()) {
+        HistoryFileEntry& head = hf_.head();
+        if (!head.committed || !head.resolved)
+            break;
+        // Suppress training for SFB-converted branches (§VI-C): they
+        // neither mispredict nor consume predictor entries.
+        ResolveEvent ev = makeEvent(head, hf_.headPos());
+        for (unsigned i = 0; i < kMaxFetchWidth; ++i) {
+            if (head.sfbMask[i]) {
+                ev.brMask[i] = false;
+                ev.takenMask[i] = false;
+            }
+        }
+        bool anyWork = false;
+        for (unsigned i = 0; i < head.fetchedSlots; ++i)
+            anyWork |= ev.brMask[i];
+        anyWork |= ev.cfiValid && !(head.cfiValid &&
+                                    head.sfbMask[head.cfiIdx]);
+        if (anyWork) {
+            pred_.update(ev, head.metas);
+            ++stats_.counter("updates");
+        }
+        hf_.dequeueHead();
+        ++updated;
+    }
+}
+
+std::uint64_t
+BranchPredictorUnit::managementStorageBits() const
+{
+    return ghist_.storageBits() + lhist_.storageBits() +
+           phist_.storageBits() +
+           hf_.storageBits(cfg_.ghistBits, pred_.totalMetaBits(),
+                           cfg_.fetchWidth);
+}
+
+phys::EnergyReport
+BranchPredictorUnit::energyReport(const phys::EnergyModel& model) const
+{
+    phys::EnergyReport report;
+    report.title = "predictor access energy";
+    const double queries =
+        static_cast<double>(stats_.get("queries"));
+    const double updates =
+        static_cast<double>(stats_.get("updates"));
+    for (auto* c : pred_.components()) {
+        const double pj = queries * model.accessPj(c->predictAccess()) +
+                          updates * model.accessPj(c->updateAccess());
+        report.add(c->name(), pj);
+    }
+    // Management structures: history-file write per finalize, read
+    // per update; ghist/lhist register activity folded in.
+    phys::AccessProfile hfWrite;
+    hfWrite.sramWriteBits = hf_.storageBits(cfg_.ghistBits,
+                                            pred_.totalMetaBits(),
+                                            cfg_.fetchWidth) /
+                            hf_.capacity();
+    phys::AccessProfile hfRead;
+    hfRead.sramReadBits = hfWrite.sramWriteBits;
+    const double finalized =
+        static_cast<double>(stats_.get("finalized"));
+    report.add("Meta", finalized * model.accessPj(hfWrite) +
+                           updates * model.accessPj(hfRead));
+    return report;
+}
+
+phys::AreaReport
+BranchPredictorUnit::areaReport(const phys::AreaModel& model) const
+{
+    phys::AreaReport report;
+    report.title = "predictor area";
+    for (auto* c : pred_.components())
+        report.add(c->name(), model.area(c->physicalCost()));
+    phys::PhysicalCost meta = ghist_.physicalCost();
+    meta += lhist_.physicalCost();
+    meta += phist_.physicalCost();
+    meta += hf_.physicalCost(cfg_.ghistBits, pred_.totalMetaBits(),
+                             cfg_.fetchWidth);
+    report.add("Meta", model.area(meta));
+    return report;
+}
+
+} // namespace cobra::bpu

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The COBRA predictor sub-component interface (paper §III). Every
+ * predictor structure in the library derives from PredictorComponent
+ * and may respond at any latency p >= 1; the composer guarantees the
+ * event contract (histories at end of cycle 1, metadata round-trip,
+ * fire/mispredict/repair/update delivery).
+ */
+
+#ifndef COBRA_BPU_COMPONENT_HPP
+#define COBRA_BPU_COMPONENT_HPP
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "bpu/pred_types.hpp"
+#include "phys/area_model.hpp"
+#include "phys/energy_model.hpp"
+
+namespace cobra::bpu {
+
+/**
+ * Abstract base class for predictor sub-components.
+ *
+ * Contract (paper §III-A): a component with latency() == p produces
+ * its prediction when the composer calls predict() at stage p of a
+ * query, transforming the incoming `predict_in` bundle in place —
+ * overriding fields where it predicts, passing through where it does
+ * not. Components with p == 1 receive a null ghist (histories arrive
+ * at the end of Fetch-1). The same Metadata written at predict time
+ * is handed back verbatim in mispredict/repair/update events.
+ */
+class PredictorComponent
+{
+  public:
+    PredictorComponent(std::string name, unsigned latency,
+                       unsigned fetch_width)
+        : name_(std::move(name)), latency_(latency),
+          fetchWidth_(fetch_width)
+    {
+        assert(latency >= 1);
+        assert(fetch_width >= 1 && fetch_width <= kMaxFetchWidth);
+    }
+
+    virtual ~PredictorComponent() = default;
+
+    PredictorComponent(const PredictorComponent&) = delete;
+    PredictorComponent& operator=(const PredictorComponent&) = delete;
+
+    /** Display name (e.g., "TAGE", "uBTB"). */
+    const std::string& name() const { return name_; }
+
+    /** Response latency p >= 1 in cycles after query (paper §III-A). */
+    unsigned latency() const { return latency_; }
+
+    /** Fetch width this component was built for. */
+    unsigned fetchWidth() const { return fetchWidth_; }
+
+    /** Bit-length of the metadata this component stores (§III-D). */
+    virtual unsigned metaBits() const { return 0; }
+
+    /**
+     * True when the component consumes the local-history input; the
+     * composer only generates a full local-history provider when some
+     * component needs it (§IV-B3).
+     */
+    virtual bool usesLocalHistory() const { return false; }
+
+    /**
+     * Produce/augment a prediction. Called exactly once per query, at
+     * stage latency(). @p inout carries predict_in and receives
+     * predict_out; @p meta receives this component's metadata.
+     */
+    virtual void predict(const PredictContext& ctx, PredictionBundle& inout,
+                         Metadata& meta) = 0;
+
+    /**
+     * True for arbitration schemes that consume multiple predict_in
+     * inputs (paper §III-F, e.g. the tournament selector). Such
+     * components are placed at Arb nodes of a topology and receive
+     * arbitrate() instead of predict().
+     */
+    virtual bool isArbiter() const { return false; }
+
+    /**
+     * Arbitrate among child predictions. @p inputs are the children's
+     * bundles in topology order; @p inout carries the chain's
+     * predict_in (pass-through when the arbiter declines).
+     */
+    virtual void
+    arbitrate(const PredictContext& ctx,
+              const std::vector<PredictionBundle>& inputs,
+              PredictionBundle& inout, Metadata& meta)
+    {
+        (void)ctx; (void)inputs; (void)inout; (void)meta;
+        assert(!"arbitrate() called on a non-arbiter component");
+    }
+
+    // ---- Event interface (paper §III-E) ------------------------------
+
+    /** Speculative local-state update for a finalized prediction. */
+    virtual void fire(const FireEvent& ev) { (void)ev; }
+
+    /** Fast immediate update from a mispredicted branch. */
+    virtual void mispredict(const ResolveEvent& ev) { (void)ev; }
+
+    /** Restore misspeculated local state (forwards-walk repair). */
+    virtual void repair(const ResolveEvent& ev) { (void)ev; }
+
+    /** Slow commit-time update from a committing branch. */
+    virtual void update(const ResolveEvent& ev) { (void)ev; }
+
+    // ---- Physical characterisation ------------------------------------
+
+    /** Total architectural storage in bits (Table I accounting). */
+    virtual std::uint64_t storageBits() const = 0;
+
+    /** Physical inventory for the area model (Fig. 8). */
+    virtual phys::PhysicalCost
+    physicalCost() const
+    {
+        phys::PhysicalCost c;
+        c.sramBits = storageBits();
+        c.sramPorts = {1, 1, 0};
+        // Index hash + output mux as a rough logic estimate.
+        c.logicGates = 200 + storageBits() / 64;
+        return c;
+    }
+
+    /**
+     * Bits touched by one prediction (for the energy model; §VI-A
+     * names predictor read energy as a first-order concern). The
+     * default is a coarse one-row estimate; components with known
+     * geometry override it.
+     */
+    virtual phys::AccessProfile
+    predictAccess() const
+    {
+        phys::AccessProfile a;
+        a.sramReadBits = storageBits() / 128 + 16;
+        return a;
+    }
+
+    /** Bits touched by one commit-time update. */
+    virtual phys::AccessProfile
+    updateAccess() const
+    {
+        phys::AccessProfile a;
+        a.sramWriteBits = storageBits() / 128 + 16;
+        return a;
+    }
+
+    /** One-line parameter summary for reports. */
+    virtual std::string
+    describe() const
+    {
+        return name_ + " (latency " + std::to_string(latency_) + ")";
+    }
+
+  protected:
+    /**
+     * Helper asserting the history contract: components may only read
+     * ghist when they respond at stage >= 2 (paper §III-B).
+     */
+    const HistoryRegister&
+    requireGhist(const PredictContext& ctx) const
+    {
+        assert(latency_ >= 2 &&
+               "1-cycle components cannot read global history");
+        assert(ctx.ghist != nullptr);
+        return *ctx.ghist;
+    }
+
+  private:
+    std::string name_;
+    unsigned latency_;
+    unsigned fetchWidth_;
+};
+
+} // namespace cobra::bpu
+
+#endif // COBRA_BPU_COMPONENT_HPP

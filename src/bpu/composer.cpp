@@ -1,0 +1,285 @@
+#include "bpu/composer.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace cobra::bpu {
+
+std::uint8_t
+diffSlots(const PredictionSlot& before, const PredictionSlot& after)
+{
+    std::uint8_t m = kProvideNone;
+    if (before.valid != after.valid || before.taken != after.taken)
+        m |= kProvideDir;
+    if (before.targetValid != after.targetValid ||
+        before.target != after.target) {
+        m |= kProvideTarget;
+    }
+    if (before.type != after.type || before.isCall != after.isCall ||
+        before.isRet != after.isRet) {
+        m |= kProvideType;
+    }
+    return m;
+}
+
+void
+applySlotPatch(PredictionSlot& dst, const PredictionSlot& src,
+               std::uint8_t mask)
+{
+    if (mask & kProvideDir) {
+        dst.valid = src.valid;
+        dst.taken = src.taken;
+    }
+    if (mask & kProvideTarget) {
+        dst.targetValid = src.targetValid;
+        dst.target = src.target;
+    }
+    if (mask & kProvideType) {
+        dst.type = src.type;
+        dst.isCall = src.isCall;
+        dst.isRet = src.isRet;
+    }
+}
+
+void
+QueryState::reset(Addr pc, unsigned valid_slots, unsigned num_components,
+                  unsigned width)
+{
+    pc_ = pc;
+    validSlots_ = valid_slots;
+    width_ = width;
+    histCaptured_ = false;
+    lhist_ = 0;
+    phist_ = 0;
+    lastStage_ = 0;
+    results_.assign(num_components, CompResult{});
+    metas_.assign(num_components, Metadata{});
+}
+
+ComposedPredictor::ComposedPredictor(Topology topo, unsigned width)
+    : topo_(std::move(topo)), width_(width)
+{
+    topo_.validate();
+    components_ = topo_.componentList();
+    maxLatency_ = topo_.maxLatency();
+    for (auto* c : components_) {
+        if (c->fetchWidth() < width_) {
+            throw std::logic_error("component '" + c->name() +
+                                   "' narrower than pipeline width");
+        }
+    }
+    // An arbiter must not respond before the predictions it chooses
+    // among exist; enforce latency(arb) >= latency(children).
+    for (std::size_t i = 0; i < topo_.numNodes(); ++i) {
+        const Topology::Node& n = topo_.node(i);
+        if (n.kind != Topology::NodeKind::Arb)
+            continue;
+        std::vector<PredictorComponent*> kids;
+        for (std::size_t c : n.children) {
+            // Collect all components under this child.
+            std::vector<std::size_t> stack{c};
+            while (!stack.empty()) {
+                const Topology::Node& cn = topo_.node(stack.back());
+                stack.pop_back();
+                if (cn.comp != nullptr)
+                    kids.push_back(cn.comp);
+                for (std::size_t cc : cn.children)
+                    stack.push_back(cc);
+            }
+        }
+        for (auto* k : kids) {
+            if (k->latency() > n.comp->latency()) {
+                throw std::logic_error(
+                    "arbiter '" + n.comp->name() +
+                    "' responds before its input '" + k->name() + "'");
+            }
+        }
+    }
+}
+
+std::size_t
+ComposedPredictor::compIndex(const PredictorComponent* comp) const
+{
+    for (std::size_t i = 0; i < components_.size(); ++i)
+        if (components_[i] == comp)
+            return i;
+    assert(!"component not in topology");
+    return 0;
+}
+
+PredictContext
+ComposedPredictor::makeContext(const QueryState& q, unsigned d) const
+{
+    PredictContext ctx;
+    ctx.pc = q.pc_;
+    ctx.validSlots = q.validSlots_;
+    // Histories become visible at the end of Fetch-1 (paper §III-B):
+    // components responding at stage 1 must not observe them.
+    ctx.ghist = (d >= 2 && q.histCaptured_) ? &q.ghist_ : nullptr;
+    ctx.lhist = (d >= 2 && q.histCaptured_) ? q.lhist_ : 0;
+    ctx.phist = (d >= 2 && q.histCaptured_) ? q.phist_ : 0;
+    return ctx;
+}
+
+void
+ComposedPredictor::applyComponent(QueryState& q, PredictorComponent* comp,
+                                  unsigned d, PredictionBundle& bundle,
+                                  const std::vector<std::size_t>*
+                                      arb_children)
+{
+    if (d < comp->latency())
+        return; // Not yet responded: pure pass-through.
+
+    const std::size_t ci = compIndex(comp);
+    QueryState::CompResult& res = q.results_[ci];
+
+    if (!res.computed) {
+        // First evaluation at stage >= latency. For chain members this
+        // is stage == latency (stages are evaluated in increasing
+        // order), so `bundle` is the correct predict_in of that cycle.
+        // Arbiter children may be first evaluated at the arbiter's
+        // stage; they start from a fresh bundle, so the result is the
+        // same as at their own latency.
+        const PredictContext ctx = makeContext(q, d);
+        PredictionBundle in = bundle;
+        PredictionBundle out = bundle;
+        if (arb_children != nullptr) {
+            std::vector<PredictionBundle> inputs;
+            inputs.reserve(arb_children->size());
+            for (std::size_t childIdx : *arb_children) {
+                PredictionBundle cb;
+                cb.width = width_;
+                evalNode(q, childIdx, d, cb);
+                inputs.push_back(cb);
+            }
+            comp->arbitrate(ctx, inputs, out, q.metas_[ci]);
+        } else {
+            comp->predict(ctx, out, q.metas_[ci]);
+        }
+        res.out = out;
+        for (unsigned i = 0; i < width_; ++i)
+            res.provided[i] = diffSlots(in.slots[i], out.slots[i]);
+        res.computed = true;
+    }
+
+    // Replay the recorded field-level overrides onto the current
+    // bundle: where the component provided, its values win; where it
+    // passed through, the (possibly newer) incoming prediction flows.
+    for (unsigned i = 0; i < width_; ++i)
+        applySlotPatch(bundle.slots[i], res.out.slots[i], res.provided[i]);
+}
+
+void
+ComposedPredictor::evalNode(QueryState& q, std::size_t idx, unsigned d,
+                            PredictionBundle& bundle)
+{
+    const Topology::Node& n = topo_.node(idx);
+    switch (n.kind) {
+      case Topology::NodeKind::Leaf:
+        applyComponent(q, n.comp, d, bundle, nullptr);
+        break;
+      case Topology::NodeKind::Chain:
+        // Children are listed highest-priority first; evaluate from
+        // the lowest-priority upward so higher components override.
+        for (std::size_t i = n.children.size(); i-- > 0;)
+            evalNode(q, n.children[i], d, bundle);
+        break;
+      case Topology::NodeKind::Arb:
+        if (d < n.comp->latency()) {
+            // Before the arbiter responds, the provisional prediction
+            // is the first-listed child's (documented tie-break).
+            if (!n.children.empty())
+                evalNode(q, n.children.front(), d, bundle);
+        } else {
+            applyComponent(q, n.comp, d, bundle, &n.children);
+        }
+        break;
+    }
+}
+
+PredictionBundle
+ComposedPredictor::evaluateStage(QueryState& q, unsigned d)
+{
+    assert(d >= 1);
+    assert(d >= q.lastStage_ && "stages must be evaluated in order");
+    q.lastStage_ = d;
+
+    PredictionBundle bundle;
+    bundle.width = width_;
+    if (q.pc_ == kInvalidAddr)
+        return bundle;
+    evalNode(q, topo_.root().idx, d, bundle);
+    // Slots beyond the packet's valid range never predict.
+    for (unsigned i = q.validSlots_; i < width_; ++i)
+        bundle.slots[i] = PredictionSlot{};
+    return bundle;
+}
+
+void
+ComposedPredictor::fire(FireEvent ev, MetadataBundle& metas)
+{
+    assert(metas.size() == components_.size());
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        ev.meta = &metas[i];
+        components_[i]->fire(ev);
+    }
+}
+
+void
+ComposedPredictor::mispredict(ResolveEvent ev, const MetadataBundle& metas)
+{
+    assert(metas.size() == components_.size());
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        ev.meta = &metas[i];
+        components_[i]->mispredict(ev);
+    }
+}
+
+void
+ComposedPredictor::repair(ResolveEvent ev, const MetadataBundle& metas)
+{
+    assert(metas.size() == components_.size());
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        ev.meta = &metas[i];
+        components_[i]->repair(ev);
+    }
+}
+
+void
+ComposedPredictor::update(ResolveEvent ev, const MetadataBundle& metas)
+{
+    assert(metas.size() == components_.size());
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        ev.meta = &metas[i];
+        components_[i]->update(ev);
+    }
+}
+
+std::uint64_t
+ComposedPredictor::storageBits() const
+{
+    std::uint64_t bits = 0;
+    for (auto* c : components_)
+        bits += c->storageBits();
+    return bits;
+}
+
+unsigned
+ComposedPredictor::totalMetaBits() const
+{
+    unsigned bits = 0;
+    for (auto* c : components_)
+        bits += c->metaBits();
+    return bits;
+}
+
+bool
+ComposedPredictor::usesLocalHistory() const
+{
+    for (auto* c : components_)
+        if (c->usesLocalHistory())
+            return true;
+    return false;
+}
+
+} // namespace cobra::bpu

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The COBRA predictor composer (paper §IV-B): interprets a Topology
+ * to generate the staged predictor pipeline. For a query, the bundle
+ * visible at stage d is the fold of all sub-components with latency
+ * <= d in priority order; a component's response is computed exactly
+ * once (at its latency, with the predict_in of that stage) and its
+ * field-level overrides are replayed onto later stages, so earlier
+ * predictions are "carried over" exactly as in the paper's Fig. 4.
+ */
+
+#ifndef COBRA_BPU_COMPOSER_HPP
+#define COBRA_BPU_COMPOSER_HPP
+
+#include <vector>
+
+#include "bpu/topology.hpp"
+
+namespace cobra::bpu {
+
+/** Field groups a component can provide for a slot (pass-through
+ *  tracking; see paper §III-F on partial predictions). */
+enum ProvideMask : std::uint8_t
+{
+    kProvideNone = 0,
+    kProvideDir = 1,   ///< valid/taken direction fields.
+    kProvideTarget = 2, ///< targetValid/target fields.
+    kProvideType = 4,  ///< CFI type / call / ret fields.
+};
+
+/**
+ * Per-query evaluation state. The frontend creates one per fetch
+ * packet and evaluates stages in increasing order (1, 2, ..., D).
+ */
+class QueryState
+{
+  public:
+    QueryState() = default;
+
+    /** Reset for a new query over @p numComponents components. */
+    void reset(Addr pc, unsigned valid_slots, unsigned num_components,
+               unsigned width);
+
+    /** Capture histories (call at the end of Fetch-1, §III-B). */
+    void
+    captureHistory(const HistoryRegister& ghist, std::uint64_t lhist,
+                   std::uint64_t phist = 0)
+    {
+        ghist_ = ghist;
+        lhist_ = lhist;
+        phist_ = phist;
+        histCaptured_ = true;
+    }
+
+    bool historyCaptured() const { return histCaptured_; }
+    Addr pc() const { return pc_; }
+    unsigned validSlots() const { return validSlots_; }
+    unsigned width() const { return width_; }
+    const HistoryRegister& ghist() const { return ghist_; }
+    std::uint64_t lhist() const { return lhist_; }
+    std::uint64_t phist() const { return phist_; }
+
+    /** Metadata gathered from all components (by component index). */
+    const MetadataBundle& metadata() const { return metas_; }
+
+  private:
+    friend class ComposedPredictor;
+
+    /** Cached result of one component's single predict() invocation. */
+    struct CompResult
+    {
+        bool computed = false;
+        PredictionBundle out{};
+        std::array<std::uint8_t, kMaxFetchWidth> provided{};
+    };
+
+    Addr pc_ = kInvalidAddr;
+    unsigned validSlots_ = 4;
+    unsigned width_ = 4;
+    bool histCaptured_ = false;
+    HistoryRegister ghist_{1};
+    std::uint64_t lhist_ = 0;
+    std::uint64_t phist_ = 0;
+    unsigned lastStage_ = 0;
+    std::vector<CompResult> results_;
+    MetadataBundle metas_;
+};
+
+/**
+ * A complete generated predictor pipeline. Broadcasts the §III-E
+ * events to every sub-component with its own metadata slice.
+ */
+class ComposedPredictor
+{
+  public:
+    /**
+     * @param topo   Validated topology (ownership transferred).
+     * @param width  Fetch width (slots per prediction bundle).
+     */
+    ComposedPredictor(Topology topo, unsigned width = 4);
+
+    /** Pipeline depth: stages needed for the final prediction. */
+    unsigned maxLatency() const { return maxLatency_; }
+
+    unsigned width() const { return width_; }
+
+    /** Flattened component list; index = metadata slot. */
+    const std::vector<PredictorComponent*>&
+    components() const
+    {
+        return components_;
+    }
+
+    const Topology& topology() const { return topo_; }
+
+    /**
+     * Evaluate the composed prediction visible at stage @p d.
+     * Stages must be evaluated in increasing order per query; the
+     * result for a stage is deterministic and repeatable.
+     */
+    PredictionBundle evaluateStage(QueryState& q, unsigned d);
+
+    // ---- Event broadcast (management glue, §IV-B2) -------------------
+
+    void fire(FireEvent ev, MetadataBundle& metas);
+    void mispredict(ResolveEvent ev, const MetadataBundle& metas);
+    void repair(ResolveEvent ev, const MetadataBundle& metas);
+    void update(ResolveEvent ev, const MetadataBundle& metas);
+
+    // ---- Physical accounting ------------------------------------------
+
+    /** Total predictor storage in bits (sub-components only). */
+    std::uint64_t storageBits() const;
+
+    /** Sum of per-entry metadata bits (stored in the history file). */
+    unsigned totalMetaBits() const;
+
+    /** True when any component consumes local histories (§IV-B3). */
+    bool usesLocalHistory() const;
+
+  private:
+    /** Evaluate node @p idx at stage @p d, transforming @p bundle. */
+    void evalNode(QueryState& q, std::size_t idx, unsigned d,
+                  PredictionBundle& bundle);
+
+    /** Compute-or-replay one component's patch onto @p bundle. */
+    void applyComponent(QueryState& q, PredictorComponent* comp,
+                        unsigned d, PredictionBundle& bundle,
+                        const std::vector<std::size_t>* arbChildren);
+
+    /** Index of @p comp in components_. */
+    std::size_t compIndex(const PredictorComponent* comp) const;
+
+    PredictContext makeContext(const QueryState& q, unsigned d) const;
+
+    Topology topo_;
+    unsigned width_;
+    unsigned maxLatency_;
+    std::vector<PredictorComponent*> components_;
+};
+
+/** Diff two slots; returns the ProvideMask of changed field groups. */
+std::uint8_t diffSlots(const PredictionSlot& before,
+                       const PredictionSlot& after);
+
+/** Overwrite the field groups in @p mask of @p dst from @p src. */
+void applySlotPatch(PredictionSlot& dst, const PredictionSlot& src,
+                    std::uint8_t mask);
+
+} // namespace cobra::bpu
+
+#endif // COBRA_BPU_COMPOSER_HPP

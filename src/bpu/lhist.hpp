@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Local history provider (paper §IV-B3): a PC-indexed table of
+ * per-branch outcome histories, speculatively updated at fire time
+ * and repaired by the forwards-walk mechanism after mispredicts.
+ */
+
+#ifndef COBRA_BPU_LHIST_HPP
+#define COBRA_BPU_LHIST_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.hpp"
+#include "common/types.hpp"
+#include "phys/area_model.hpp"
+
+namespace cobra::bpu {
+
+/**
+ * PC-indexed local history table. Histories are at most 64 bits
+ * (bit 0 = most recent outcome of the branch mapping to that set).
+ */
+class LocalHistoryProvider
+{
+  public:
+    /**
+     * @param sets     Number of history entries (power of two).
+     * @param histLen  History length in bits (1..64).
+     * @param shift    Low PC bits ignored when indexing.
+     */
+    LocalHistoryProvider(unsigned sets = 256, unsigned hist_len = 32,
+                         unsigned shift = 4)
+        : sets_(sets), histLen_(hist_len), shift_(shift),
+          table_(sets, 0)
+    {
+    }
+
+    /** Index for a PC. */
+    std::size_t
+    indexOf(Addr pc) const
+    {
+        return static_cast<std::size_t>((pc >> shift_) % sets_);
+    }
+
+    /** Read the history provided to predictors at Fetch-1. */
+    std::uint64_t read(Addr pc) const { return table_[indexOf(pc)]; }
+
+    /** Speculative update at fire time: shift in a predicted outcome. */
+    void
+    specUpdate(Addr pc, bool taken)
+    {
+        std::uint64_t& h = table_[indexOf(pc)];
+        h = ((h << 1) | (taken ? 1 : 0)) & maskBits(histLen_);
+    }
+
+    /** Repair: restore the entry for @p pc to @p value. */
+    void restore(Addr pc, std::uint64_t value)
+    {
+        table_[indexOf(pc)] = value & maskBits(histLen_);
+    }
+
+    unsigned sets() const { return sets_; }
+    unsigned histLen() const { return histLen_; }
+
+    /** Table storage in bits (the "large PC-indexed table" of Fig. 8). */
+    std::uint64_t
+    storageBits() const
+    {
+        return static_cast<std::uint64_t>(sets_) * histLen_;
+    }
+
+    phys::PhysicalCost
+    physicalCost() const
+    {
+        phys::PhysicalCost c;
+        c.sramBits = storageBits();
+        c.sramPorts = {1, 1, 0};
+        c.logicGates = 300;
+        return c;
+    }
+
+  private:
+    unsigned sets_;
+    unsigned histLen_;
+    unsigned shift_;
+    std::vector<std::uint64_t> table_;
+};
+
+} // namespace cobra::bpu
+
+#endif // COBRA_BPU_LHIST_HPP

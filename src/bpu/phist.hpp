@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Path-history provider (paper §IV-B3: "Other variants of history
+ * information, like path histories, can also be implemented as new
+ * history providers" — implemented here, after Nair's dynamic
+ * path-based correlation). The register folds low PC bits of each
+ * taken control-flow instruction; components use it through the
+ * PredictContext::phist field (e.g. HBIM's PathHash index mode).
+ */
+
+#ifndef COBRA_BPU_PHIST_HPP
+#define COBRA_BPU_PHIST_HPP
+
+#include <cstdint>
+
+#include "common/bitutil.hpp"
+#include "common/types.hpp"
+#include "phys/area_model.hpp"
+
+namespace cobra::bpu {
+
+/**
+ * Speculative path-history register: per taken CFI, shifts in a few
+ * low PC bits. Snapshot/restore like the global history register.
+ */
+class PathHistoryProvider
+{
+  public:
+    /**
+     * @param length    Register length in bits.
+     * @param bitsPerCfi PC bits folded in per taken CFI.
+     */
+    explicit PathHistoryProvider(unsigned length = 32,
+                                 unsigned bits_per_cfi = 3)
+        : length_(length), bitsPerCfi_(bits_per_cfi)
+    {
+    }
+
+    /** Current speculative path history. */
+    std::uint64_t current() const { return path_; }
+
+    /** Speculatively record a taken CFI at @p pc. */
+    void
+    push(Addr pc)
+    {
+        path_ = ((path_ << bitsPerCfi_) ^ (pc >> 2)) & maskBits(length_);
+    }
+
+    /** Restore from a history-file snapshot. */
+    void restore(std::uint64_t snap) { path_ = snap & maskBits(length_); }
+
+    unsigned length() const { return length_; }
+
+    std::uint64_t storageBits() const { return length_; }
+
+    phys::PhysicalCost
+    physicalCost() const
+    {
+        phys::PhysicalCost c;
+        c.flopBits = length_;
+        c.logicGates = 3 * length_;
+        return c;
+    }
+
+  private:
+    unsigned length_;
+    unsigned bitsPerCfi_;
+    std::uint64_t path_ = 0;
+};
+
+} // namespace cobra::bpu
+
+#endif // COBRA_BPU_PHIST_HPP

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Value types of the COBRA predictor interface (paper §III):
+ * superscalar prediction bundles, per-component metadata, and the
+ * payloads of the five prediction events (predict / fire /
+ * mispredict / repair / update).
+ */
+
+#ifndef COBRA_BPU_PRED_TYPES_HPP
+#define COBRA_BPU_PRED_TYPES_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/folded_history.hpp"
+#include "common/types.hpp"
+
+namespace cobra::bpu {
+
+/** Maximum fetch width supported by the bundle types. */
+inline constexpr unsigned kMaxFetchWidth = 8;
+
+/** Control-flow-instruction type, as the frontend classifies it. */
+enum class CfiType : std::uint8_t
+{
+    None, ///< No CFI.
+    Br,   ///< Conditional branch.
+    Jal,  ///< Unconditional direct jump or call.
+    Jalr, ///< Indirect jump / indirect call / return.
+};
+
+/**
+ * Prediction for one instruction slot of a fetch packet
+ * (paper §III-C: predictors output a vector of predictions so that
+ * multiple branches in a fetch packet do not alias).
+ */
+struct PredictionSlot
+{
+    /** A direction prediction exists for this slot. */
+    bool valid = false;
+    /** Predicted to be a taken control-flow instruction. */
+    bool taken = false;
+    /** A target prediction exists for this slot. */
+    bool targetValid = false;
+    /** Predicted target address. */
+    Addr target = kInvalidAddr;
+    /** Predicted CFI type (from BTB-like components). */
+    CfiType type = CfiType::None;
+    /** Predicted to be a call (push RAS) / return (pop RAS). */
+    bool isCall = false;
+    bool isRet = false;
+};
+
+/**
+ * A superscalar prediction bundle: one PredictionSlot per fetch slot.
+ * This is both the `predict_in` and `predict_out` of the interface
+ * (paper §III-F): components override fields, pass slots through, or
+ * fill in partial predictions (e.g., a BTB adds targets only).
+ */
+struct PredictionBundle
+{
+    unsigned width = 4;
+    std::array<PredictionSlot, kMaxFetchWidth> slots{};
+
+    /** Index of the first slot predicted taken, or width if none. */
+    unsigned
+    firstTakenSlot() const
+    {
+        for (unsigned i = 0; i < width; ++i)
+            if (slots[i].valid && slots[i].taken)
+                return i;
+        return width;
+    }
+
+    /** True if any slot predicts a taken CFI. */
+    bool anyTaken() const { return firstTakenSlot() < width; }
+
+    /** Clear all slots (no prediction). */
+    void
+    clear()
+    {
+        for (auto& s : slots)
+            s = PredictionSlot{};
+    }
+};
+
+/**
+ * Opaque per-component metadata (paper §III-D). The interface
+ * guarantees this round-trips from predict-time to update /
+ * mispredict / repair time via the history file. 256 bits is enough
+ * for every component in the library; each component declares its
+ * true bit-length via metaBits() so the history file's storage cost
+ * is accounted exactly.
+ */
+struct Metadata
+{
+    std::array<std::uint64_t, 4> w{};
+
+    std::uint64_t& operator[](std::size_t i) { return w[i]; }
+    const std::uint64_t& operator[](std::size_t i) const { return w[i]; }
+};
+
+/** Metadata for every component in a composed pipeline. */
+using MetadataBundle = std::vector<Metadata>;
+
+/**
+ * Inputs available to a component when predicting (paper §III-A/B):
+ * the fetch PC at cycle 0; global and local histories from the end of
+ * cycle 1 — so 1-cycle components must not read them (enforced by the
+ * composer passing nullptr at stage 1).
+ */
+struct PredictContext
+{
+    Addr pc = kInvalidAddr;
+    /** Number of valid instruction slots from pc to packet end. */
+    unsigned validSlots = 4;
+    /** Global history (null when predicting at stage 1). */
+    const HistoryRegister* ghist = nullptr;
+    /** Local history for this PC (undefined at stage 1). */
+    std::uint64_t lhist = 0;
+    /** Path history: hashed PCs of recent taken CFIs (§IV-B3). */
+    std::uint64_t phist = 0;
+};
+
+/**
+ * Payload of the `fire` event (paper §III-E): the pipeline commits to
+ * a finalized speculative prediction for this packet; components that
+ * maintain local state (loop predictor, local histories) update
+ * speculatively now.
+ */
+struct FireEvent
+{
+    Addr pc = kInvalidAddr;
+    /** History-file index, ties fire to a later repair. */
+    std::uint32_t ftqIdx = 0;
+    const PredictionBundle* finalPred = nullptr;
+    const HistoryRegister* ghist = nullptr;
+    std::uint64_t lhist = 0;
+    Metadata* meta = nullptr; ///< Writable: fire may extend metadata.
+};
+
+/**
+ * Payload shared by the mispredict / repair / update events
+ * (paper §III-E): the predict-time PC, histories, and metadata are
+ * provided back, together with the resolved (or misspeculated)
+ * directions for the packet.
+ */
+struct ResolveEvent
+{
+    Addr pc = kInvalidAddr;
+    std::uint32_t ftqIdx = 0;
+    const HistoryRegister* ghist = nullptr; ///< As provided at predict.
+    std::uint64_t lhist = 0;
+    std::uint64_t phist = 0; ///< Path history as provided at predict.
+    const Metadata* meta = nullptr;
+
+    /** Slots that actually held conditional branches (post-decode). */
+    std::array<bool, kMaxFetchWidth> brMask{};
+    /** Resolved directions for those slots. */
+    std::array<bool, kMaxFetchWidth> takenMask{};
+
+    /** The packet's resolved CFI (first taken CF), if any. */
+    bool cfiValid = false;
+    unsigned cfiIdx = 0;
+    CfiType cfiType = CfiType::None;
+    bool cfiTaken = false;
+    bool cfiIsCall = false;
+    bool cfiIsRet = false;
+    Addr target = kInvalidAddr; ///< Actual target of the CFI.
+
+    /** True when this packet's prediction was wrong (mispredict). */
+    bool mispredicted = false;
+    /** The bundle that was predicted at fetch time. */
+    const PredictionBundle* predicted = nullptr;
+
+    /**
+     * True when the conditional branch in slot @p i resolved against
+     * the pipeline's fetch-time direction (covers not-taken
+     * mispredicts, which carry no taken CFI).
+     */
+    bool
+    slotMispredicted(unsigned i) const
+    {
+        if (i >= kMaxFetchWidth || !brMask[i])
+            return false;
+        const bool predTaken = predicted != nullptr &&
+                               predicted->slots[i].valid &&
+                               predicted->slots[i].taken;
+        return predTaken != takenMask[i];
+    }
+};
+
+} // namespace cobra::bpu
+
+#endif // COBRA_BPU_PRED_TYPES_HPP

@@ -1,0 +1,195 @@
+#include "bpu/topology.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace cobra::bpu {
+
+std::size_t
+Topology::addNode(Node n)
+{
+    nodes_.push_back(std::move(n));
+    return nodes_.size() - 1;
+}
+
+NodeRef
+Topology::leaf(PredictorComponent* comp)
+{
+    if (comp == nullptr)
+        throw std::logic_error("leaf: null component");
+    Node n;
+    n.kind = NodeKind::Leaf;
+    n.comp = comp;
+    return NodeRef{addNode(std::move(n))};
+}
+
+NodeRef
+Topology::chain(std::vector<NodeRef> children)
+{
+    if (children.empty())
+        throw std::logic_error("chain: no children");
+    if (children.size() == 1)
+        return children.front();
+    Node n;
+    n.kind = NodeKind::Chain;
+    for (const auto& c : children) {
+        if (!c.valid())
+            throw std::logic_error("chain: invalid child");
+        n.children.push_back(c.idx);
+    }
+    return NodeRef{addNode(std::move(n))};
+}
+
+NodeRef
+Topology::arb(PredictorComponent* arbiter, std::vector<NodeRef> children)
+{
+    if (arbiter == nullptr || !arbiter->isArbiter())
+        throw std::logic_error("arb: arbiter component required");
+    if (children.empty())
+        throw std::logic_error("arb: no children");
+    Node n;
+    n.kind = NodeKind::Arb;
+    n.comp = arbiter;
+    for (const auto& c : children) {
+        if (!c.valid())
+            throw std::logic_error("arb: invalid child");
+        n.children.push_back(c.idx);
+    }
+    return NodeRef{addNode(std::move(n))};
+}
+
+NodeRef
+Topology::chainOf(std::vector<PredictorComponent*> comps)
+{
+    std::vector<NodeRef> refs;
+    refs.reserve(comps.size());
+    for (auto* c : comps)
+        refs.push_back(leaf(c));
+    return chain(std::move(refs));
+}
+
+void
+Topology::validate() const
+{
+    if (!root_.valid())
+        throw std::logic_error("topology: root not set");
+    std::vector<PredictorComponent*> comps;
+    collectComponents(root_.idx, comps);
+    std::set<PredictorComponent*> seen;
+    for (auto* c : comps) {
+        if (!seen.insert(c).second) {
+            throw std::logic_error("topology: component '" + c->name() +
+                                   "' used more than once");
+        }
+    }
+}
+
+unsigned
+Topology::maxLatency() const
+{
+    unsigned m = 1;
+    for (auto* c : componentList())
+        m = std::max(m, c->latency());
+    return m;
+}
+
+void
+Topology::collectComponents(std::size_t idx,
+                            std::vector<PredictorComponent*>& out) const
+{
+    const Node& n = nodes_.at(idx);
+    if (n.comp != nullptr)
+        out.push_back(n.comp);
+    for (std::size_t c : n.children)
+        collectComponents(c, out);
+}
+
+std::vector<PredictorComponent*>
+Topology::componentList() const
+{
+    std::vector<PredictorComponent*> out;
+    if (root_.valid())
+        collectComponents(root_.idx, out);
+    return out;
+}
+
+std::string
+Topology::describeNode(std::size_t idx) const
+{
+    const Node& n = nodes_.at(idx);
+    std::ostringstream oss;
+    switch (n.kind) {
+      case NodeKind::Leaf:
+        oss << n.comp->name() << n.comp->latency();
+        break;
+      case NodeKind::Chain: {
+        bool first = true;
+        for (std::size_t c : n.children) {
+            if (!first)
+                oss << " > ";
+            first = false;
+            const bool paren = nodes_.at(c).kind == NodeKind::Chain;
+            if (paren)
+                oss << "(";
+            oss << describeNode(c);
+            if (paren)
+                oss << ")";
+        }
+        break;
+      }
+      case NodeKind::Arb: {
+        oss << n.comp->name() << n.comp->latency() << " > [";
+        bool first = true;
+        for (std::size_t c : n.children) {
+            if (!first)
+                oss << ", ";
+            first = false;
+            const bool paren = nodes_.at(c).kind == NodeKind::Chain;
+            if (paren)
+                oss << "(";
+            oss << describeNode(c);
+            if (paren)
+                oss << ")";
+        }
+        oss << "]";
+        break;
+      }
+    }
+    return oss.str();
+}
+
+std::string
+Topology::describe() const
+{
+    if (!root_.valid())
+        return "<empty topology>";
+    return describeNode(root_.idx);
+}
+
+std::string
+Topology::pipelineDiagram() const
+{
+    std::ostringstream oss;
+    const unsigned depth = maxLatency();
+    oss << "Topology: " << describe() << "\n";
+    for (unsigned d = 1; d <= depth; ++d) {
+        oss << "  Fetch-" << d << ": ";
+        bool first = true;
+        for (auto* c : componentList()) {
+            if (c->latency() != d)
+                continue;
+            if (!first)
+                oss << ", ";
+            first = false;
+            oss << c->name();
+        }
+        if (first)
+            oss << "(prediction carried over)";
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace cobra::bpu

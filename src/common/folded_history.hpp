@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Incrementally folded global-history registers, as used by TAGE-class
+ * predictors to hash very long histories into short indices/tags
+ * (Michaud, "A PPM-like, tag-based branch predictor").
+ */
+
+#ifndef COBRA_COMMON_FOLDED_HISTORY_HPP
+#define COBRA_COMMON_FOLDED_HISTORY_HPP
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.hpp"
+
+namespace cobra {
+
+/**
+ * A fixed-capacity shift register of branch outcomes. Bit 0 is the
+ * most recent outcome. Supports snapshot/restore for speculation repair.
+ */
+class HistoryRegister
+{
+  public:
+    explicit HistoryRegister(unsigned length = 64)
+        : length_(length)
+    {
+        assert(length >= 1 && length <= 4096);
+        words_.assign((length + 63) / 64, 0);
+    }
+
+    /** Shift in one outcome (true = taken) as the new bit 0. */
+    void
+    push(bool taken)
+    {
+        std::uint64_t carry = taken ? 1 : 0;
+        for (auto& w : words_) {
+            const std::uint64_t msb = w >> 63;
+            w = (w << 1) | carry;
+            carry = msb;
+        }
+        // Mask off bits beyond the configured length in the top word.
+        const unsigned topBits = length_ % 64;
+        if (topBits != 0)
+            words_.back() &= maskBits(topBits);
+    }
+
+    /** Outcome @p i positions ago (0 = most recent). */
+    bool
+    bit(unsigned i) const
+    {
+        assert(i < length_);
+        return (words_[i / 64] >> (i % 64)) & 1;
+    }
+
+    /** Low @p n bits (n <= 64) packed into a word; bit 0 most recent. */
+    std::uint64_t
+    low(unsigned n) const
+    {
+        assert(n <= 64);
+        if (n == 0)
+            return 0;
+        std::uint64_t v = words_[0];
+        return v & maskBits(n);
+    }
+
+    unsigned length() const { return length_; }
+
+    /** Full snapshot of the register contents. */
+    std::vector<std::uint64_t> snapshot() const { return words_; }
+
+    /** Restore a snapshot taken from a register of identical length. */
+    void
+    restore(const std::vector<std::uint64_t>& snap)
+    {
+        assert(snap.size() == words_.size());
+        words_ = snap;
+    }
+
+    bool
+    operator==(const HistoryRegister& o) const
+    {
+        return length_ == o.length_ && words_ == o.words_;
+    }
+
+  private:
+    unsigned length_;
+    std::vector<std::uint64_t> words_;
+};
+
+/**
+ * Maintains fold(history[0:histLen]) into @p foldedLen bits
+ * incrementally: each push costs O(1) instead of re-folding the whole
+ * history. Mirrors the circular-shift-register structure used in TAGE
+ * hardware.
+ */
+class FoldedHistory
+{
+  public:
+    FoldedHistory() = default;
+
+    /**
+     * @param histLen   Number of history bits folded.
+     * @param foldedLen Output width in bits (1..32).
+     */
+    FoldedHistory(unsigned histLen, unsigned foldedLen)
+        : histLen_(histLen), foldedLen_(foldedLen)
+    {
+        assert(foldedLen >= 1 && foldedLen <= 32);
+        outPoint_ = histLen % foldedLen;
+    }
+
+    /**
+     * Update with the newest outcome and the outcome falling off the
+     * end of the folded window (history position histLen-1 *before*
+     * this push).
+     */
+    void
+    push(bool newest, bool oldest)
+    {
+        folded_ = (folded_ << 1) | (newest ? 1 : 0);
+        folded_ ^= (oldest ? 1u : 0u) << outPoint_;
+        folded_ ^= folded_ >> foldedLen_;
+        folded_ &= static_cast<std::uint32_t>(maskBits(foldedLen_));
+    }
+
+    /** Current folded value. */
+    std::uint32_t value() const { return folded_; }
+
+    /**
+     * Recompute from scratch against a full history register by
+     * replaying pushes from an empty window; this is consistent with
+     * the incremental push() by construction.
+     */
+    void
+    recompute(const HistoryRegister& hist)
+    {
+        folded_ = 0;
+        // Replay the window's bits oldest-first from an empty start.
+        // No bit completes a full trip through the window during the
+        // histLen_ replay pushes, so nothing falls out (oldest = 0);
+        // the linearity of the fold guarantees this equals the state
+        // of an always-running incrementally updated register.
+        for (unsigned i = histLen_; i-- > 0;) {
+            const bool newest = i < hist.length() && hist.bit(i);
+            push(newest, /*oldest=*/false);
+        }
+    }
+
+    unsigned histLen() const { return histLen_; }
+    unsigned foldedLen() const { return foldedLen_; }
+
+  private:
+    unsigned histLen_ = 0;
+    unsigned foldedLen_ = 1;
+    unsigned outPoint_ = 0;
+    std::uint32_t folded_ = 0;
+};
+
+} // namespace cobra
+
+#endif // COBRA_COMMON_FOLDED_HISTORY_HPP

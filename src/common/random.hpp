@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation. All stochastic choices
+ * in the model flow through Xoshiro256ss so runs are reproducible from
+ * a single seed.
+ */
+
+#ifndef COBRA_COMMON_RANDOM_HPP
+#define COBRA_COMMON_RANDOM_HPP
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/bitutil.hpp"
+
+namespace cobra {
+
+/**
+ * xoshiro256** generator. Small, fast, and good enough statistical
+ * quality for workload synthesis.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x1badb002)
+    {
+        // SplitMix64 seeding, per the xoshiro reference implementation.
+        std::uint64_t x = seed;
+        for (auto& si : s_)
+            si = mix64(x++);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        assert(bound != 0);
+        // Modulo bias is negligible for the bounds we use (<< 2^64).
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        assert(lo <= hi);
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Geometric-ish small integer: returns k >= 1 where
+     * P(k) ~ (1-p) p^(k-1), capped at @p cap.
+     */
+    unsigned
+    geometric(double p, unsigned cap)
+    {
+        unsigned k = 1;
+        while (k < cap && chance(p))
+            ++k;
+        return k;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4];
+};
+
+} // namespace cobra
+
+#endif // COBRA_COMMON_RANDOM_HPP

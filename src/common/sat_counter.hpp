@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Saturating up/down counters, the workhorse state element of
+ * direction predictors.
+ */
+
+#ifndef COBRA_COMMON_SAT_COUNTER_HPP
+#define COBRA_COMMON_SAT_COUNTER_HPP
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/bitutil.hpp"
+
+namespace cobra {
+
+/**
+ * An n-bit unsigned saturating counter. The counter "predicts taken"
+ * when its value is in the upper half of its range.
+ */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /**
+     * @param nbits Width of the counter in bits (1..16).
+     * @param init  Initial value (clamped to range).
+     */
+    explicit SatCounter(unsigned nbits, unsigned init = 0)
+        : nbits_(nbits),
+          max_(static_cast<std::uint16_t>(maskBits(nbits)))
+    {
+        assert(nbits >= 1 && nbits <= 16);
+        value_ = init > max_ ? max_ : static_cast<std::uint16_t>(init);
+    }
+
+    /** Saturating increment. */
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    /** Saturating decrement. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Move toward taken (true) or not-taken (false). */
+    void
+    train(bool taken)
+    {
+        if (taken)
+            increment();
+        else
+            decrement();
+    }
+
+    /** Current raw value. */
+    std::uint16_t value() const { return value_; }
+
+    /** Overwrite raw value (used by metadata-based state recovery). */
+    void
+    set(unsigned v)
+    {
+        value_ = v > max_ ? max_ : static_cast<std::uint16_t>(v);
+    }
+
+    /** Reset to the weakly-not-taken midpoint minus one half. */
+    void reset() { value_ = 0; }
+
+    /** True when the counter's MSB is set (predict taken). */
+    bool taken() const { return value_ > max_ / 2; }
+
+    /** True when the counter is at either saturation rail. */
+    bool saturated() const { return value_ == 0 || value_ == max_; }
+
+    /**
+     * Confidence in [0, 1]: distance from the decision threshold,
+     * normalised. Weak counters report low confidence.
+     */
+    double
+    confidence() const
+    {
+        const double mid = (max_ + 1) / 2.0;
+        const double d = value_ >= mid ? value_ - mid + 1 : mid - value_;
+        return d / mid;
+    }
+
+    /** Counter width in bits. */
+    unsigned numBits() const { return nbits_; }
+
+    /** Maximum representable value. */
+    std::uint16_t maxValue() const { return max_; }
+
+  private:
+    unsigned nbits_ = 2;
+    std::uint16_t max_ = 3;
+    std::uint16_t value_ = 0;
+};
+
+/**
+ * A signed saturating counter in [-2^(n-1), 2^(n-1) - 1], used by
+ * TAGE useful bits, perceptron weights, and choice counters.
+ */
+class SignedSatCounter
+{
+  public:
+    SignedSatCounter() = default;
+
+    explicit SignedSatCounter(unsigned nbits, int init = 0)
+        : min_(-(1 << (nbits - 1))),
+          max_((1 << (nbits - 1)) - 1)
+    {
+        assert(nbits >= 1 && nbits <= 15);
+        value_ = clamp(init);
+    }
+
+    void
+    add(int delta)
+    {
+        value_ = clamp(value_ + delta);
+    }
+
+    /** Move toward positive (true) or negative (false). */
+    void
+    train(bool up)
+    {
+        add(up ? 1 : -1);
+    }
+
+    int value() const { return value_; }
+    void set(int v) { value_ = clamp(v); }
+    bool positive() const { return value_ >= 0; }
+    int minValue() const { return min_; }
+    int maxValue() const { return max_; }
+
+  private:
+    int
+    clamp(int v) const
+    {
+        if (v < min_) return min_;
+        if (v > max_) return max_;
+        return v;
+    }
+
+    int min_ = -2;
+    int max_ = 1;
+    int value_ = 0;
+};
+
+} // namespace cobra
+
+#endif // COBRA_COMMON_SAT_COUNTER_HPP

@@ -1,0 +1,21 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+namespace cobra {
+
+double
+geometricMean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            return 0.0;
+        logSum += std::log(x);
+    }
+    return std::exp(logSum / static_cast<double>(xs.size()));
+}
+
+} // namespace cobra

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Lightweight named statistics: scalar counters, ratios, and
+ * histograms, with formatted dumping. Inspired by gem5's stats
+ * package but deliberately tiny.
+ */
+
+#ifndef COBRA_COMMON_STATS_HPP
+#define COBRA_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cobra {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    void operator+=(std::uint64_t n) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Fixed-bucket histogram over small non-negative integers. */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t buckets = 16)
+        : buckets_(buckets, 0)
+    {}
+
+    void
+    sample(std::size_t v)
+    {
+        if (v >= buckets_.size())
+            v = buckets_.size() - 1;
+        ++buckets_[v];
+        ++samples_;
+        sum_ += v;
+    }
+
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t samples() const { return samples_; }
+
+    double
+    mean() const
+    {
+        return samples_ == 0 ? 0.0
+                             : static_cast<double>(sum_) / samples_;
+    }
+
+    void
+    reset()
+    {
+        for (auto& b : buckets_)
+            b = 0;
+        samples_ = 0;
+        sum_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t samples_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/**
+ * A registry of named counters grouped by component, so simulation
+ * objects can expose stats without global state.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
+
+    Counter& counter(const std::string& key) { return counters_[key]; }
+
+    std::uint64_t
+    get(const std::string& key) const
+    {
+        auto it = counters_.find(key);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    const std::string& name() const { return name_; }
+
+    void
+    dump(std::ostream& os) const
+    {
+        for (const auto& [k, c] : counters_)
+            os << name_ << "." << k << " = " << c.value() << "\n";
+    }
+
+    void
+    reset()
+    {
+        for (auto& [k, c] : counters_)
+            c.reset();
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+};
+
+/** Harmonic mean of a series of positive values. */
+inline double
+harmonicMean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double denom = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            return 0.0;
+        denom += 1.0 / x;
+    }
+    return static_cast<double>(xs.size()) / denom;
+}
+
+/** Arithmetic mean. */
+inline double
+arithmeticMean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+/** Geometric mean of positive values. */
+double geometricMean(const std::vector<double>& xs);
+
+} // namespace cobra
+
+#endif // COBRA_COMMON_STATS_HPP

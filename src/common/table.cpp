@@ -1,0 +1,96 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+namespace cobra {
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::beginRow()
+{
+    rows_.emplace_back();
+}
+
+void
+TextTable::cell(const std::string& s)
+{
+    rows_.back().push_back(s);
+}
+
+void
+TextTable::cell(double v, int precision)
+{
+    rows_.back().push_back(formatDouble(v, precision));
+}
+
+void
+TextTable::cell(std::uint64_t v)
+{
+    rows_.back().push_back(std::to_string(v));
+}
+
+void
+TextTable::cell(int v)
+{
+    rows_.back().push_back(std::to_string(v));
+}
+
+void
+TextTable::print(std::ostream& os) const
+{
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    if (rows_.empty())
+        return;
+
+    std::size_t cols = 0;
+    for (const auto& r : rows_)
+        cols = std::max(cols, r.size());
+
+    std::vector<std::size_t> width(cols, 0);
+    for (const auto& r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    auto printRow = [&](const std::vector<std::string>& r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::string& s = c < r.size() ? r[c] : std::string{};
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+               << s;
+        }
+        os << "\n";
+    };
+
+    printRow(rows_.front());
+    std::size_t total = 0;
+    for (auto w : width)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (std::size_t i = 1; i < rows_.size(); ++i)
+        printRow(rows_[i]);
+}
+
+std::string
+formatDouble(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+formatKiB(std::uint64_t bits)
+{
+    const double kib = static_cast<double>(bits) / 8.0 / 1024.0;
+    return formatDouble(kib, 2) + " KiB";
+}
+
+} // namespace cobra

@@ -1,0 +1,107 @@
+#include "components/gtag.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "common/bitutil.hpp"
+
+namespace cobra::comps {
+
+Gtag::Gtag(std::string name, const GtagParams& p)
+    : PredictorComponent(std::move(name), p.latency, p.fetchWidth),
+      params_(p)
+{
+    assert(isPow2(p.sets));
+    assert(p.latency >= 2);
+    rows_.resize(p.sets);
+    for (auto& r : rows_) {
+        r.ctrs.assign(p.fetchWidth,
+                      SatCounter(p.ctrBits, (1u << p.ctrBits) / 2));
+        r.tags.assign(p.fetchWidth, 0);
+        r.valids.assign(p.fetchWidth, false);
+    }
+}
+
+std::size_t
+Gtag::indexOf(Addr pc, const HistoryRegister& gh) const
+{
+    const unsigned idxBits = ceilLog2(params_.sets);
+    const std::uint64_t pcBits = pc >> (2 + ceilLog2(fetchWidth()));
+    const std::uint64_t h = gh.low(std::min(params_.histBits, 64u));
+    return static_cast<std::size_t>(
+        (pcBits ^ foldXor(h, idxBits)) & maskBits(idxBits));
+}
+
+std::uint32_t
+Gtag::tagOf(Addr pc, const HistoryRegister& gh) const
+{
+    const std::uint64_t pcBits = pc >> (2 + ceilLog2(fetchWidth()));
+    const std::uint64_t h = gh.low(std::min(params_.histBits, 64u));
+    return static_cast<std::uint32_t>(
+        hashCombine(pcBits, foldXor(h, params_.tagBits)) &
+        maskBits(params_.tagBits));
+}
+
+void
+Gtag::predict(const bpu::PredictContext& ctx, bpu::PredictionBundle& inout,
+              bpu::Metadata& meta)
+{
+    const HistoryRegister& gh = requireGhist(ctx);
+    const Row& row = rows_[indexOf(ctx.pc, gh)];
+    const std::uint32_t tag = tagOf(ctx.pc, gh);
+
+    // Per-counter partial tags ("2K partially tagged counters"): each
+    // slot hits independently; misses pass predict_in through.
+    for (unsigned i = 0; i < ctx.validSlots && i < inout.width; ++i) {
+        const bool hit = row.valids[i] && row.tags[i] == tag;
+        if (!hit)
+            continue;
+        inout.slots[i].valid = true;
+        inout.slots[i].taken = row.ctrs[i].taken();
+        meta[0] |= 1ull << i; // hit mask
+        meta[0] |= static_cast<std::uint64_t>(row.ctrs[i].value())
+                   << (8 + i * params_.ctrBits);
+    }
+}
+
+void
+Gtag::update(const bpu::ResolveEvent& ev)
+{
+    assert(ev.ghist != nullptr);
+    Row& row = rows_[indexOf(ev.pc, *ev.ghist)];
+    const std::uint32_t tag = tagOf(ev.pc, *ev.ghist);
+
+    for (unsigned i = 0; i < fetchWidth(); ++i) {
+        if (!ev.brMask[i])
+            continue;
+        const bool taken = ev.takenMask[i];
+        const bool hit = row.valids[i] && row.tags[i] == tag;
+        if (hit) {
+            row.ctrs[i].train(taken);
+            continue;
+        }
+        // Allocate on a direction mispredict (the cheaper predictors
+        // below this one got it wrong) — including not-taken
+        // mispredicts, which carry no taken CFI.
+        if (ev.slotMispredicted(i)) {
+            row.valids[i] = true;
+            row.tags[i] = tag;
+            const unsigned mid = (1u << params_.ctrBits) / 2;
+            row.ctrs[i] =
+                SatCounter(params_.ctrBits, taken ? mid : mid - 1);
+        }
+    }
+}
+
+std::string
+Gtag::describe() const
+{
+    std::ostringstream oss;
+    oss << name() << ": " << params_.sets * fetchWidth()
+        << " partially tagged counters (" << params_.tagBits << "b tag, "
+        << params_.histBits << "b ghist), latency " << latency();
+    return oss.str();
+}
+
+} // namespace cobra::comps

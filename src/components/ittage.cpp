@@ -1,0 +1,156 @@
+#include "components/ittage.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "common/bitutil.hpp"
+
+namespace cobra::comps {
+
+Ittage::Ittage(std::string name, const IttageParams& p)
+    : PredictorComponent(std::move(name), p.latency, p.fetchWidth),
+      params_(p), rng_(0x177A6E)
+{
+    assert(isPow2(p.sets));
+    assert(p.latency >= 2);
+    for (unsigned t = 0; t < p.numTables; ++t) {
+        Table tab;
+        tab.histLen = p.baseHistLen << t;
+        tab.rows.resize(p.sets);
+        for (auto& r : tab.rows)
+            r.conf = SatCounter(p.confBits, 1);
+        tables_.push_back(std::move(tab));
+    }
+}
+
+std::size_t
+Ittage::indexOf(const Table& t, Addr pc, const HistoryRegister& gh) const
+{
+    const unsigned idxBits = ceilLog2(params_.sets);
+    const std::uint64_t pcBits = pc >> (2 + ceilLog2(fetchWidth()));
+    const std::uint64_t h = gh.low(std::min(t.histLen, 64u));
+    return static_cast<std::size_t>(
+        (pcBits ^ foldXor(h, idxBits) ^ (pcBits >> idxBits)) &
+        maskBits(idxBits));
+}
+
+std::uint32_t
+Ittage::tagOf(const Table& t, Addr pc, const HistoryRegister& gh) const
+{
+    const std::uint64_t pcBits = pc >> (2 + ceilLog2(fetchWidth()));
+    const std::uint64_t h = gh.low(std::min(t.histLen, 64u));
+    return static_cast<std::uint32_t>(
+        hashCombine(pcBits, foldXor(h, params_.tagBits) ^ t.histLen) &
+        maskBits(params_.tagBits));
+}
+
+void
+Ittage::predict(const bpu::PredictContext& ctx,
+                bpu::PredictionBundle& inout, bpu::Metadata& meta)
+{
+    const HistoryRegister& gh = requireGhist(ctx);
+
+    int provider = -1;
+    for (int t = static_cast<int>(tables_.size()) - 1; t >= 0; --t) {
+        const Row& row =
+            tables_[t].rows[indexOf(tables_[t], ctx.pc, gh)];
+        if (row.valid && row.tag == tagOf(tables_[t], ctx.pc, gh)) {
+            provider = t;
+            break;
+        }
+    }
+    meta[0] = provider < 0 ? 0 : (1u | (provider << 1));
+    if (provider < 0)
+        return;
+
+    const Row& row =
+        tables_[provider].rows[indexOf(tables_[provider], ctx.pc, gh)];
+    if (!row.conf.taken())
+        return; // Not confident enough to override.
+
+    // Override the target of the packet's indirect CF slots (the BTB
+    // supplies the type; returns are the RAS's business).
+    for (unsigned i = 0; i < ctx.validSlots && i < inout.width; ++i) {
+        auto& slot = inout.slots[i];
+        if (slot.type != bpu::CfiType::Jalr || slot.isRet)
+            continue;
+        slot.targetValid = true;
+        slot.target = row.target;
+        break; // One indirect per packet fetch.
+    }
+}
+
+void
+Ittage::update(const bpu::ResolveEvent& ev)
+{
+    assert(ev.ghist != nullptr);
+    if (!ev.cfiValid || ev.cfiType != bpu::CfiType::Jalr ||
+        ev.cfiIsRet || ev.target == kInvalidAddr) {
+        return;
+    }
+    const HistoryRegister& gh = *ev.ghist;
+    const bool hadHit = (*ev.meta)[0] & 1;
+    const int provider =
+        hadHit ? static_cast<int>(((*ev.meta)[0] >> 1) & 0x7) : -1;
+
+    bool providerCorrect = false;
+    if (provider >= 0) {
+        Table& t = tables_[provider];
+        Row& row = t.rows[indexOf(t, ev.pc, gh)];
+        if (row.valid && row.tag == tagOf(t, ev.pc, gh)) {
+            if (row.target == ev.target) {
+                row.conf.increment();
+                providerCorrect = true;
+            } else {
+                row.conf.decrement();
+                if (row.conf.value() == 0)
+                    row.target = ev.target; // Re-learn in place.
+            }
+        }
+    }
+
+    // Allocate a longer-history entry when no (or a wrong) provider.
+    if (!providerCorrect) {
+        const unsigned start = static_cast<unsigned>(provider + 1);
+        if (start < tables_.size()) {
+            // Pick one of the longer tables at random.
+            const unsigned pick =
+                start + static_cast<unsigned>(
+                            rng_.below(tables_.size() - start));
+            Table& t = tables_[pick];
+            Row& row = t.rows[indexOf(t, ev.pc, gh)];
+            // Only steal low-confidence rows.
+            if (!row.valid || row.conf.value() <= 1) {
+                row.valid = true;
+                row.tag = tagOf(t, ev.pc, gh);
+                row.target = ev.target;
+                row.conf = SatCounter(params_.confBits, 1);
+            } else {
+                row.conf.decrement();
+            }
+        }
+    }
+}
+
+std::uint64_t
+Ittage::storageBits() const
+{
+    std::uint64_t bits = 0;
+    for (const auto& t : tables_)
+        bits += static_cast<std::uint64_t>(t.rows.size()) *
+                (1 + params_.tagBits + 30 + params_.confBits);
+    return bits;
+}
+
+std::string
+Ittage::describe() const
+{
+    std::ostringstream oss;
+    oss << name() << ": " << tables_.size()
+        << " indirect-target tables x " << params_.sets
+        << " entries, latency " << latency();
+    return oss.str();
+}
+
+} // namespace cobra::comps

@@ -1,0 +1,200 @@
+#include "components/loop.hpp"
+
+#include <cassert>
+#include <sstream>
+
+#include "common/bitutil.hpp"
+
+namespace cobra::comps {
+
+LoopPredictor::LoopPredictor(std::string name, const LoopParams& p)
+    : PredictorComponent(std::move(name), p.latency, p.fetchWidth),
+      params_(p)
+{
+    assert(isPow2(p.entries));
+    table_.resize(p.entries);
+}
+
+std::size_t
+LoopPredictor::indexOf(Addr pc) const
+{
+    const std::uint64_t pcBits = pc >> (2 + ceilLog2(fetchWidth()));
+    return static_cast<std::size_t>(pcBits & maskBits(
+        ceilLog2(params_.entries)));
+}
+
+std::uint32_t
+LoopPredictor::tagOf(Addr pc) const
+{
+    const std::uint64_t pcBits = pc >> (2 + ceilLog2(fetchWidth()));
+    return static_cast<std::uint32_t>(
+        (pcBits >> ceilLog2(params_.entries)) & maskBits(params_.tagBits));
+}
+
+void
+LoopPredictor::predict(const bpu::PredictContext& ctx,
+                       bpu::PredictionBundle& inout, bpu::Metadata& meta)
+{
+    Entry& e = table_[indexOf(ctx.pc)];
+    const bool matched = e.valid && e.tag == tagOf(ctx.pc) &&
+                         e.slot < ctx.validSlots;
+    meta[0] = (matched ? 1u : 0u) |
+              (static_cast<std::uint64_t>(e.specCount) << 1);
+    if (!matched || e.trip < params_.minTrip ||
+        e.conf < params_.confThreshold) {
+        return; // Pass through: not confident about this loop.
+    }
+
+    // Predict the loop branch taken until the learned trip count is
+    // reached, then predict the exit (not taken).
+    auto& slot = inout.slots[e.slot];
+    slot.valid = true;
+    slot.taken = e.specCount + 1 < e.trip;
+}
+
+void
+LoopPredictor::fire(const bpu::FireEvent& ev)
+{
+    assert(ev.meta != nullptr);
+    const bool matched = (*ev.meta)[0] & 1;
+    if (!matched)
+        return;
+    Entry& e = table_[indexOf(ev.pc)];
+    if (!e.valid || e.tag != tagOf(ev.pc))
+        return;
+    // Speculative iteration advance; wraps at the trip count.
+    if (e.trip != 0 && e.specCount + 1 >= e.trip)
+        e.specCount = 0;
+    else if (e.specCount < maskBits(params_.countBits))
+        ++e.specCount;
+}
+
+void
+LoopPredictor::repair(const bpu::ResolveEvent& ev)
+{
+    assert(ev.meta != nullptr);
+    const bool matched = (*ev.meta)[0] & 1;
+    if (!matched)
+        return;
+    Entry& e = table_[indexOf(ev.pc)];
+    if (!e.valid || e.tag != tagOf(ev.pc))
+        return;
+    e.specCount = static_cast<std::uint32_t>(
+        ((*ev.meta)[0] >> 1) & maskBits(params_.countBits));
+}
+
+void
+LoopPredictor::mispredict(const bpu::ResolveEvent& ev)
+{
+    // Restore the pre-fire count, then re-apply the resolved outcome.
+    repair(ev);
+    Entry& e = table_[indexOf(ev.pc)];
+    if (!e.valid || e.tag != tagOf(ev.pc))
+        return;
+    if (e.slot >= bpu::kMaxFetchWidth || !ev.brMask[e.slot])
+        return;
+    const bool taken = ev.takenMask[e.slot];
+    if (taken) {
+        if (e.specCount < maskBits(params_.countBits))
+            ++e.specCount;
+    } else {
+        e.specCount = 0;
+    }
+    // If the loop predictor itself was confidently overriding and the
+    // branch still mispredicted, its trip is wrong — stop overriding
+    // until re-learned. (Mispredicts while *not* confident are the
+    // base predictor's, and must not block confidence building.)
+    if (ev.slotMispredicted(e.slot) && e.conf >= params_.confThreshold)
+        e.conf = 0;
+}
+
+void
+LoopPredictor::update(const bpu::ResolveEvent& ev)
+{
+    const std::size_t idx = indexOf(ev.pc);
+    const std::uint32_t tag = tagOf(ev.pc);
+    Entry& e = table_[idx];
+    const bool matched = e.valid && e.tag == tag;
+
+    // Find the conditional branch to train on: a matched entry trains
+    // only on its tracked slot; otherwise consider the packet's first
+    // branch for allocation.
+    unsigned slot = bpu::kMaxFetchWidth;
+    if (matched) {
+        if (e.slot >= bpu::kMaxFetchWidth || !ev.brMask[e.slot])
+            return; // The tracked branch was not in this packet.
+        slot = e.slot;
+    } else {
+        for (unsigned i = 0; i < bpu::kMaxFetchWidth; ++i) {
+            if (ev.brMask[i]) {
+                slot = i;
+                break;
+            }
+        }
+    }
+    if (slot >= bpu::kMaxFetchWidth)
+        return;
+    const bool taken = ev.takenMask[slot];
+
+    if (!matched) {
+        // Allocate only for branches that just mispredicted a loop
+        // exit (not-taken after a run of takens is the telltale).
+        if (ev.slotMispredicted(slot) && !taken) {
+            e.valid = true;
+            e.tag = tag;
+            e.slot = slot;
+            e.trip = 0;
+            e.specCount = 0;
+            e.archCount = 0;
+            e.conf = 0;
+        }
+        return;
+    }
+
+    // Committed iteration counting.
+    if (taken) {
+        if (e.archCount < maskBits(params_.countBits))
+            ++e.archCount;
+        // Run longer than a learnable trip: give up on this entry.
+        if (e.trip != 0 && e.archCount >= e.trip &&
+            e.conf >= params_.confThreshold) {
+            // The loop ran past its learned trip: the trip was wrong.
+            e.trip = 0;
+            e.conf = 0;
+        }
+    } else {
+        const std::uint32_t observedTrip = e.archCount + 1;
+        if (e.trip == observedTrip) {
+            if (e.conf < params_.confMax)
+                ++e.conf;
+        } else {
+            e.trip = observedTrip;
+            e.conf = 0;
+        }
+        e.archCount = 0;
+        // Re-sync the speculative count at loop boundaries when the
+        // pipeline is consistent (cheap drift correction).
+        if (!ev.mispredicted && e.specCount >= e.trip)
+            e.specCount = 0;
+    }
+}
+
+std::uint64_t
+LoopPredictor::storageBits() const
+{
+    const std::uint64_t perEntry = 1 + params_.tagBits +
+                                   ceilLog2(fetchWidth()) +
+                                   3ull * params_.countBits + 3;
+    return perEntry * params_.entries;
+}
+
+std::string
+LoopPredictor::describe() const
+{
+    std::ostringstream oss;
+    oss << name() << ": " << params_.entries
+        << "-entry loop predictor, latency " << latency();
+    return oss.str();
+}
+
+} // namespace cobra::comps

@@ -1,0 +1,103 @@
+#include "components/perceptron.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/bitutil.hpp"
+
+namespace cobra::comps {
+
+Perceptron::Perceptron(std::string name, const PerceptronParams& p)
+    : PredictorComponent(std::move(name), p.latency, p.fetchWidth),
+      params_(p)
+{
+    assert(isPow2(p.entries));
+    assert(p.latency >= 2);
+    table_.resize(p.entries);
+    for (auto& e : table_)
+        e.weights.assign(p.histBits + 1,
+                         SignedSatCounter(p.weightBits, 0));
+}
+
+std::size_t
+Perceptron::indexOf(Addr pc) const
+{
+    const std::uint64_t pcBits = pc >> (2 + ceilLog2(fetchWidth()));
+    return static_cast<std::size_t>(pcBits & maskBits(
+        ceilLog2(params_.entries)));
+}
+
+int
+Perceptron::dot(const Entry& e, const HistoryRegister& gh) const
+{
+    int y = e.weights[0].value(); // Bias.
+    for (unsigned i = 0; i < params_.histBits; ++i) {
+        const int x = (i < gh.length() && gh.bit(i)) ? 1 : -1;
+        y += x * e.weights[i + 1].value();
+    }
+    return y;
+}
+
+void
+Perceptron::predict(const bpu::PredictContext& ctx,
+                    bpu::PredictionBundle& inout, bpu::Metadata& meta)
+{
+    const HistoryRegister& gh = requireGhist(ctx);
+    const Entry& e = table_[indexOf(ctx.pc)];
+    const int y = dot(e, gh);
+    const bool taken = y >= 0;
+    const std::uint64_t mag = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(std::abs(y)), 0xffff);
+    meta[0] = (e.slot) | (taken ? (1ull << 3) : 0) | (mag << 4);
+
+    // Single prediction per packet, at the learned slot (§III-C).
+    if (e.slot < ctx.validSlots) {
+        inout.slots[e.slot].valid = true;
+        inout.slots[e.slot].taken = taken;
+    }
+}
+
+void
+Perceptron::update(const bpu::ResolveEvent& ev)
+{
+    assert(ev.ghist != nullptr);
+    Entry& e = table_[indexOf(ev.pc)];
+    const unsigned predSlot = static_cast<unsigned>((*ev.meta)[0] & 0x7);
+    const bool predTaken = ((*ev.meta)[0] >> 3) & 1;
+    const int mag = static_cast<int>(((*ev.meta)[0] >> 4) & 0xffff);
+
+    // Re-learn the slot: track the packet's first conditional branch.
+    unsigned slot = bpu::kMaxFetchWidth;
+    for (unsigned i = 0; i < fetchWidth(); ++i) {
+        if (ev.brMask[i]) {
+            slot = i;
+            break;
+        }
+    }
+    if (slot >= bpu::kMaxFetchWidth)
+        return;
+    e.slot = slot;
+
+    const bool taken = ev.takenMask[slot];
+    const bool mispredHere = predSlot != slot || predTaken != taken;
+    if (mispredHere || mag <= params_.theta()) {
+        e.weights[0].train(taken);
+        for (unsigned i = 0; i < params_.histBits; ++i) {
+            const bool h = i < ev.ghist->length() && ev.ghist->bit(i);
+            e.weights[i + 1].train(h == taken);
+        }
+    }
+}
+
+std::string
+Perceptron::describe() const
+{
+    std::ostringstream oss;
+    oss << name() << ": " << params_.entries << " perceptrons x "
+        << params_.histBits << " weights, latency " << latency();
+    return oss.str();
+}
+
+} // namespace cobra::comps

@@ -1,0 +1,132 @@
+#include "components/stat_corrector.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/bitutil.hpp"
+
+namespace cobra::comps {
+
+StatCorrector::StatCorrector(std::string name, const StatCorrectorParams& p)
+    : PredictorComponent(std::move(name), p.latency, p.fetchWidth),
+      params_(p), useThreshold_(7, p.initialThreshold)
+{
+    assert(isPow2(p.sets));
+    assert(p.latency >= 2);
+    for (unsigned t = 0; t < p.numTables; ++t) {
+        Table tab;
+        tab.histLen = p.baseHistLen << t;
+        tab.ctrs.assign(static_cast<std::size_t>(p.sets) * p.fetchWidth *
+                            2,
+                        SignedSatCounter(p.ctrBits, 0));
+        tables_.push_back(std::move(tab));
+    }
+}
+
+std::size_t
+StatCorrector::indexOf(const Table& t, Addr pc, const HistoryRegister& gh,
+                       unsigned slot, bool pred) const
+{
+    const unsigned idxBits = ceilLog2(params_.sets);
+    const std::uint64_t pcBits = pc >> (2 + ceilLog2(fetchWidth()));
+    const std::uint64_t h = gh.low(std::min(t.histLen, 64u));
+    const std::uint64_t idx =
+        (pcBits ^ foldXor(h, idxBits)) & maskBits(idxBits);
+    return ((static_cast<std::size_t>(idx) * fetchWidth() + slot) << 1) |
+           (pred ? 1 : 0);
+}
+
+int
+StatCorrector::vote(Addr pc, const HistoryRegister& gh, unsigned slot,
+                    bool pred) const
+{
+    // Centered sum: positive agrees with the incoming prediction.
+    int sum = 0;
+    for (const auto& t : tables_)
+        sum += 2 * t.ctrs[indexOf(t, pc, gh, slot, pred)].value() + 1;
+    return sum;
+}
+
+void
+StatCorrector::predict(const bpu::PredictContext& ctx,
+                       bpu::PredictionBundle& inout, bpu::Metadata& meta)
+{
+    const HistoryRegister& gh = requireGhist(ctx);
+    for (unsigned i = 0; i < ctx.validSlots && i < inout.width; ++i) {
+        auto& slot = inout.slots[i];
+        if (!slot.valid)
+            continue; // Nothing to correct.
+        const bool in = slot.taken;
+        const int sum = vote(ctx.pc, gh, i, in);
+        const bool revert = sum < 0 &&
+                            std::abs(sum) > useThreshold_.value();
+        const bool out = revert ? !in : in;
+        slot.taken = out;
+
+        std::uint64_t m = (1ull << 0) |            // considered
+                          (in ? 1ull << 1 : 0) |   // incoming
+                          (revert ? 1ull << 2 : 0);
+        const std::uint64_t mag = std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(std::abs(sum)), 0xff);
+        m |= mag << 3;
+        meta[i / 4] |= m << ((i % 4) * 16);
+    }
+}
+
+void
+StatCorrector::update(const bpu::ResolveEvent& ev)
+{
+    assert(ev.ghist != nullptr);
+    for (unsigned i = 0; i < fetchWidth(); ++i) {
+        if (!ev.brMask[i])
+            continue;
+        const std::uint64_t m =
+            ((*ev.meta)[i / 4] >> ((i % 4) * 16)) & 0xffff;
+        if ((m & 1) == 0)
+            continue; // This slot was never considered.
+        const bool in = (m >> 1) & 1;
+        const bool reverted = (m >> 2) & 1;
+        const int mag = static_cast<int>((m >> 3) & 0xff);
+        const bool taken = ev.takenMask[i];
+
+        // Train the correction tables toward "agree with the incoming
+        // prediction iff it was right" when the vote was weak or the
+        // final decision was wrong.
+        const bool finalPred = reverted ? !in : in;
+        if (finalPred != taken || mag <= useThreshold_.value() + 2) {
+            for (auto& t : tables_) {
+                auto& c = t.ctrs[indexOf(t, ev.pc, *ev.ghist, i, in)];
+                c.train(in == taken);
+            }
+        }
+
+        // Dynamic threshold (Seznec): reversions that prove wrong
+        // raise the bar; useful reversions lower it.
+        if (reverted)
+            useThreshold_.train(finalPred != taken);
+    }
+}
+
+std::uint64_t
+StatCorrector::storageBits() const
+{
+    std::uint64_t bits = 7; // dynamic threshold
+    for (const auto& t : tables_)
+        bits += static_cast<std::uint64_t>(t.ctrs.size()) *
+                params_.ctrBits;
+    return bits;
+}
+
+std::string
+StatCorrector::describe() const
+{
+    std::ostringstream oss;
+    oss << name() << ": " << tables_.size()
+        << " statistical-corrector tables x " << params_.sets
+        << " sets, latency " << latency();
+    return oss.str();
+}
+
+} // namespace cobra::comps

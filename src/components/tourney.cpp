@@ -1,0 +1,112 @@
+#include "components/tourney.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "common/bitutil.hpp"
+
+namespace cobra::comps {
+
+namespace {
+
+constexpr unsigned kSlotBits = 8; // 4 flag bits + up to 4 counter bits.
+
+} // namespace
+
+Tourney::Tourney(std::string name, const TourneyParams& p)
+    : PredictorComponent(std::move(name), p.latency, p.fetchWidth),
+      params_(p)
+{
+    assert(isPow2(p.sets));
+    assert(p.ctrBits <= 4);
+    table_.assign(p.sets, SatCounter(p.ctrBits, (1u << p.ctrBits) / 2));
+}
+
+std::size_t
+Tourney::indexOf(const HistoryRegister& gh) const
+{
+    const unsigned idxBits = ceilLog2(params_.sets);
+    return static_cast<std::size_t>(
+        foldXor(gh.low(std::min(params_.histBits, 64u)), idxBits) &
+        maskBits(idxBits));
+}
+
+void
+Tourney::arbitrate(const bpu::PredictContext& ctx,
+                   const std::vector<bpu::PredictionBundle>& inputs,
+                   bpu::PredictionBundle& inout, bpu::Metadata& meta)
+{
+    assert(inputs.size() == 2 &&
+           "tournament selector arbitrates exactly two inputs");
+    const HistoryRegister& gh = requireGhist(ctx);
+    const SatCounter& ctr = table_[indexOf(gh)];
+    const bool preferFirst = ctr.taken();
+
+    for (unsigned i = 0; i < ctx.validSlots && i < inout.width; ++i) {
+        const auto& a = inputs[0].slots[i];
+        const auto& b = inputs[1].slots[i];
+
+        std::uint64_t m = (a.valid ? 1u : 0u) | (a.taken ? 2u : 0u) |
+                          (b.valid ? 4u : 0u) | (b.taken ? 8u : 0u);
+        m |= static_cast<std::uint64_t>(ctr.value()) << 4;
+        meta[i / 4] |= m << ((i % 4) * kSlotBits);
+
+        const bpu::PredictionSlot* chosen = nullptr;
+        if (a.valid && b.valid)
+            chosen = preferFirst ? &a : &b;
+        else if (a.valid)
+            chosen = &a;
+        else if (b.valid)
+            chosen = &b;
+        if (chosen == nullptr)
+            continue; // Neither input predicts: pass through.
+
+        auto& out = inout.slots[i];
+        out.valid = true;
+        out.taken = chosen->taken;
+        if (chosen->targetValid) {
+            out.targetValid = true;
+            out.target = chosen->target;
+        }
+        if (chosen->type != bpu::CfiType::None) {
+            out.type = chosen->type;
+            out.isCall = chosen->isCall;
+            out.isRet = chosen->isRet;
+        }
+    }
+}
+
+void
+Tourney::update(const bpu::ResolveEvent& ev)
+{
+    assert(ev.ghist != nullptr);
+    SatCounter& ctr = table_[indexOf(*ev.ghist)];
+    for (unsigned i = 0; i < fetchWidth(); ++i) {
+        if (!ev.brMask[i])
+            continue;
+        const std::uint64_t m =
+            ((*ev.meta)[i / 4] >> ((i % 4) * kSlotBits)) &
+            maskBits(kSlotBits);
+        const bool aValid = m & 1;
+        const bool aTaken = m & 2;
+        const bool bValid = m & 4;
+        const bool bTaken = m & 8;
+        if (!aValid || !bValid || aTaken == bTaken)
+            continue; // No information unless the inputs disagreed.
+        const bool taken = ev.takenMask[i];
+        // Counter high = trust input 0.
+        ctr.train(aTaken == taken);
+    }
+}
+
+std::string
+Tourney::describe() const
+{
+    std::ostringstream oss;
+    oss << name() << ": " << params_.sets << " choice counters ("
+        << params_.histBits << "b ghist index), latency " << latency();
+    return oss.str();
+}
+
+} // namespace cobra::comps

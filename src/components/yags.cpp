@@ -1,0 +1,136 @@
+#include "components/yags.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "common/bitutil.hpp"
+
+namespace cobra::comps {
+
+Yags::Yags(std::string name, const YagsParams& p)
+    : PredictorComponent(std::move(name), p.latency, p.fetchWidth),
+      params_(p)
+{
+    assert(isPow2(p.choiceSets));
+    assert(isPow2(p.cacheSets));
+    assert(p.latency >= 2);
+    choice_.assign(static_cast<std::size_t>(p.choiceSets),
+                   SatCounter(p.ctrBits, (1u << p.ctrBits) / 2));
+    takenCache_.resize(p.cacheSets);
+    notTakenCache_.resize(p.cacheSets);
+    for (auto* cache : {&takenCache_, &notTakenCache_})
+        for (auto& e : *cache)
+            e.ctr = SatCounter(p.ctrBits, (1u << p.ctrBits) / 2);
+}
+
+std::size_t
+Yags::choiceIndex(Addr pc, unsigned slot) const
+{
+    const std::uint64_t pcBits = pc >> (2 + ceilLog2(fetchWidth()));
+    return static_cast<std::size_t>(
+        ((pcBits << ceilLog2(fetchWidth())) | slot) &
+        maskBits(ceilLog2(params_.choiceSets)));
+}
+
+std::size_t
+Yags::cacheIndex(Addr pc, const HistoryRegister& gh, unsigned slot) const
+{
+    const unsigned idxBits = ceilLog2(params_.cacheSets);
+    const std::uint64_t pcBits = pc >> (2 + ceilLog2(fetchWidth()));
+    const std::uint64_t h =
+        gh.low(std::min(params_.histBits, 64u));
+    return static_cast<std::size_t>(
+        (((pcBits << ceilLog2(fetchWidth())) | slot) ^
+         foldXor(h, idxBits)) &
+        maskBits(idxBits));
+}
+
+std::uint32_t
+Yags::cacheTag(Addr pc, unsigned slot) const
+{
+    const std::uint64_t pcBits = pc >> (2 + ceilLog2(fetchWidth()));
+    return static_cast<std::uint32_t>(
+        ((pcBits << ceilLog2(fetchWidth())) | slot) &
+        maskBits(params_.tagBits));
+}
+
+void
+Yags::predict(const bpu::PredictContext& ctx, bpu::PredictionBundle& inout,
+              bpu::Metadata& meta)
+{
+    const HistoryRegister& gh = requireGhist(ctx);
+    for (unsigned i = 0; i < ctx.validSlots && i < inout.width; ++i) {
+        const bool bias = choice_[choiceIndex(ctx.pc, i)].taken();
+        // Consult the opposite-direction exception cache.
+        const auto& cache = bias ? notTakenCache_ : takenCache_;
+        const CacheEntry& e = cache[cacheIndex(ctx.pc, gh, i)];
+        const bool hit = e.valid && e.tag == cacheTag(ctx.pc, i);
+
+        inout.slots[i].valid = true;
+        inout.slots[i].taken = hit ? e.ctr.taken() : bias;
+        meta[0] |= (static_cast<std::uint64_t>(bias ? 1 : 0) |
+                    (hit ? 2u : 0u))
+                   << (2 * i);
+    }
+}
+
+void
+Yags::update(const bpu::ResolveEvent& ev)
+{
+    assert(ev.ghist != nullptr);
+    for (unsigned i = 0; i < fetchWidth(); ++i) {
+        if (!ev.brMask[i])
+            continue;
+        const bool taken = ev.takenMask[i];
+        const std::uint64_t m = ((*ev.meta)[0] >> (2 * i)) & 3;
+        const bool bias = m & 1;
+        const bool hit = m & 2;
+
+        auto& cache = bias ? notTakenCache_ : takenCache_;
+        CacheEntry& e = cache[cacheIndex(ev.pc, *ev.ghist, i)];
+
+        if (hit) {
+            // Exception entry trains on the outcome; entries that
+            // converge back to the bias become dead weight and are
+            // naturally re-stolen by the tag check.
+            e.ctr.train(taken);
+        } else if (taken != bias) {
+            // The bias failed: record the exception.
+            e.valid = true;
+            e.tag = cacheTag(ev.pc, i);
+            const unsigned mid = (1u << params_.ctrBits) / 2;
+            e.ctr = SatCounter(params_.ctrBits,
+                               taken ? mid : mid - 1);
+        }
+        // The choice PHT trains except when the exception cache hit
+        // and was right while the bias was wrong (Eden & Mudge).
+        const bool cachePred = hit && e.valid;
+        const bool cacheWasRight = cachePred && e.ctr.taken() == taken;
+        if (!(cacheWasRight && bias != taken))
+            choice_[choiceIndex(ev.pc, i)].train(taken);
+    }
+}
+
+std::uint64_t
+Yags::storageBits() const
+{
+    const std::uint64_t choiceBits =
+        std::uint64_t{params_.choiceSets} * params_.ctrBits;
+    const std::uint64_t cacheBits =
+        2ull * params_.cacheSets *
+        (1 + params_.tagBits + params_.ctrBits);
+    return choiceBits + cacheBits;
+}
+
+std::string
+Yags::describe() const
+{
+    std::ostringstream oss;
+    oss << name() << ": " << params_.choiceSets
+        << " choice counters + 2x" << params_.cacheSets
+        << " tagged exception caches, latency " << latency();
+    return oss.str();
+}
+
+} // namespace cobra::comps

@@ -1,0 +1,362 @@
+#include "core/backend.hpp"
+
+#include <cassert>
+
+namespace cobra::core {
+
+using prog::OpClass;
+
+Backend::Backend(exec::Oracle& oracle, bpu::BranchPredictorUnit& bpu,
+                 Frontend& frontend, CacheHierarchy& caches,
+                 const BackendConfig& cfg)
+    : oracle_(oracle), bpu_(bpu), frontend_(frontend), caches_(caches),
+      cfg_(cfg)
+{
+}
+
+bpu::CfiType
+Backend::cfiTypeOf(OpClass op)
+{
+    switch (op) {
+      case OpClass::CondBranch:
+        return bpu::CfiType::Br;
+      case OpClass::Jump:
+      case OpClass::Call:
+        return bpu::CfiType::Jal;
+      case OpClass::IndirectJump:
+      case OpClass::IndirectCall:
+      case OpClass::Return:
+        return bpu::CfiType::Jalr;
+      default:
+        return bpu::CfiType::None;
+    }
+}
+
+Cycle
+Backend::execLatency(const exec::DynInst& di)
+{
+    switch (di.si->op) {
+      case OpClass::IntMul:
+        return 3;
+      case OpClass::IntDiv:
+        return 12;
+      case OpClass::FpAlu:
+        return 4;
+      case OpClass::Load:
+        return caches_.loadAccess(di.memAddr);
+      case OpClass::Store:
+        return caches_.storeAccess(di.memAddr);
+      default:
+        return 1;
+    }
+}
+
+bool
+Backend::depsReady(const RobEntry& e) const
+{
+    const auto ready = [&](SeqNum dep) {
+        if (dep == kInvalidSeq)
+            return true;
+        auto it = inFlightSeq_.find(dep);
+        return it == inFlightSeq_.end() || it->second != 0;
+    };
+    if (!ready(e.fi.di.dep1) || !ready(e.fi.di.dep2))
+        return false;
+    if (e.sfbShadow) {
+        // Predicated shadow reads the SFB guard's predicate bit.
+        auto it = sfbGuardDone_.find(e.sfbGuard);
+        if (it != sfbGuardDone_.end() && !it->second)
+            return false;
+    }
+    return true;
+}
+
+void
+Backend::squashYoungerThan(std::size_t idx)
+{
+    while (rob_.size() > idx + 1) {
+        RobEntry& e = rob_.back();
+        if (e.st == RobEntry::St::Waiting)
+            --iqCount_[static_cast<unsigned>(e.iq)];
+        if (e.fi.di.si->op == OpClass::Load && ldqCount_ > 0)
+            --ldqCount_;
+        if (e.fi.di.si->op == OpClass::Store && stqCount_ > 0)
+            --stqCount_;
+        if (e.fi.di.seq != kInvalidSeq)
+            inFlightSeq_.erase(e.fi.di.seq);
+        if (e.sfbConverted)
+            sfbGuardDone_.erase(e.fi.dynId);
+        rob_.pop_back();
+    }
+    // Any in-dispatch SFB region referred to killed instructions.
+    sfbActive_ = false;
+}
+
+bool
+Backend::resolveCf(std::size_t idx, Cycle now)
+{
+    (void)now;
+    RobEntry& e = rob_[idx];
+    const exec::DynInst& di = e.fi.di;
+    const OpClass op = di.si->op;
+    const bpu::CfiType type = cfiTypeOf(op);
+
+    const bool actualTaken = di.taken;
+    const Addr actualNext = di.nextPc;
+    bool mispredict = false;
+    if (op == OpClass::CondBranch) {
+        mispredict = actualTaken != e.fi.predTaken ||
+                     (actualTaken && actualNext != e.fi.predNextPc);
+    } else {
+        mispredict = actualNext != e.fi.predNextPc;
+    }
+
+    if (e.sfbConverted) {
+        // Predication: no flush, no redirect, no predictor training.
+        bpu::BranchResolution res;
+        res.ftq = e.fi.ftq;
+        res.slot = e.fi.slot;
+        res.type = type;
+        res.taken = actualTaken;
+        res.target = actualNext;
+        res.mispredicted = false;
+        res.sfbConverted = true;
+        bpu_.resolve(res);
+        sfbGuardDone_[e.fi.dynId] = true;
+        e.wasMispredict = false;
+        return false;
+    }
+
+    bpu::BranchResolution res;
+    res.ftq = e.fi.ftq;
+    res.slot = e.fi.slot;
+    res.type = type;
+    res.taken = actualTaken;
+    res.target = actualTaken ? actualNext : kInvalidAddr;
+    res.isCall = prog::isCall(op);
+    res.isRet = op == OpClass::Return;
+    res.mispredicted = mispredict;
+    bpu_.resolve(res);
+
+    e.wasMispredict = mispredict;
+    if (!mispredict)
+        return false;
+
+    ++stats_.counter("resolved_mispredicts");
+
+    // ---- Squash and redirect ------------------------------------------
+    squashYoungerThan(idx);
+
+    // Global-history repair (paper §VI-B): restore the predict-time
+    // snapshot from the history file and re-push resolved outcomes.
+    if (cfg_.ghistMode != bpu::GhistRepairMode::None &&
+        bpu_.historyFile().contains(e.fi.ftq)) {
+        const bpu::HistoryFileEntry& hfe =
+            bpu_.historyFile().at(e.fi.ftq);
+        bpu_.restoreSpecGhist(hfe.ghist);
+        for (unsigned s = 0; s <= e.fi.slot && s < bpu::kMaxFetchWidth;
+             ++s) {
+            if (!hfe.brMask[s])
+                continue;
+            const bool bit = s == e.fi.slot &&
+                             type == bpu::CfiType::Br && actualTaken;
+            bpu_.pushSpecGhist(bit);
+        }
+    }
+
+    // RAS repair: restore the packet's pointer snapshot, then replay
+    // the resolved CFI's own stack operation.
+    std::uint32_t rasPtr = 0;
+    if (bpu_.historyFile().contains(e.fi.ftq))
+        rasPtr = bpu_.historyFile().at(e.fi.ftq).rasPtr;
+    else
+        rasPtr = frontend_.ras().pointer();
+
+    // Oracle stream: rewind past the resolved instruction when it was
+    // on the architectural path.
+    bool onOracle = false;
+    if (di.seq != kInvalidSeq && !di.wrongPath) {
+        oracle_.rewindTo(di.seq + 1);
+        onOracle = true;
+    }
+
+    frontend_.redirect(actualNext, onOracle, rasPtr);
+    if (actualTaken && res.isCall)
+        frontend_.ras().push(di.pc + kInstBytes);
+    if (actualTaken && res.isRet)
+        frontend_.ras().pop();
+
+    return true;
+}
+
+void
+Backend::completeAndResolve(Cycle now)
+{
+    for (std::size_t i = 0; i < rob_.size(); ++i) {
+        RobEntry& e = rob_[i];
+        if (e.st != RobEntry::St::Issued || e.doneCycle > now)
+            continue;
+        e.st = RobEntry::St::Done;
+        if (e.fi.di.seq != kInvalidSeq)
+            inFlightSeq_[e.fi.di.seq] = 1;
+        if (prog::isControlFlow(e.fi.di.si->op)) {
+            if (resolveCf(i, now))
+                break; // Everything younger is gone.
+        }
+    }
+}
+
+void
+Backend::issue(Cycle now)
+{
+    unsigned ports[3] = {cfg_.aluPorts, cfg_.memPorts, cfg_.fpPorts};
+    for (auto& e : rob_) {
+        if (ports[0] + ports[1] + ports[2] == 0)
+            break;
+        if (e.st != RobEntry::St::Waiting)
+            continue;
+        if (now < e.earliestIssue || !depsReady(e))
+            continue;
+        unsigned& port = ports[static_cast<unsigned>(e.iq)];
+        if (port == 0)
+            continue;
+        --port;
+        e.st = RobEntry::St::Issued;
+        e.doneCycle = now + execLatency(e.fi.di);
+        --iqCount_[static_cast<unsigned>(e.iq)];
+        ++stats_.counter("issued");
+    }
+}
+
+void
+Backend::commit(Cycle now)
+{
+    (void)now;
+    unsigned n = 0;
+    while (n < cfg_.coreWidth && !rob_.empty() &&
+           rob_.front().st == RobEntry::St::Done) {
+        RobEntry& e = rob_.front();
+        ++committedInsts_;
+        const OpClass op = e.fi.di.si->op;
+        if (prog::isControlFlow(op)) {
+            ++committedCfis_;
+            if (op == OpClass::CondBranch && !e.sfbConverted)
+                ++committedBranches_;
+            if (e.wasMispredict) {
+                if (op == OpClass::CondBranch)
+                    ++condMispredicts_;
+                else
+                    ++jalrMispredicts_;
+            }
+        }
+        if (op == OpClass::Load && ldqCount_ > 0)
+            --ldqCount_;
+        if (op == OpClass::Store && stqCount_ > 0)
+            --stqCount_;
+
+        // Packet-granularity commit notification to the BPU.
+        if (anyCommitted_ && e.fi.ftq != lastCommittedFtq_)
+            bpu_.commitPacket(lastCommittedFtq_);
+        lastCommittedFtq_ = e.fi.ftq;
+        anyCommitted_ = true;
+
+        if (e.fi.di.seq != kInvalidSeq) {
+            inFlightSeq_.erase(e.fi.di.seq);
+            if (!e.fi.di.wrongPath)
+                oracle_.retireUpTo(e.fi.di.seq);
+        }
+        if (e.sfbConverted)
+            sfbGuardDone_.erase(e.fi.dynId);
+        rob_.pop_front();
+        ++n;
+    }
+    stats_.counter("committed") += n;
+}
+
+void
+Backend::dispatch(Cycle now)
+{
+    unsigned n = 0;
+    while (n < cfg_.coreWidth && !frontend_.bufferEmpty()) {
+        if (rob_.size() >= cfg_.robEntries) {
+            ++stats_.counter("stall_rob");
+            break;
+        }
+        const FetchedInst& fi = frontend_.bufferFront();
+        const OpClass op = fi.di.si->op;
+
+        IqClass iq = IqClass::Int;
+        if (op == OpClass::Load || op == OpClass::Store)
+            iq = IqClass::Mem;
+        else if (op == OpClass::FpAlu)
+            iq = IqClass::Fp;
+
+        const unsigned iqCap = iq == IqClass::Int  ? cfg_.intIqEntries
+                               : iq == IqClass::Mem ? cfg_.memIqEntries
+                                                    : cfg_.fpIqEntries;
+        if (iqCount_[static_cast<unsigned>(iq)] >= iqCap) {
+            ++stats_.counter("stall_iq");
+            break;
+        }
+        if (op == OpClass::Load && ldqCount_ >= cfg_.ldqEntries) {
+            ++stats_.counter("stall_ldq");
+            break;
+        }
+        if (op == OpClass::Store && stqCount_ >= cfg_.stqEntries) {
+            ++stats_.counter("stall_stq");
+            break;
+        }
+
+        RobEntry e;
+        e.fi = fi;
+        e.iq = iq;
+        e.earliestIssue = now + cfg_.decodeDelay;
+        frontend_.popFront();
+
+        // ---- SFB decode pass (paper §VI-C) ---------------------------
+        if (sfbActive_) {
+            if (prog::isControlFlow(op) ||
+                e.fi.di.pc >= sfbActiveTarget_) {
+                sfbActive_ = false;
+            } else {
+                e.sfbShadow = true;
+                e.sfbGuard = sfbActiveGuard_;
+            }
+        }
+        if (!sfbActive_ && cfg_.sfbEnabled && op == OpClass::CondBranch &&
+            e.fi.di.si->sfbEligible && !e.fi.predTaken &&
+            e.fi.di.si->target != kInvalidAddr &&
+            e.fi.di.si->target > e.fi.di.pc &&
+            e.fi.di.si->target - e.fi.di.pc <=
+                cfg_.sfbMaxShadowBytes + kInstBytes) {
+            e.sfbConverted = true;
+            sfbActive_ = true;
+            sfbActiveGuard_ = e.fi.dynId;
+            sfbActiveTarget_ = e.fi.di.si->target;
+            sfbGuardDone_[e.fi.dynId] = false;
+            ++sfbConversions_;
+        }
+
+        if (e.fi.di.seq != kInvalidSeq)
+            inFlightSeq_[e.fi.di.seq] = 0;
+        if (op == OpClass::Load)
+            ++ldqCount_;
+        if (op == OpClass::Store)
+            ++stqCount_;
+        ++iqCount_[static_cast<unsigned>(iq)];
+        rob_.push_back(std::move(e));
+        ++n;
+    }
+    stats_.counter("dispatched") += n;
+}
+
+void
+Backend::tick(Cycle now)
+{
+    completeAndResolve(now);
+    issue(now);
+    commit(now);
+    dispatch(now);
+}
+
+} // namespace cobra::core

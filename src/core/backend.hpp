@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The out-of-order backend: decode/dispatch (with the short-forwards-
+ * branch predication pass of paper §VI-C), a ROB-based dataflow
+ * scheduler with issue-port and queue-capacity limits per Table II,
+ * out-of-order branch resolution with squash/redirect, and in-order
+ * commit driving the predictor's commit-time updates.
+ */
+
+#ifndef COBRA_CORE_BACKEND_HPP
+#define COBRA_CORE_BACKEND_HPP
+
+#include <deque>
+#include <unordered_map>
+
+#include "bpu/bpu.hpp"
+#include "core/cache.hpp"
+#include "core/frontend.hpp"
+#include "exec/oracle.hpp"
+
+namespace cobra::core {
+
+/** Backend configuration (Table II). */
+struct BackendConfig
+{
+    unsigned coreWidth = 4;     ///< Decode/rename/commit width.
+    unsigned robEntries = 128;
+    unsigned intIqEntries = 32;
+    unsigned memIqEntries = 32;
+    unsigned fpIqEntries = 32;
+    unsigned ldqEntries = 32;
+    unsigned stqEntries = 32;
+    unsigned aluPorts = 4;
+    unsigned memPorts = 2;
+    unsigned fpPorts = 2;
+    /** Cycles from dispatch to earliest issue (decode/rename depth). */
+    unsigned decodeDelay = 3;
+
+    /** Short-forwards-branch predication (paper §VI-C). */
+    bool sfbEnabled = false;
+    unsigned sfbMaxShadowBytes = 32;
+
+    /** Global-history repair policy at mispredicts (paper §VI-B). */
+    bpu::GhistRepairMode ghistMode =
+        bpu::GhistRepairMode::RepairAndReplay;
+};
+
+/**
+ * The execution engine. Consumes FetchedInsts from the frontend's
+ * fetch buffer; resolves branches against the oracle outcomes carried
+ * by each instruction.
+ */
+class Backend
+{
+  public:
+    Backend(exec::Oracle& oracle, bpu::BranchPredictorUnit& bpu,
+            Frontend& frontend, CacheHierarchy& caches,
+            const BackendConfig& cfg);
+
+    /** Advance one cycle (execute-complete, issue, commit, dispatch). */
+    void tick(Cycle now);
+
+    bool robEmpty() const { return rob_.empty(); }
+
+    // ---- Metrics -------------------------------------------------------
+
+    std::uint64_t committedInsts() const { return committedInsts_; }
+    std::uint64_t committedBranches() const { return committedBranches_; }
+    std::uint64_t committedCfis() const { return committedCfis_; }
+    std::uint64_t condMispredicts() const { return condMispredicts_; }
+    std::uint64_t jalrMispredicts() const { return jalrMispredicts_; }
+    std::uint64_t allMispredicts() const
+    {
+        return condMispredicts_ + jalrMispredicts_;
+    }
+    std::uint64_t sfbConversions() const { return sfbConversions_; }
+
+    StatGroup& stats() { return stats_; }
+    const StatGroup& stats() const { return stats_; }
+
+    const BackendConfig& config() const { return cfg_; }
+
+  private:
+    enum class IqClass : std::uint8_t { Int = 0, Mem = 1, Fp = 2 };
+
+    struct RobEntry
+    {
+        FetchedInst fi;
+        enum class St : std::uint8_t { Waiting, Issued, Done };
+        St st = St::Waiting;
+        IqClass iq = IqClass::Int;
+        Cycle earliestIssue = 0;
+        Cycle doneCycle = 0;
+        bool wasMispredict = false;
+        bool sfbConverted = false; ///< Branch turned into set-flag.
+        bool sfbShadow = false;    ///< Predicated shadow instruction.
+        std::uint64_t sfbGuard = 0; ///< dynId of the guarding branch.
+    };
+
+    void completeAndResolve(Cycle now);
+    void issue(Cycle now);
+    void commit(Cycle now);
+    void dispatch(Cycle now);
+
+    /** Resolve a CF instruction; true if it squashed the pipeline. */
+    bool resolveCf(std::size_t idx, Cycle now);
+
+    /** Squash ROB entries younger than index @p idx. */
+    void squashYoungerThan(std::size_t idx);
+
+    /** Execution latency for an instruction issued at @p now. */
+    Cycle execLatency(const exec::DynInst& di);
+
+    /** True when all register dependences have produced. */
+    bool depsReady(const RobEntry& e) const;
+
+    static bpu::CfiType cfiTypeOf(prog::OpClass op);
+
+    exec::Oracle& oracle_;
+    bpu::BranchPredictorUnit& bpu_;
+    Frontend& frontend_;
+    CacheHierarchy& caches_;
+    BackendConfig cfg_;
+
+    std::deque<RobEntry> rob_;
+    /** Oracle seq -> ROB presence (for dependence tracking). */
+    std::unordered_map<SeqNum, std::uint8_t> inFlightSeq_;
+    /** dynId -> done flag for SFB guards. */
+    std::unordered_map<std::uint64_t, bool> sfbGuardDone_;
+
+    unsigned iqCount_[3] = {0, 0, 0};
+    unsigned ldqCount_ = 0;
+    unsigned stqCount_ = 0;
+
+    /** Active SFB region during dispatch. */
+    bool sfbActive_ = false;
+    std::uint64_t sfbActiveGuard_ = 0;
+    Addr sfbActiveTarget_ = 0;
+
+    bpu::FtqPos lastCommittedFtq_ = 0;
+    bool anyCommitted_ = false;
+
+    std::uint64_t committedInsts_ = 0;
+    std::uint64_t committedBranches_ = 0;
+    std::uint64_t committedCfis_ = 0;
+    std::uint64_t condMispredicts_ = 0;
+    std::uint64_t jalrMispredicts_ = 0;
+    std::uint64_t sfbConversions_ = 0;
+
+    StatGroup stats_{"backend"};
+};
+
+} // namespace cobra::core
+
+#endif // COBRA_CORE_BACKEND_HPP

@@ -1,0 +1,387 @@
+#include "core/frontend.hpp"
+
+#include <cassert>
+
+namespace cobra::core {
+
+using prog::OpClass;
+
+Frontend::Frontend(const prog::Program& program, exec::Oracle& oracle,
+                   bpu::BranchPredictorUnit& bpu, CacheHierarchy& caches,
+                   const FrontendConfig& cfg)
+    : prog_(program), oracle_(oracle), bpu_(bpu), caches_(caches),
+      cfg_(cfg), finalStage_(bpu.maxLatency()),
+      ras_(cfg.rasEntries), nextFetchPc_(program.entry())
+{
+    assert(isPow2(cfg.fetchWidth));
+}
+
+Addr
+Frontend::fallthrough(Addr pc) const
+{
+    const Addr blockBytes = cfg_.fetchWidth * kInstBytes;
+    return (pc & ~(blockBytes - 1)) + blockBytes;
+}
+
+Addr
+Frontend::earlyNextPc(const Packet& p, const bpu::PredictionBundle& b) const
+{
+    for (unsigned s = p.startSlot; s < cfg_.fetchWidth; ++s) {
+        const auto& sl = b.slots[s];
+        if (sl.valid && sl.taken && sl.type != bpu::CfiType::None) {
+            // A taken prediction can only redirect early when the
+            // target is known (BTB-provided).
+            if (sl.targetValid)
+                return sl.target;
+            break;
+        }
+    }
+    return fallthrough(p.pc);
+}
+
+void
+Frontend::pushGhistBits(Packet& p, const bpu::PredictionBundle& b)
+{
+    p.pushedBits.clear();
+    for (unsigned s = p.startSlot; s < cfg_.fetchWidth; ++s) {
+        const auto& sl = b.slots[s];
+        if (sl.type == bpu::CfiType::Br && sl.valid) {
+            const bool bit = sl.taken;
+            p.pushedBits.push_back(bit);
+            bpu_.pushSpecGhist(bit);
+            if (bit)
+                break; // Fetch ends at a predicted-taken branch.
+        } else if (sl.valid && sl.taken &&
+                   sl.type != bpu::CfiType::None) {
+            break; // Predicted-taken jump ends the packet.
+        }
+    }
+    p.ghistAfterPush = bpu_.specGhist();
+}
+
+void
+Frontend::killYoungerThan(std::size_t idx)
+{
+    const std::size_t killed = pipe_.size() - idx - 1;
+    stats_.counter("packets_killed") += killed;
+    pipe_.erase(pipe_.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
+                pipe_.end());
+}
+
+bool
+Frontend::tryFinalize(Packet& p, Cycle now)
+{
+    (void)now;
+    if (!bpu_.canFinalize()) {
+        ++stats_.counter("stall_histfile");
+        return false;
+    }
+    if (buffer_.size() + cfg_.fetchWidth > cfg_.fetchBufferInsts) {
+        ++stats_.counter("stall_fetchbuffer");
+        return false;
+    }
+
+    const bpu::PredictionBundle bundle = bpu_.stage(p.query, finalStage_);
+    const std::uint32_t rasPtrSnap = ras_.pointer();
+
+    // ---- Pre-decode walk (the F3 checker of Fig. 6) -------------------
+    struct Rec
+    {
+        Addr pc;
+        unsigned slot;
+        bool predTaken = false;
+        Addr predNextPc;
+        bool isCfi = false;
+    };
+    std::vector<Rec> recs;
+    std::array<bool, bpu::kMaxFetchWidth> brMask{};
+    Addr nextPc = fallthrough(p.pc);
+    Addr pcCursor = p.pc;
+    bool endedTaken = false;
+
+    for (unsigned s = p.startSlot; s < cfg_.fetchWidth;
+         ++s, pcCursor += kInstBytes) {
+        const prog::StaticInst& si = prog_.at(prog_.clampPc(pcCursor));
+        Rec rec{pcCursor, s, false, pcCursor + kInstBytes, false};
+
+        if (si.op == OpClass::CondBranch) {
+            brMask[s] = true;
+            const bool predTaken =
+                bundle.slots[s].valid && bundle.slots[s].taken;
+            rec.predTaken = predTaken;
+            if (predTaken) {
+                // Pre-decode provides the static target, correcting
+                // any stale BTB target for direct branches.
+                rec.isCfi = true;
+                rec.predNextPc = si.target;
+                nextPc = si.target;
+                recs.push_back(rec);
+                endedTaken = true;
+                break;
+            }
+            recs.push_back(rec);
+            if (cfg_.serializeFetch) {
+                // Ablation (§I): at most one branch per fetch packet.
+                nextPc = pcCursor + kInstBytes;
+                break;
+            }
+            continue;
+        }
+
+        if (si.op == OpClass::Jump || si.op == OpClass::Call) {
+            rec.predTaken = true;
+            rec.isCfi = true;
+            rec.predNextPc = si.target;
+            nextPc = si.target;
+            if (si.op == OpClass::Call)
+                ras_.push(pcCursor + kInstBytes);
+            recs.push_back(rec);
+            endedTaken = true;
+            break;
+        }
+
+        if (si.op == OpClass::IndirectJump ||
+            si.op == OpClass::IndirectCall) {
+            rec.predTaken = true;
+            rec.isCfi = true;
+            // Indirect targets come from the predictor (BTB); with no
+            // predicted target we guess fallthrough and eat the
+            // mispredict at execute.
+            rec.predNextPc = bundle.slots[s].targetValid
+                                 ? bundle.slots[s].target
+                                 : pcCursor + kInstBytes;
+            nextPc = rec.predNextPc;
+            if (si.op == OpClass::IndirectCall)
+                ras_.push(pcCursor + kInstBytes);
+            recs.push_back(rec);
+            endedTaken = true;
+            break;
+        }
+
+        if (si.op == OpClass::Return) {
+            rec.predTaken = true;
+            rec.isCfi = true;
+            const Addr rasTop = ras_.top();
+            if (rasTop != kInvalidAddr)
+                rec.predNextPc = rasTop;
+            else if (bundle.slots[s].targetValid)
+                rec.predNextPc = bundle.slots[s].target;
+            else
+                rec.predNextPc = pcCursor + kInstBytes;
+            ras_.pop();
+            nextPc = rec.predNextPc;
+            recs.push_back(rec);
+            endedTaken = true;
+            break;
+        }
+
+        recs.push_back(rec);
+    }
+
+    const unsigned fetchedSlots =
+        recs.empty() ? 0 : recs.back().slot + 1;
+
+    // ---- Global history correction at F3 (§VI-B policy) ---------------
+    std::vector<bool> trueBits;
+    for (const Rec& r : recs) {
+        if (brMask[r.slot]) {
+            trueBits.push_back(r.predTaken);
+            if (r.predTaken)
+                break;
+        }
+    }
+    bool replay = false;
+    if (cfg_.ghistMode == bpu::GhistRepairMode::RepairAndReplay &&
+        trueBits != p.pushedBits) {
+        bpu_.restoreSpecGhist(p.query.ghist());
+        for (bool bit : trueBits)
+            bpu_.pushSpecGhist(bit);
+        replay = true;
+        ++stats_.counter("ghist_replays");
+    }
+
+    // ---- Allocate the history file entry + fire (paper §IV-B1) -------
+    bpu::FinalizeArgs args;
+    args.finalPred = &bundle;
+    args.brMask = brMask;
+    args.fetchedSlots = fetchedSlots;
+    args.rasPtr = rasPtrSnap;
+
+    // ---- Source instructions: oracle (correct path) or synth ---------
+    std::vector<FetchedInst> fetched;
+    for (const Rec& r : recs) {
+        FetchedInst fi;
+        fi.slot = r.slot;
+        fi.predTaken = r.predTaken;
+        fi.predNextPc = r.predNextPc;
+        fi.isPacketCfi = r.isCfi;
+        fi.dynId = nextDynId_++;
+
+        if (!onOraclePath_ && oracle_.peek(0).pc == r.pc) {
+            // Wrong-path fetch reconverged with the architectural
+            // stream (e.g., past an SFB shadow): re-sync.
+            onOraclePath_ = true;
+            ++stats_.counter("oracle_resyncs");
+        }
+        if (onOraclePath_ && oracle_.peek(0).pc == r.pc) {
+            fi.di = oracle_.consume();
+        } else {
+            onOraclePath_ = false;
+            fi.di = oracle_.wrongPath(
+                r.pc, p.wrongPathSalt + 0x9e37 * r.slot);
+        }
+        fetched.push_back(fi);
+    }
+    if (args.firstSeq == kInvalidSeq && !fetched.empty())
+        args.firstSeq = fetched.front().di.seq;
+
+    // Divergence check for the *next* fetch: prediction must continue
+    // exactly where the architectural stream goes.
+    if (onOraclePath_ && oracle_.peek(0).pc != nextPc)
+        onOraclePath_ = false;
+
+    const bpu::FtqPos ftq = bpu_.finalize(p.query, args);
+    for (auto& fi : fetched) {
+        fi.ftq = ftq;
+        buffer_.push_back(fi);
+    }
+    stats_.counter("insts_fetched") += fetched.size();
+    ++stats_.counter("packets_finalized");
+    if (endedTaken)
+        ++stats_.counter("packets_taken");
+
+    // Serialized fetch (§I ablation): a packet containing a branch
+    // blocks younger fetch until its prediction is final — model by
+    // refetching everything fetched in its shadow.
+    bool serializeSteer = false;
+    if (cfg_.serializeFetch) {
+        for (unsigned s = 0; s < cfg_.fetchWidth; ++s)
+            serializeSteer |= brMask[s];
+    }
+
+    // Late redirect: the finalized next-PC differs from what younger
+    // in-flight packets assumed, or a ghist replay was forced.
+    const bool steer = nextPc != p.predNextPc || replay || serializeSteer;
+    p.predNextPc = nextPc;
+    if (steer)
+        nextFetchPc_ = nextPc;
+    p.stage = finalStage_ + 1; // Mark done (caller erases).
+    finalizeSteer_ = steer;
+    return true;
+}
+
+void
+Frontend::tick(Cycle now)
+{
+    bool blocked = false;
+
+    for (std::size_t i = 0; i < pipe_.size(); ++i) {
+        Packet& p = pipe_[i];
+        if (now < p.stallUntil) {
+            blocked = true;
+            break;
+        }
+
+        if (p.stage >= finalStage_) {
+            // Stalled at the final stage from a previous cycle.
+            if (tryFinalize(p, now)) {
+                const bool steer = finalizeSteer_;
+                pipe_.erase(pipe_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+                if (steer) {
+                    // Kill everything younger (refetch from nextPc).
+                    stats_.counter("packets_killed") +=
+                        pipe_.size() - i;
+                    pipe_.erase(pipe_.begin() +
+                                    static_cast<std::ptrdiff_t>(i),
+                                pipe_.end());
+                }
+                --i;
+                continue;
+            }
+            blocked = true;
+            break;
+        }
+
+        ++p.stage;
+        const bpu::PredictionBundle b = bpu_.stage(p.query, p.stage);
+
+        if (p.stage == 1) {
+            // End of Fetch-1: capture histories before this packet's
+            // own speculative push (paper §III-B).
+            bpu_.captureHistory(p.query);
+            pushGhistBits(p, b);
+            p.predNextPc = earlyNextPc(p, b);
+            if (i + 1 == pipe_.size())
+                nextFetchPc_ = p.predNextPc;
+            continue;
+        }
+
+        if (p.stage == finalStage_) {
+            if (tryFinalize(p, now)) {
+                const bool steer = finalizeSteer_;
+                pipe_.erase(pipe_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+                if (steer) {
+                    stats_.counter("packets_killed") +=
+                        pipe_.size() - i;
+                    pipe_.erase(pipe_.begin() +
+                                    static_cast<std::ptrdiff_t>(i),
+                                pipe_.end());
+                }
+                --i;
+                continue;
+            }
+            blocked = true;
+            break;
+        }
+
+        // Intermediate stage: possible re-steer (composer redirection
+        // logic, §IV-B).
+        const Addr newNext = earlyNextPc(p, b);
+        if (newNext != p.predNextPc) {
+            killYoungerThan(i);
+            p.predNextPc = newNext;
+            nextFetchPc_ = newNext;
+            // Re-push this packet's history bits against the updated
+            // bundle (the stage-d prediction supersedes stage-1's).
+            bpu_.restoreSpecGhist(p.query.ghist());
+            pushGhistBits(p, b);
+            ++stats_.counter("resteers");
+        }
+    }
+
+    // ---- F0: select a PC and open a new query -------------------------
+    if (!blocked && pipe_.size() < finalStage_) {
+        if (!pipe_.empty())
+            nextFetchPc_ = pipe_.back().predNextPc;
+        Packet p;
+        p.pc = nextFetchPc_;
+        p.startSlot = slotOf(p.pc);
+        p.predNextPc = fallthrough(p.pc);
+        p.wrongPathSalt = mix64(++wrongPathEpoch_);
+        const Cycle icLat = caches_.fetchAccess(p.pc);
+        p.stallUntil = now + (icLat > 0 ? icLat - 1 : 0);
+        if (icLat > 1)
+            stats_.counter("icache_stall_cycles") += icLat - 1;
+        bpu_.beginQuery(p.query, p.pc, cfg_.fetchWidth);
+        nextFetchPc_ = p.predNextPc;
+        pipe_.push_back(std::move(p));
+    } else {
+        ++stats_.counter("fetch_bubbles");
+    }
+}
+
+void
+Frontend::redirect(Addr pc, bool on_oracle_path, std::uint32_t ras_ptr)
+{
+    stats_.counter("packets_killed") += pipe_.size();
+    pipe_.clear();
+    buffer_.clear();
+    ras_.restore(ras_ptr);
+    nextFetchPc_ = pc;
+    onOraclePath_ = on_oracle_path;
+    ++stats_.counter("redirects");
+}
+
+} // namespace cobra::core

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The instruction fetch unit (paper Fig. 6): a staged fetch pipeline
+ * driving the COBRA-generated predictor. F0 selects a PC and queries
+ * the predictor; histories are captured at the end of F1; stage-d
+ * bundles can re-steer fetch (killing d-1 younger in-flight packets,
+ * the composer's redirection logic of §IV-B); the final stage
+ * pre-decodes the packet, resolves the next PC with RAS assistance,
+ * allocates the history file entry, and delivers instructions to the
+ * fetch buffer.
+ *
+ * The frontend owns the global-history speculation *policy*
+ * (GhistRepairMode, the §VI-B experiment) and the fetch-serialization
+ * ablation (§I's 15%-IPC claim).
+ */
+
+#ifndef COBRA_CORE_FRONTEND_HPP
+#define COBRA_CORE_FRONTEND_HPP
+
+#include <deque>
+#include <vector>
+
+#include "bpu/bpu.hpp"
+#include "core/cache.hpp"
+#include "core/ras.hpp"
+#include "exec/oracle.hpp"
+#include "program/program.hpp"
+
+namespace cobra::core {
+
+/** One instruction delivered to the backend. */
+struct FetchedInst
+{
+    exec::DynInst di;          ///< Truth (oracle) or wrong-path synth.
+    bpu::FtqPos ftq = 0;       ///< History-file entry of the packet.
+    unsigned slot = 0;         ///< Aligned slot within the packet.
+    bool predTaken = false;    ///< Fetch-time direction used (CF only).
+    Addr predNextPc = kInvalidAddr; ///< Fetch-time next-PC used.
+    bool isPacketCfi = false;  ///< This was the packet's predicted CFI.
+    std::uint64_t dynId = 0;   ///< Monotonic id across all fetched insts.
+};
+
+/** Frontend configuration. */
+struct FrontendConfig
+{
+    unsigned fetchWidth = 4;        ///< Slots per aligned fetch packet.
+    unsigned fetchBufferInsts = 32; ///< Fetch buffer capacity.
+    unsigned rasEntries = 16;
+    bpu::GhistRepairMode ghistMode =
+        bpu::GhistRepairMode::RepairAndReplay;
+    /** Serialize fetch behind branches (one branch per packet, §I). */
+    bool serializeFetch = false;
+};
+
+/**
+ * The fetch unit. Drives the oracle for correct-path instruction
+ * content and synthesises wrong-path content after divergence
+ * (DESIGN.md §4).
+ */
+class Frontend
+{
+  public:
+    Frontend(const prog::Program& program, exec::Oracle& oracle,
+             bpu::BranchPredictorUnit& bpu, CacheHierarchy& caches,
+             const FrontendConfig& cfg);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    // ---- Backend-facing fetch buffer ----------------------------------
+
+    bool bufferEmpty() const { return buffer_.empty(); }
+    std::size_t bufferSize() const { return buffer_.size(); }
+    const FetchedInst& bufferFront() const { return buffer_.front(); }
+    void popFront() { buffer_.pop_front(); }
+
+    /**
+     * Backend redirect after a mispredict: kill all in-flight fetch,
+     * flush the fetch buffer, restore the RAS pointer, and resume at
+     * @p pc. @p on_oracle_path tells the frontend whether @p pc is
+     * back on the architectural path (the oracle cursor has been
+     * rewound by the caller).
+     */
+    void redirect(Addr pc, bool on_oracle_path, std::uint32_t ras_ptr);
+
+    /** True while fetch has diverged from the architectural path. */
+    bool onOraclePath() const { return onOraclePath_; }
+
+    ReturnAddressStack& ras() { return ras_; }
+
+    StatGroup& stats() { return stats_; }
+    const StatGroup& stats() const { return stats_; }
+
+    const FrontendConfig& config() const { return cfg_; }
+
+  private:
+    /** One in-flight fetch packet in the F0..F3 pipeline. */
+    struct Packet
+    {
+        Addr pc = kInvalidAddr;
+        unsigned startSlot = 0;   ///< Aligned slot of pc.
+        unsigned stage = 0;       ///< Last completed stage.
+        Cycle stallUntil = 0;     ///< ICache miss modelling.
+        bpu::QueryState query;
+        Addr predNextPc = kInvalidAddr;
+        /** Spec-ghist bits this packet pushed at F1 (re-pushed on
+         *  re-steer). */
+        std::vector<bool> pushedBits;
+        /** Spec ghist value just after this packet's own pushes. */
+        HistoryRegister ghistAfterPush{1};
+        std::uint64_t wrongPathSalt = 0;
+    };
+
+    /** Block-aligned fallthrough address. */
+    Addr fallthrough(Addr pc) const;
+    unsigned slotOf(Addr pc) const
+    {
+        return static_cast<unsigned>((pc >> 2) & (cfg_.fetchWidth - 1));
+    }
+
+    /**
+     * First early-redirect target in @p b at or after @p start_slot:
+     * requires a taken prediction with a known target and type.
+     */
+    Addr earlyNextPc(const Packet& p, const bpu::PredictionBundle& b) const;
+
+    /** Push this packet's predicted outcome bits into spec ghist. */
+    void pushGhistBits(Packet& p, const bpu::PredictionBundle& b);
+
+    /** Finalize a packet at the last stage; false if stalled. */
+    bool tryFinalize(Packet& p, Cycle now);
+
+    /** Kill packets younger than index @p idx (exclusive). */
+    void killYoungerThan(std::size_t idx);
+
+    const prog::Program& prog_;
+    exec::Oracle& oracle_;
+    bpu::BranchPredictorUnit& bpu_;
+    CacheHierarchy& caches_;
+    FrontendConfig cfg_;
+    unsigned finalStage_;
+
+    std::deque<Packet> pipe_;  ///< Oldest first.
+    std::deque<FetchedInst> buffer_;
+    ReturnAddressStack ras_;
+
+    Addr nextFetchPc_;
+    bool finalizeSteer_ = false;
+    bool onOraclePath_ = true;
+    std::uint64_t wrongPathEpoch_ = 0;
+    std::uint64_t nextDynId_ = 1;
+
+    StatGroup stats_{"frontend"};
+};
+
+} // namespace cobra::core
+
+#endif // COBRA_CORE_FRONTEND_HPP

@@ -1,0 +1,300 @@
+#include "exec/oracle.hpp"
+
+#include <cassert>
+
+namespace cobra::exec {
+
+using prog::OpClass;
+using prog::StaticInst;
+
+Oracle::Oracle(const prog::Program& program, std::uint64_t seed)
+    : prog_(program), seed_(seed), pc_(program.entry())
+{
+    branchState_.resize(prog_.numBranchBehaviors());
+    indirectState_.resize(prog_.numIndirectBehaviors());
+    memState_.resize(prog_.numMemStreams());
+    lastWriter_.fill(kInvalidSeq);
+}
+
+const DynInst&
+Oracle::peek(std::size_t k)
+{
+    while (cursor_ + k >= buffer_.size())
+        generateOne();
+    return buffer_[cursor_ + k];
+}
+
+const DynInst&
+Oracle::consume()
+{
+    const DynInst& di = peek(0);
+    ++cursor_;
+    return di;
+}
+
+void
+Oracle::rewindTo(SeqNum seq)
+{
+    assert(seq >= bufferBase_);
+    assert(seq <= bufferBase_ + buffer_.size());
+    cursor_ = static_cast<std::size_t>(seq - bufferBase_);
+}
+
+void
+Oracle::retireUpTo(SeqNum seq)
+{
+    while (!buffer_.empty() && bufferBase_ <= seq) {
+        buffer_.pop_front();
+        ++bufferBase_;
+        assert(cursor_ > 0);
+        --cursor_;
+    }
+}
+
+bool
+Oracle::evalDirection(const StaticInst& si)
+{
+    const prog::BranchBehavior& b = prog_.branchBehavior(si.behaviorId);
+    BranchState& st = branchState_[si.behaviorId];
+    bool taken = false;
+
+    switch (b.kind) {
+      case prog::BranchBehavior::Kind::Biased: {
+        const std::uint64_t h = mix64(b.seed ^ st.occurrence);
+        taken = (h >> 11) * (1.0 / 9007199254740992.0) < b.pTaken;
+        break;
+      }
+      case prog::BranchBehavior::Kind::Loop: {
+        if (st.loopCount == 0) {
+            // Fix the trip count for this loop run.
+            unsigned trip = b.trip;
+            if (b.tripJitter > 0) {
+                trip += static_cast<unsigned>(
+                    mix64(b.seed ^ st.occurrence) % (b.tripJitter + 1));
+            }
+            st.curTrip = trip < 1 ? 1 : trip;
+        }
+        taken = st.loopCount + 1 < st.curTrip;
+        st.loopCount = taken ? st.loopCount + 1 : 0;
+        break;
+      }
+      case prog::BranchBehavior::Kind::Periodic: {
+        const unsigned pos =
+            static_cast<unsigned>(st.occurrence % b.patternLen);
+        taken = (b.pattern >> pos) & 1;
+        break;
+      }
+      case prog::BranchBehavior::Kind::GlobalCorrelated: {
+        const std::uint64_t h = ghist_ & maskBits(b.depth);
+        taken = mix64(b.seed ^ h) & 1;
+        if (b.noise > 0.0) {
+            const std::uint64_t n = mix64(~b.seed ^ st.occurrence);
+            if ((n >> 11) * (1.0 / 9007199254740992.0) < b.noise)
+                taken = !taken;
+        }
+        break;
+      }
+      case prog::BranchBehavior::Kind::LocalCorrelated: {
+        const std::uint64_t h = st.localHist & maskBits(b.depth);
+        taken = mix64(b.seed ^ h) & 1;
+        if (b.noise > 0.0) {
+            const std::uint64_t n = mix64(~b.seed ^ st.occurrence);
+            if ((n >> 11) * (1.0 / 9007199254740992.0) < b.noise)
+                taken = !taken;
+        }
+        break;
+      }
+    }
+
+    ++st.occurrence;
+    st.localHist = (st.localHist << 1) | (taken ? 1 : 0);
+    return taken;
+}
+
+Addr
+Oracle::evalIndirect(const StaticInst& si)
+{
+    const prog::IndirectBehavior& b = prog_.indirectBehavior(si.behaviorId);
+    IndirectState& st = indirectState_[si.behaviorId];
+    const std::uint64_t occ = st.occurrence++;
+    if (b.targets.empty())
+        return pc_ + kInstBytes;
+
+    std::size_t idx = 0;
+    switch (b.kind) {
+      case prog::IndirectBehavior::Kind::Monomorphic:
+        idx = 0;
+        break;
+      case prog::IndirectBehavior::Kind::RoundRobin:
+        idx = occ % b.targets.size();
+        break;
+      case prog::IndirectBehavior::Kind::HashSelected:
+        idx = mix64(b.seed ^ occ) % b.targets.size();
+        break;
+      case prog::IndirectBehavior::Kind::HistorySelected:
+        idx = mix64(b.seed ^ (ghist_ & maskBits(b.depth))) %
+              b.targets.size();
+        break;
+    }
+    return b.targets[idx];
+}
+
+Addr
+Oracle::evalMemAddr(const StaticInst& si)
+{
+    if (si.memStreamId == prog::kNoMemStream)
+        return 0x7000'0000;
+    const prog::MemStream& m = prog_.memStream(si.memStreamId);
+    MemState& st = memState_[si.memStreamId];
+    const std::uint64_t occ = st.occurrence++;
+    Addr a = m.base;
+    switch (m.kind) {
+      case prog::MemStream::Kind::Stride: {
+        const std::uint64_t off =
+            (occ * static_cast<std::uint64_t>(m.stride)) % m.windowBytes;
+        a = m.base + (off & ~std::uint64_t{7});
+        break;
+      }
+      case prog::MemStream::Kind::Random:
+        a = m.base + (mix64(m.seed ^ occ) % m.windowBytes & ~std::uint64_t{7});
+        break;
+      case prog::MemStream::Kind::PointerChase:
+        a = m.base +
+            (mix64(m.seed ^ st.last) % m.windowBytes & ~std::uint64_t{7});
+        st.last = a;
+        break;
+    }
+    return a;
+}
+
+void
+Oracle::generateOne()
+{
+    const Addr pc = prog_.clampPc(pc_);
+    const StaticInst& si = prog_.at(pc);
+
+    DynInst di;
+    di.seq = genSeq_++;
+    di.pc = pc;
+    di.si = &si;
+    di.nextPc = pc + kInstBytes;
+
+    // Register dependences: producers recorded before dst update so a
+    // self-referencing instruction depends on the previous writer.
+    if (si.src1 != 0)
+        di.dep1 = lastWriter_[si.src1 % 32];
+    if (si.src2 != 0)
+        di.dep2 = lastWriter_[si.src2 % 32];
+
+    switch (si.op) {
+      case OpClass::CondBranch: {
+        di.taken = evalDirection(si);
+        if (di.taken) {
+            assert(si.target != kInvalidAddr);
+            di.nextPc = si.target;
+        }
+        ghist_ = (ghist_ << 1) | (di.taken ? 1 : 0);
+        break;
+      }
+      case OpClass::Jump:
+        di.taken = true;
+        di.nextPc = si.target;
+        break;
+      case OpClass::Call:
+        di.taken = true;
+        di.nextPc = si.target;
+        callStack_.push_back(pc + kInstBytes);
+        break;
+      case OpClass::IndirectJump:
+        di.taken = true;
+        di.nextPc = evalIndirect(si);
+        break;
+      case OpClass::IndirectCall:
+        di.taken = true;
+        di.nextPc = evalIndirect(si);
+        callStack_.push_back(pc + kInstBytes);
+        break;
+      case OpClass::Return:
+        di.taken = true;
+        if (callStack_.empty()) {
+            di.nextPc = prog_.entry();
+        } else {
+            di.nextPc = callStack_.back();
+            callStack_.pop_back();
+        }
+        break;
+      case OpClass::Load:
+      case OpClass::Store:
+        di.memAddr = evalMemAddr(si);
+        break;
+      default:
+        break;
+    }
+
+    if (si.dst != 0)
+        lastWriter_[si.dst % 32] = di.seq;
+
+    pc_ = di.nextPc;
+    buffer_.push_back(di);
+}
+
+DynInst
+Oracle::wrongPath(Addr raw_pc, std::uint64_t salt) const
+{
+    const Addr pc = prog_.clampPc(raw_pc);
+    const StaticInst& si = prog_.at(pc);
+    const std::uint64_t h = mix64(pc ^ mix64(salt ^ seed_));
+
+    DynInst di;
+    di.pc = pc;
+    di.si = &si;
+    di.nextPc = pc + kInstBytes;
+    di.wrongPath = true;
+
+    switch (si.op) {
+      case OpClass::CondBranch:
+        di.taken = h & 1;
+        if (di.taken && si.target != kInvalidAddr)
+            di.nextPc = si.target;
+        else
+            di.taken = di.taken && si.target != kInvalidAddr;
+        break;
+      case OpClass::Jump:
+      case OpClass::Call:
+        di.taken = true;
+        di.nextPc = si.target != kInvalidAddr ? si.target
+                                              : pc + kInstBytes;
+        break;
+      case OpClass::IndirectJump:
+      case OpClass::IndirectCall: {
+        di.taken = true;
+        const prog::IndirectBehavior& b =
+            prog_.indirectBehavior(si.behaviorId);
+        if (b.targets.empty())
+            di.nextPc = pc + kInstBytes;
+        else
+            di.nextPc = b.targets[h % b.targets.size()];
+        break;
+      }
+      case OpClass::Return:
+        di.taken = true;
+        di.nextPc = prog_.clampPc(prog_.base() + (h % (prog_.size() *
+                                                       kInstBytes)));
+        break;
+      case OpClass::Load:
+      case OpClass::Store:
+        if (si.memStreamId != prog::kNoMemStream) {
+            const prog::MemStream& m = prog_.memStream(si.memStreamId);
+            di.memAddr =
+                m.base + (h % m.windowBytes & ~std::uint64_t{7});
+        } else {
+            di.memAddr = 0x7000'0000;
+        }
+        break;
+      default:
+        break;
+    }
+    return di;
+}
+
+} // namespace cobra::exec

@@ -1,0 +1,64 @@
+#include "phys/area_model.hpp"
+
+#include <algorithm>
+
+namespace cobra::phys {
+
+PhysicalCost&
+PhysicalCost::operator+=(const PhysicalCost& o)
+{
+    sramBits += o.sramBits;
+    flopBits += o.flopBits;
+    camBits += o.camBits;
+    logicGates += o.logicGates;
+    // Keep the more expensive port configuration; component-level
+    // reports are computed per-structure, so this only matters for
+    // coarse roll-ups where a conservative estimate is acceptable.
+    if (o.sramPorts.total() > sramPorts.total())
+        sramPorts = o.sramPorts;
+    return *this;
+}
+
+double
+AreaReport::total() const
+{
+    double t = 0.0;
+    for (const auto& it : items)
+        t += it.um2;
+    return t;
+}
+
+void
+AreaReport::add(const std::string& name, double um2)
+{
+    for (auto& it : items) {
+        if (it.name == name) {
+            it.um2 += um2;
+            return;
+        }
+    }
+    items.push_back({name, um2});
+}
+
+double
+AreaModel::sramArea(std::uint64_t bits, const PortConfig& ports) const
+{
+    if (bits == 0)
+        return 0.0;
+    const unsigned extraPorts = ports.total() > 1 ? ports.total() - 1 : 0;
+    const double portMult = 1.0 + tech_.perPortFactor * extraPorts;
+    return static_cast<double>(bits) * tech_.sramBitCellUm2 * portMult *
+           tech_.macroOverhead;
+}
+
+double
+AreaModel::area(const PhysicalCost& cost) const
+{
+    double a = sramArea(cost.sramBits, cost.sramPorts);
+    a += static_cast<double>(cost.flopBits) * tech_.flopUm2;
+    a += static_cast<double>(cost.camBits) * tech_.camBitUm2;
+    a += static_cast<double>(cost.logicGates) * tech_.nand2Um2;
+    return a;
+}
+
+} // namespace cobra::phys

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Analytical physical-design model standing in for the paper's
+ * commercial-FinFET Cadence Genus synthesis flow (DESIGN.md §1).
+ *
+ * Every hardware structure in the model describes itself as a
+ * PhysicalCost: SRAM bits (with port/bank configuration), flop bits,
+ * CAM bits, and random-logic gate equivalents. The AreaModel converts
+ * a PhysicalCost into um^2 using FinFET-proxy constants, CACTI-style.
+ * Only *relative* areas are meaningful; we calibrate the constants so
+ * structure-to-structure ratios track published FinFET data.
+ */
+
+#ifndef COBRA_PHYS_AREA_MODEL_HPP
+#define COBRA_PHYS_AREA_MODEL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cobra::phys {
+
+/** Port configuration of a memory macro. */
+struct PortConfig
+{
+    unsigned readPorts = 1;
+    unsigned writePorts = 1;
+    unsigned readWritePorts = 0;
+
+    /** Total effective port count. */
+    unsigned total() const { return readPorts + writePorts + readWritePorts; }
+};
+
+/** Raw bit/gate inventory of one hardware structure. */
+struct PhysicalCost
+{
+    std::uint64_t sramBits = 0;   ///< Bits mapped to SRAM macros.
+    std::uint64_t flopBits = 0;   ///< Bits kept in flip-flops.
+    std::uint64_t camBits = 0;    ///< Content-addressable bits.
+    std::uint64_t logicGates = 0; ///< NAND2-equivalent random logic.
+    PortConfig sramPorts{};       ///< Ports on the SRAM macros.
+
+    PhysicalCost& operator+=(const PhysicalCost& o);
+
+    friend PhysicalCost
+    operator+(PhysicalCost a, const PhysicalCost& b)
+    {
+        a += b;
+        return a;
+    }
+};
+
+/** FinFET-proxy technology constants (nominally a 14/16nm-class node). */
+struct TechParams
+{
+    double sramBitCellUm2 = 0.090;  ///< 6T single-port bit cell + array overhead share.
+    double flopUm2 = 0.95;          ///< One flip-flop incl. clock tree share.
+    double camBitUm2 = 0.35;        ///< One CAM bit (match line + cell).
+    double nand2Um2 = 0.20;         ///< One NAND2-equivalent of random logic.
+    double perPortFactor = 0.55;    ///< Area multiplier per port beyond the first.
+    double macroOverhead = 1.25;    ///< Decoder/sense-amp/periphery multiplier.
+
+    /** Default constants used across the repository. */
+    static TechParams finfetProxy() { return TechParams{}; }
+};
+
+/** One named line item in an area report. */
+struct AreaItem
+{
+    std::string name;
+    double um2 = 0.0;
+};
+
+/** A named breakdown (e.g., predictor sub-components, or core blocks). */
+struct AreaReport
+{
+    std::string title;
+    std::vector<AreaItem> items;
+
+    double total() const;
+    /** Add an item; merges with an existing item of the same name. */
+    void add(const std::string& name, double um2);
+};
+
+/**
+ * Converts PhysicalCost inventories into area estimates.
+ */
+class AreaModel
+{
+  public:
+    explicit AreaModel(TechParams tech = TechParams::finfetProxy())
+        : tech_(tech)
+    {}
+
+    /** Area of one structure in um^2. */
+    double area(const PhysicalCost& cost) const;
+
+    /** Area of SRAM bits alone under a port configuration. */
+    double sramArea(std::uint64_t bits, const PortConfig& ports) const;
+
+    const TechParams& tech() const { return tech_; }
+
+  private:
+    TechParams tech_;
+};
+
+} // namespace cobra::phys
+
+#endif // COBRA_PHYS_AREA_MODEL_HPP

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Access-energy model (the paper's §VI-A future-work item: "the
+ * energy cost of continuously reading predictor SRAMs is
+ * significant" [36]). Converts per-access bit counts into pJ using
+ * FinFET-proxy energies; combined with the simulator's event counts
+ * it yields energy-per-prediction and energy-per-kiloinstruction.
+ */
+
+#ifndef COBRA_PHYS_ENERGY_MODEL_HPP
+#define COBRA_PHYS_ENERGY_MODEL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cobra::phys {
+
+/** FinFET-proxy access energies. */
+struct EnergyParams
+{
+    double sramReadPjPerBit = 0.012;  ///< Read energy per bit.
+    double sramWritePjPerBit = 0.018; ///< Write energy per bit.
+    double flopPjPerBit = 0.002;      ///< Clocking energy per bit.
+    double camSearchPjPerBit = 0.030; ///< CAM match-line energy.
+
+    static EnergyParams finfetProxy() { return EnergyParams{}; }
+};
+
+/** Per-structure access profile for one event (predict or update). */
+struct AccessProfile
+{
+    std::uint64_t sramReadBits = 0;
+    std::uint64_t sramWriteBits = 0;
+    std::uint64_t camSearchBits = 0;
+};
+
+/** One line item of an energy report. */
+struct EnergyItem
+{
+    std::string name;
+    double pj = 0.0;
+};
+
+/** A named energy breakdown. */
+struct EnergyReport
+{
+    std::string title;
+    std::vector<EnergyItem> items;
+
+    double
+    totalPj() const
+    {
+        double t = 0.0;
+        for (const auto& it : items)
+            t += it.pj;
+        return t;
+    }
+
+    void
+    add(const std::string& name, double pj)
+    {
+        for (auto& it : items) {
+            if (it.name == name) {
+                it.pj += pj;
+                return;
+            }
+        }
+        items.push_back({name, pj});
+    }
+};
+
+/** Converts access profiles and counts into energy. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(EnergyParams p = EnergyParams::finfetProxy())
+        : params_(p)
+    {
+    }
+
+    /** Energy of one access with the given profile, in pJ. */
+    double
+    accessPj(const AccessProfile& a) const
+    {
+        return a.sramReadBits * params_.sramReadPjPerBit +
+               a.sramWriteBits * params_.sramWritePjPerBit +
+               a.camSearchBits * params_.camSearchPjPerBit;
+    }
+
+    const EnergyParams& params() const { return params_; }
+
+  private:
+    EnergyParams params_;
+};
+
+} // namespace cobra::phys
+
+#endif // COBRA_PHYS_ENERGY_MODEL_HPP

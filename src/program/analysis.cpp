@@ -1,0 +1,88 @@
+#include "program/analysis.hpp"
+
+#include "exec/oracle.hpp"
+
+namespace cobra::prog {
+
+const char*
+behaviorKindName(BranchBehavior::Kind k)
+{
+    switch (k) {
+      case BranchBehavior::Kind::Biased: return "biased";
+      case BranchBehavior::Kind::Loop: return "loop";
+      case BranchBehavior::Kind::Periodic: return "periodic";
+      case BranchBehavior::Kind::GlobalCorrelated: return "gcorr";
+      case BranchBehavior::Kind::LocalCorrelated: return "lcorr";
+    }
+    return "?";
+}
+
+WorkloadStats
+analyzeWorkload(const Program& program, std::uint64_t dyn_insts,
+                std::uint64_t seed)
+{
+    WorkloadStats s;
+
+    // ---- Static pass ----------------------------------------------------
+    s.staticInsts = program.size();
+    for (std::size_t i = 0; i < program.size(); ++i) {
+        const StaticInst& si = program.at(program.pcOf(i));
+        switch (si.op) {
+          case OpClass::CondBranch:
+            ++s.staticBranches;
+            if (si.sfbEligible)
+                ++s.staticSfbEligible;
+            if (si.behaviorId != kNoBehavior) {
+                ++s.staticByKind[program.branchBehavior(si.behaviorId)
+                                     .kind];
+            }
+            break;
+          case OpClass::Call:
+          case OpClass::IndirectCall:
+            ++s.staticCalls;
+            break;
+          case OpClass::IndirectJump:
+            ++s.staticIndirect;
+            break;
+          default:
+            break;
+        }
+    }
+
+    // ---- Dynamic pass ----------------------------------------------------
+    exec::Oracle oracle(program, seed);
+    for (std::uint64_t n = 0; n < dyn_insts; ++n) {
+        const exec::DynInst& di = oracle.consume();
+        ++s.dynInsts;
+        if (di.isCf())
+            ++s.dynCfis;
+        switch (di.si->op) {
+          case OpClass::CondBranch:
+            ++s.dynBranches;
+            s.dynTakenBranches += di.taken;
+            break;
+          case OpClass::Call:
+          case OpClass::IndirectCall:
+            ++s.dynCalls;
+            break;
+          case OpClass::Return:
+            ++s.dynReturns;
+            break;
+          case OpClass::IndirectJump:
+            ++s.dynIndirect;
+            break;
+          case OpClass::Load:
+            ++s.dynLoads;
+            break;
+          case OpClass::Store:
+            ++s.dynStores;
+            break;
+          default:
+            break;
+        }
+        oracle.retireUpTo(di.seq);
+    }
+    return s;
+}
+
+} // namespace cobra::prog

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Workload characterisation: static and dynamic statistics of a
+ * synthetic program, computed with the oracle executor. Used by the
+ * workload-stats tool and by tests validating that each SPEC proxy
+ * has the control-flow character its profile claims (docs/WORKLOADS.md).
+ */
+
+#ifndef COBRA_PROGRAM_ANALYSIS_HPP
+#define COBRA_PROGRAM_ANALYSIS_HPP
+
+#include <cstdint>
+#include <map>
+
+#include "program/program.hpp"
+
+namespace cobra::prog {
+
+/** Static + dynamic workload statistics. */
+struct WorkloadStats
+{
+    // ---- Static (image) ------------------------------------------------
+    std::size_t staticInsts = 0;
+    std::size_t staticBranches = 0;
+    std::size_t staticCalls = 0;
+    std::size_t staticIndirect = 0;
+    std::size_t staticSfbEligible = 0;
+    std::map<BranchBehavior::Kind, std::size_t> staticByKind;
+
+    // ---- Dynamic (oracle execution) --------------------------------------
+    std::uint64_t dynInsts = 0;
+    std::uint64_t dynBranches = 0;
+    std::uint64_t dynTakenBranches = 0;
+    std::uint64_t dynCfis = 0;
+    std::uint64_t dynCalls = 0;
+    std::uint64_t dynReturns = 0;
+    std::uint64_t dynIndirect = 0;
+    std::uint64_t dynLoads = 0;
+    std::uint64_t dynStores = 0;
+
+    /** Conditional branches per instruction. */
+    double
+    branchDensity() const
+    {
+        return dynInsts == 0 ? 0.0
+                             : static_cast<double>(dynBranches) /
+                                   static_cast<double>(dynInsts);
+    }
+
+    /** Fraction of conditional branches that are taken. */
+    double
+    takenRate() const
+    {
+        return dynBranches == 0
+                   ? 0.0
+                   : static_cast<double>(dynTakenBranches) /
+                         static_cast<double>(dynBranches);
+    }
+
+    /** Loads+stores per instruction. */
+    double
+    memDensity() const
+    {
+        return dynInsts == 0
+                   ? 0.0
+                   : static_cast<double>(dynLoads + dynStores) /
+                         static_cast<double>(dynInsts);
+    }
+};
+
+/** Name of a branch-behaviour kind, for reports. */
+const char* behaviorKindName(BranchBehavior::Kind k);
+
+/**
+ * Analyze @p program: static stats from the image, dynamic stats
+ * from @p dyn_insts oracle-executed instructions.
+ */
+WorkloadStats analyzeWorkload(const Program& program,
+                              std::uint64_t dyn_insts = 100'000,
+                              std::uint64_t seed = 0xD15EA5E);
+
+} // namespace cobra::prog
+
+#endif // COBRA_PROGRAM_ANALYSIS_HPP

@@ -1,0 +1,215 @@
+#include "program/builder.hpp"
+
+#include <cassert>
+
+namespace cobra::prog {
+
+ProgramBuilder::ProgramBuilder(std::uint64_t seed, Addr base)
+    : prog_(base), rng_(seed)
+{
+    recentDsts_.reserve(8);
+}
+
+Addr
+ProgramBuilder::emit(StaticInst si)
+{
+    return prog_.append(si);
+}
+
+RegIndex
+ProgramBuilder::pickDst()
+{
+    const RegIndex dst = static_cast<RegIndex>(1 + rng_.below(31));
+    recentDsts_.push_back(dst);
+    if (recentDsts_.size() > 8)
+        recentDsts_.erase(recentDsts_.begin());
+    return dst;
+}
+
+RegIndex
+ProgramBuilder::pickSrc(double dep_chain)
+{
+    if (!recentDsts_.empty() && rng_.chance(dep_chain))
+        return recentDsts_[rng_.below(recentDsts_.size())];
+    // A "far" register: may or may not have a recent producer; the
+    // oracle resolves it to the last architectural writer.
+    return static_cast<RegIndex>(1 + rng_.below(31));
+}
+
+void
+ProgramBuilder::emitStraightLine(std::size_t n, const CodeMix& mix)
+{
+    auto pickStream = [&]() -> std::uint32_t {
+        if (mix.memStreams.empty())
+            return kNoMemStream;
+        return mix.memStreams[rng_.below(mix.memStreams.size())];
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        StaticInst si;
+        const double r = rng_.uniform();
+        double acc = mix.fLoad;
+        if (r < acc) {
+            si.op = OpClass::Load;
+            si.dst = pickDst();
+            si.src1 = pickSrc(mix.depChain);
+            si.memStreamId = pickStream();
+        } else if (r < (acc += mix.fStore)) {
+            si.op = OpClass::Store;
+            si.src1 = pickSrc(mix.depChain);
+            si.src2 = pickSrc(mix.depChain);
+            si.memStreamId = pickStream();
+        } else if (r < (acc += mix.fMul)) {
+            si.op = OpClass::IntMul;
+            si.dst = pickDst();
+            si.src1 = pickSrc(mix.depChain);
+            si.src2 = pickSrc(mix.depChain);
+        } else if (r < (acc += mix.fDiv)) {
+            si.op = OpClass::IntDiv;
+            si.dst = pickDst();
+            si.src1 = pickSrc(mix.depChain);
+            si.src2 = pickSrc(mix.depChain);
+        } else if (r < (acc += mix.fFp)) {
+            si.op = OpClass::FpAlu;
+            si.dst = pickDst();
+            si.src1 = pickSrc(mix.depChain);
+            si.src2 = pickSrc(mix.depChain);
+        } else {
+            si.op = OpClass::IntAlu;
+            si.dst = pickDst();
+            si.src1 = pickSrc(mix.depChain);
+            si.src2 = pickSrc(mix.depChain);
+        }
+        emit(si);
+    }
+}
+
+Addr
+ProgramBuilder::emitNop()
+{
+    StaticInst si;
+    si.op = OpClass::Nop;
+    return emit(si);
+}
+
+Addr
+ProgramBuilder::emitJump(Addr target)
+{
+    StaticInst si;
+    si.op = OpClass::Jump;
+    si.target = target;
+    return emit(si);
+}
+
+Addr
+ProgramBuilder::emitCall(Addr target)
+{
+    StaticInst si;
+    si.op = OpClass::Call;
+    si.target = target;
+    return emit(si);
+}
+
+Addr
+ProgramBuilder::emitReturn()
+{
+    StaticInst si;
+    si.op = OpClass::Return;
+    return emit(si);
+}
+
+Addr
+ProgramBuilder::emitCondBranch(const BranchBehavior& b, Addr target,
+                               bool sfb_eligible)
+{
+    StaticInst si;
+    si.op = OpClass::CondBranch;
+    si.target = target;
+    si.behaviorId = prog_.addBranchBehavior(b);
+    si.src1 = pickSrc(0.3);
+    si.sfbEligible = sfb_eligible;
+    return emit(si);
+}
+
+Addr
+ProgramBuilder::emitIndirectJump(const IndirectBehavior& b)
+{
+    StaticInst si;
+    si.op = OpClass::IndirectJump;
+    si.behaviorId = prog_.addIndirectBehavior(b);
+    si.src1 = pickSrc(0.3);
+    return emit(si);
+}
+
+void
+ProgramBuilder::patchTarget(Addr pc, Addr target)
+{
+    StaticInst& si = prog_.atMutable(pc);
+    assert(isControlFlow(si.op));
+    si.target = target;
+}
+
+void
+ProgramBuilder::setIndirectTargets(Addr pc, std::vector<Addr> targets)
+{
+    StaticInst& si = prog_.atMutable(pc);
+    assert(isIndirectCf(si.op));
+    // Behaviours are stored by value in the program; rebuild the entry.
+    IndirectBehavior b = prog_.indirectBehavior(si.behaviorId);
+    b.targets = std::move(targets);
+    si.behaviorId = prog_.addIndirectBehavior(b);
+}
+
+void
+ProgramBuilder::emitLoop(unsigned trip, unsigned trip_jitter,
+                         std::size_t body_len, const CodeMix& mix)
+{
+    emitLoopAround(trip, trip_jitter,
+                   [&] { emitStraightLine(body_len, mix); });
+}
+
+void
+ProgramBuilder::emitHammock(const BranchBehavior& b, std::size_t shadow_len,
+                            const CodeMix& mix, unsigned sfb_max_shadow)
+{
+    // Taken means "skip the shadow", like a typical compiled
+    // `if (cond) { ... }` with an inverted condition.
+    const bool sfb = shadow_len <= sfb_max_shadow;
+    const Addr br = emitCondBranch(b, kInvalidAddr, sfb);
+    emitStraightLine(shadow_len, mix);
+    patchTarget(br, here());
+}
+
+void
+ProgramBuilder::emitIfElse(const BranchBehavior& b, std::size_t then_len,
+                           std::size_t else_len, const CodeMix& mix)
+{
+    const Addr br = emitCondBranch(b);
+    emitStraightLine(then_len, mix);
+    const Addr jmp = emitJump();
+    const Addr elseLabel = here();
+    emitStraightLine(else_len, mix);
+    const Addr join = here();
+    patchTarget(br, elseLabel);
+    patchTarget(jmp, join);
+}
+
+void
+ProgramBuilder::emitSwitch(const IndirectBehavior& proto, unsigned num_cases,
+                           std::size_t case_len, const CodeMix& mix)
+{
+    assert(num_cases >= 1);
+    const Addr jr = emitIndirectJump(proto);
+    std::vector<Addr> caseAddrs;
+    std::vector<Addr> exitJumps;
+    for (unsigned c = 0; c < num_cases; ++c) {
+        caseAddrs.push_back(here());
+        emitStraightLine(case_len, mix);
+        exitJumps.push_back(emitJump());
+    }
+    const Addr join = here();
+    for (Addr j : exitJumps)
+        patchTarget(j, join);
+    setIndirectTargets(jr, std::move(caseAddrs));
+}
+
+} // namespace cobra::prog

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Structured program builder: emits synthetic-ISA code with loops,
+ * hammocks, if/else trees, switches, and call graphs, while keeping
+ * the register-dependence profile under control. Used by the workload
+ * generator to create SPEC-proxy programs.
+ */
+
+#ifndef COBRA_PROGRAM_BUILDER_HPP
+#define COBRA_PROGRAM_BUILDER_HPP
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "program/program.hpp"
+
+namespace cobra::prog {
+
+/** Instruction-mix knobs for straight-line code emission. */
+struct CodeMix
+{
+    double fLoad = 0.20;   ///< Fraction of loads.
+    double fStore = 0.10;  ///< Fraction of stores.
+    double fMul = 0.05;    ///< Fraction of integer multiplies.
+    double fDiv = 0.01;    ///< Fraction of integer divides.
+    double fFp = 0.05;     ///< Fraction of FP ops.
+    /** Probability a source register names a recent producer. */
+    double depChain = 0.45;
+    /** Memory-stream ids assigned round-robin to loads/stores. */
+    std::vector<std::uint32_t> memStreams;
+};
+
+/**
+ * Low-level emission interface over a Program, with label/backpatch
+ * support and register selection that follows a CodeMix.
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::uint64_t seed, Addr base = Program::kDefaultBase);
+
+    /** The program under construction (move out when done). */
+    Program& program() { return prog_; }
+    Program takeProgram() { return std::move(prog_); }
+
+    /** Next instruction address. */
+    Addr here() const { return prog_.limit(); }
+
+    /** Emit one raw instruction; returns its PC. */
+    Addr emit(StaticInst si);
+
+    /** Emit @p n straight-line instructions following @p mix. */
+    void emitStraightLine(std::size_t n, const CodeMix& mix);
+
+    /** Emit a nop. */
+    Addr emitNop();
+
+    /** Emit an unconditional direct jump to @p target (backpatchable). */
+    Addr emitJump(Addr target = kInvalidAddr);
+
+    /** Emit a direct call to @p target. */
+    Addr emitCall(Addr target);
+
+    /** Emit a return. */
+    Addr emitReturn();
+
+    /**
+     * Emit a conditional branch with the given behaviour; target may
+     * be patched later via patchTarget().
+     */
+    Addr emitCondBranch(const BranchBehavior& b, Addr target = kInvalidAddr,
+                        bool sfbEligible = false);
+
+    /** Emit an indirect jump with the given target behaviour. */
+    Addr emitIndirectJump(const IndirectBehavior& b);
+
+    /** Patch the target of a previously emitted CF instruction. */
+    void patchTarget(Addr pc, Addr target);
+
+    /** Patch an indirect behaviour's target list after layout. */
+    void setIndirectTargets(Addr pc, std::vector<Addr> targets);
+
+    // ---- Structured constructs -------------------------------------
+
+    /**
+     * Emit a counted loop: `bodyLen` straight-line instructions
+     * followed by a backward conditional branch with Loop behaviour.
+     */
+    void emitLoop(unsigned trip, unsigned tripJitter, std::size_t bodyLen,
+                  const CodeMix& mix);
+
+    /**
+     * Emit a loop whose body is produced by @p body (for nesting).
+     */
+    template <typename BodyFn>
+    void
+    emitLoopAround(unsigned trip, unsigned tripJitter, BodyFn&& body)
+    {
+        const Addr head = here();
+        body();
+        BranchBehavior b;
+        b.kind = BranchBehavior::Kind::Loop;
+        b.trip = trip;
+        b.tripJitter = tripJitter;
+        b.seed = rng_.next();
+        emitCondBranch(b, head);
+    }
+
+    /**
+     * Emit a forward hammock: a conditional branch skipping
+     * @p shadowLen straight-line instructions. Marked SFB-eligible
+     * when the shadow is short enough (paper §VI-C).
+     */
+    void emitHammock(const BranchBehavior& b, std::size_t shadowLen,
+                     const CodeMix& mix, unsigned sfbMaxShadow = 8);
+
+    /**
+     * Emit if/else: branch to else-block; then-block; jump to join.
+     */
+    void emitIfElse(const BranchBehavior& b, std::size_t thenLen,
+                    std::size_t elseLen, const CodeMix& mix);
+
+    /**
+     * Emit a switch: indirect jump over @p numCases case blocks of
+     * @p caseLen instructions each, all joining afterwards.
+     */
+    void emitSwitch(const IndirectBehavior& proto, unsigned numCases,
+                    std::size_t caseLen, const CodeMix& mix);
+
+    /** Deterministic RNG driving all layout choices. */
+    Rng& rng() { return rng_; }
+
+  private:
+    /** Pick a destination register (1..31). */
+    RegIndex pickDst();
+    /** Pick a source register following the dependence profile. */
+    RegIndex pickSrc(double depChain);
+
+    Program prog_;
+    Rng rng_;
+    /** Ring of recently written registers, for dependence chains. */
+    std::vector<RegIndex> recentDsts_;
+};
+
+} // namespace cobra::prog
+
+#endif // COBRA_PROGRAM_BUILDER_HPP

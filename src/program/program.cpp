@@ -1,0 +1,54 @@
+#include "program/program.hpp"
+
+#include <sstream>
+
+namespace cobra::prog {
+
+const char*
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu: return "alu";
+      case OpClass::IntMul: return "mul";
+      case OpClass::IntDiv: return "div";
+      case OpClass::FpAlu: return "fp";
+      case OpClass::Load: return "ld";
+      case OpClass::Store: return "st";
+      case OpClass::CondBranch: return "br";
+      case OpClass::Jump: return "j";
+      case OpClass::IndirectJump: return "jr";
+      case OpClass::Call: return "call";
+      case OpClass::IndirectCall: return "callr";
+      case OpClass::Return: return "ret";
+      case OpClass::Nop: return "nop";
+    }
+    return "?";
+}
+
+std::string
+StaticInst::describe() const
+{
+    std::ostringstream oss;
+    oss << opClassName(op);
+    if (dst != 0)
+        oss << " x" << dst;
+    if (src1 != 0)
+        oss << ", x" << src1;
+    if (src2 != 0)
+        oss << ", x" << src2;
+    if (target != kInvalidAddr)
+        oss << " -> 0x" << std::hex << target;
+    return oss.str();
+}
+
+std::size_t
+Program::countOpClass(OpClass op) const
+{
+    std::size_t n = 0;
+    for (const auto& si : insts_)
+        if (si.op == op)
+            ++n;
+    return n;
+}
+
+} // namespace cobra::prog

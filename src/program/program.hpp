@@ -1,0 +1,220 @@
+/**
+ * @file
+ * The static program image: a contiguous array of StaticInsts with a
+ * base address, plus the behaviour and memory-stream tables the
+ * instructions reference.
+ */
+
+#ifndef COBRA_PROGRAM_PROGRAM_HPP
+#define COBRA_PROGRAM_PROGRAM_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "program/instruction.hpp"
+
+namespace cobra::prog {
+
+/**
+ * Descriptor of one conditional-branch direction behaviour. The
+ * oracle executor owns the mutable architectural state; this is the
+ * immutable parameterisation produced by the workload generator.
+ */
+struct BranchBehavior
+{
+    enum class Kind : std::uint8_t
+    {
+        Biased,           ///< Bernoulli(pTaken), hash-deterministic.
+        Loop,             ///< Taken (trip-1) times, then not-taken.
+        Periodic,         ///< Repeating fixed bit pattern.
+        GlobalCorrelated, ///< Function of last `depth` global outcomes.
+        LocalCorrelated,  ///< Function of last `depth` own outcomes.
+    };
+
+    Kind kind = Kind::Biased;
+    double pTaken = 0.5;        ///< Biased: probability of taken.
+    unsigned trip = 4;          ///< Loop: base trip count.
+    unsigned tripJitter = 0;    ///< Loop: trip varies in [trip, trip+jitter].
+    std::uint64_t pattern = 0;  ///< Periodic: bit pattern (LSB first).
+    unsigned patternLen = 1;    ///< Periodic: pattern length in bits.
+    unsigned depth = 8;         ///< Correlated: history depth.
+    double noise = 0.0;         ///< Correlated: flip probability.
+    std::uint64_t seed = 0;     ///< Per-behaviour hash seed.
+};
+
+/**
+ * Descriptor of an indirect-target behaviour: a set of candidate
+ * targets and how the dynamic target is selected.
+ */
+struct IndirectBehavior
+{
+    enum class Kind : std::uint8_t
+    {
+        Monomorphic,      ///< Always the first target.
+        RoundRobin,       ///< Cycles through targets.
+        HashSelected,     ///< hash(occurrence) picks the target.
+        HistorySelected,  ///< Last `depth` global outcomes pick the target.
+    };
+
+    Kind kind = Kind::Monomorphic;
+    std::vector<Addr> targets;
+    unsigned depth = 6;
+    std::uint64_t seed = 0;
+};
+
+/** Descriptor of a load/store address stream. */
+struct MemStream
+{
+    enum class Kind : std::uint8_t
+    {
+        Stride,   ///< base + occurrence * stride, wrapped in a window.
+        Random,   ///< Hash-uniform within a window.
+        PointerChase, ///< Random but serialised (dependent loads).
+    };
+
+    Kind kind = Kind::Stride;
+    Addr base = 0x8000'0000;
+    std::int64_t stride = 64;
+    std::uint64_t windowBytes = 1 << 20;
+    std::uint64_t seed = 0;
+};
+
+/**
+ * A complete synthetic workload: code image plus the behaviour tables
+ * the oracle needs to execute it architecturally.
+ */
+class Program
+{
+  public:
+    explicit Program(Addr base = kDefaultBase) : base_(base) {}
+
+    /** Default code base address. */
+    static constexpr Addr kDefaultBase = 0x0001'0000;
+
+    /** Append an instruction; returns its PC. */
+    Addr
+    append(const StaticInst& si)
+    {
+        insts_.push_back(si);
+        return pcOf(insts_.size() - 1);
+    }
+
+    /** Number of static instructions. */
+    std::size_t size() const { return insts_.size(); }
+
+    /** First instruction address. */
+    Addr base() const { return base_; }
+
+    /** One-past-the-end address. */
+    Addr limit() const { return base_ + insts_.size() * kInstBytes; }
+
+    /** True if @p pc addresses an instruction in the image. */
+    bool
+    contains(Addr pc) const
+    {
+        return pc >= base_ && pc < limit() && (pc - base_) % kInstBytes == 0;
+    }
+
+    /** PC of instruction index @p idx. */
+    Addr pcOf(std::size_t idx) const { return base_ + idx * kInstBytes; }
+
+    /** Index of instruction at @p pc (must be contained). */
+    std::size_t
+    indexOf(Addr pc) const
+    {
+        return static_cast<std::size_t>((pc - base_) / kInstBytes);
+    }
+
+    /** Instruction at @p pc (must be contained). */
+    const StaticInst& at(Addr pc) const { return insts_[indexOf(pc)]; }
+
+    /** Mutable access for the builder's backpatching. */
+    StaticInst& atMutable(Addr pc) { return insts_[indexOf(pc)]; }
+
+    /**
+     * Clamp an arbitrary (possibly wrong-path) PC into the image:
+     * out-of-range or misaligned PCs wrap modulo the image size.
+     * This keeps wrong-path fetch well-defined (DESIGN.md §4).
+     */
+    Addr
+    clampPc(Addr pc) const
+    {
+        if (contains(pc))
+            return pc;
+        const std::uint64_t span = insts_.size() * kInstBytes;
+        const std::uint64_t off = (pc % span) & ~std::uint64_t(kInstBytes - 1);
+        return base_ + off;
+    }
+
+    /** Entry point PC. */
+    Addr entry() const { return entry_; }
+    void setEntry(Addr e) { entry_ = e; }
+
+    /** Behaviour tables (indices are behaviour ids). */
+    std::uint32_t
+    addBranchBehavior(const BranchBehavior& b)
+    {
+        branchBehaviors_.push_back(b);
+        return static_cast<std::uint32_t>(branchBehaviors_.size() - 1);
+    }
+
+    std::uint32_t
+    addIndirectBehavior(const IndirectBehavior& b)
+    {
+        indirectBehaviors_.push_back(b);
+        return static_cast<std::uint32_t>(indirectBehaviors_.size() - 1);
+    }
+
+    std::uint32_t
+    addMemStream(const MemStream& m)
+    {
+        memStreams_.push_back(m);
+        return static_cast<std::uint32_t>(memStreams_.size() - 1);
+    }
+
+    const BranchBehavior&
+    branchBehavior(std::uint32_t id) const
+    {
+        return branchBehaviors_.at(id);
+    }
+
+    const IndirectBehavior&
+    indirectBehavior(std::uint32_t id) const
+    {
+        return indirectBehaviors_.at(id);
+    }
+
+    const MemStream& memStream(std::uint32_t id) const
+    {
+        return memStreams_.at(id);
+    }
+
+    std::size_t numBranchBehaviors() const { return branchBehaviors_.size(); }
+    std::size_t numIndirectBehaviors() const
+    {
+        return indirectBehaviors_.size();
+    }
+    std::size_t numMemStreams() const { return memStreams_.size(); }
+
+    /** Count static instructions of a given class. */
+    std::size_t countOpClass(OpClass op) const;
+
+    /** Name for reports. */
+    const std::string& name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+
+  private:
+    Addr base_;
+    Addr entry_ = kDefaultBase;
+    std::string name_ = "anonymous";
+    std::vector<StaticInst> insts_;
+    std::vector<BranchBehavior> branchBehaviors_;
+    std::vector<IndirectBehavior> indirectBehaviors_;
+    std::vector<MemStream> memStreams_;
+};
+
+} // namespace cobra::prog
+
+#endif // COBRA_PROGRAM_PROGRAM_HPP

@@ -1,0 +1,393 @@
+#include "program/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <stdexcept>
+
+namespace cobra::prog {
+
+namespace {
+
+/** Sample a non-loop branch behaviour from the profile mixture. */
+BranchBehavior
+sampleBranchBehavior(const WorkloadProfile& p, Rng& rng)
+{
+    BranchBehavior b;
+    b.seed = rng.next();
+    const double total = p.wBiasedEasy + p.wBiasedHard + p.wPeriodic +
+                         p.wGlobalCorr + p.wLocalCorr;
+    double r = rng.uniform() * (total > 0 ? total : 1.0);
+    if ((r -= p.wBiasedEasy) < 0) {
+        b.kind = BranchBehavior::Kind::Biased;
+        const double edge = 0.03 + rng.uniform() * 0.07;
+        b.pTaken = rng.chance(0.5) ? edge : 1.0 - edge;
+    } else if ((r -= p.wBiasedHard) < 0) {
+        b.kind = BranchBehavior::Kind::Biased;
+        b.pTaken = 0.35 + rng.uniform() * 0.30;
+    } else if ((r -= p.wPeriodic) < 0) {
+        b.kind = BranchBehavior::Kind::Periodic;
+        b.patternLen = static_cast<unsigned>(
+            rng.range(p.periodMin, p.periodMax));
+        b.pattern = rng.next() & maskBits(b.patternLen);
+    } else if ((r -= p.wGlobalCorr) < 0) {
+        b.kind = BranchBehavior::Kind::GlobalCorrelated;
+        b.depth = static_cast<unsigned>(
+            rng.range(p.corrDepthMin, p.corrDepthMax));
+        b.noise = p.corrNoise;
+    } else {
+        b.kind = BranchBehavior::Kind::LocalCorrelated;
+        b.depth = static_cast<unsigned>(
+            rng.range(p.corrDepthMin, p.corrDepthMax));
+        b.noise = p.corrNoise;
+    }
+    return b;
+}
+
+/** Sample an inner-loop behaviour. */
+BranchBehavior
+sampleLoopBehavior(const WorkloadProfile& p, Rng& rng)
+{
+    BranchBehavior b;
+    b.kind = BranchBehavior::Kind::Loop;
+    b.trip = static_cast<unsigned>(rng.range(p.loopTripMin, p.loopTripMax));
+    b.tripJitter = p.loopTripJitter;
+    b.seed = rng.next();
+    return b;
+}
+
+/** Emit one control construct inside a function body. */
+void
+emitConstruct(ProgramBuilder& bld, const WorkloadProfile& p, Rng& rng,
+              const CodeMix& mix)
+{
+    const double hammock = p.hammockFrac;
+    const double ifelse = p.ifElseFrac;
+    const double sw = p.switchFrac;
+    const double loop = std::max(0.0, 1.0 - hammock - ifelse - sw);
+    double r = rng.uniform() * (hammock + ifelse + sw + loop);
+
+    const std::size_t lenA = static_cast<std::size_t>(
+        rng.range(p.blockSizeMin, p.blockSizeMax));
+    const std::size_t lenB = static_cast<std::size_t>(
+        rng.range(p.blockSizeMin, p.blockSizeMax));
+
+    if ((r -= hammock) < 0) {
+        const std::size_t shadow =
+            1 + rng.below(std::max(1u, p.hammockShadowMax));
+        BranchBehavior hb;
+        if (p.hammockHardness >= 0.0) {
+            hb.kind = BranchBehavior::Kind::Biased;
+            hb.pTaken = 0.5 + (rng.uniform() - 0.5) * p.hammockHardness;
+            hb.seed = rng.next();
+        } else {
+            hb = sampleBranchBehavior(p, rng);
+        }
+        bld.emitHammock(hb, shadow, mix, p.hammockShadowMax);
+    } else if ((r -= ifelse) < 0) {
+        bld.emitIfElse(sampleBranchBehavior(p, rng), lenA, lenB, mix);
+    } else if ((r -= sw) < 0) {
+        IndirectBehavior ib;
+        ib.kind = p.indirectKind;
+        ib.depth = p.indirectHistoryDepth;
+        ib.seed = rng.next();
+        const unsigned fanout = static_cast<unsigned>(
+            rng.range(p.switchFanoutMin, p.switchFanoutMax));
+        bld.emitSwitch(ib, fanout, std::max<std::size_t>(2, lenA / 2), mix);
+    } else {
+        const BranchBehavior lb = sampleLoopBehavior(p, rng);
+        bld.emitLoopAround(lb.trip, lb.tripJitter,
+                           [&] { bld.emitStraightLine(lenA, mix); });
+    }
+}
+
+} // namespace
+
+Program
+buildWorkload(const WorkloadProfile& profile)
+{
+    ProgramBuilder bld(profile.seed);
+    Rng rng(hashCombine(profile.seed, 0xA11ce));
+
+    // ---- Memory streams --------------------------------------------
+    CodeMix mix = profile.mix;
+    mix.memStreams.clear();
+    Addr memBase = 0x4000'0000;
+    for (unsigned i = 0; i < profile.numStrideStreams; ++i) {
+        MemStream m;
+        m.kind = MemStream::Kind::Stride;
+        m.base = memBase;
+        m.stride = static_cast<std::int64_t>(8u << rng.below(4)); // 8..64B
+        m.windowBytes = profile.memFootprint;
+        m.seed = rng.next();
+        memBase += profile.memFootprint + 4096;
+        mix.memStreams.push_back(bld.program().addMemStream(m));
+    }
+    for (unsigned i = 0; i < profile.numRandomStreams; ++i) {
+        MemStream m;
+        m.kind = MemStream::Kind::Random;
+        m.base = memBase;
+        m.windowBytes = profile.memFootprint;
+        m.seed = rng.next();
+        memBase += profile.memFootprint + 4096;
+        mix.memStreams.push_back(bld.program().addMemStream(m));
+    }
+    for (unsigned i = 0; i < profile.numChaseStreams; ++i) {
+        MemStream m;
+        m.kind = MemStream::Kind::PointerChase;
+        m.base = memBase;
+        m.windowBytes = profile.memFootprint;
+        m.seed = rng.next();
+        memBase += profile.memFootprint + 4096;
+        mix.memStreams.push_back(bld.program().addMemStream(m));
+    }
+
+    // ---- Leaf helpers -----------------------------------------------
+    std::vector<Addr> helperEntries;
+    for (unsigned h = 0; h < profile.numHelpers; ++h) {
+        helperEntries.push_back(bld.here());
+        bld.emitStraightLine(
+            static_cast<std::size_t>(
+                rng.range(profile.blockSizeMin, profile.blockSizeMax)),
+            mix);
+        if (rng.chance(0.5)) {
+            const std::size_t shadow =
+                1 + rng.below(std::max(1u, profile.hammockShadowMax));
+            bld.emitHammock(sampleBranchBehavior(profile, rng), shadow, mix,
+                            profile.hammockShadowMax);
+        }
+        bld.emitReturn();
+    }
+
+    // ---- Top-level functions ------------------------------------------
+    std::vector<Addr> fnEntries;
+    for (unsigned f = 0; f < profile.numFunctions; ++f) {
+        fnEntries.push_back(bld.here());
+        for (unsigned blk = 0; blk < profile.blocksPerFunction; ++blk) {
+            bld.emitStraightLine(
+                static_cast<std::size_t>(
+                    rng.range(profile.blockSizeMin, profile.blockSizeMax)),
+                mix);
+            emitConstruct(bld, profile, rng, mix);
+            if (!helperEntries.empty() && rng.chance(profile.callFrac)) {
+                bld.emitCall(
+                    helperEntries[rng.below(helperEntries.size())]);
+            }
+        }
+        bld.emitReturn();
+    }
+
+    // ---- Dispatcher (entry point) -------------------------------------
+    const Addr dispatcher = bld.here();
+    for (Addr fn : fnEntries)
+        bld.emitCall(fn);
+    if (profile.dispatcherTrip == 0) {
+        bld.emitJump(dispatcher);
+    } else {
+        BranchBehavior outer;
+        outer.kind = BranchBehavior::Kind::Loop;
+        outer.trip = profile.dispatcherTrip;
+        outer.seed = rng.next();
+        bld.emitCondBranch(outer, dispatcher);
+        // Halt loop once the dispatcher trips expire.
+        const Addr halt = bld.here();
+        bld.emitJump(halt);
+    }
+
+    Program prog = bld.takeProgram();
+    prog.setEntry(dispatcher);
+    prog.setName(profile.name);
+    return prog;
+}
+
+// ---------------------------------------------------------------------
+// Named profile library
+// ---------------------------------------------------------------------
+
+namespace {
+
+WorkloadProfile
+base(const std::string& name, std::uint64_t salt)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.seed = hashCombine(0xC0B7A, salt);
+    return p;
+}
+
+std::map<std::string, WorkloadProfile>
+makeLibrary()
+{
+    std::map<std::string, WorkloadProfile> lib;
+
+    // perlbench: interpreter — big footprint, indirect dispatch, mixed
+    // correlated behaviour.
+    {
+        auto p = base("perlbench", 1);
+        p.memFootprint = 512 << 10;
+        p.numFunctions = 24; p.blocksPerFunction = 8;
+        p.switchFrac = 0.12; p.switchFanoutMin = 6; p.switchFanoutMax = 16;
+        p.indirectKind = IndirectBehavior::Kind::HistorySelected;
+        p.wGlobalCorr = 0.30; p.wLocalCorr = 0.10; p.wBiasedHard = 0.12;
+        p.corrDepthMin = 6; p.corrDepthMax = 18;
+        lib[p.name] = p;
+    }
+    // gcc: very large static branch population — aliasing pressure.
+    {
+        auto p = base("gcc", 2);
+        p.memFootprint = 1ull << 20;
+        p.numFunctions = 48; p.numHelpers = 12; p.blocksPerFunction = 8;
+        p.wBiasedEasy = 0.35; p.wBiasedHard = 0.15; p.wGlobalCorr = 0.22;
+        p.corrDepthMin = 4; p.corrDepthMax = 14;
+        p.switchFrac = 0.08;
+        lib[p.name] = p;
+    }
+    // mcf: memory-bound pointer chasing, data-dependent hard branches.
+    {
+        auto p = base("mcf", 3);
+        p.numFunctions = 6; p.blocksPerFunction = 5;
+        p.wBiasedHard = 0.45; p.wGlobalCorr = 0.10; p.wBiasedEasy = 0.25;
+        p.mix.fLoad = 0.35; p.mix.fStore = 0.08; p.mix.depChain = 0.65;
+        p.numChaseStreams = 2; p.numRandomStreams = 2;
+        p.numStrideStreams = 1;
+        p.memFootprint = 8ull << 20;
+        lib[p.name] = p;
+    }
+    // omnetpp: discrete-event simulator — virtual dispatch, random heap.
+    {
+        auto p = base("omnetpp", 4);
+        p.numFunctions = 20; p.blocksPerFunction = 6;
+        p.switchFrac = 0.15; p.switchFanoutMin = 4; p.switchFanoutMax = 12;
+        p.indirectKind = IndirectBehavior::Kind::HashSelected;
+        p.wBiasedHard = 0.20; p.wGlobalCorr = 0.20;
+        p.numRandomStreams = 3; p.memFootprint = 4ull << 20;
+        p.mix.fLoad = 0.28;
+        lib[p.name] = p;
+    }
+    // xalancbmk: XML transform — big code, mostly easy branches, deep calls.
+    {
+        auto p = base("xalancbmk", 5);
+        p.memFootprint = 512 << 10;
+        p.numFunctions = 36; p.numHelpers = 16; p.blocksPerFunction = 7;
+        p.wBiasedEasy = 0.45; p.wGlobalCorr = 0.18; p.wLocalCorr = 0.05;
+        p.callFrac = 0.45; p.switchFrac = 0.06;
+        lib[p.name] = p;
+    }
+    // x264: media kernels — loop-dominated, predictable, high ILP.
+    {
+        auto p = base("x264", 6);
+        p.memFootprint = 128 << 10;
+        p.numFunctions = 8; p.blocksPerFunction = 6;
+        p.wBiasedEasy = 0.50; p.wLoop = 0.45; p.wGlobalCorr = 0.04;
+        p.hammockFrac = 0.15; p.ifElseFrac = 0.15; p.switchFrac = 0.0;
+        p.loopTripMin = 8; p.loopTripMax = 64;
+        p.mix.depChain = 0.25; p.mix.fFp = 0.10; p.mix.fMul = 0.10;
+        p.corrNoise = 0.005;
+        lib[p.name] = p;
+    }
+    // deepsjeng: game-tree search — deep global correlation, hard branches.
+    {
+        auto p = base("deepsjeng", 7);
+        p.memFootprint = 256 << 10;
+        p.numFunctions = 14; p.blocksPerFunction = 7;
+        p.wGlobalCorr = 0.40; p.wBiasedHard = 0.25; p.wBiasedEasy = 0.15;
+        p.corrDepthMin = 10; p.corrDepthMax = 28; p.corrNoise = 0.05;
+        p.callFrac = 0.4;
+        lib[p.name] = p;
+    }
+    // leela: MCTS Go engine — deep correlation plus local patterns.
+    {
+        auto p = base("leela", 8);
+        p.memFootprint = 256 << 10;
+        p.numFunctions = 12; p.blocksPerFunction = 7;
+        p.wGlobalCorr = 0.30; p.wLocalCorr = 0.25; p.wBiasedHard = 0.20;
+        p.corrDepthMin = 8; p.corrDepthMax = 24; p.corrNoise = 0.06;
+        lib[p.name] = p;
+    }
+    // exchange2: sudoku-style recursive search — loops + local history,
+    // quite predictable, integer-only.
+    {
+        auto p = base("exchange2", 9);
+        p.memFootprint = 64 << 10;
+        p.numFunctions = 6; p.blocksPerFunction = 6;
+        p.wLoop = 0.40; p.wLocalCorr = 0.30; p.wBiasedEasy = 0.25;
+        p.loopTripMin = 4; p.loopTripMax = 9;
+        p.mix.fLoad = 0.12; p.mix.fStore = 0.06; p.mix.fFp = 0.0;
+        p.corrNoise = 0.01;
+        lib[p.name] = p;
+    }
+    // xz: compression — data-dependent periodic/hard branches.
+    {
+        auto p = base("xz", 10);
+        p.numFunctions = 10; p.blocksPerFunction = 6;
+        p.wPeriodic = 0.25; p.wBiasedHard = 0.30; p.wGlobalCorr = 0.15;
+        p.periodMin = 3; p.periodMax = 12;
+        p.mix.fLoad = 0.25; p.numRandomStreams = 2;
+        p.memFootprint = 2ull << 20;
+        lib[p.name] = p;
+    }
+    // dhrystone: tiny kernel, short loops, branch-dense, very predictable.
+    {
+        auto p = base("dhrystone", 11);
+        p.numFunctions = 4; p.numHelpers = 3; p.blocksPerFunction = 4;
+        p.blockSizeMin = 2; p.blockSizeMax = 5;
+        p.wBiasedEasy = 0.55; p.wLoop = 0.35; p.wGlobalCorr = 0.03;
+        p.loopTripMin = 2; p.loopTripMax = 6;
+        p.hammockFrac = 0.30; p.callFrac = 0.5;
+        p.memFootprint = 64 << 10;
+        p.corrNoise = 0.0;
+        lib[p.name] = p;
+    }
+    // coremark: small kernels with many data-dependent short hammocks
+    // (state machine / matrix), the §VI-C SFB showcase.
+    {
+        auto p = base("coremark", 12);
+        p.numFunctions = 6; p.numHelpers = 2; p.blocksPerFunction = 5;
+        p.blockSizeMin = 2; p.blockSizeMax = 6;
+        p.hammockFrac = 0.55; p.hammockShadowMax = 4;
+        p.hammockHardness = 0.6;
+        p.ifElseFrac = 0.15; p.switchFrac = 0.05;
+        p.wBiasedHard = 0.05; p.wBiasedEasy = 0.45; p.wLoop = 0.25;
+        p.wPeriodic = 0.10; p.wGlobalCorr = 0.05; p.wLocalCorr = 0.05;
+        p.loopTripMin = 4; p.loopTripMax = 16;
+        p.memFootprint = 128 << 10;
+        lib[p.name] = p;
+    }
+    return lib;
+}
+
+const std::map<std::string, WorkloadProfile>&
+library()
+{
+    static const std::map<std::string, WorkloadProfile> lib = makeLibrary();
+    return lib;
+}
+
+} // namespace
+
+WorkloadProfile
+WorkloadLibrary::profile(const std::string& name)
+{
+    auto it = library().find(name);
+    if (it == library().end())
+        throw std::out_of_range("unknown workload: " + name);
+    return it->second;
+}
+
+std::vector<std::string>
+WorkloadLibrary::specint17()
+{
+    return {"perlbench", "gcc", "mcf", "omnetpp", "xalancbmk",
+            "x264", "deepsjeng", "leela", "exchange2", "xz"};
+}
+
+std::vector<std::string>
+WorkloadLibrary::all()
+{
+    std::vector<std::string> names;
+    for (const auto& [k, v] : library())
+        names.push_back(k);
+    return names;
+}
+
+} // namespace cobra::prog

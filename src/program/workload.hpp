@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Workload profiles and the generator that turns a profile into a
+ * synthetic Program. Profiles stand in for the paper's SPECint17
+ * benchmarks (plus Dhrystone and CoreMark proxies); see DESIGN.md §1
+ * for the substitution rationale.
+ */
+
+#ifndef COBRA_PROGRAM_WORKLOAD_HPP
+#define COBRA_PROGRAM_WORKLOAD_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "program/builder.hpp"
+#include "program/program.hpp"
+
+namespace cobra::prog {
+
+/**
+ * Knobs describing the control-flow and data-flow character of a
+ * synthetic benchmark. Each field maps onto a predictor mechanism:
+ * correlated weights stress history predictors, loop weights stress
+ * the loop predictor, large static branch populations stress untagged
+ * table aliasing (the paper's Tournament weakness), hammock fractions
+ * stress the SFB optimisation, and so on.
+ */
+struct WorkloadProfile
+{
+    std::string name = "generic";
+
+    // ---- Code shape --------------------------------------------------
+    unsigned numFunctions = 8;      ///< Top-level functions in the dispatcher.
+    unsigned numHelpers = 4;        ///< Leaf helper functions.
+    unsigned blocksPerFunction = 6; ///< Control constructs per function.
+    unsigned blockSizeMin = 3;      ///< Straight-line run lengths.
+    unsigned blockSizeMax = 10;
+
+    // ---- Branch-behaviour mixture (weights, need not sum to 1) --------
+    double wBiasedEasy = 0.3;  ///< Strongly biased (p in {0.03..0.1, 0.9..0.97}).
+    double wBiasedHard = 0.1;  ///< Weakly biased (p in 0.35..0.65).
+    double wLoop = 0.2;        ///< Counted inner loops.
+    double wPeriodic = 0.1;    ///< Short repeating patterns.
+    double wGlobalCorr = 0.2;  ///< Functions of global history.
+    double wLocalCorr = 0.1;   ///< Functions of the branch's own history.
+
+    unsigned corrDepthMin = 4;  ///< Correlated behaviour history depth.
+    unsigned corrDepthMax = 12;
+    double corrNoise = 0.02;    ///< Flip probability on correlated branches.
+    unsigned loopTripMin = 3;   ///< Inner-loop trip counts.
+    unsigned loopTripMax = 24;
+    unsigned loopTripJitter = 0;
+    unsigned periodMin = 2;     ///< Periodic pattern lengths.
+    unsigned periodMax = 8;
+
+    // ---- Construct mixture --------------------------------------------
+    double hammockFrac = 0.25;   ///< Branches emitted as short hammocks.
+    unsigned hammockShadowMax = 6;
+    /**
+     * When >= 0, hammock branches are data-dependent coin flips with
+     * this taken-probability spread around 0.5 (the CoreMark-style
+     * §VI-C scenario); when < 0 they sample the general mixture.
+     */
+    double hammockHardness = -1.0;
+    double ifElseFrac = 0.35;    ///< Branches emitted as if/else diamonds.
+    double switchFrac = 0.05;    ///< Constructs emitted as switches.
+    unsigned switchFanoutMin = 3;
+    unsigned switchFanoutMax = 8;
+    double callFrac = 0.25;      ///< Blocks ending in a helper call.
+
+    // ---- Indirect behaviour --------------------------------------------
+    IndirectBehavior::Kind indirectKind = IndirectBehavior::Kind::HashSelected;
+    unsigned indirectHistoryDepth = 6;
+
+    // ---- Instruction mix / ILP ------------------------------------------
+    CodeMix mix{};
+
+    // ---- Memory behaviour --------------------------------------------
+    unsigned numStrideStreams = 3;
+    unsigned numRandomStreams = 1;
+    unsigned numChaseStreams = 0;
+    std::uint64_t memFootprint = 1ull << 20; ///< Random-window size in bytes.
+
+    // ---- Outer structure ---------------------------------------------
+    unsigned dispatcherTrip = 0; ///< 0 = infinite outer loop.
+
+    std::uint64_t seed = 0xC0B7A;
+};
+
+/** Generate a Program from a profile (deterministic in profile.seed). */
+Program buildWorkload(const WorkloadProfile& profile);
+
+/**
+ * Library of named profiles: the ten SPECint17 proxies of Fig. 10,
+ * plus Dhrystone and CoreMark proxies used in §I and §VI-C.
+ */
+class WorkloadLibrary
+{
+  public:
+    /** Profile for a named workload; throws std::out_of_range if unknown. */
+    static WorkloadProfile profile(const std::string& name);
+
+    /** Names of the ten SPECint17 proxies, in the paper's Fig. 10 order. */
+    static std::vector<std::string> specint17();
+
+    /** All known workload names. */
+    static std::vector<std::string> all();
+};
+
+} // namespace cobra::prog
+
+#endif // COBRA_PROGRAM_WORKLOAD_HPP

@@ -1,0 +1,90 @@
+#include "sim/core_area.hpp"
+
+#include "core/cache.hpp"
+
+namespace cobra::sim {
+
+namespace {
+
+/** SRAM-array cost of a cache level. */
+double
+cacheArea(const core::CacheParams& p, const phys::AreaModel& model)
+{
+    core::Cache c(p);
+    return model.area(c.physicalCost());
+}
+
+} // namespace
+
+phys::AreaReport
+coreAreaReport(Design d, const phys::AreaModel& model)
+{
+    const SimConfig cfg = makeConfig(d);
+    phys::AreaReport r;
+    r.title = std::string("core area (") + designName(d) + ")";
+
+    // ---- Branch predictor (the COBRA-generated pipeline) -------------
+    bpu::BranchPredictorUnit unit(buildTopology(d), cfg.bpu);
+    r.add("BPU", unit.areaReport(model).total());
+
+    // ---- Caches -------------------------------------------------------
+    r.add("ICache", cacheArea(cfg.caches.l1i, model));
+    r.add("DCache", cacheArea(cfg.caches.l1d, model));
+    r.add("L2", cacheArea(cfg.caches.l2, model));
+
+    // ---- Backend structures --------------------------------------------
+    const auto& b = cfg.backend;
+    {
+        // ROB: wide flop array (PC, status, exception state, ...).
+        phys::PhysicalCost c;
+        c.flopBits = std::uint64_t{b.robEntries} * 96;
+        c.logicGates = 4000;
+        r.add("ROB", model.area(c));
+    }
+    {
+        // Issue queues: payload flops + wakeup CAM per entry.
+        phys::PhysicalCost c;
+        const std::uint64_t entries =
+            b.intIqEntries + b.memIqEntries + b.fpIqEntries;
+        c.flopBits = entries * 80;
+        c.camBits = entries * 20;
+        c.logicGates = entries * 120;
+        r.add("IssueUnits", model.area(c));
+    }
+    {
+        // Physical register files: heavily multiported SRAM.
+        phys::PhysicalCost c;
+        c.sramBits = std::uint64_t{b.robEntries + 96} * 64 * 2;
+        c.sramPorts = {static_cast<unsigned>(2 * b.aluPorts),
+                       static_cast<unsigned>(b.aluPorts), 0};
+        c.logicGates = 8000;
+        r.add("RegFiles", model.area(c));
+    }
+    {
+        // Execution units.
+        phys::PhysicalCost c;
+        c.logicGates = std::uint64_t{b.aluPorts} * 9'000 +
+                       std::uint64_t{b.fpPorts} * 70'000 + 25'000;
+        r.add("ExeUnits", model.area(c));
+    }
+    {
+        // Load-store unit: LDQ/STQ with address-match CAMs + DTLB.
+        phys::PhysicalCost c;
+        c.flopBits = std::uint64_t{b.ldqEntries + b.stqEntries} * 90;
+        c.camBits = std::uint64_t{b.ldqEntries + b.stqEntries} * 40;
+        c.sramBits = 1024 * 60; // L2 TLB (Table II).
+        c.logicGates = 20'000;
+        r.add("LSU", model.area(c));
+    }
+    {
+        // Decode/rename + fetch buffer and other frontend logic that
+        // is not part of the generated predictor.
+        phys::PhysicalCost c;
+        c.logicGates = std::uint64_t{b.coreWidth} * 22'000;
+        c.flopBits = cfg.frontend.fetchBufferInsts * 48;
+        r.add("FrontendMisc", model.area(c));
+    }
+    return r;
+}
+
+} // namespace cobra::sim

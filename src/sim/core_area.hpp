@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Analytical core-area breakdown (Fig. 9 substrate): estimates the
+ * area of each major block of the BOOM-like core from its
+ * configuration, using the same FinFET-proxy model as the predictor
+ * breakdown, so the predictor-to-core proportions are consistent.
+ */
+
+#ifndef COBRA_SIM_CORE_AREA_HPP
+#define COBRA_SIM_CORE_AREA_HPP
+
+#include "phys/area_model.hpp"
+#include "sim/presets.hpp"
+
+namespace cobra::sim {
+
+/**
+ * Full-core area report for a design: caches, backend structures,
+ * execution units, and the COBRA-generated branch predictor.
+ */
+phys::AreaReport coreAreaReport(Design d, const phys::AreaModel& model);
+
+} // namespace cobra::sim
+
+#endif // COBRA_SIM_CORE_AREA_HPP

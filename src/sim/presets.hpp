@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The paper's evaluated configurations: the three COBRA-designed
+ * predictors of Table I / Fig. 7 (Tournament, B2, TAGE-L), a REF-BIG
+ * stand-in for the undisclosed commercial predictors of Table III
+ * (see DESIGN.md §1), and the Table II BOOM core configuration.
+ */
+
+#ifndef COBRA_SIM_PRESETS_HPP
+#define COBRA_SIM_PRESETS_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace cobra::sim {
+
+/** The evaluated predictor designs. */
+enum class Design
+{
+    Tourney, ///< TOURNEY3 > [GBIM2 > BTB2, LBIM2]
+    B2,      ///< GTAG3 > BTB2 > BIM2
+    TageL,   ///< LOOP3 > TAGE3 > BTB2 > BIM2 > uBTB1
+    RefBig,  ///< Commercial-class stand-in (large TAGE, wide core).
+};
+
+const char* designName(Design d);
+
+/** Table I description string for a design. */
+std::string designDescription(Design d);
+
+/** The paper's topology notation for a design (Fig. 7 captions). */
+std::string designTopologyNotation(Design d);
+
+/** Build a fresh topology for @p d (single-use: holds learned state). */
+bpu::Topology buildTopology(Design d, unsigned fetch_width = 4);
+
+/**
+ * Full simulation configuration for a design: Table II core + the
+ * design's management-structure parameters (ghist width etc.).
+ */
+SimConfig makeConfig(Design d);
+
+/** All three COBRA designs in the paper's order. */
+std::vector<Design> paperDesigns();
+
+} // namespace cobra::sim
+
+#endif // COBRA_SIM_PRESETS_HPP

@@ -1,0 +1,82 @@
+#include "sim/simulator.hpp"
+
+namespace cobra::sim {
+
+Simulator::Simulator(const prog::Program& program, bpu::Topology topo,
+                     const SimConfig& cfg)
+    : cfg_(cfg), program_(program)
+{
+    oracle_ = std::make_unique<exec::Oracle>(program, cfg.oracleSeed);
+    caches_ = std::make_unique<core::CacheHierarchy>(cfg.caches);
+    bpu_ = std::make_unique<bpu::BranchPredictorUnit>(std::move(topo),
+                                                      cfg.bpu);
+    frontend_ = std::make_unique<core::Frontend>(program, *oracle_, *bpu_,
+                                                 *caches_, cfg.frontend);
+    backend_ = std::make_unique<core::Backend>(*oracle_, *bpu_, *frontend_,
+                                               *caches_, cfg.backend);
+}
+
+void
+Simulator::tickOnce()
+{
+    frontend_->tick(now_);
+    backend_->tick(now_);
+    bpu_->tick();
+    ++now_;
+}
+
+Simulator::Snapshot
+Simulator::snapshot() const
+{
+    Snapshot s;
+    s.insts = backend_->committedInsts();
+    s.branches = backend_->committedBranches();
+    s.cfis = backend_->committedCfis();
+    s.condMisp = backend_->condMispredicts();
+    s.jalrMisp = backend_->jalrMispredicts();
+    s.cycles = now_;
+    return s;
+}
+
+SimResult
+Simulator::run()
+{
+    // ---- Warmup ---------------------------------------------------------
+    std::uint64_t lastProgress = 0;
+    Cycle lastProgressCycle = 0;
+    while (backend_->committedInsts() < cfg_.warmupInsts &&
+           now_ < cfg_.maxCycles) {
+        tickOnce();
+    }
+    const Snapshot base = snapshot();
+
+    // ---- Measured region -------------------------------------------------
+    SimResult r;
+    const std::uint64_t target = cfg_.warmupInsts + cfg_.maxInsts;
+    lastProgress = backend_->committedInsts();
+    lastProgressCycle = now_;
+    while (backend_->committedInsts() < target && now_ < cfg_.maxCycles) {
+        tickOnce();
+        if (backend_->committedInsts() != lastProgress) {
+            lastProgress = backend_->committedInsts();
+            lastProgressCycle = now_;
+        } else if (now_ - lastProgressCycle > 100'000) {
+            r.deadlocked = true; // No commit progress: abort the run.
+            break;
+        }
+    }
+
+    const Snapshot end = snapshot();
+    r.cycles = end.cycles - base.cycles;
+    r.insts = end.insts - base.insts;
+    r.condBranches = end.branches - base.branches;
+    r.cfis = end.cfis - base.cfis;
+    r.condMispredicts = end.condMisp - base.condMisp;
+    r.jalrMispredicts = end.jalrMisp - base.jalrMisp;
+    r.sfbConversions = backend_->sfbConversions();
+    r.ghistReplays = frontend_->stats().get("ghist_replays");
+    r.packetsKilled = frontend_->stats().get("packets_killed");
+    return r;
+}
+
+} // namespace cobra::sim

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Top-level simulator: wires a Program, the oracle executor, the
+ * cache hierarchy, a COBRA-composed BranchPredictorUnit, and the
+ * BOOM-like frontend/backend into a cycle loop, and reports the
+ * metrics of the paper's Fig. 10 (IPC, branch-MPKI, accuracy).
+ */
+
+#ifndef COBRA_SIM_SIMULATOR_HPP
+#define COBRA_SIM_SIMULATOR_HPP
+
+#include <memory>
+
+#include "bpu/bpu.hpp"
+#include "core/backend.hpp"
+#include "core/cache.hpp"
+#include "core/frontend.hpp"
+#include "exec/oracle.hpp"
+#include "program/program.hpp"
+
+namespace cobra::sim {
+
+/** Aggregated run metrics (post-warmup deltas). */
+struct SimResult
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t insts = 0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t cfis = 0;
+    std::uint64_t condMispredicts = 0;
+    std::uint64_t jalrMispredicts = 0;
+    std::uint64_t sfbConversions = 0;
+    /** Fetch replays forced by global-history repair (§VI-B). */
+    std::uint64_t ghistReplays = 0;
+    /** In-flight fetch packets killed by re-steers/replays/redirects. */
+    std::uint64_t packetsKilled = 0;
+    bool deadlocked = false;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(insts) / cycles;
+    }
+
+    /** Branch misses per kilo-instruction (all mispredict flavours). */
+    double
+    mpki() const
+    {
+        return insts == 0 ? 0.0
+                          : 1000.0 *
+                                (condMispredicts + jalrMispredicts) /
+                                static_cast<double>(insts);
+    }
+
+    double
+    condMpki() const
+    {
+        return insts == 0 ? 0.0
+                          : 1000.0 * condMispredicts /
+                                static_cast<double>(insts);
+    }
+
+    /** Conditional-branch prediction accuracy. */
+    double
+    accuracy() const
+    {
+        return condBranches == 0
+                   ? 1.0
+                   : 1.0 - static_cast<double>(condMispredicts) /
+                               static_cast<double>(condBranches);
+    }
+};
+
+/** Full simulation configuration. */
+struct SimConfig
+{
+    core::FrontendConfig frontend{};
+    core::BackendConfig backend{};
+    core::HierarchyParams caches{};
+    bpu::BpuConfig bpu{};
+
+    std::uint64_t maxInsts = 400'000;   ///< Committed-inst budget.
+    std::uint64_t warmupInsts = 50'000; ///< Stats reset after this.
+    std::uint64_t maxCycles = 40'000'000;
+    std::uint64_t oracleSeed = 0xD15EA5E;
+};
+
+/**
+ * Owns every model object for one run. Topologies are single-use
+ * (components hold learned state), so each Simulator takes its own.
+ */
+class Simulator
+{
+  public:
+    Simulator(const prog::Program& program, bpu::Topology topo,
+              const SimConfig& cfg);
+
+    /** Run to the instruction budget; returns post-warmup metrics. */
+    SimResult run();
+
+    /** Advance exactly one cycle (for tests). */
+    void tickOnce();
+
+    bpu::BranchPredictorUnit& bpu() { return *bpu_; }
+    core::Frontend& frontend() { return *frontend_; }
+    core::Backend& backend() { return *backend_; }
+    core::CacheHierarchy& caches() { return *caches_; }
+    exec::Oracle& oracle() { return *oracle_; }
+    Cycle cycles() const { return now_; }
+
+    const SimConfig& config() const { return cfg_; }
+
+  private:
+    struct Snapshot
+    {
+        std::uint64_t insts = 0;
+        std::uint64_t branches = 0;
+        std::uint64_t cfis = 0;
+        std::uint64_t condMisp = 0;
+        std::uint64_t jalrMisp = 0;
+        Cycle cycles = 0;
+    };
+
+    Snapshot snapshot() const;
+
+    SimConfig cfg_;
+    const prog::Program& program_;
+    std::unique_ptr<exec::Oracle> oracle_;
+    std::unique_ptr<core::CacheHierarchy> caches_;
+    std::unique_ptr<bpu::BranchPredictorUnit> bpu_;
+    std::unique_ptr<core::Frontend> frontend_;
+    std::unique_ptr<core::Backend> backend_;
+    Cycle now_ = 0;
+};
+
+} // namespace cobra::sim
+
+#endif // COBRA_SIM_SIMULATOR_HPP

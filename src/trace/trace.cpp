@@ -1,0 +1,102 @@
+#include "trace/trace.hpp"
+
+namespace cobra::trace {
+
+BranchTrace
+recordTrace(const prog::Program& program, std::size_t num_branches,
+            std::uint64_t seed)
+{
+    exec::Oracle oracle(program, seed);
+    BranchTrace trace;
+    trace.records.reserve(num_branches);
+    const unsigned width = 4;
+    while (trace.records.size() < num_branches) {
+        const exec::DynInst& di = oracle.consume();
+        if (di.isCondBranch()) {
+            BranchRecord r;
+            // Packet-align the PC the way the fetch unit would.
+            r.pc = di.pc;
+            r.slot = static_cast<unsigned>((di.pc >> 2) & (width - 1));
+            r.taken = di.taken;
+            r.target = di.taken ? di.nextPc : kInvalidAddr;
+            trace.records.push_back(r);
+        }
+        oracle.retireUpTo(di.seq);
+    }
+    return trace;
+}
+
+TraceDrivenEvaluator::TraceDrivenEvaluator(bpu::ComposedPredictor pred,
+                                           unsigned ghist_bits,
+                                           unsigned lhist_bits)
+    : pred_(std::move(pred)), ghist_(ghist_bits),
+      lhistBits_(lhist_bits), lhist_(256, 0)
+{
+}
+
+TraceResult
+TraceDrivenEvaluator::evaluate(const BranchTrace& trace,
+                               std::size_t warmup)
+{
+    TraceResult res;
+    const unsigned numComps =
+        static_cast<unsigned>(pred_.components().size());
+
+    for (std::size_t n = 0; n < trace.records.size(); ++n) {
+        const BranchRecord& r = trace.records[n];
+        const std::size_t lidx = (r.pc >> 4) % lhist_.size();
+
+        // Idealized predict: perfect, instantly-updated histories.
+        bpu::QueryState q;
+        q.reset(r.pc, pred_.width(), numComps, pred_.width());
+        q.captureHistory(ghist_, lhist_[lidx]);
+        bpu::PredictionBundle bundle;
+        for (unsigned d = 1; d <= pred_.maxLatency(); ++d)
+            bundle = pred_.evaluateStage(q, d);
+
+        const auto& slot = bundle.slots[r.slot];
+        const bool pred = slot.valid && slot.taken;
+        if (n >= warmup) {
+            ++res.branches;
+            res.mispredicts += pred != r.taken;
+        }
+
+        // Immediate, in-order update — no speculation, no delay.
+        bpu::ResolveEvent ev;
+        ev.pc = r.pc;
+        ev.ghist = &q.ghist();
+        ev.lhist = q.lhist();
+        ev.brMask[r.slot] = true;
+        ev.takenMask[r.slot] = r.taken;
+        ev.cfiValid = r.taken;
+        ev.cfiIdx = r.slot;
+        ev.cfiType = bpu::CfiType::Br;
+        ev.cfiTaken = r.taken;
+        ev.target = r.target;
+        ev.mispredicted = pred != r.taken;
+        ev.predicted = &bundle;
+
+        // Fire (speculative components like the loop predictor count
+        // at query time, and in a trace model speculation is perfect).
+        bpu::FireEvent fev;
+        fev.pc = r.pc;
+        fev.finalPred = &bundle;
+        fev.ghist = &q.ghist();
+        fev.lhist = q.lhist();
+        bpu::MetadataBundle metas = q.metadata();
+        pred_.fire(fev, metas);
+        if (ev.mispredicted) {
+            // Immediate resolution: the fast mispredict event fires
+            // right away (perfect repair, zero delay).
+            pred_.mispredict(ev, metas);
+        }
+        pred_.update(ev, metas);
+
+        ghist_.push(r.taken);
+        lhist_[lidx] = ((lhist_[lidx] << 1) | (r.taken ? 1 : 0)) &
+                       maskBits(lhistBits_);
+    }
+    return res;
+}
+
+} // namespace cobra::trace

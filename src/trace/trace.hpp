@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Trace-driven evaluation substrate (paper §II-B). The paper's core
+ * methodological argument is that trace-based simulators (ChampSim,
+ * CBP) cannot model speculation, superscalar fetch, or update delay,
+ * and therefore misestimate predictor accuracy. This module provides
+ * exactly such an idealized trace-driven evaluator for the *same*
+ * composed predictor pipelines the core model runs, so the modelling
+ * error can be measured directly (bench_trace_vs_execution).
+ */
+
+#ifndef COBRA_TRACE_TRACE_HPP
+#define COBRA_TRACE_TRACE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "bpu/composer.hpp"
+#include "exec/oracle.hpp"
+#include "program/program.hpp"
+
+namespace cobra::trace {
+
+/** One record of a CBP-style conditional-branch trace. */
+struct BranchRecord
+{
+    Addr pc = kInvalidAddr;   ///< Fetch-packet PC of the branch.
+    unsigned slot = 0;        ///< Aligned slot within the packet.
+    bool taken = false;
+    Addr target = kInvalidAddr;
+};
+
+/** A recorded architectural branch trace. */
+struct BranchTrace
+{
+    std::vector<BranchRecord> records;
+
+    std::size_t size() const { return records.size(); }
+};
+
+/**
+ * Record the committed conditional-branch stream of a program by
+ * running the oracle executor directly (this is what a hardware
+ * trace-capture or a functional simulator would produce).
+ */
+BranchTrace recordTrace(const prog::Program& program,
+                        std::size_t num_branches,
+                        std::uint64_t seed = 0xD15EA5E);
+
+/** Results of a trace-driven evaluation. */
+struct TraceResult
+{
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+
+    double
+    accuracy() const
+    {
+        return branches == 0
+                   ? 1.0
+                   : 1.0 - static_cast<double>(mispredicts) / branches;
+    }
+};
+
+/**
+ * Idealized trace-driven evaluator: one branch at a time, histories
+ * updated instantly and perfectly, updates applied immediately after
+ * each prediction, no wrong-path pollution, no update delay, no
+ * superscalar packet effects — the CBP-style methodology the paper
+ * contrasts against.
+ */
+class TraceDrivenEvaluator
+{
+  public:
+    /**
+     * @param pred      The composed pipeline to evaluate (single-use).
+     * @param ghistBits Global history length for the idealized run.
+     */
+    TraceDrivenEvaluator(bpu::ComposedPredictor pred,
+                         unsigned ghist_bits = 64,
+                         unsigned lhist_bits = 32);
+
+    /** Evaluate the trace; skips the first @p warmup records. */
+    TraceResult evaluate(const BranchTrace& trace,
+                         std::size_t warmup = 0);
+
+  private:
+    bpu::ComposedPredictor pred_;
+    HistoryRegister ghist_;
+    unsigned lhistBits_;
+    std::vector<std::uint64_t> lhist_;
+};
+
+} // namespace cobra::trace
+
+#endif // COBRA_TRACE_TRACE_HPP

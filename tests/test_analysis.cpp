@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "program/analysis.hpp"
+#include "program/workload.hpp"
+
+namespace cobra::prog {
+namespace {
+
+TEST(Analysis, CountsMatchStaticImage)
+{
+    const Program p =
+        buildWorkload(WorkloadLibrary::profile("gcc"));
+    const WorkloadStats s = analyzeWorkload(p, 20'000);
+    EXPECT_EQ(s.staticInsts, p.size());
+    EXPECT_EQ(s.staticBranches, p.countOpClass(OpClass::CondBranch));
+    EXPECT_EQ(s.dynInsts, 20'000u);
+    EXPECT_GT(s.dynBranches, 0u);
+    EXPECT_LE(s.dynTakenBranches, s.dynBranches);
+}
+
+TEST(Analysis, ProxyCharactersHold)
+{
+    // The documented proxy characters (docs/WORKLOADS.md) must hold
+    // in the generated programs.
+    const auto stats = [](const char* name) {
+        return analyzeWorkload(
+            buildWorkload(WorkloadLibrary::profile(name)), 60'000);
+    };
+
+    const WorkloadStats mcf = stats("mcf");
+    const WorkloadStats x264 = stats("x264");
+    const WorkloadStats gcc = stats("gcc");
+    const WorkloadStats coremark = stats("coremark");
+    const WorkloadStats dhrystone = stats("dhrystone");
+
+    EXPECT_GT(mcf.memDensity(), x264.memDensity())
+        << "mcf is the memory-bound proxy";
+    EXPECT_GT(gcc.staticBranches, 2 * x264.staticBranches)
+        << "gcc carries the aliasing-pressure branch population";
+    EXPECT_GT(coremark.staticSfbEligible, 10u)
+        << "coremark is the SFB showcase";
+    EXPECT_GT(dhrystone.branchDensity(), 0.08)
+        << "dhrystone is branch-dense";
+}
+
+TEST(Analysis, BehaviorMixMatchesProfileWeights)
+{
+    // x264 is loop/biased dominated; deepsjeng gcorr dominated.
+    const WorkloadStats x264 = analyzeWorkload(
+        buildWorkload(WorkloadLibrary::profile("x264")), 1);
+    const WorkloadStats sjeng = analyzeWorkload(
+        buildWorkload(WorkloadLibrary::profile("deepsjeng")), 1);
+
+    const auto get = [](const WorkloadStats& s,
+                        BranchBehavior::Kind k) {
+        auto it = s.staticByKind.find(k);
+        return it == s.staticByKind.end() ? std::size_t{0} : it->second;
+    };
+    EXPECT_GT(get(sjeng, BranchBehavior::Kind::GlobalCorrelated),
+              get(x264, BranchBehavior::Kind::GlobalCorrelated));
+    EXPECT_GT(get(x264, BranchBehavior::Kind::Loop) +
+                  get(x264, BranchBehavior::Kind::Biased),
+              get(x264, BranchBehavior::Kind::GlobalCorrelated));
+}
+
+TEST(Analysis, KindNamesComplete)
+{
+    EXPECT_STREQ(behaviorKindName(BranchBehavior::Kind::Biased),
+                 "biased");
+    EXPECT_STREQ(behaviorKindName(BranchBehavior::Kind::Loop), "loop");
+    EXPECT_STREQ(
+        behaviorKindName(BranchBehavior::Kind::GlobalCorrelated),
+        "gcorr");
+}
+
+} // namespace
+} // namespace cobra::prog

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "phys/area_model.hpp"
+
+namespace cobra::phys {
+namespace {
+
+TEST(AreaModel, ZeroCostZeroArea)
+{
+    AreaModel m;
+    EXPECT_DOUBLE_EQ(m.area(PhysicalCost{}), 0.0);
+}
+
+TEST(AreaModel, SramAreaScalesWithBits)
+{
+    AreaModel m;
+    PhysicalCost a, b;
+    a.sramBits = 1000;
+    b.sramBits = 2000;
+    EXPECT_NEAR(m.area(b), 2 * m.area(a), 1e-9);
+}
+
+TEST(AreaModel, ExtraPortsCostMore)
+{
+    AreaModel m;
+    PhysicalCost one, two;
+    one.sramBits = two.sramBits = 4096;
+    one.sramPorts = {1, 0, 0};
+    two.sramPorts = {2, 1, 0};
+    EXPECT_GT(m.area(two), m.area(one));
+}
+
+TEST(AreaModel, FlopsMoreExpensiveThanSramPerBit)
+{
+    AreaModel m;
+    PhysicalCost sram, flop;
+    sram.sramBits = 1024;
+    flop.flopBits = 1024;
+    EXPECT_GT(m.area(flop), m.area(sram));
+}
+
+TEST(AreaModel, CamMoreExpensiveThanSramPerBit)
+{
+    AreaModel m;
+    PhysicalCost sram, cam;
+    sram.sramBits = 1024;
+    sram.sramPorts = {1, 1, 0};
+    cam.camBits = 1024;
+    EXPECT_GT(m.area(cam), m.area(sram));
+}
+
+TEST(PhysicalCost, Accumulate)
+{
+    PhysicalCost a, b;
+    a.sramBits = 10;
+    a.logicGates = 5;
+    b.sramBits = 20;
+    b.flopBits = 7;
+    b.sramPorts = {2, 2, 0};
+    a += b;
+    EXPECT_EQ(a.sramBits, 30u);
+    EXPECT_EQ(a.flopBits, 7u);
+    EXPECT_EQ(a.logicGates, 5u);
+    EXPECT_EQ(a.sramPorts.total(), 4u);
+}
+
+TEST(AreaReport, MergesSameName)
+{
+    AreaReport r;
+    r.add("TAGE", 10.0);
+    r.add("TAGE", 5.0);
+    r.add("BTB", 1.0);
+    EXPECT_EQ(r.items.size(), 2u);
+    EXPECT_DOUBLE_EQ(r.total(), 16.0);
+}
+
+} // namespace
+} // namespace cobra::phys

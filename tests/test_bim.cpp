@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "components/bim.hpp"
+#include "test_util.hpp"
+
+namespace cobra::comps {
+namespace {
+
+HbimParams
+smallParams(IndexMode mode)
+{
+    HbimParams p;
+    p.sets = 256;
+    p.mode = mode;
+    p.histBits = 8;
+    p.latency = 2;
+    p.fetchWidth = 4;
+    return p;
+}
+
+TEST(Hbim, LearnsStronglyBiasedBranch)
+{
+    Hbim bim("BIM", smallParams(IndexMode::Pc));
+    test::SingleBranchDriver drv(bim, 0x4000, 1);
+    std::vector<bool> always(2000, true);
+    EXPECT_GT(drv.accuracy(always), 0.999);
+}
+
+TEST(Hbim, LearnsNotTakenBranch)
+{
+    Hbim bim("BIM", smallParams(IndexMode::Pc));
+    test::SingleBranchDriver drv(bim, 0x4000, 0);
+    drv.setBaseTaken(true);
+    std::vector<bool> never(2000, false);
+    EXPECT_GT(drv.accuracy(never), 0.999);
+}
+
+TEST(Hbim, PcIndexedCannotLearnCorrelation)
+{
+    Hbim bim("BIM", smallParams(IndexMode::Pc));
+    test::SingleBranchDriver drv(bim, 0x4000, 0);
+    const auto outs = test::periodicOutcomes(0b01, 2, 2000);
+    // Alternating branch: a 2-bit counter is ~50% at best.
+    const double acc = drv.accuracy(outs);
+    EXPECT_LT(acc, 0.7);
+}
+
+TEST(Hbim, GshareLearnsPeriodicPattern)
+{
+    Hbim bim("GBIM", smallParams(IndexMode::GshareHash));
+    test::SingleBranchDriver drv(bim, 0x4000, 0);
+    const auto outs = test::periodicOutcomes(0b011, 3, 4000);
+    EXPECT_GT(drv.accuracy(outs), 0.95);
+}
+
+TEST(Hbim, GlobalHistIndexLearnsCorrelation)
+{
+    Hbim bim("GHBIM", smallParams(IndexMode::GlobalHist));
+    test::SingleBranchDriver drv(bim, 0x4000, 0);
+    const auto outs = test::historyCorrelatedOutcomes(6, 6000);
+    EXPECT_GT(drv.accuracy(outs), 0.9);
+}
+
+TEST(Hbim, LshareLearnsLocalPattern)
+{
+    Hbim bim("LBIM", smallParams(IndexMode::LshareHash));
+    test::SingleBranchDriver drv(bim, 0x4000, 0);
+    const auto outs = test::loopOutcomes(5, 800);
+    EXPECT_GT(drv.accuracy(outs), 0.95);
+}
+
+TEST(Hbim, SuperscalarSlotsIndependent)
+{
+    // Two branches in the same packet with opposite behaviour must
+    // not alias (paper §III-C).
+    Hbim bim("BIM", smallParams(IndexMode::Pc));
+    test::SingleBranchDriver d0(bim, 0x4000, 0);
+    test::SingleBranchDriver d1(bim, 0x4000, 3);
+    double acc0 = 0, acc1 = 0;
+    for (int i = 0; i < 500; ++i) {
+        d0.round(true);
+        d1.round(false);
+    }
+    int c0 = 0, c1 = 0;
+    for (int i = 0; i < 500; ++i) {
+        c0 += d0.round(true) == true;
+        c1 += d1.round(false) == false;
+    }
+    acc0 = c0 / 500.0;
+    acc1 = c1 / 500.0;
+    EXPECT_GT(acc0, 0.99);
+    EXPECT_GT(acc1, 0.99);
+}
+
+TEST(Hbim, MetadataCarriesReadCounters)
+{
+    Hbim bim("BIM", smallParams(IndexMode::Pc));
+    bpu::PredictContext ctx;
+    ctx.pc = 0x4000;
+    ctx.validSlots = 4;
+    bpu::PredictionBundle b;
+    b.width = 4;
+    bpu::Metadata meta{};
+    bim.predict(ctx, b, meta);
+    // Fresh table: every counter at the weak midpoint (2 for 2-bit).
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ((meta[0] >> (2 * i)) & 3, 2u);
+}
+
+TEST(Hbim, ProvidesDirectionForAllValidSlots)
+{
+    Hbim bim("BIM", smallParams(IndexMode::Pc));
+    bpu::PredictContext ctx;
+    ctx.pc = 0x4000;
+    ctx.validSlots = 3;
+    bpu::PredictionBundle b;
+    b.width = 4;
+    bpu::Metadata meta{};
+    bim.predict(ctx, b, meta);
+    EXPECT_TRUE(b.slots[0].valid);
+    EXPECT_TRUE(b.slots[2].valid);
+    EXPECT_FALSE(b.slots[3].valid);
+}
+
+TEST(Hbim, StorageAccounting)
+{
+    Hbim bim("BIM", smallParams(IndexMode::Pc));
+    EXPECT_EQ(bim.storageBits(), 256u * 4 * 2);
+    EXPECT_FALSE(bim.usesLocalHistory());
+    Hbim lbim("LBIM", smallParams(IndexMode::LshareHash));
+    EXPECT_TRUE(lbim.usesLocalHistory());
+}
+
+TEST(Hbim, DescribeMentionsIndexMode)
+{
+    Hbim bim("GBIM", smallParams(IndexMode::GshareHash));
+    EXPECT_NE(bim.describe().find("gshare"), std::string::npos);
+}
+
+} // namespace
+} // namespace cobra::comps

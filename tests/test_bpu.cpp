@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "bpu/bpu.hpp"
+
+namespace cobra::bpu {
+namespace {
+
+/** Records every event it receives, for protocol verification. */
+class Recorder : public PredictorComponent
+{
+  public:
+    Recorder(std::string name, unsigned latency, bool use_lhist = false)
+        : PredictorComponent(std::move(name), latency, 4),
+          useLhist_(use_lhist)
+    {
+    }
+
+    unsigned metaBits() const override { return 16; }
+    bool usesLocalHistory() const override { return useLhist_; }
+
+    void
+    predict(const PredictContext& ctx, PredictionBundle& inout,
+            Metadata& meta) override
+    {
+        (void)inout;
+        meta[0] = ++stamp_;
+        lastPredictPc = ctx.pc;
+    }
+
+    void fire(const FireEvent& ev) override
+    {
+        ++fires;
+        lastFireMeta = (*ev.meta)[0];
+    }
+    void mispredict(const ResolveEvent& ev) override
+    {
+        ++mispredicts;
+        lastEventMeta = (*ev.meta)[0];
+    }
+    void repair(const ResolveEvent& ev) override
+    {
+        ++repairs;
+        repairMetas.push_back((*ev.meta)[0]);
+    }
+    void update(const ResolveEvent& ev) override
+    {
+        ++updates;
+        updatePcs.push_back(ev.pc);
+        lastEventMeta = (*ev.meta)[0];
+        lastUpdateGhist = *ev.ghist;
+    }
+
+    std::uint64_t storageBits() const override { return 128; }
+
+    bool useLhist_ = false;
+    std::uint64_t stamp_ = 0;
+    Addr lastPredictPc = 0;
+    int fires = 0, mispredicts = 0, repairs = 0, updates = 0;
+    std::uint64_t lastFireMeta = 0, lastEventMeta = 0;
+    std::vector<std::uint64_t> repairMetas;
+    std::vector<Addr> updatePcs;
+    HistoryRegister lastUpdateGhist{1};
+};
+
+struct BpuFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        Topology topo;
+        rec = topo.make<Recorder>("REC", 2);
+        topo.setRoot(topo.leaf(rec));
+        BpuConfig cfg;
+        cfg.fetchWidth = 4;
+        cfg.historyFileEntries = 8;
+        cfg.ghistBits = 32;
+        bpu = std::make_unique<BranchPredictorUnit>(std::move(topo),
+                                                    cfg);
+    }
+
+    /** Run a full query and finalize a packet with a branch at slot 1. */
+    FtqPos
+    fetchPacket(Addr pc, bool predTaken)
+    {
+        QueryState q;
+        bpu->beginQuery(q, pc, 4);
+        bpu->stage(q, 1);
+        bpu->captureHistory(q);
+        PredictionBundle b = bpu->stage(q, 2);
+        b.slots[1].valid = true;
+        b.slots[1].taken = predTaken;
+        b.slots[1].type = CfiType::Br;
+        lastBundle = b;
+        FinalizeArgs args;
+        args.finalPred = &lastBundle;
+        args.brMask[1] = true;
+        args.fetchedSlots = predTaken ? 2 : 4;
+        return bpu->finalize(q, args);
+    }
+
+    void
+    resolveBranch(FtqPos pos, bool taken, bool mispredicted)
+    {
+        BranchResolution res;
+        res.ftq = pos;
+        res.slot = 1;
+        res.type = CfiType::Br;
+        res.taken = taken;
+        res.target = taken ? 0x9000 : kInvalidAddr;
+        res.mispredicted = mispredicted;
+        bpu->resolve(res);
+    }
+
+    Recorder* rec = nullptr;
+    std::unique_ptr<BranchPredictorUnit> bpu;
+    PredictionBundle lastBundle;
+};
+
+TEST_F(BpuFixture, FireDeliveredAtFinalize)
+{
+    fetchPacket(0x1000, false);
+    EXPECT_EQ(rec->fires, 1);
+    EXPECT_EQ(rec->lastFireMeta, 1u) << "metadata visible at fire";
+}
+
+TEST_F(BpuFixture, CommitUpdateFlowsThroughStateMachine)
+{
+    const FtqPos p = fetchPacket(0x1000, false);
+    resolveBranch(p, false, false);
+    bpu->commitPacket(p);
+    EXPECT_EQ(rec->updates, 0) << "updates wait for the machine tick";
+    bpu->tick();
+    EXPECT_EQ(rec->updates, 1);
+    EXPECT_EQ(rec->updatePcs.front(), 0x1000u);
+    EXPECT_EQ(rec->lastEventMeta, 1u) << "metadata round-trips";
+    EXPECT_TRUE(bpu->historyFile().empty());
+}
+
+TEST_F(BpuFixture, UpdatesDequeueInProgramOrder)
+{
+    const FtqPos a = fetchPacket(0x1000, false);
+    const FtqPos b = fetchPacket(0x2000, false);
+    resolveBranch(a, false, false);
+    resolveBranch(b, false, false);
+    bpu->commitPacket(a);
+    bpu->commitPacket(b);
+    for (int i = 0; i < 4; ++i)
+        bpu->tick();
+    ASSERT_EQ(rec->updates, 2);
+    EXPECT_EQ(rec->updatePcs[0], 0x1000u);
+    EXPECT_EQ(rec->updatePcs[1], 0x2000u);
+}
+
+TEST_F(BpuFixture, MispredictSquashesYoungerAndQueuesRepairWalk)
+{
+    const FtqPos a = fetchPacket(0x1000, false);
+    fetchPacket(0x2000, false);
+    fetchPacket(0x3000, false);
+    EXPECT_EQ(bpu->historyFile().size(), 3u);
+
+    resolveBranch(a, true, true); // mispredict at the oldest
+    EXPECT_EQ(rec->mispredicts, 1) << "fast mispredict event";
+    EXPECT_EQ(bpu->historyFile().size(), 1u) << "younger squashed";
+    EXPECT_TRUE(bpu->walkBusy());
+
+    // The walk delivers one repair per cycle, youngest first.
+    bpu->tick();
+    EXPECT_EQ(rec->repairs, 1);
+    EXPECT_TRUE(bpu->walkBusy());
+    bpu->tick();
+    EXPECT_EQ(rec->repairs, 2);
+    EXPECT_FALSE(bpu->walkBusy());
+    ASSERT_EQ(rec->repairMetas.size(), 2u);
+    EXPECT_GT(rec->repairMetas[0], rec->repairMetas[1])
+        << "walk order: youngest entry repaired first";
+}
+
+TEST_F(BpuFixture, RepairWalkBlocksCommitUpdates)
+{
+    const FtqPos a = fetchPacket(0x1000, false);
+    const FtqPos b = fetchPacket(0x2000, false);
+    fetchPacket(0x3000, false);
+    resolveBranch(a, false, false);
+    bpu->commitPacket(a);
+    // Mispredict on b squashes the third packet and starts a walk.
+    resolveBranch(b, true, true);
+    bpu->tick(); // walk step, not the commit update
+    EXPECT_EQ(rec->updates, 0);
+    EXPECT_EQ(rec->repairs, 1);
+    bpu->tick(); // now the machine is free for updates
+    EXPECT_EQ(rec->updates, 1);
+}
+
+TEST_F(BpuFixture, ResolveOnSquashedEntryIsIgnored)
+{
+    const FtqPos a = fetchPacket(0x1000, false);
+    const FtqPos b = fetchPacket(0x2000, false);
+    resolveBranch(a, true, true); // squashes b
+    EXPECT_NO_FATAL_FAILURE(resolveBranch(b, false, false));
+    EXPECT_EQ(rec->mispredicts, 1);
+}
+
+TEST_F(BpuFixture, HistoryFileBackpressure)
+{
+    for (int i = 0; i < 8; ++i)
+        fetchPacket(0x1000 + i * 0x10, false);
+    EXPECT_FALSE(bpu->canFinalize());
+}
+
+TEST_F(BpuFixture, UpdateGhistMatchesPredictTimeCapture)
+{
+    // Push some speculative history, then fetch; the update event
+    // must deliver the same register captured at Fetch-1.
+    bpu->pushSpecGhist(true);
+    bpu->pushSpecGhist(false);
+    bpu->pushSpecGhist(true);
+    const FtqPos p = fetchPacket(0x1000, false);
+    resolveBranch(p, false, false);
+    bpu->commitPacket(p);
+    bpu->tick();
+    ASSERT_EQ(rec->updates, 1);
+    EXPECT_TRUE(rec->lastUpdateGhist.bit(0));
+    EXPECT_FALSE(rec->lastUpdateGhist.bit(1));
+    EXPECT_TRUE(rec->lastUpdateGhist.bit(2));
+}
+
+TEST_F(BpuFixture, SfbResolutionSuppressesTraining)
+{
+    const FtqPos p = fetchPacket(0x1000, false);
+    BranchResolution res;
+    res.ftq = p;
+    res.slot = 1;
+    res.type = CfiType::Br;
+    res.taken = true;
+    res.target = 0x9000;
+    res.mispredicted = false;
+    res.sfbConverted = true;
+    bpu->resolve(res);
+    bpu->commitPacket(p);
+    for (int i = 0; i < 3; ++i)
+        bpu->tick();
+    EXPECT_EQ(rec->updates, 0)
+        << "SFB-converted branches must not train (paper §VI-C)";
+}
+
+TEST_F(BpuFixture, StorageAndAreaAccounting)
+{
+    EXPECT_EQ(bpu->componentStorageBits(), 128u);
+    EXPECT_GT(bpu->managementStorageBits(), 0u);
+    phys::AreaModel model;
+    const auto report = bpu->areaReport(model);
+    ASSERT_EQ(report.items.size(), 2u); // REC + Meta
+    EXPECT_EQ(report.items[0].name, "REC");
+    EXPECT_EQ(report.items[1].name, "Meta");
+    EXPECT_GT(report.total(), 0.0);
+}
+
+TEST_F(BpuFixture, LocalHistoryOmittedWhenUnused)
+{
+    // The Recorder does not use local history, so the composer only
+    // generates a stub provider (paper §IV-B3).
+    EXPECT_LE(bpu->localHistory().storageBits(), 1u);
+}
+
+} // namespace
+} // namespace cobra::bpu

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "components/btb.hpp"
+
+namespace cobra::comps {
+namespace {
+
+BtbParams
+smallBtb()
+{
+    BtbParams p;
+    p.sets = 16;
+    p.ways = 2;
+    p.latency = 2;
+    p.fetchWidth = 4;
+    return p;
+}
+
+bpu::ResolveEvent
+takenCfi(Addr pc, unsigned slot, Addr target, bpu::CfiType type,
+         const bpu::Metadata* meta)
+{
+    bpu::ResolveEvent ev;
+    ev.pc = pc;
+    ev.meta = meta;
+    ev.cfiValid = true;
+    ev.cfiIdx = slot;
+    ev.cfiType = type;
+    ev.cfiTaken = true;
+    ev.target = target;
+    if (type == bpu::CfiType::Br) {
+        ev.brMask[slot] = true;
+        ev.takenMask[slot] = true;
+    }
+    return ev;
+}
+
+TEST(Btb, MissPassesThrough)
+{
+    Btb btb("BTB", smallBtb());
+    bpu::PredictContext ctx;
+    ctx.pc = 0x8000;
+    ctx.validSlots = 4;
+    bpu::PredictionBundle in;
+    in.width = 4;
+    in.slots[1].valid = true;
+    in.slots[1].taken = true;
+    bpu::PredictionBundle out = in;
+    bpu::Metadata meta{};
+    btb.predict(ctx, out, meta);
+    // Fig. 3: on a tag miss the incoming prediction flows unchanged.
+    EXPECT_TRUE(out.slots[1].valid);
+    EXPECT_TRUE(out.slots[1].taken);
+    EXPECT_FALSE(out.slots[1].targetValid);
+}
+
+TEST(Btb, LearnsTargetAndAugmentsDirection)
+{
+    Btb btb("BTB", smallBtb());
+    const Addr pc = 0x8000;
+    // Predict (miss), then update with a taken branch at slot 2.
+    bpu::PredictContext ctx;
+    ctx.pc = pc;
+    ctx.validSlots = 4;
+    bpu::PredictionBundle b;
+    b.width = 4;
+    bpu::Metadata meta{};
+    btb.predict(ctx, b, meta);
+    btb.update(takenCfi(pc, 2, 0x9000, bpu::CfiType::Br, &meta));
+
+    // Second query hits: the BTB augments the incoming direction with
+    // the target (paper Fig. 3).
+    bpu::PredictionBundle in;
+    in.width = 4;
+    in.slots[2].valid = true;
+    in.slots[2].taken = true; // direction from a counter table
+    bpu::Metadata meta2{};
+    btb.predict(ctx, in, meta2);
+    EXPECT_TRUE(in.slots[2].targetValid);
+    EXPECT_EQ(in.slots[2].target, 0x9000u);
+    EXPECT_EQ(in.slots[2].type, bpu::CfiType::Br);
+}
+
+TEST(Btb, UnconditionalJumpPredictsTaken)
+{
+    Btb btb("BTB", smallBtb());
+    const Addr pc = 0x8000;
+    bpu::PredictContext ctx;
+    ctx.pc = pc;
+    ctx.validSlots = 4;
+    bpu::PredictionBundle b;
+    b.width = 4;
+    bpu::Metadata meta{};
+    btb.predict(ctx, b, meta);
+    auto ev = takenCfi(pc, 0, 0xa000, bpu::CfiType::Jal, &meta);
+    ev.cfiIsCall = true;
+    btb.update(ev);
+
+    bpu::PredictionBundle in;
+    in.width = 4;
+    bpu::Metadata meta2{};
+    btb.predict(ctx, in, meta2);
+    EXPECT_TRUE(in.slots[0].valid);
+    EXPECT_TRUE(in.slots[0].taken);
+    EXPECT_TRUE(in.slots[0].isCall);
+    EXPECT_EQ(in.slots[0].type, bpu::CfiType::Jal);
+}
+
+TEST(Btb, SetAssociativityHoldsTwoTagsPerSet)
+{
+    Btb btb("BTB", smallBtb());
+    // Two PCs mapping to the same set (16 sets, packet stride 16B).
+    const Addr a = 0x8000;
+    const Addr b = a + 16 * 16 * 4; // same set, different tag
+    for (Addr pc : {a, b}) {
+        bpu::PredictContext ctx;
+        ctx.pc = pc;
+        ctx.validSlots = 4;
+        bpu::PredictionBundle bun;
+        bun.width = 4;
+        bpu::Metadata meta{};
+        btb.predict(ctx, bun, meta);
+        btb.update(takenCfi(pc, 1, pc + 0x40, bpu::CfiType::Br, &meta));
+    }
+    // Both must still hit.
+    for (Addr pc : {a, b}) {
+        bpu::PredictContext ctx;
+        ctx.pc = pc;
+        ctx.validSlots = 4;
+        bpu::PredictionBundle bun;
+        bun.width = 4;
+        bpu::Metadata meta{};
+        btb.predict(ctx, bun, meta);
+        EXPECT_TRUE(bun.slots[1].targetValid) << std::hex << pc;
+        EXPECT_EQ(bun.slots[1].target, pc + 0x40) << std::hex << pc;
+    }
+}
+
+TEST(Btb, LruEvictsOldest)
+{
+    Btb btb("BTB", smallBtb());
+    // Three tags in a 2-way set: the first learned gets evicted.
+    const Addr stride = 16 * 16 * 4;
+    const Addr pcs[3] = {0x8000, 0x8000 + stride, 0x8000 + 2 * stride};
+    for (Addr pc : pcs) {
+        bpu::PredictContext ctx;
+        ctx.pc = pc;
+        ctx.validSlots = 4;
+        bpu::PredictionBundle bun;
+        bun.width = 4;
+        bpu::Metadata meta{};
+        btb.predict(ctx, bun, meta);
+        btb.update(takenCfi(pc, 0, pc + 0x40, bpu::CfiType::Br, &meta));
+    }
+    bpu::PredictContext ctx;
+    ctx.pc = pcs[0];
+    ctx.validSlots = 4;
+    bpu::PredictionBundle bun;
+    bun.width = 4;
+    bpu::Metadata meta{};
+    btb.predict(ctx, bun, meta);
+    EXPECT_FALSE(bun.slots[0].targetValid);
+}
+
+TEST(Btb, StorageScalesWithGeometry)
+{
+    BtbParams p = smallBtb();
+    Btb small("BTB", p);
+    p.sets *= 2;
+    Btb big("BTB", p);
+    EXPECT_EQ(big.storageBits(), 2 * small.storageBits());
+}
+
+// ---------------------------------------------------------------------
+
+TEST(MicroBtb, OneCyclePcOnly)
+{
+    MicroBtbParams p;
+    p.entries = 4;
+    p.fetchWidth = 4;
+    MicroBtb u("uBTB", p);
+    EXPECT_EQ(u.latency(), 1u);
+}
+
+TEST(MicroBtb, LearnsTakenCfiAndPredictsComplete)
+{
+    MicroBtbParams p;
+    p.entries = 4;
+    p.fetchWidth = 4;
+    MicroBtb u("uBTB", p);
+    const Addr pc = 0xc000;
+
+    bpu::PredictContext ctx;
+    ctx.pc = pc;
+    ctx.validSlots = 4;
+    bpu::PredictionBundle b;
+    b.width = 4;
+    bpu::Metadata meta{};
+    u.predict(ctx, b, meta);
+    EXPECT_FALSE(b.slots[2].valid);
+    u.update(takenCfi(pc, 2, 0xd000, bpu::CfiType::Br, &meta));
+
+    bpu::Metadata meta2{};
+    bpu::PredictionBundle b2;
+    b2.width = 4;
+    u.predict(ctx, b2, meta2);
+    EXPECT_TRUE(b2.slots[2].valid);
+    EXPECT_TRUE(b2.slots[2].taken);
+    EXPECT_TRUE(b2.slots[2].targetValid);
+    EXPECT_EQ(b2.slots[2].target, 0xd000u);
+}
+
+TEST(MicroBtb, HysteresisDecaysOnNotTaken)
+{
+    MicroBtbParams p;
+    p.entries = 4;
+    p.ctrBits = 2;
+    p.fetchWidth = 4;
+    MicroBtb u("uBTB", p);
+    const Addr pc = 0xc000;
+    bpu::PredictContext ctx;
+    ctx.pc = pc;
+    ctx.validSlots = 4;
+    bpu::PredictionBundle b;
+    b.width = 4;
+    bpu::Metadata meta{};
+    u.predict(ctx, b, meta);
+    u.update(takenCfi(pc, 0, 0xd000, bpu::CfiType::Br, &meta));
+
+    // Resolve the packet repeatedly with no taken CFI: counter decays
+    // until the uBTB stops predicting.
+    for (int i = 0; i < 6; ++i) {
+        bpu::ResolveEvent ev;
+        ev.pc = pc;
+        ev.meta = &meta;
+        ev.brMask[0] = true;
+        ev.takenMask[0] = false;
+        u.update(ev);
+    }
+    bpu::PredictionBundle b2;
+    b2.width = 4;
+    bpu::Metadata meta2{};
+    u.predict(ctx, b2, meta2);
+    EXPECT_FALSE(b2.slots[0].valid);
+}
+
+TEST(MicroBtb, CapacityEvictsLru)
+{
+    MicroBtbParams p;
+    p.entries = 2;
+    p.fetchWidth = 4;
+    MicroBtb u("uBTB", p);
+    for (Addr pc : {0x1000u, 0x2000u, 0x3000u}) {
+        bpu::PredictContext ctx;
+        ctx.pc = pc;
+        ctx.validSlots = 4;
+        bpu::PredictionBundle b;
+        b.width = 4;
+        bpu::Metadata meta{};
+        u.predict(ctx, b, meta);
+        u.update(takenCfi(pc, 0, pc + 0x40, bpu::CfiType::Jal, &meta));
+    }
+    bpu::PredictContext ctx;
+    ctx.pc = 0x1000;
+    ctx.validSlots = 4;
+    bpu::PredictionBundle b;
+    b.width = 4;
+    bpu::Metadata meta{};
+    u.predict(ctx, b, meta);
+    EXPECT_FALSE(b.slots[0].valid);
+}
+
+} // namespace
+} // namespace cobra::comps

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cache.hpp"
+
+namespace cobra::core {
+namespace {
+
+CacheParams
+tiny()
+{
+    CacheParams p;
+    p.name = "tiny";
+    p.sizeBytes = 1024;
+    p.ways = 2;
+    p.lineBytes = 64;
+    p.hitLatency = 2;
+    return p;
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(tiny());
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1030)); // same line
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_EQ(c.accesses(), 3u);
+}
+
+TEST(Cache, ProbeDoesNotAllocate)
+{
+    Cache c(tiny());
+    EXPECT_FALSE(c.probe(0x2000));
+    EXPECT_FALSE(c.access(0x2000));
+    EXPECT_TRUE(c.probe(0x2000));
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    Cache c(tiny()); // 8 sets x 2 ways
+    const Addr setStride = 8 * 64;
+    c.access(0x0);
+    c.access(0x0 + setStride);     // second way
+    c.access(0x0);                  // refresh first
+    c.access(0x0 + 2 * setStride);  // evicts the second
+    EXPECT_TRUE(c.probe(0x0));
+    EXPECT_FALSE(c.probe(0x0 + setStride));
+    EXPECT_TRUE(c.probe(0x0 + 2 * setStride));
+}
+
+TEST(Cache, CapacityHoldsWorkingSet)
+{
+    Cache c(tiny());
+    for (Addr a = 0; a < 1024; a += 64)
+        c.access(a);
+    for (Addr a = 0; a < 1024; a += 64)
+        EXPECT_TRUE(c.probe(a)) << a;
+}
+
+TEST(Cache, StorageBitsIncludeTags)
+{
+    Cache c(tiny());
+    EXPECT_GT(c.storageBits(), 1024u * 8);
+}
+
+TEST(CacheHierarchy, LatenciesOrdered)
+{
+    HierarchyParams p;
+    CacheHierarchy h(p);
+    const Addr a = 0x5000'0000;
+    const Cycle cold = h.loadAccess(a);   // misses everywhere
+    const Cycle warm = h.loadAccess(a);   // L1 hit
+    EXPECT_GT(cold, p.l2.hitLatency + p.l3.hitLatency);
+    EXPECT_EQ(warm, p.l1d.hitLatency);
+}
+
+TEST(CacheHierarchy, L2CatchesL1Evictions)
+{
+    HierarchyParams p;
+    p.l1d.sizeBytes = 1024;
+    p.l1d.ways = 2;
+    CacheHierarchy h(p);
+    // Touch a 4 KB region (overflows L1, fits L2), then re-touch.
+    for (Addr a = 0; a < 4096; a += 64)
+        h.loadAccess(0x1000'0000 + a);
+    const Cycle again = h.loadAccess(0x1000'0000);
+    EXPECT_LE(again, p.l1d.hitLatency + p.l2.hitLatency);
+    EXPECT_GT(again, p.l1d.hitLatency);
+}
+
+TEST(CacheHierarchy, SequentialFetchPrefetched)
+{
+    HierarchyParams p;
+    CacheHierarchy h(p);
+    // First fetch of a region misses; the next-line prefetcher hides
+    // most of the subsequent sequential misses.
+    const Cycle first = h.fetchAccess(0x2000'0000);
+    Cycle worst = 0;
+    for (Addr a = 64; a < 2048; a += 64)
+        worst = std::max(worst, h.fetchAccess(0x2000'0000 + a));
+    EXPECT_GT(first, p.l1i.hitLatency);
+    EXPECT_LE(worst, p.l1i.hitLatency + p.l2.hitLatency);
+}
+
+TEST(CacheHierarchy, StoresAreCheap)
+{
+    CacheHierarchy h{HierarchyParams{}};
+    EXPECT_LE(h.storeAccess(0x3000'0000), 2u);
+}
+
+} // namespace
+} // namespace cobra::core

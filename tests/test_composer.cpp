@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include "bpu/composer.hpp"
+
+namespace cobra::bpu {
+namespace {
+
+/**
+ * Scriptable sub-component for exercising composer semantics: it can
+ * hit or miss, provide full or partial (target-only) predictions, and
+ * records what it observed at predict time.
+ */
+class FakePred : public PredictorComponent
+{
+  public:
+    FakePred(std::string name, unsigned latency)
+        : PredictorComponent(std::move(name), latency, 4)
+    {
+    }
+
+    bool hit = false;
+    bool taken = false;
+    bool provideTarget = false;
+    Addr target = kInvalidAddr;
+    unsigned slot = 0;
+    bool targetOnly = false;
+
+    // Observations.
+    mutable int predictCalls = 0;
+    mutable bool sawGhist = false;
+    mutable PredictionBundle lastIn;
+
+    unsigned metaBits() const override { return 8; }
+
+    void
+    predict(const PredictContext& ctx, PredictionBundle& inout,
+            Metadata& meta) override
+    {
+        ++predictCalls;
+        sawGhist = ctx.ghist != nullptr;
+        lastIn = inout;
+        meta[0] = 0xAB;
+        if (!hit)
+            return;
+        auto& s = inout.slots[slot];
+        if (!targetOnly) {
+            s.valid = true;
+            s.taken = taken;
+        }
+        if (provideTarget) {
+            s.targetValid = true;
+            s.target = target;
+            s.type = CfiType::Br;
+        }
+    }
+
+    std::uint64_t storageBits() const override { return 64; }
+};
+
+struct Pipeline
+{
+    Topology topo;
+    FakePred* ubtb;
+    FakePred* pht;
+    FakePred* loop;
+};
+
+/** Build LOOP2 > PHT2 > uBTB1 or uBTB1 > PHT2 > LOOP2 (paper §IV-A). */
+Pipeline
+makeFig4(bool loopOnTop)
+{
+    Pipeline p;
+    p.ubtb = p.topo.make<FakePred>("uBTB", 1);
+    p.pht = p.topo.make<FakePred>("PHT", 2);
+    p.loop = p.topo.make<FakePred>("LOOP", 2);
+    if (loopOnTop)
+        p.topo.setRoot(p.topo.chainOf({p.loop, p.pht, p.ubtb}));
+    else
+        p.topo.setRoot(p.topo.chainOf({p.ubtb, p.pht, p.loop}));
+    return p;
+}
+
+QueryState
+makeQuery(ComposedPredictor& cp, Addr pc = 0x1000)
+{
+    QueryState q;
+    q.reset(pc, 4, static_cast<unsigned>(cp.components().size()), 4);
+    HistoryRegister gh(32);
+    q.captureHistory(gh, 0);
+    return q;
+}
+
+TEST(Composer, Fig4BothTopologiesAgreeAtStage1)
+{
+    for (bool loopOnTop : {true, false}) {
+        Pipeline p = makeFig4(loopOnTop);
+        p.ubtb->hit = true;
+        p.ubtb->taken = true;
+        p.ubtb->provideTarget = true;
+        p.ubtb->target = 0x2000;
+        ComposedPredictor cp(std::move(p.topo), 4);
+        QueryState q = makeQuery(cp);
+        const PredictionBundle b1 = cp.evaluateStage(q, 1);
+        EXPECT_TRUE(b1.slots[0].taken) << "loopOnTop=" << loopOnTop;
+        EXPECT_EQ(b1.slots[0].target, 0x2000u);
+    }
+}
+
+TEST(Composer, Fig4Stage2DiffersByOrdering)
+{
+    // PHT hits not-taken; uBTB hit taken. First topology: PHT
+    // overrides the uBTB at cycle 2. Second: uBTB stays final.
+    {
+        Pipeline p = makeFig4(/*loopOnTop=*/true);
+        p.ubtb->hit = true;
+        p.ubtb->taken = true;
+        p.pht->hit = true;
+        p.pht->taken = false;
+        ComposedPredictor cp(std::move(p.topo), 4);
+        QueryState q = makeQuery(cp);
+        EXPECT_TRUE(cp.evaluateStage(q, 1).slots[0].taken);
+        EXPECT_FALSE(cp.evaluateStage(q, 2).slots[0].taken)
+            << "LOOP2 > PHT2 > uBTB1: PHT overrides at cycle 2";
+    }
+    {
+        Pipeline p = makeFig4(/*loopOnTop=*/false);
+        p.ubtb->hit = true;
+        p.ubtb->taken = true;
+        p.pht->hit = true;
+        p.pht->taken = false;
+        ComposedPredictor cp(std::move(p.topo), 4);
+        QueryState q = makeQuery(cp);
+        EXPECT_TRUE(cp.evaluateStage(q, 1).slots[0].taken);
+        EXPECT_TRUE(cp.evaluateStage(q, 2).slots[0].taken)
+            << "uBTB1 > PHT2 > LOOP2: the uBTB hit stays final";
+    }
+}
+
+TEST(Composer, Fig4CarryOverWhenNothingHits)
+{
+    Pipeline p = makeFig4(true);
+    p.ubtb->hit = true;
+    p.ubtb->taken = true;
+    // Neither PHT nor LOOP hit: cycle-1 prediction carries to cycle 2.
+    ComposedPredictor cp(std::move(p.topo), 4);
+    QueryState q = makeQuery(cp);
+    EXPECT_TRUE(cp.evaluateStage(q, 1).slots[0].taken);
+    EXPECT_TRUE(cp.evaluateStage(q, 2).slots[0].taken);
+}
+
+TEST(Composer, LoopBeatsPhtWhenBothHit)
+{
+    Pipeline p = makeFig4(true);
+    p.pht->hit = true;
+    p.pht->taken = true;
+    p.loop->hit = true;
+    p.loop->taken = false;
+    ComposedPredictor cp(std::move(p.topo), 4);
+    QueryState q = makeQuery(cp);
+    EXPECT_FALSE(cp.evaluateStage(q, 2).slots[0].taken);
+}
+
+TEST(Composer, PartialTargetOnlyOverride)
+{
+    // A target-only BTB (Fig. 3) under a direction table: the final
+    // bundle combines the direction with the BTB's target.
+    Topology topo;
+    auto* dir = topo.make<FakePred>("DIR", 2);
+    auto* btb = topo.make<FakePred>("BTB", 1);
+    dir->hit = true;
+    dir->taken = true;
+    btb->hit = true;
+    btb->targetOnly = true;
+    btb->provideTarget = true;
+    btb->target = 0x4444;
+    topo.setRoot(topo.chainOf({dir, btb}));
+    ComposedPredictor cp(std::move(topo), 4);
+    QueryState q = makeQuery(cp);
+    const PredictionBundle b = cp.evaluateStage(q, 2);
+    EXPECT_TRUE(b.slots[0].valid);
+    EXPECT_TRUE(b.slots[0].taken);
+    EXPECT_TRUE(b.slots[0].targetValid);
+    EXPECT_EQ(b.slots[0].target, 0x4444u);
+}
+
+TEST(Composer, ComponentPredictsExactlyOnce)
+{
+    Pipeline p = makeFig4(true);
+    FakePred* pht = p.pht;
+    FakePred* ubtb = p.ubtb;
+    ComposedPredictor cp(std::move(p.topo), 4);
+    QueryState q = makeQuery(cp);
+    cp.evaluateStage(q, 1);
+    cp.evaluateStage(q, 2);
+    cp.evaluateStage(q, 2);
+    EXPECT_EQ(ubtb->predictCalls, 1);
+    EXPECT_EQ(pht->predictCalls, 1);
+}
+
+TEST(Composer, HistoryHiddenFromStage1Components)
+{
+    Pipeline p = makeFig4(true);
+    FakePred* ubtb = p.ubtb;
+    FakePred* pht = p.pht;
+    ComposedPredictor cp(std::move(p.topo), 4);
+    QueryState q = makeQuery(cp);
+    cp.evaluateStage(q, 1);
+    cp.evaluateStage(q, 2);
+    EXPECT_FALSE(ubtb->sawGhist)
+        << "histories arrive at the end of Fetch-1 (paper §III-B)";
+    EXPECT_TRUE(pht->sawGhist);
+}
+
+TEST(Composer, PredictInReflectsLowerPriorityOutput)
+{
+    Pipeline p = makeFig4(true);
+    p.ubtb->hit = true;
+    p.ubtb->taken = true;
+    FakePred* pht = p.pht;
+    ComposedPredictor cp(std::move(p.topo), 4);
+    QueryState q = makeQuery(cp);
+    cp.evaluateStage(q, 1);
+    cp.evaluateStage(q, 2);
+    EXPECT_TRUE(pht->lastIn.slots[0].valid)
+        << "predict_in(d) carries the uBTB's earlier prediction";
+    EXPECT_TRUE(pht->lastIn.slots[0].taken);
+}
+
+TEST(Composer, MetadataGatheredPerComponent)
+{
+    Pipeline p = makeFig4(true);
+    ComposedPredictor cp(std::move(p.topo), 4);
+    QueryState q = makeQuery(cp);
+    for (unsigned d = 1; d <= 2; ++d)
+        cp.evaluateStage(q, d);
+    ASSERT_EQ(q.metadata().size(), 3u);
+    for (const auto& m : q.metadata())
+        EXPECT_EQ(m[0], 0xABu);
+}
+
+TEST(Composer, MonotonicPredictionStrength)
+{
+    // Paper §III-A: for d > p, a component's contribution must be the
+    // same or more powerful — with static fakes, re-evaluating any
+    // stage must be idempotent.
+    Pipeline p = makeFig4(true);
+    p.ubtb->hit = true;
+    p.ubtb->taken = true;
+    p.pht->hit = true;
+    p.pht->taken = true;
+    ComposedPredictor cp(std::move(p.topo), 4);
+    QueryState q = makeQuery(cp);
+    cp.evaluateStage(q, 1);
+    const PredictionBundle a = cp.evaluateStage(q, 2);
+    const PredictionBundle b = cp.evaluateStage(q, 2);
+    EXPECT_EQ(a.slots[0].valid, b.slots[0].valid);
+    EXPECT_EQ(a.slots[0].taken, b.slots[0].taken);
+    EXPECT_EQ(a.slots[0].target, b.slots[0].target);
+}
+
+TEST(Composer, RejectsArbiterFasterThanChildren)
+{
+    // An arbiter responding before its inputs exist is invalid.
+    class FastArb : public FakePred
+    {
+      public:
+        using FakePred::FakePred;
+        bool isArbiter() const override { return true; }
+    };
+    Topology topo;
+    auto* arb = topo.make<FastArb>("ARB", 1);
+    auto* slow = topo.make<FakePred>("SLOW", 3);
+    topo.setRoot(topo.arb(arb, {topo.leaf(slow)}));
+    EXPECT_THROW(ComposedPredictor(std::move(topo), 4),
+                 std::logic_error);
+}
+
+TEST(Composer, StorageSumsComponents)
+{
+    Pipeline p = makeFig4(true);
+    ComposedPredictor cp(std::move(p.topo), 4);
+    EXPECT_EQ(cp.storageBits(), 3u * 64);
+    EXPECT_EQ(cp.totalMetaBits(), 3u * 8);
+}
+
+} // namespace
+} // namespace cobra::bpu

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "common/folded_history.hpp"
+#include "common/random.hpp"
+
+namespace cobra {
+namespace {
+
+TEST(HistoryRegister, PushShiftsBitZero)
+{
+    HistoryRegister h(8);
+    h.push(true);
+    EXPECT_TRUE(h.bit(0));
+    h.push(false);
+    EXPECT_FALSE(h.bit(0));
+    EXPECT_TRUE(h.bit(1));
+}
+
+TEST(HistoryRegister, LowPacksRecentBits)
+{
+    HistoryRegister h(16);
+    // Push 1,0,1,1 -> low4 = 0b1101 (bit0 = most recent = 1).
+    h.push(true);
+    h.push(false);
+    h.push(true);
+    h.push(true);
+    // bit0 = 1 (last push), bit1 = 1, bit2 = 0, bit3 = 1.
+    EXPECT_TRUE(h.bit(0));
+    EXPECT_TRUE(h.bit(1));
+    EXPECT_FALSE(h.bit(2));
+    EXPECT_TRUE(h.bit(3));
+    EXPECT_EQ(h.low(4), 0b1011u);
+}
+
+TEST(HistoryRegister, LengthMasking)
+{
+    HistoryRegister h(5);
+    for (int i = 0; i < 100; ++i)
+        h.push(true);
+    EXPECT_EQ(h.low(5), 0b11111u);
+    // Bits beyond the configured length do not exist.
+    EXPECT_EQ(h.snapshot().size(), 1u);
+    EXPECT_EQ(h.snapshot()[0], 0b11111u);
+}
+
+TEST(HistoryRegister, MultiWordCarry)
+{
+    HistoryRegister h(130);
+    h.push(true);
+    for (int i = 0; i < 128; ++i)
+        h.push(false);
+    EXPECT_TRUE(h.bit(128));
+    EXPECT_FALSE(h.bit(127));
+    EXPECT_FALSE(h.bit(0));
+}
+
+TEST(HistoryRegister, SnapshotRestore)
+{
+    HistoryRegister h(64);
+    Rng rng(7);
+    for (int i = 0; i < 40; ++i)
+        h.push(rng.chance(0.5));
+    const auto snap = h.snapshot();
+    HistoryRegister h2 = h;
+    for (int i = 0; i < 17; ++i)
+        h.push(rng.chance(0.5));
+    EXPECT_FALSE(h == h2);
+    h.restore(snap);
+    EXPECT_TRUE(h == h2);
+}
+
+TEST(FoldedHistory, IncrementalMatchesRecompute)
+{
+    // Drive a long register and an incremental fold together; the
+    // recompute-from-register result must equal the incremental state.
+    const unsigned histLen = 17;
+    const unsigned foldedLen = 7;
+    HistoryRegister h(64);
+    FoldedHistory f(histLen, foldedLen);
+    Rng rng(99);
+    for (int i = 0; i < 500; ++i) {
+        const bool oldest = histLen - 1 < h.length() &&
+                            h.bit(histLen - 1);
+        const bool newest = rng.chance(0.5);
+        h.push(newest);
+        f.push(newest, oldest);
+
+        FoldedHistory check(histLen, foldedLen);
+        check.recompute(h);
+        ASSERT_EQ(check.value(), f.value()) << "at step " << i;
+    }
+}
+
+TEST(FoldedHistory, OutputWidthRespected)
+{
+    FoldedHistory f(40, 9);
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        f.push(rng.chance(0.5), rng.chance(0.5));
+        EXPECT_LE(f.value(), maskBits(9));
+    }
+}
+
+TEST(FoldedHistory, DistinctHistoriesDistinctFolds)
+{
+    // Two registers differing in one recent bit fold differently
+    // (almost surely for these sizes).
+    HistoryRegister a(64), b(64);
+    for (int i = 0; i < 20; ++i) {
+        a.push(i % 3 == 0);
+        b.push(i % 3 == 0);
+    }
+    a.push(true);
+    b.push(false);
+    FoldedHistory fa(20, 8), fb(20, 8);
+    fa.recompute(a);
+    fb.recompute(b);
+    EXPECT_NE(fa.value(), fb.value());
+}
+
+} // namespace
+} // namespace cobra

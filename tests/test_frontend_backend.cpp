@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Focused frontend/backend behaviour tests: re-steer bubble costs,
+ * fetch-buffer/history-file backpressure, ICache stalls, RAS
+ * behaviour through deep call chains, SFB shadow predication timing,
+ * and redirect bookkeeping — driven through small handcrafted
+ * programs with the full simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "program/builder.hpp"
+#include "program/workload.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace cobra::core {
+namespace {
+
+using prog::BranchBehavior;
+using prog::OpClass;
+
+prog::CodeMix
+aluMix()
+{
+    prog::CodeMix m;
+    m.fLoad = m.fStore = m.fMul = m.fDiv = m.fFp = 0;
+    m.depChain = 0.0;
+    return m;
+}
+
+sim::SimConfig
+cfg(std::uint64_t insts = 30'000, std::uint64_t warm = 10'000)
+{
+    sim::SimConfig c = sim::makeConfig(sim::Design::TageL);
+    c.maxInsts = insts;
+    c.warmupInsts = warm;
+    return c;
+}
+
+TEST(FrontendBehavior, TakenBranchCostDependsOnPredictorLatency)
+{
+    // A tight always-taken loop: with the uBTB (1-cycle) the taken
+    // redirect is seamless; a 2-cycle-BTB-only design pays one bubble
+    // per iteration; measure the gap.
+    prog::ProgramBuilder bld(21);
+    const Addr top = bld.here();
+    bld.emitStraightLine(6, aluMix());
+    bld.emitJump(top);
+    prog::Program p = bld.takeProgram();
+    p.setEntry(top);
+
+    sim::Simulator withU(p, sim::buildTopology(sim::Design::TageL),
+                         cfg());
+    const double ipcWith = withU.run().ipc();
+    sim::Simulator withoutU(p, sim::buildTopology(sim::Design::B2),
+                            cfg());
+    const double ipcWithout = withoutU.run().ipc();
+    EXPECT_GT(ipcWith, ipcWithout * 1.05)
+        << "1-cycle next-line prediction must beat 2-cycle BTB "
+           "redirects on taken-branch-dense code";
+}
+
+TEST(FrontendBehavior, ResteersAreCounted)
+{
+    // Taken branches predicted by the 2-cycle BTB generate stage-2
+    // re-steers (1 killed packet each).
+    prog::ProgramBuilder bld(22);
+    const Addr top = bld.here();
+    bld.emitStraightLine(10, aluMix());
+    bld.emitJump(top);
+    prog::Program p = bld.takeProgram();
+    p.setEntry(top);
+
+    sim::Simulator s(p, sim::buildTopology(sim::Design::B2), cfg());
+    s.run();
+    EXPECT_GT(s.frontend().stats().get("resteers"), 500u);
+    EXPECT_GT(s.frontend().stats().get("packets_killed"), 500u);
+}
+
+TEST(FrontendBehavior, LargeCodeFootprintStallsOnICache)
+{
+    // A code footprint far beyond L1I forces instruction-fetch
+    // stalls; the next-line prefetcher keeps them bounded.
+    prog::WorkloadProfile prof = prog::WorkloadLibrary::profile("gcc");
+    prof.numFunctions = 160;
+    prof.blocksPerFunction = 10;
+    const prog::Program p = prog::buildWorkload(prof);
+    ASSERT_GT(p.size() * 4, 64u * 1024) << "need > L1I footprint";
+
+    sim::Simulator s(p, sim::buildTopology(sim::Design::TageL), cfg());
+    s.run();
+    EXPECT_GT(s.frontend().stats().get("icache_stall_cycles"), 100u);
+    EXPECT_GT(s.caches().l1i().misses(), 100u);
+}
+
+TEST(FrontendBehavior, DeepCallChainsKeepRasAccurate)
+{
+    // Nested call structure within RAS depth: returns must be pre-
+    // dicted by the RAS, so jalr mispredicts stay near zero.
+    const prog::Program p = prog::buildWorkload(
+        prog::WorkloadLibrary::profile("xalancbmk"));
+    sim::Simulator s(p, sim::buildTopology(sim::Design::TageL),
+                     cfg(60'000, 20'000));
+    const auto r = s.run();
+    // Returns dominate the jalr population here; most must hit.
+    EXPECT_LT(static_cast<double>(r.jalrMispredicts) / r.cfis, 0.05);
+}
+
+TEST(FrontendBehavior, HistoryFileBackpressureThrottlesFetch)
+{
+    const prog::Program p = prog::buildWorkload(
+        prog::WorkloadLibrary::profile("x264"));
+    sim::SimConfig small = cfg();
+    small.bpu.historyFileEntries = 8;
+    sim::Simulator s(p, sim::buildTopology(sim::Design::TageL), small);
+    const auto r = s.run();
+    EXPECT_GT(s.frontend().stats().get("stall_histfile"), 1000u);
+    sim::Simulator big(p, sim::buildTopology(sim::Design::TageL),
+                       cfg());
+    EXPECT_GT(big.run().ipc(), r.ipc() * 1.2);
+}
+
+TEST(BackendBehavior, LongLatencyDivideSerializes)
+{
+    // A divide-fed dependence chain should drag IPC near 1/12.
+    prog::ProgramBuilder bld(23);
+    const Addr top = bld.here();
+    for (int i = 0; i < 50; ++i) {
+        prog::StaticInst si;
+        si.op = OpClass::IntDiv;
+        si.dst = 7;
+        si.src1 = 7;
+        bld.emit(si);
+    }
+    bld.emitJump(top);
+    prog::Program p = bld.takeProgram();
+    p.setEntry(top);
+    sim::Simulator s(p, sim::buildTopology(sim::Design::TageL),
+                     cfg(6'000, 2'000));
+    const auto r = s.run();
+    EXPECT_LT(r.ipc(), 0.15);
+}
+
+TEST(BackendBehavior, MemoryBoundCodeLimitedByDcacheMisses)
+{
+    prog::WorkloadProfile prof = prog::WorkloadLibrary::profile("mcf");
+    const prog::Program p = prog::buildWorkload(prof);
+    sim::Simulator s(p, sim::buildTopology(sim::Design::TageL), cfg());
+    const auto r = s.run();
+    EXPECT_LT(r.ipc(), 0.6);
+    EXPECT_GT(s.caches().l1d().misses(), 1000u);
+}
+
+TEST(BackendBehavior, SfbShadowStillCommits)
+{
+    // With SFB on, taken hammocks do not flush; their shadow
+    // instructions commit as predicated ops — committed instruction
+    // counts must not shrink.
+    const prog::Program p = prog::buildWorkload(
+        prog::WorkloadLibrary::profile("coremark"));
+    sim::SimConfig on = cfg();
+    on.backend.sfbEnabled = true;
+    sim::Simulator s(p, sim::buildTopology(sim::Design::TageL), on);
+    const auto r = s.run();
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_GE(r.insts, on.maxInsts);
+    EXPECT_GT(r.sfbConversions, 0u);
+}
+
+TEST(BackendBehavior, SfbReducesRedirects)
+{
+    const prog::Program p = prog::buildWorkload(
+        prog::WorkloadLibrary::profile("coremark"));
+    sim::Simulator off(p, sim::buildTopology(sim::Design::TageL),
+                       cfg());
+    off.run();
+    const auto redirectsOff = off.frontend().stats().get("redirects");
+
+    sim::SimConfig onCfg = cfg();
+    onCfg.backend.sfbEnabled = true;
+    sim::Simulator on(p, sim::buildTopology(sim::Design::TageL),
+                      onCfg);
+    on.run();
+    const auto redirectsOn = on.frontend().stats().get("redirects");
+    EXPECT_LT(redirectsOn, redirectsOff)
+        << "predicated hammocks must stop flushing the pipeline";
+}
+
+TEST(BackendBehavior, WrongPathFetchObservable)
+{
+    // With a hard-to-predict branch, a measurable share of fetched
+    // instructions never commit (wrong-path fetch + kills).
+    BranchBehavior b;
+    b.kind = BranchBehavior::Kind::Biased;
+    b.pTaken = 0.5;
+    b.seed = 3;
+    const prog::Program p = test::singleBranchProgram(b);
+    sim::Simulator s(p, sim::buildTopology(sim::Design::B2), cfg());
+    const auto r = s.run();
+    const auto fetched = s.frontend().stats().get("insts_fetched");
+    EXPECT_GT(fetched, r.insts * 11 / 10)
+        << "speculation must overfetch on mispredicting code";
+}
+
+TEST(BackendBehavior, RedirectRestoresOraclePath)
+{
+    // After every mispredict the frontend must resync to the oracle;
+    // the run completes the full budget with nonzero resyncs killed.
+    BranchBehavior b;
+    b.kind = BranchBehavior::Kind::Periodic;
+    b.pattern = 0b0110;
+    b.patternLen = 4;
+    const prog::Program p = test::singleBranchProgram(b);
+    sim::Simulator s(p, sim::buildTopology(sim::Design::B2), cfg());
+    const auto r = s.run();
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_TRUE(s.frontend().onOraclePath());
+}
+
+} // namespace
+} // namespace cobra::core

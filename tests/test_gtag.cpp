@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "components/gtag.hpp"
+#include "test_util.hpp"
+
+namespace cobra::comps {
+namespace {
+
+GtagParams
+smallGtag()
+{
+    GtagParams p;
+    p.sets = 128;
+    p.histBits = 10;
+    p.latency = 3;
+    p.fetchWidth = 4;
+    return p;
+}
+
+TEST(Gtag, ColdMissPassesThrough)
+{
+    Gtag g("GTAG", smallGtag());
+    HistoryRegister gh(64);
+    bpu::PredictContext ctx;
+    ctx.pc = 0x5000;
+    ctx.validSlots = 4;
+    ctx.ghist = &gh;
+    bpu::PredictionBundle b;
+    b.width = 4;
+    b.slots[0].valid = true;
+    b.slots[0].taken = true;
+    bpu::Metadata meta{};
+    g.predict(ctx, b, meta);
+    EXPECT_TRUE(b.slots[0].taken) << "pass-through must keep input";
+    EXPECT_EQ(meta[0] & 1, 0u) << "metadata records the miss";
+}
+
+TEST(Gtag, AllocatesOnMispredictThenHits)
+{
+    Gtag g("GTAG", smallGtag());
+    test::SingleBranchDriver drv(g, 0x5000, 1);
+    // Periodic pattern the base (static not-taken) mispredicts on.
+    const auto outs = test::periodicOutcomes(0b0111, 4, 6000);
+    EXPECT_GT(drv.accuracy(outs), 0.9);
+}
+
+TEST(Gtag, LearnsHistoryCorrelation)
+{
+    Gtag g("GTAG", smallGtag());
+    test::SingleBranchDriver drv(g, 0x5000, 0);
+    const auto outs = test::historyCorrelatedOutcomes(5, 8000);
+    EXPECT_GT(drv.accuracy(outs), 0.9);
+}
+
+TEST(Gtag, TagMissDoesNotTrainForeignEntry)
+{
+    // Two branches with identical index but different tags must not
+    // train each other (that is the point of the partial tag).
+    Gtag g("GTAG", smallGtag());
+    HistoryRegister gh(64);
+
+    auto predictAndUpdate = [&](Addr pc, bool actual) {
+        bpu::PredictContext ctx;
+        ctx.pc = pc;
+        ctx.validSlots = 4;
+        ctx.ghist = &gh;
+        bpu::PredictionBundle b;
+        b.width = 4;
+        b.slots[0].valid = true;
+        b.slots[0].taken = false;
+        bpu::Metadata meta{};
+        g.predict(ctx, b, meta);
+        const bool pred = b.slots[0].taken;
+        bpu::ResolveEvent ev;
+        ev.pc = pc;
+        ev.ghist = &gh;
+        ev.meta = &meta;
+        ev.brMask[0] = true;
+        ev.takenMask[0] = actual;
+        ev.mispredicted = pred != actual;
+        ev.predicted = &b;
+        g.update(ev);
+        return pred;
+    };
+
+    // Keep history constant (no pushes) so indices stay fixed.
+    const Addr pcA = 0x5000;
+    for (int i = 0; i < 50; ++i)
+        predictAndUpdate(pcA, true);
+    EXPECT_TRUE(predictAndUpdate(pcA, true));
+
+    // A far-away PC with the same low index bits cannot hit A's tag.
+    const Addr pcB = pcA + 128ull * 16 * 1024; // same set index class
+    bpu::PredictContext ctx;
+    ctx.pc = pcB;
+    ctx.validSlots = 4;
+    ctx.ghist = &gh;
+    bpu::PredictionBundle b;
+    b.width = 4;
+    bpu::Metadata meta{};
+    g.predict(ctx, b, meta);
+    // Either it misses (different tag) or, if the 7-bit tags collide,
+    // this test address must be adjusted; for these constants they
+    // differ.
+    EXPECT_EQ(meta[0] & 1, 0u);
+}
+
+TEST(Gtag, MetadataCountersRoundTrip)
+{
+    Gtag g("GTAG", smallGtag());
+    test::SingleBranchDriver drv(g, 0x5000, 2);
+    for (int i = 0; i < 200; ++i)
+        drv.round(true);
+    // After training, a predict must report hit + counters in meta.
+    HistoryRegister gh = drv.ghist();
+    bpu::PredictContext ctx;
+    ctx.pc = 0x5000;
+    ctx.validSlots = 4;
+    ctx.ghist = &gh;
+    bpu::PredictionBundle b;
+    b.width = 4;
+    bpu::Metadata meta{};
+    g.predict(ctx, b, meta);
+    if ((meta[0] >> 2) & 1) { // slot-2 hit bit
+        const unsigned ctr2 = (meta[0] >> (8 + 2 * 2)) & 3;
+        EXPECT_GE(ctr2, 2u) << "trained-taken counter in metadata";
+    }
+}
+
+TEST(Gtag, StorageAccounting)
+{
+    GtagParams p = smallGtag();
+    Gtag g("GTAG", p);
+    const std::uint64_t perCtr = p.tagBits + 1 + p.ctrBits;
+    EXPECT_EQ(g.storageBits(), perCtr * p.sets * 4);
+}
+
+} // namespace
+} // namespace cobra::comps

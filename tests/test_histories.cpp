@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "bpu/ghist.hpp"
+#include "bpu/lhist.hpp"
+
+namespace cobra::bpu {
+namespace {
+
+TEST(GlobalHistoryProvider, PushAndRead)
+{
+    GlobalHistoryProvider g(16);
+    g.push(true);
+    g.push(false);
+    EXPECT_FALSE(g.current().bit(0));
+    EXPECT_TRUE(g.current().bit(1));
+}
+
+TEST(GlobalHistoryProvider, SnapshotRestore)
+{
+    GlobalHistoryProvider g(32);
+    for (int i = 0; i < 10; ++i)
+        g.push(i % 2 == 0);
+    const auto snap = g.snapshot();
+    const HistoryRegister before = g.current();
+    g.push(true);
+    g.push(true);
+    g.restore(snap);
+    EXPECT_TRUE(g.current() == before);
+}
+
+TEST(GlobalHistoryProvider, RestoreFromRegister)
+{
+    GlobalHistoryProvider g(32);
+    HistoryRegister h(32);
+    h.push(true);
+    g.restore(h);
+    EXPECT_TRUE(g.current().bit(0));
+}
+
+TEST(GlobalHistoryProvider, StorageIsRegisterBits)
+{
+    GlobalHistoryProvider g(64);
+    EXPECT_EQ(g.storageBits(), 64u);
+    EXPECT_GT(g.physicalCost().flopBits, 0u);
+}
+
+TEST(GlobalHistoryProvider, RepairModeNames)
+{
+    EXPECT_STREQ(ghistRepairModeName(GhistRepairMode::None), "none");
+    EXPECT_STREQ(ghistRepairModeName(GhistRepairMode::RepairOnly),
+                 "repair-only");
+    EXPECT_STREQ(
+        ghistRepairModeName(GhistRepairMode::RepairAndReplay),
+        "repair+replay");
+}
+
+TEST(LocalHistoryProvider, IndexByPc)
+{
+    LocalHistoryProvider l(64, 16, 4);
+    const Addr a = 0x1000;
+    const Addr b = 0x1010; // different set
+    l.specUpdate(a, true);
+    EXPECT_EQ(l.read(a), 1u);
+    EXPECT_EQ(l.read(b), 0u);
+}
+
+TEST(LocalHistoryProvider, ShiftsAndMasks)
+{
+    LocalHistoryProvider l(16, 4, 4);
+    const Addr pc = 0x2000;
+    for (int i = 0; i < 8; ++i)
+        l.specUpdate(pc, true);
+    EXPECT_EQ(l.read(pc), 0xfu) << "history masked to 4 bits";
+    l.specUpdate(pc, false);
+    EXPECT_EQ(l.read(pc), 0xeu);
+}
+
+TEST(LocalHistoryProvider, RestoreRepairsEntry)
+{
+    LocalHistoryProvider l(16, 8, 4);
+    const Addr pc = 0x2000;
+    l.specUpdate(pc, true);
+    const std::uint64_t before = l.read(pc);
+    l.specUpdate(pc, true);
+    l.specUpdate(pc, false);
+    l.restore(pc, before);
+    EXPECT_EQ(l.read(pc), before);
+}
+
+TEST(LocalHistoryProvider, StorageAccounting)
+{
+    LocalHistoryProvider l(256, 32, 4);
+    EXPECT_EQ(l.storageBits(), 256u * 32);
+}
+
+} // namespace
+} // namespace cobra::bpu

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "components/perceptron.hpp"
+#include "test_util.hpp"
+
+namespace cobra::comps {
+namespace {
+
+PerceptronParams
+smallPerceptron()
+{
+    PerceptronParams p;
+    p.entries = 64;
+    p.histBits = 16;
+    p.latency = 3;
+    p.fetchWidth = 4;
+    return p;
+}
+
+TEST(Perceptron, LearnsBias)
+{
+    Perceptron pc("PERC", smallPerceptron());
+    test::SingleBranchDriver drv(pc, 0x3000, 0);
+    std::vector<bool> always(1000, true);
+    EXPECT_GT(drv.accuracy(always), 0.99);
+}
+
+TEST(Perceptron, LearnsLinearlySeparableHistoryFunction)
+{
+    // Outcome equals the history bit 3 positions ago — a single
+    // weight carries the whole function.
+    Perceptron pc("PERC", smallPerceptron());
+    test::SingleBranchDriver drv(pc, 0x3000, 0);
+    std::vector<bool> outs2;
+    std::uint64_t hist = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const bool bit = i < 3 ? (i % 2 == 0) : ((hist >> 2) & 1);
+        outs2.push_back(bit);
+        hist = (hist << 1) | (bit ? 1 : 0);
+    }
+    EXPECT_GT(drv.accuracy(outs2), 0.95);
+}
+
+TEST(Perceptron, SinglePredictionPerPacket)
+{
+    // §III-C: the perceptron provides one prediction, at the learned
+    // slot; other slots must pass through.
+    Perceptron pc("PERC", smallPerceptron());
+    test::SingleBranchDriver drv(pc, 0x3000, 2);
+    for (int i = 0; i < 200; ++i)
+        drv.round(true);
+
+    HistoryRegister gh = drv.ghist();
+    bpu::PredictContext ctx;
+    ctx.pc = 0x3000;
+    ctx.validSlots = 4;
+    ctx.ghist = &gh;
+    bpu::PredictionBundle b;
+    b.width = 4;
+    bpu::Metadata meta{};
+    pc.predict(ctx, b, meta);
+    EXPECT_TRUE(b.slots[2].valid) << "learned slot predicted";
+    EXPECT_FALSE(b.slots[0].valid);
+    EXPECT_FALSE(b.slots[1].valid);
+    EXPECT_FALSE(b.slots[3].valid);
+}
+
+TEST(Perceptron, ThetaFollowsJimenezFormula)
+{
+    PerceptronParams p = smallPerceptron();
+    EXPECT_EQ(p.theta(), static_cast<int>(1.93 * 16 + 14));
+}
+
+TEST(Perceptron, StorageAccounting)
+{
+    Perceptron pc("PERC", smallPerceptron());
+    EXPECT_GT(pc.storageBits(), 64u * 16 * 8);
+}
+
+} // namespace
+} // namespace cobra::comps

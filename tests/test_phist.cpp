@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Path-history provider tests (the §IV-B3 "new history provider"
+ * extension): register mechanics, BPU integration (speculative push
+ * at finalize, snapshot repair on mispredict), and the PathHash HBIM
+ * index mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpu/bpu.hpp"
+#include "bpu/phist.hpp"
+#include "components/bim.hpp"
+#include "test_util.hpp"
+
+namespace cobra::bpu {
+namespace {
+
+TEST(PathHistoryProvider, FoldsTakenPcs)
+{
+    PathHistoryProvider p(16, 3);
+    EXPECT_EQ(p.current(), 0u);
+    p.push(0x1000);
+    const std::uint64_t one = p.current();
+    EXPECT_NE(one, 0u);
+    p.push(0x2000);
+    EXPECT_NE(p.current(), one);
+    // Bounded by the configured length.
+    for (int i = 0; i < 100; ++i)
+        p.push(0x3000 + i * 4);
+    EXPECT_LE(p.current(), maskBits(16));
+}
+
+TEST(PathHistoryProvider, OrderSensitive)
+{
+    PathHistoryProvider a(32, 3), b(32, 3);
+    a.push(0x1000);
+    a.push(0x2000);
+    b.push(0x2000);
+    b.push(0x1000);
+    EXPECT_NE(a.current(), b.current());
+}
+
+TEST(PathHistoryProvider, SnapshotRestore)
+{
+    PathHistoryProvider p(32, 3);
+    p.push(0x4000);
+    const std::uint64_t snap = p.current();
+    p.push(0x5000);
+    p.restore(snap);
+    EXPECT_EQ(p.current(), snap);
+}
+
+TEST(PathHistoryProvider, Storage)
+{
+    PathHistoryProvider p(48, 3);
+    EXPECT_EQ(p.storageBits(), 48u);
+    EXPECT_GT(p.physicalCost().flopBits, 0u);
+}
+
+TEST(PathHistoryBpu, CapturedAtFetch1AndRepairedOnMispredict)
+{
+    // A path-indexed HBIM through the full BPU protocol: the entry's
+    // phist must round-trip to update time, and a mispredict must
+    // restore the speculative register.
+    Topology topo;
+    comps::HbimParams hp;
+    hp.sets = 256;
+    hp.mode = comps::IndexMode::PathHash;
+    hp.histBits = 10;
+    hp.latency = 2;
+    hp.fetchWidth = 4;
+    topo.setRoot(topo.leaf(topo.make<comps::Hbim>("PBIM", hp)));
+    BpuConfig cfg;
+    cfg.fetchWidth = 4;
+    cfg.historyFileEntries = 8;
+    BranchPredictorUnit bpu(std::move(topo), cfg);
+
+    // Fetch a taken-jump packet to push path history.
+    auto fetchTaken = [&](Addr pc) {
+        QueryState q;
+        bpu.beginQuery(q, pc, 4);
+        bpu.stage(q, 1);
+        bpu.captureHistory(q);
+        PredictionBundle b = bpu.stage(q, 2);
+        b.slots[0].valid = true;
+        b.slots[0].taken = true;
+        b.slots[0].type = CfiType::Jal;
+        FinalizeArgs args;
+        PredictionBundle hold = b;
+        args.finalPred = &hold;
+        args.fetchedSlots = 1;
+        return bpu.finalize(q, args);
+    };
+
+    const std::uint64_t before = bpu.pathHistory().current();
+    const FtqPos a = fetchTaken(0x1000);
+    EXPECT_NE(bpu.pathHistory().current(), before)
+        << "taken CFIs must push path history";
+    EXPECT_EQ(bpu.historyFile().at(a).phist, before)
+        << "the entry records the predict-time value";
+
+    const std::uint64_t afterA = bpu.pathHistory().current();
+    fetchTaken(0x2000);
+    fetchTaken(0x3000);
+    EXPECT_NE(bpu.pathHistory().current(), afterA);
+
+    // Mispredict at entry a: path history restored to a's predict-
+    // time value plus a's resolved CFI.
+    BranchResolution res;
+    res.ftq = a;
+    res.slot = 0;
+    res.type = CfiType::Jal;
+    res.taken = true;
+    res.target = 0x9000;
+    res.mispredicted = true;
+    bpu.resolve(res);
+    EXPECT_EQ(bpu.pathHistory().current(), afterA)
+        << "restore(snapshot) + re-push of the resolved CFI";
+}
+
+TEST(PathHistoryBpu, PathHashBimLearnsPathCorrelatedBranch)
+{
+    // Outcome depends on which of two call sites reached the branch:
+    // identical ghist/lhist, different path — only a path-indexed
+    // table separates the contexts.
+    comps::HbimParams hp;
+    hp.sets = 256;
+    hp.mode = comps::IndexMode::PathHash;
+    hp.histBits = 12;
+    hp.latency = 2;
+    hp.fetchWidth = 4;
+    comps::Hbim bim("PBIM", hp);
+
+    int correct = 0, total = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const bool fromA = i % 2 == 0;
+        const std::uint64_t phist = fromA ? 0x111 : 0x222;
+        const bool actual = fromA; // outcome == which path
+
+        bpu::PredictContext ctx;
+        ctx.pc = 0x8000;
+        ctx.validSlots = 4;
+        HistoryRegister gh(32);
+        ctx.ghist = &gh;
+        ctx.phist = phist;
+        bpu::PredictionBundle b;
+        b.width = 4;
+        bpu::Metadata meta{};
+        bim.predict(ctx, b, meta);
+        const bool pred = b.slots[1].taken;
+        if (i > 2000) {
+            ++total;
+            correct += pred == actual;
+        }
+
+        bpu::ResolveEvent ev;
+        ev.pc = 0x8000;
+        ev.ghist = &gh;
+        ev.phist = phist;
+        ev.meta = &meta;
+        ev.brMask[1] = true;
+        ev.takenMask[1] = actual;
+        ev.predicted = &b;
+        bim.update(ev);
+    }
+    EXPECT_GT(static_cast<double>(correct) / total, 0.99)
+        << "a ghist/lhist-blind context is separable by path";
+}
+
+} // namespace
+} // namespace cobra::bpu

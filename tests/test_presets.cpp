@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "sim/presets.hpp"
+
+namespace cobra::sim {
+namespace {
+
+TEST(Presets, TopologiesValidate)
+{
+    for (Design d : {Design::Tourney, Design::B2, Design::TageL,
+                     Design::RefBig}) {
+        bpu::Topology t = buildTopology(d);
+        EXPECT_NO_THROW(t.validate()) << designName(d);
+        EXPECT_EQ(t.maxLatency(), 3u) << designName(d);
+    }
+}
+
+TEST(Presets, PaperNotationMatchesTopology)
+{
+    EXPECT_EQ(buildTopology(Design::B2).describe(),
+              "GTAG3 > BTB2 > BIM2");
+    EXPECT_EQ(buildTopology(Design::TageL).describe(),
+              "LOOP3 > TAGE3 > BTB2 > BIM2 > uBTB1");
+    EXPECT_EQ(buildTopology(Design::Tourney).describe(),
+              "TOURNEY3 > [(GBIM2 > BTB2), LBIM2]");
+}
+
+TEST(Presets, TableIStorageBallpark)
+{
+    // Table I storage (direction/history state, the big BTB costed
+    // separately): Tourney 6.8 KB, B2 6.5 KB, TAGE-L 28 KB. The
+    // model's accounting must land in the same band (+-50%).
+    struct Expect
+    {
+        Design d;
+        double kib;
+    };
+    for (const auto& [d, kib] : {Expect{Design::Tourney, 6.8},
+                                 Expect{Design::B2, 6.5},
+                                 Expect{Design::TageL, 28.0}}) {
+        bpu::Topology t = buildTopology(d);
+        std::uint64_t bits = 0;
+        for (auto* c : t.componentList()) {
+            if (c->name().find("BTB") == std::string::npos)
+                bits += c->storageBits();
+        }
+        // Add the design's history provider state.
+        const SimConfig cfg = makeConfig(d);
+        bits += cfg.bpu.ghistBits;
+        if (d == Design::Tourney)
+            bits += cfg.bpu.lhistSets * cfg.bpu.lhistBits;
+        const double gotKib = bits / 8.0 / 1024.0;
+        EXPECT_GT(gotKib, kib * 0.5) << designName(d);
+        EXPECT_LT(gotKib, kib * 1.5) << designName(d);
+    }
+}
+
+TEST(Presets, ConfigsFollowTableII)
+{
+    const SimConfig cfg = makeConfig(Design::TageL);
+    EXPECT_EQ(cfg.frontend.fetchWidth, 4u); // 16-byte fetch
+    EXPECT_EQ(cfg.backend.coreWidth, 4u);
+    EXPECT_EQ(cfg.backend.robEntries, 128u);
+    EXPECT_EQ(cfg.backend.ldqEntries, 32u);
+    EXPECT_EQ(cfg.backend.stqEntries, 32u);
+    EXPECT_EQ(cfg.backend.aluPorts + cfg.backend.memPorts +
+                  cfg.backend.fpPorts,
+              8u); // 8 pipelines
+    EXPECT_EQ(cfg.caches.l1i.sizeBytes, 32u * 1024);
+    EXPECT_EQ(cfg.caches.l2.sizeBytes, 512u * 1024);
+    EXPECT_EQ(cfg.caches.l3.sizeBytes, 4u * 1024 * 1024);
+}
+
+TEST(Presets, DesignGhistWidthsMatchTableI)
+{
+    EXPECT_EQ(makeConfig(Design::Tourney).bpu.ghistBits, 32u);
+    EXPECT_EQ(makeConfig(Design::B2).bpu.ghistBits, 16u);
+    EXPECT_EQ(makeConfig(Design::TageL).bpu.ghistBits, 64u);
+}
+
+TEST(Presets, RefBigIsWiderCore)
+{
+    const SimConfig ref = makeConfig(Design::RefBig);
+    const SimConfig base = makeConfig(Design::TageL);
+    EXPECT_GT(ref.backend.coreWidth, base.backend.coreWidth);
+    EXPECT_GT(ref.backend.robEntries, base.backend.robEntries);
+}
+
+TEST(Presets, DescriptionsNonEmpty)
+{
+    for (Design d : {Design::Tourney, Design::B2, Design::TageL,
+                     Design::RefBig}) {
+        EXPECT_FALSE(designDescription(d).empty());
+        EXPECT_FALSE(designTopologyNotation(d).empty());
+        EXPECT_STRNE(designName(d), "?");
+    }
+}
+
+TEST(Presets, PaperDesignsAreThree)
+{
+    EXPECT_EQ(paperDesigns().size(), 3u);
+}
+
+} // namespace
+} // namespace cobra::sim

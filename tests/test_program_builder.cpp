@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "program/builder.hpp"
+
+namespace cobra::prog {
+namespace {
+
+CodeMix
+pureAluMix()
+{
+    CodeMix m;
+    m.fLoad = m.fStore = m.fMul = m.fDiv = m.fFp = 0.0;
+    return m;
+}
+
+TEST(Program, AddressingAndContains)
+{
+    Program p(0x1000);
+    StaticInst si;
+    si.op = OpClass::Nop;
+    const Addr a0 = p.append(si);
+    const Addr a1 = p.append(si);
+    EXPECT_EQ(a0, 0x1000u);
+    EXPECT_EQ(a1, 0x1004u);
+    EXPECT_TRUE(p.contains(0x1000));
+    EXPECT_TRUE(p.contains(0x1004));
+    EXPECT_FALSE(p.contains(0x1008));
+    EXPECT_FALSE(p.contains(0x1002)); // misaligned
+    EXPECT_EQ(p.indexOf(0x1004), 1u);
+}
+
+TEST(Program, ClampPcWrapsWrongPathFetch)
+{
+    Program p(0x1000);
+    StaticInst si;
+    for (int i = 0; i < 8; ++i)
+        p.append(si);
+    EXPECT_EQ(p.clampPc(0x1010), 0x1010u);
+    const Addr wild = p.clampPc(0xdeadbeef);
+    EXPECT_TRUE(p.contains(wild));
+}
+
+TEST(ProgramBuilder, StraightLineMix)
+{
+    ProgramBuilder bld(1);
+    CodeMix m = pureAluMix();
+    m.fLoad = 1.0; // All loads.
+    m.memStreams = {0};
+    bld.program().addMemStream(MemStream{});
+    bld.emitStraightLine(50, m);
+    const Program& p = bld.program();
+    EXPECT_EQ(p.size(), 50u);
+    EXPECT_EQ(p.countOpClass(OpClass::Load), 50u);
+    // Loads carry a stream id.
+    EXPECT_EQ(p.at(p.base()).memStreamId, 0u);
+}
+
+TEST(ProgramBuilder, LoopBackwardBranch)
+{
+    ProgramBuilder bld(2);
+    bld.emitLoop(10, 0, 6, pureAluMix());
+    const Program& p = bld.program();
+    // Last instruction is the backward conditional branch.
+    const Addr brPc = p.pcOf(p.size() - 1);
+    const StaticInst& br = p.at(brPc);
+    EXPECT_EQ(br.op, OpClass::CondBranch);
+    EXPECT_EQ(br.target, p.base());
+    EXPECT_LT(br.target, brPc);
+    EXPECT_EQ(p.branchBehavior(br.behaviorId).kind,
+              BranchBehavior::Kind::Loop);
+    EXPECT_EQ(p.branchBehavior(br.behaviorId).trip, 10u);
+}
+
+TEST(ProgramBuilder, HammockSkipsShadow)
+{
+    ProgramBuilder bld(3);
+    BranchBehavior b;
+    b.pTaken = 0.5;
+    bld.emitHammock(b, 4, pureAluMix(), 8);
+    const Program& p = bld.program();
+    const StaticInst& br = p.at(p.base());
+    EXPECT_EQ(br.op, OpClass::CondBranch);
+    // Forward target exactly past the 4-instruction shadow.
+    EXPECT_EQ(br.target, p.base() + 5 * kInstBytes);
+    EXPECT_TRUE(br.sfbEligible);
+}
+
+TEST(ProgramBuilder, LongHammockNotSfbEligible)
+{
+    ProgramBuilder bld(4);
+    BranchBehavior b;
+    bld.emitHammock(b, 20, pureAluMix(), 8);
+    EXPECT_FALSE(bld.program().at(bld.program().base()).sfbEligible);
+}
+
+TEST(ProgramBuilder, IfElseJoins)
+{
+    ProgramBuilder bld(5);
+    BranchBehavior b;
+    bld.emitIfElse(b, 3, 2, pureAluMix());
+    const Program& p = bld.program();
+    // Layout: br, then(3), jump, else(2); br targets else, jump
+    // targets join.
+    const StaticInst& br = p.at(p.base());
+    ASSERT_EQ(br.op, OpClass::CondBranch);
+    const Addr elseAddr = p.base() + (1 + 3 + 1) * kInstBytes;
+    EXPECT_EQ(br.target, elseAddr);
+    const StaticInst& jmp = p.at(p.base() + 4 * kInstBytes);
+    ASSERT_EQ(jmp.op, OpClass::Jump);
+    EXPECT_EQ(jmp.target, elseAddr + 2 * kInstBytes);
+}
+
+TEST(ProgramBuilder, SwitchTargetsCases)
+{
+    ProgramBuilder bld(6);
+    IndirectBehavior proto;
+    proto.kind = IndirectBehavior::Kind::RoundRobin;
+    bld.emitSwitch(proto, 3, 2, pureAluMix());
+    const Program& p = bld.program();
+    const StaticInst& jr = p.at(p.base());
+    ASSERT_EQ(jr.op, OpClass::IndirectJump);
+    const IndirectBehavior& b = p.indirectBehavior(jr.behaviorId);
+    ASSERT_EQ(b.targets.size(), 3u);
+    // Every case target lands within the program and after the jump.
+    for (Addr t : b.targets) {
+        EXPECT_TRUE(p.contains(t));
+        EXPECT_GT(t, p.base());
+    }
+}
+
+TEST(ProgramBuilder, CallAndReturn)
+{
+    ProgramBuilder bld(7);
+    const Addr callee = bld.emitNop();
+    bld.emitReturn();
+    const Addr site = bld.emitCall(callee);
+    const Program& p = bld.program();
+    EXPECT_EQ(p.at(site).op, OpClass::Call);
+    EXPECT_EQ(p.at(site).target, callee);
+}
+
+TEST(ProgramBuilder, Describe)
+{
+    StaticInst si;
+    si.op = OpClass::CondBranch;
+    si.target = 0x1234;
+    const std::string d = si.describe();
+    EXPECT_NE(d.find("br"), std::string::npos);
+    EXPECT_NE(d.find("1234"), std::string::npos);
+}
+
+} // namespace
+} // namespace cobra::prog

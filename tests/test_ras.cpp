@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "core/ras.hpp"
+
+namespace cobra::core {
+namespace {
+
+TEST(Ras, PushPop)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    EXPECT_EQ(ras.top(), 0x200u);
+    ras.pop();
+    EXPECT_EQ(ras.top(), 0x100u);
+}
+
+TEST(Ras, PointerSnapshotRestore)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    const std::uint32_t snap = ras.pointer();
+    ras.push(0x200);
+    ras.push(0x300);
+    ras.restore(snap);
+    EXPECT_EQ(ras.top(), 0x100u);
+}
+
+TEST(Ras, WrapsAround)
+{
+    ReturnAddressStack ras(4);
+    for (Addr a = 0; a < 6; ++a)
+        ras.push(0x1000 + a * 0x10);
+    // Deepest 4 entries survive; top is the most recent.
+    EXPECT_EQ(ras.top(), 0x1050u);
+    ras.pop();
+    EXPECT_EQ(ras.top(), 0x1040u);
+}
+
+TEST(Ras, UnderflowWrapsGracefully)
+{
+    ReturnAddressStack ras(4);
+    ras.push(0xabc);
+    ras.pop();
+    EXPECT_NO_FATAL_FAILURE(ras.pop());
+    EXPECT_NO_FATAL_FAILURE(ras.top());
+}
+
+TEST(Ras, Storage)
+{
+    ReturnAddressStack ras(16);
+    EXPECT_EQ(ras.storageBits(), 16u * 48);
+    EXPECT_GT(ras.physicalCost().flopBits, 0u);
+}
+
+} // namespace
+} // namespace cobra::core

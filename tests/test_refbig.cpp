@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for the REF-BIG commercial-class stand-in (Table III
+ * substitute): its enlarged predictor and wider core must actually
+ * dominate the TAGE-L baseline, or Fig. 10's reference column would
+ * be meaningless.
+ */
+
+#include <gtest/gtest.h>
+
+#include "program/workload.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulator.hpp"
+
+namespace cobra::sim {
+namespace {
+
+TEST(RefBig, MorePredictorStorageThanTageL)
+{
+    bpu::Topology ref = buildTopology(Design::RefBig);
+    bpu::Topology tagel = buildTopology(Design::TageL);
+    std::uint64_t refBits = 0, tagelBits = 0;
+    for (auto* c : ref.componentList())
+        refBits += c->storageBits();
+    for (auto* c : tagel.componentList())
+        tagelBits += c->storageBits();
+    EXPECT_GT(refBits, 2 * tagelBits);
+}
+
+TEST(RefBig, BeatsTageLOnHardWorkload)
+{
+    const prog::Program p = prog::buildWorkload(
+        prog::WorkloadLibrary::profile("leela"));
+    SimConfig refCfg = makeConfig(Design::RefBig);
+    refCfg.maxInsts = 40'000;
+    refCfg.warmupInsts = 15'000;
+    Simulator ref(p, buildTopology(Design::RefBig), refCfg);
+    const auto rRef = ref.run();
+
+    SimConfig baseCfg = makeConfig(Design::TageL);
+    baseCfg.maxInsts = 40'000;
+    baseCfg.warmupInsts = 15'000;
+    Simulator base(p, buildTopology(Design::TageL), baseCfg);
+    const auto rBase = base.run();
+
+    EXPECT_FALSE(rRef.deadlocked);
+    EXPECT_GT(rRef.ipc(), rBase.ipc())
+        << "the wider core must deliver more IPC";
+    EXPECT_GE(rRef.accuracy(), rBase.accuracy() - 0.01)
+        << "the larger predictor must not lose accuracy";
+}
+
+TEST(RefBig, WiderCoreRaisesIlpCeiling)
+{
+    // On the most ILP-rich proxy the 6-wide core must clearly beat
+    // the 4-wide one.
+    const prog::Program p = prog::buildWorkload(
+        prog::WorkloadLibrary::profile("exchange2"));
+    SimConfig refCfg = makeConfig(Design::RefBig);
+    refCfg.maxInsts = 40'000;
+    refCfg.warmupInsts = 15'000;
+    Simulator ref(p, buildTopology(Design::RefBig), refCfg);
+    SimConfig baseCfg = makeConfig(Design::TageL);
+    baseCfg.maxInsts = 40'000;
+    baseCfg.warmupInsts = 15'000;
+    Simulator base(p, buildTopology(Design::TageL), baseCfg);
+    EXPECT_GT(ref.run().ipc(), base.run().ipc() * 1.05);
+}
+
+} // namespace
+} // namespace cobra::sim

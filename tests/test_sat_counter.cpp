@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/sat_counter.hpp"
+
+namespace cobra {
+namespace {
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2, 0);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3);
+    EXPECT_TRUE(c.taken());
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(2, 3);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0);
+    EXPECT_FALSE(c.taken());
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, TakenThreshold)
+{
+    SatCounter c(2, 0);
+    EXPECT_FALSE(c.taken()); // 0
+    c.increment();
+    EXPECT_FALSE(c.taken()); // 1
+    c.increment();
+    EXPECT_TRUE(c.taken()); // 2
+    c.increment();
+    EXPECT_TRUE(c.taken()); // 3
+}
+
+TEST(SatCounter, TrainMovesTowardOutcome)
+{
+    SatCounter c(3, 4);
+    c.train(true);
+    EXPECT_EQ(c.value(), 5);
+    c.train(false);
+    c.train(false);
+    EXPECT_EQ(c.value(), 3);
+}
+
+TEST(SatCounter, SetClamps)
+{
+    SatCounter c(2);
+    c.set(17);
+    EXPECT_EQ(c.value(), 3);
+}
+
+TEST(SatCounter, ConfidenceExtremes)
+{
+    SatCounter c(2, 3);
+    EXPECT_DOUBLE_EQ(c.confidence(), 1.0);
+    c.set(0);
+    EXPECT_DOUBLE_EQ(c.confidence(), 1.0);
+    c.set(2);
+    EXPECT_LT(c.confidence(), 0.6);
+}
+
+TEST(SatCounter, WidthsUpTo16)
+{
+    for (unsigned n = 1; n <= 16; ++n) {
+        SatCounter c(n, 0);
+        EXPECT_EQ(c.maxValue(), maskBits(n));
+        for (unsigned i = 0; i <= c.maxValue() + 2u; ++i)
+            c.increment();
+        EXPECT_EQ(c.value(), c.maxValue());
+    }
+}
+
+TEST(SignedSatCounter, Range)
+{
+    SignedSatCounter c(3, 0);
+    EXPECT_EQ(c.minValue(), -4);
+    EXPECT_EQ(c.maxValue(), 3);
+    for (int i = 0; i < 10; ++i)
+        c.add(1);
+    EXPECT_EQ(c.value(), 3);
+    for (int i = 0; i < 20; ++i)
+        c.add(-1);
+    EXPECT_EQ(c.value(), -4);
+}
+
+TEST(SignedSatCounter, PositiveAtZero)
+{
+    SignedSatCounter c(4, 0);
+    EXPECT_TRUE(c.positive());
+    c.add(-1);
+    EXPECT_FALSE(c.positive());
+}
+
+TEST(SignedSatCounter, SetClamps)
+{
+    SignedSatCounter c(3);
+    c.set(100);
+    EXPECT_EQ(c.value(), 3);
+    c.set(-100);
+    EXPECT_EQ(c.value(), -4);
+}
+
+} // namespace
+} // namespace cobra

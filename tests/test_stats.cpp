@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace cobra {
+namespace {
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    ++c;
+    c += 10;
+    EXPECT_EQ(c.value(), 11u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4);
+    h.sample(0);
+    h.sample(1);
+    h.sample(1);
+    h.sample(99); // clamps to last bucket
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.samples(), 4u);
+}
+
+TEST(Histogram, Mean)
+{
+    Histogram h(16);
+    h.sample(2);
+    h.sample(4);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(StatGroup, NamedCounters)
+{
+    StatGroup g("grp");
+    ++g.counter("a");
+    g.counter("b") += 5;
+    EXPECT_EQ(g.get("a"), 1u);
+    EXPECT_EQ(g.get("b"), 5u);
+    EXPECT_EQ(g.get("missing"), 0u);
+    std::ostringstream oss;
+    g.dump(oss);
+    EXPECT_NE(oss.str().find("grp.a = 1"), std::string::npos);
+}
+
+TEST(Means, Harmonic)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 1.0}), 1.0);
+    EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 0.0}), 0.0);
+}
+
+TEST(Means, Arithmetic)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({2.0, 4.0}), 3.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+}
+
+TEST(Means, Geometric)
+{
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+}
+
+TEST(Means, HarmonicLeqGeometricLeqArithmetic)
+{
+    const std::vector<double> xs{0.7, 1.3, 2.9, 0.4};
+    EXPECT_LE(harmonicMean(xs), geometricMean(xs) + 1e-12);
+    EXPECT_LE(geometricMean(xs), arithmeticMean(xs) + 1e-12);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t("demo");
+    t.addRow({"name", "value"});
+    t.beginRow();
+    t.cell("x");
+    t.cell(3.14159, 2);
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string s = oss.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("3.14"), std::string::npos);
+    EXPECT_NE(s.find("name"), std::string::npos);
+}
+
+TEST(TextTable, Format)
+{
+    EXPECT_EQ(formatDouble(1.5, 1), "1.5");
+    EXPECT_EQ(formatKiB(8 * 1024 * 2), "2.00 KiB");
+}
+
+} // namespace
+} // namespace cobra

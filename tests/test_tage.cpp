@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "components/tage.hpp"
+#include "test_util.hpp"
+
+namespace cobra::comps {
+namespace {
+
+TEST(Tage, DefaultTageLConfig)
+{
+    const TageParams p = TageParams::tageL(4);
+    EXPECT_EQ(p.tables.size(), 7u);
+    Tage t("TAGE", p);
+    EXPECT_EQ(t.maxHistLen(), 64u);
+    EXPECT_EQ(t.latency(), 3u);
+}
+
+TEST(Tage, ColdPassesThrough)
+{
+    Tage t("TAGE", TageParams::tageL(4));
+    HistoryRegister gh(64);
+    bpu::PredictContext ctx;
+    ctx.pc = 0x7000;
+    ctx.validSlots = 4;
+    ctx.ghist = &gh;
+    bpu::PredictionBundle b;
+    b.width = 4;
+    b.slots[1].valid = true;
+    b.slots[1].taken = true;
+    bpu::Metadata meta{};
+    t.predict(ctx, b, meta);
+    EXPECT_TRUE(b.slots[1].valid);
+    EXPECT_TRUE(b.slots[1].taken) << "cold TAGE must not override";
+}
+
+TEST(Tage, LearnsDeepHistoryCorrelation)
+{
+    Tage t("TAGE", TageParams::tageL(4));
+    test::SingleBranchDriver drv(t, 0x7000, 0);
+    const auto outs = test::historyCorrelatedOutcomes(14, 20000);
+    EXPECT_GT(drv.accuracy(outs), 0.97)
+        << "14-deep correlation needs the longer tagged tables";
+}
+
+TEST(Tage, LearnsLoopExits)
+{
+    Tage t("TAGE", TageParams::tageL(4));
+    test::SingleBranchDriver drv(t, 0x7000, 2);
+    drv.setBaseTaken(true);
+    const auto outs = test::loopOutcomes(7, 2500);
+    EXPECT_GT(drv.accuracy(outs), 0.98);
+}
+
+TEST(Tage, LearnsShortPeriodicPattern)
+{
+    Tage t("TAGE", TageParams::tageL(4));
+    test::SingleBranchDriver drv(t, 0x7000, 0);
+    const auto outs = test::periodicOutcomes(0b0101101, 7, 12000);
+    EXPECT_GT(drv.accuracy(outs), 0.97);
+}
+
+TEST(Tage, TracksBiasWithoutHistorySignal)
+{
+    Tage t("TAGE", TageParams::tageL(4));
+    test::SingleBranchDriver drv(t, 0x7000, 0);
+    Rng rng(5);
+    std::vector<bool> outs;
+    for (int i = 0; i < 10000; ++i)
+        outs.push_back(rng.chance(0.9));
+    EXPECT_GT(drv.accuracy(outs), 0.8);
+}
+
+TEST(Tage, SuperscalarSlotsIndependent)
+{
+    Tage t("TAGE", TageParams::tageL(4));
+    test::SingleBranchDriver d0(t, 0x7000, 0);
+    test::SingleBranchDriver d3(t, 0x7000, 3);
+    // Slot 0 always taken, slot 3 alternates; both learnable.
+    int c0 = 0, c3 = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const bool p0 = d0.round(true);
+        const bool p3 = d3.round(i % 2 == 0);
+        if (i > 2000) {
+            c0 += p0 == true;
+            c3 += p3 == (i % 2 == 0);
+        }
+    }
+    EXPECT_GT(c0 / 1999.0, 0.95);
+    EXPECT_GT(c3 / 1999.0, 0.95);
+}
+
+TEST(Tage, MetadataBitsBudget)
+{
+    Tage t("TAGE", TageParams::tageL(4));
+    EXPECT_EQ(t.metaBits(), 4u * 12);
+    EXPECT_LE(t.metaBits(), 256u) << "must fit the Metadata payload";
+}
+
+TEST(Tage, StorageMatchesTableGeometry)
+{
+    TageParams p = TageParams::tageL(4);
+    Tage t("TAGE", p);
+    std::uint64_t expect = 0;
+    for (const auto& tab : p.tables)
+        expect += (1 + tab.tagBits + p.uBits + 4ull * p.ctrBits) *
+                  tab.sets;
+    EXPECT_EQ(t.storageBits(), expect);
+}
+
+TEST(Tage, UpdateWithoutBranchesIsNoop)
+{
+    Tage t("TAGE", TageParams::tageL(4));
+    HistoryRegister gh(64);
+    bpu::Metadata meta{};
+    bpu::ResolveEvent ev;
+    ev.pc = 0x7000;
+    ev.ghist = &gh;
+    ev.meta = &meta;
+    // No brMask bits set: nothing should change (and no crash).
+    EXPECT_NO_FATAL_FAILURE(t.update(ev));
+}
+
+TEST(Tage, RecoversAfterBehaviourChange)
+{
+    // A branch that flips from always-taken to a pattern: TAGE must
+    // re-learn (allocation + u-decay keep the tables adaptive).
+    Tage t("TAGE", TageParams::tageL(4));
+    test::SingleBranchDriver drv(t, 0x7000, 1);
+    for (int i = 0; i < 3000; ++i)
+        drv.round(true);
+    const auto outs = test::periodicOutcomes(0b001, 3, 9000);
+    EXPECT_GT(drv.accuracy(outs), 0.9);
+}
+
+} // namespace
+} // namespace cobra::comps

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "bpu/topology.hpp"
+#include "components/bim.hpp"
+#include "components/btb.hpp"
+#include "components/loop.hpp"
+#include "components/tourney.hpp"
+
+namespace cobra::bpu {
+namespace {
+
+using namespace cobra::comps;
+
+HbimParams
+bimParams(unsigned latency)
+{
+    HbimParams p;
+    p.sets = 64;
+    p.latency = latency;
+    p.fetchWidth = 4;
+    return p;
+}
+
+TEST(Topology, DescribePaperNotation)
+{
+    Topology topo;
+    auto* loop = [&] {
+        LoopParams p;
+        p.entries = 32;
+        p.latency = 3;
+        p.fetchWidth = 4;
+        return topo.make<LoopPredictor>("LOOP", p);
+    }();
+    auto* bim = topo.make<Hbim>("BIM", bimParams(2));
+    MicroBtbParams up;
+    up.entries = 8;
+    up.fetchWidth = 4;
+    auto* ubtb = topo.make<MicroBtb>("uBTB", up);
+    topo.setRoot(topo.chainOf({loop, bim, ubtb}));
+    EXPECT_EQ(topo.describe(), "LOOP3 > BIM2 > uBTB1");
+}
+
+TEST(Topology, DescribeArbNotation)
+{
+    Topology topo;
+    TourneyParams tp;
+    tp.sets = 64;
+    tp.latency = 3;
+    tp.fetchWidth = 4;
+    auto* t = topo.make<Tourney>("TOURNEY", tp);
+    auto* g = topo.make<Hbim>("GBIM", bimParams(2));
+    auto* l = topo.make<Hbim>("LBIM", bimParams(2));
+    topo.setRoot(topo.arb(t, {topo.leaf(g), topo.leaf(l)}));
+    EXPECT_EQ(topo.describe(), "TOURNEY3 > [GBIM2, LBIM2]");
+}
+
+TEST(Topology, DescribeNestedChainInArb)
+{
+    Topology topo;
+    TourneyParams tp;
+    tp.sets = 64;
+    tp.latency = 3;
+    tp.fetchWidth = 4;
+    auto* t = topo.make<Tourney>("TOURNEY", tp);
+    auto* g = topo.make<Hbim>("GBIM", bimParams(2));
+    auto* l = topo.make<Hbim>("LBIM", bimParams(2));
+    BtbParams bp;
+    bp.sets = 16;
+    bp.ways = 2;
+    bp.latency = 2;
+    bp.fetchWidth = 4;
+    auto* btb = topo.make<Btb>("BTB", bp);
+    auto side = topo.chain({topo.leaf(g), topo.leaf(btb)});
+    topo.setRoot(topo.arb(t, {side, topo.leaf(l)}));
+    EXPECT_EQ(topo.describe(), "TOURNEY3 > [(GBIM2 > BTB2), LBIM2]");
+}
+
+TEST(Topology, ValidateRejectsMissingRoot)
+{
+    Topology topo;
+    EXPECT_THROW(topo.validate(), std::logic_error);
+}
+
+TEST(Topology, ValidateRejectsDuplicateComponent)
+{
+    Topology topo;
+    auto* bim = topo.make<Hbim>("BIM", bimParams(2));
+    topo.setRoot(topo.chain({topo.leaf(bim), topo.leaf(bim)}));
+    EXPECT_THROW(topo.validate(), std::logic_error);
+}
+
+TEST(Topology, ArbRequiresArbiterComponent)
+{
+    Topology topo;
+    auto* bim = topo.make<Hbim>("BIM", bimParams(2));
+    auto* other = topo.make<Hbim>("OTHER", bimParams(2));
+    EXPECT_THROW(topo.arb(bim, {topo.leaf(other)}), std::logic_error);
+}
+
+TEST(Topology, MaxLatency)
+{
+    Topology topo;
+    auto* a = topo.make<Hbim>("A", bimParams(2));
+    auto* b = topo.make<Hbim>("B", bimParams(3));
+    topo.setRoot(topo.chainOf({b, a}));
+    EXPECT_EQ(topo.maxLatency(), 3u);
+}
+
+TEST(Topology, ComponentListPreOrderHighestPriorityFirst)
+{
+    Topology topo;
+    auto* a = topo.make<Hbim>("A", bimParams(2));
+    auto* b = topo.make<Hbim>("B", bimParams(2));
+    auto* c = topo.make<Hbim>("C", bimParams(2));
+    topo.setRoot(topo.chainOf({a, b, c}));
+    const auto list = topo.componentList();
+    ASSERT_EQ(list.size(), 3u);
+    EXPECT_EQ(list[0]->name(), "A");
+    EXPECT_EQ(list[1]->name(), "B");
+    EXPECT_EQ(list[2]->name(), "C");
+}
+
+TEST(Topology, PipelineDiagramListsStages)
+{
+    Topology topo;
+    auto* a = topo.make<Hbim>("SLOW", bimParams(3));
+    auto* b = topo.make<Hbim>("FAST", bimParams(2));
+    topo.setRoot(topo.chainOf({a, b}));
+    const std::string d = topo.pipelineDiagram();
+    EXPECT_NE(d.find("Fetch-2: FAST"), std::string::npos);
+    EXPECT_NE(d.find("Fetch-3: SLOW"), std::string::npos);
+    EXPECT_NE(d.find("Fetch-1: (prediction carried over)"),
+              std::string::npos);
+}
+
+TEST(Topology, SingletonChainCollapses)
+{
+    Topology topo;
+    auto* a = topo.make<Hbim>("A", bimParams(2));
+    const NodeRef r = topo.chain({topo.leaf(a)});
+    topo.setRoot(r);
+    EXPECT_NO_THROW(topo.validate());
+    EXPECT_EQ(topo.describe(), "A2");
+}
+
+} // namespace
+} // namespace cobra::bpu

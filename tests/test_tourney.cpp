@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "components/tourney.hpp"
+
+namespace cobra::comps {
+namespace {
+
+TourneyParams
+smallTourney()
+{
+    TourneyParams p;
+    p.sets = 64;
+    p.histBits = 6;
+    p.latency = 3;
+    p.fetchWidth = 4;
+    return p;
+}
+
+struct ArbFixture
+{
+    Tourney t{"TOURNEY", smallTourney()};
+    HistoryRegister gh{64};
+
+    /** One arbitrate+update round; returns the selected direction. */
+    bool
+    round(bool aTaken, bool bTaken, bool actual)
+    {
+        bpu::PredictContext ctx;
+        ctx.pc = 0x2000;
+        ctx.validSlots = 4;
+        ctx.ghist = &gh;
+        std::vector<bpu::PredictionBundle> ins(2);
+        for (auto& in : ins)
+            in.width = 4;
+        ins[0].slots[0].valid = true;
+        ins[0].slots[0].taken = aTaken;
+        ins[1].slots[0].valid = true;
+        ins[1].slots[0].taken = bTaken;
+        bpu::PredictionBundle out;
+        out.width = 4;
+        bpu::Metadata meta{};
+        t.arbitrate(ctx, ins, out, meta);
+        const bool pred = out.slots[0].taken;
+
+        bpu::ResolveEvent ev;
+        ev.pc = 0x2000;
+        ev.ghist = &gh;
+        ev.meta = &meta;
+        ev.brMask[0] = true;
+        ev.takenMask[0] = actual;
+        ev.predicted = &out;
+        t.update(ev);
+        return pred;
+    }
+};
+
+TEST(Tourney, IsArbiter)
+{
+    Tourney t("TOURNEY", smallTourney());
+    EXPECT_TRUE(t.isArbiter());
+}
+
+TEST(Tourney, LearnsToTrustCorrectInput)
+{
+    // Input 0 is always right, input 1 always wrong.
+    ArbFixture f;
+    for (int i = 0; i < 100; ++i)
+        f.round(true, false, true);
+    EXPECT_TRUE(f.round(true, false, true));
+    // Swap: input 1 becomes the reliable one; the counter re-trains.
+    for (int i = 0; i < 100; ++i)
+        f.round(true, false, false);
+    EXPECT_FALSE(f.round(true, false, false));
+}
+
+TEST(Tourney, AgreementDoesNotTrain)
+{
+    ArbFixture f;
+    // Train toward input 1.
+    for (int i = 0; i < 50; ++i)
+        f.round(true, false, false);
+    EXPECT_FALSE(f.round(true, false, false));
+    // Long agreement phase must not move the choice counter.
+    for (int i = 0; i < 200; ++i)
+        f.round(true, true, true);
+    EXPECT_FALSE(f.round(true, false, false))
+        << "agreement rounds must not retrain the selector";
+}
+
+TEST(Tourney, SingleValidInputWins)
+{
+    Tourney t("TOURNEY", smallTourney());
+    HistoryRegister gh(64);
+    bpu::PredictContext ctx;
+    ctx.pc = 0x2000;
+    ctx.validSlots = 4;
+    ctx.ghist = &gh;
+    std::vector<bpu::PredictionBundle> ins(2);
+    for (auto& in : ins)
+        in.width = 4;
+    ins[1].slots[2].valid = true;
+    ins[1].slots[2].taken = true;
+    bpu::PredictionBundle out;
+    out.width = 4;
+    bpu::Metadata meta{};
+    t.arbitrate(ctx, ins, out, meta);
+    EXPECT_TRUE(out.slots[2].valid);
+    EXPECT_TRUE(out.slots[2].taken);
+}
+
+TEST(Tourney, NeitherInputPassesThrough)
+{
+    Tourney t("TOURNEY", smallTourney());
+    HistoryRegister gh(64);
+    bpu::PredictContext ctx;
+    ctx.pc = 0x2000;
+    ctx.validSlots = 4;
+    ctx.ghist = &gh;
+    std::vector<bpu::PredictionBundle> ins(2);
+    for (auto& in : ins)
+        in.width = 4;
+    bpu::PredictionBundle out;
+    out.width = 4;
+    out.slots[1].valid = true;
+    out.slots[1].taken = true; // incoming predict_in
+    bpu::Metadata meta{};
+    t.arbitrate(ctx, ins, out, meta);
+    EXPECT_TRUE(out.slots[1].taken) << "pass-through on no input";
+}
+
+TEST(Tourney, CopiesTargetFromChosenInput)
+{
+    Tourney t("TOURNEY", smallTourney());
+    HistoryRegister gh(64);
+    bpu::PredictContext ctx;
+    ctx.pc = 0x2000;
+    ctx.validSlots = 4;
+    ctx.ghist = &gh;
+    std::vector<bpu::PredictionBundle> ins(2);
+    for (auto& in : ins)
+        in.width = 4;
+    ins[0].slots[0].valid = true;
+    ins[0].slots[0].taken = true;
+    ins[0].slots[0].targetValid = true;
+    ins[0].slots[0].target = 0xbeef0;
+    ins[0].slots[0].type = bpu::CfiType::Br;
+    bpu::PredictionBundle out;
+    out.width = 4;
+    bpu::Metadata meta{};
+    t.arbitrate(ctx, ins, out, meta);
+    EXPECT_TRUE(out.slots[0].targetValid);
+    EXPECT_EQ(out.slots[0].target, 0xbeef0u);
+}
+
+TEST(Tourney, StorageAccounting)
+{
+    Tourney t("TOURNEY", smallTourney());
+    EXPECT_EQ(t.storageBits(), 64u * 2);
+}
+
+} // namespace
+} // namespace cobra::comps

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * cobra_sim: command-line driver for the COBRA reproduction — run any
+ * (design, workload) pair with the §VI options, print the metrics and
+ * optional detailed statistics.
+ *
+ * Usage:
+ *   cobra_sim [--design NAME] [--workload NAME] [--insts N]
+ *             [--warmup N] [--ghist none|repair|replay] [--sfb]
+ *             [--serialize] [--stats] [--list]
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "program/workload.hpp"
+#include "sim/core_area.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulator.hpp"
+
+using namespace cobra;
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "cobra_sim — COBRA predictor-composition simulator\n"
+        "\n"
+        "  --design NAME     tourney | b2 | tagel | refbig (default tagel)\n"
+        "  --workload NAME   SPECint17 proxy / dhrystone / coremark\n"
+        "                    (default leela)\n"
+        "  --insts N         measured instructions (default 400000)\n"
+        "  --warmup N        warmup instructions (default 120000)\n"
+        "  --ghist MODE      none | repair | replay (default replay)\n"
+        "  --sfb             enable short-forwards-branch predication\n"
+        "  --serialize       serialize fetch behind branches (§I)\n"
+        "  --stats           dump detailed pipeline statistics\n"
+        "  --area            print the predictor/core area breakdown\n"
+        "  --list            list designs and workloads\n";
+}
+
+sim::Design
+parseDesign(const std::string& s)
+{
+    if (s == "tourney")
+        return sim::Design::Tourney;
+    if (s == "b2")
+        return sim::Design::B2;
+    if (s == "tagel")
+        return sim::Design::TageL;
+    if (s == "refbig")
+        return sim::Design::RefBig;
+    throw std::runtime_error("unknown design: " + s);
+}
+
+bpu::GhistRepairMode
+parseGhist(const std::string& s)
+{
+    if (s == "none")
+        return bpu::GhistRepairMode::None;
+    if (s == "repair")
+        return bpu::GhistRepairMode::RepairOnly;
+    if (s == "replay")
+        return bpu::GhistRepairMode::RepairAndReplay;
+    throw std::runtime_error("unknown ghist mode: " + s);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    sim::Design design = sim::Design::TageL;
+    std::string workload = "leela";
+    std::uint64_t insts = 400'000;
+    std::uint64_t warmup = 120'000;
+    bpu::GhistRepairMode ghist = bpu::GhistRepairMode::RepairAndReplay;
+    bool sfb = false, serialize = false, stats = false, area = false;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            auto next = [&]() -> std::string {
+                if (++i >= argc)
+                    throw std::runtime_error("missing value for " + a);
+                return argv[i];
+            };
+            if (a == "--design")
+                design = parseDesign(next());
+            else if (a == "--workload")
+                workload = next();
+            else if (a == "--insts")
+                insts = std::stoull(next());
+            else if (a == "--warmup")
+                warmup = std::stoull(next());
+            else if (a == "--ghist")
+                ghist = parseGhist(next());
+            else if (a == "--sfb")
+                sfb = true;
+            else if (a == "--serialize")
+                serialize = true;
+            else if (a == "--stats")
+                stats = true;
+            else if (a == "--area")
+                area = true;
+            else if (a == "--list") {
+                std::cout << "designs: tourney b2 tagel refbig\n"
+                          << "workloads:";
+                for (const auto& w : prog::WorkloadLibrary::all())
+                    std::cout << " " << w;
+                std::cout << "\n";
+                return 0;
+            } else if (a == "--help" || a == "-h") {
+                usage();
+                return 0;
+            } else {
+                throw std::runtime_error("unknown option: " + a);
+            }
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n\n";
+        usage();
+        return 2;
+    }
+
+    const prog::Program program =
+        prog::buildWorkload(prog::WorkloadLibrary::profile(workload));
+
+    bpu::Topology topo = sim::buildTopology(design);
+    std::cout << "design:   " << sim::designName(design) << "  ("
+              << topo.describe() << ")\n"
+              << "workload: " << program.name() << " ("
+              << program.size() << " static insts)\n"
+              << "ghist:    " << bpu::ghistRepairModeName(ghist)
+              << (sfb ? ", SFB on" : "")
+              << (serialize ? ", serialized fetch" : "") << "\n\n";
+
+    sim::SimConfig cfg = sim::makeConfig(design);
+    cfg.maxInsts = insts;
+    cfg.warmupInsts = warmup;
+    cfg.frontend.ghistMode = ghist;
+    cfg.backend.ghistMode = ghist;
+    cfg.backend.sfbEnabled = sfb;
+    cfg.frontend.serializeFetch = serialize;
+
+    sim::Simulator s(program, std::move(topo), cfg);
+    const sim::SimResult r = s.run();
+
+    TextTable t;
+    t.addRow({"metric", "value"});
+    auto row = [&t](const std::string& k, const std::string& v) {
+        t.beginRow();
+        t.cell(k);
+        t.cell(v);
+    };
+    row("instructions", std::to_string(r.insts));
+    row("cycles", std::to_string(r.cycles));
+    row("IPC", formatDouble(r.ipc(), 3));
+    row("cond branches", std::to_string(r.condBranches));
+    row("cond mispredicts", std::to_string(r.condMispredicts));
+    row("jalr mispredicts", std::to_string(r.jalrMispredicts));
+    row("branch MPKI", formatDouble(r.mpki(), 2));
+    row("accuracy", formatDouble(100 * r.accuracy(), 2) + "%");
+    if (sfb)
+        row("SFB conversions", std::to_string(r.sfbConversions));
+    t.print(std::cout);
+
+    if (r.deadlocked) {
+        std::cerr << "\nwarning: run aborted (no commit progress)\n";
+        return 1;
+    }
+
+    if (stats) {
+        std::cout << "\n";
+        s.frontend().stats().dump(std::cout);
+        s.backend().stats().dump(std::cout);
+        s.bpu().stats().dump(std::cout);
+        std::cout << "caches.l1i.misses = "
+                  << s.caches().l1i().misses() << "\n"
+                  << "caches.l1d.misses = "
+                  << s.caches().l1d().misses() << "\n"
+                  << "caches.l2.misses = " << s.caches().l2().misses()
+                  << "\n";
+    }
+
+    if (area) {
+        std::cout << "\n";
+        const phys::AreaModel model;
+        const auto pr = s.bpu().areaReport(model);
+        std::cout << "predictor area (um^2):\n";
+        for (const auto& item : pr.items)
+            std::cout << "  " << item.name << ": "
+                      << formatDouble(item.um2, 0) << "\n";
+        const auto cr = sim::coreAreaReport(design, model);
+        std::cout << "core total: " << formatDouble(cr.total() / 1e6, 3)
+                  << " mm^2 (BPU "
+                  << formatDouble(100 * pr.total() / cr.total(), 1)
+                  << "%)\n";
+    }
+    return 0;
+}

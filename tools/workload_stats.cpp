@@ -1,0 +1,72 @@
+/**
+ * @file
+ * workload_stats: characterise the synthetic SPEC-proxy workloads —
+ * static/dynamic branch populations, taken rates, behaviour-class
+ * mixes, memory density. Companion to docs/WORKLOADS.md.
+ *
+ * Usage: workload_stats [workload ...]   (default: all)
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "program/analysis.hpp"
+#include "program/workload.hpp"
+
+using namespace cobra;
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i)
+        names.emplace_back(argv[i]);
+    if (names.empty())
+        names = prog::WorkloadLibrary::all();
+
+    TextTable t("workload characterisation (100k dynamic insts)");
+    t.addRow({"workload", "stat insts", "stat brs", "dyn br/inst",
+              "taken%", "mem/inst", "calls/KI", "ind/KI", "sfb-elig"});
+
+    for (const auto& name : names) {
+        prog::Program p;
+        try {
+            p = prog::buildWorkload(
+                prog::WorkloadLibrary::profile(name));
+        } catch (const std::exception& e) {
+            std::cerr << "skipping " << name << ": " << e.what()
+                      << "\n";
+            continue;
+        }
+        const prog::WorkloadStats s = prog::analyzeWorkload(p);
+        t.beginRow();
+        t.cell(name);
+        t.cell(std::to_string(s.staticInsts));
+        t.cell(std::to_string(s.staticBranches));
+        t.cell(s.branchDensity(), 3);
+        t.cell(100 * s.takenRate(), 1);
+        t.cell(s.memDensity(), 3);
+        t.cell(1000.0 * s.dynCalls / s.dynInsts, 1);
+        t.cell(1000.0 * s.dynIndirect / s.dynInsts, 2);
+        t.cell(std::to_string(s.staticSfbEligible));
+    }
+    t.print(std::cout);
+
+    std::cout << "\nstatic branch-behaviour mix:\n";
+    for (const auto& name : names) {
+        prog::Program p;
+        try {
+            p = prog::buildWorkload(
+                prog::WorkloadLibrary::profile(name));
+        } catch (const std::exception&) {
+            continue;
+        }
+        const prog::WorkloadStats s = prog::analyzeWorkload(p, 1);
+        std::cout << "  " << name << ":";
+        for (const auto& [kind, count] : s.staticByKind)
+            std::cout << " " << prog::behaviorKindName(kind) << "="
+                      << count;
+        std::cout << "\n";
+    }
+    return 0;
+}
