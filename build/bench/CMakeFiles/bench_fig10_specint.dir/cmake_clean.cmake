@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_specint.dir/bench_fig10_specint.cpp.o"
+  "CMakeFiles/bench_fig10_specint.dir/bench_fig10_specint.cpp.o.d"
+  "bench_fig10_specint"
+  "bench_fig10_specint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_specint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_topologies.dir/bench_fig4_topologies.cpp.o"
+  "CMakeFiles/bench_fig4_topologies.dir/bench_fig4_topologies.cpp.o.d"
+  "bench_fig4_topologies"
+  "bench_fig4_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_pipelines.dir/bench_fig7_pipelines.cpp.o"
+  "CMakeFiles/bench_fig7_pipelines.dir/bench_fig7_pipelines.cpp.o.d"
+  "bench_fig7_pipelines"
+  "bench_fig7_pipelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_predictor_area.dir/bench_fig8_predictor_area.cpp.o"
+  "CMakeFiles/bench_fig8_predictor_area.dir/bench_fig8_predictor_area.cpp.o.d"
+  "bench_fig8_predictor_area"
+  "bench_fig8_predictor_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_predictor_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_serialization.dir/bench_intro_serialization.cpp.o"
+  "CMakeFiles/bench_intro_serialization.dir/bench_intro_serialization.cpp.o.d"
+  "bench_intro_serialization"
+  "bench_intro_serialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_storage.dir/bench_table1_storage.cpp.o"
+  "CMakeFiles/bench_table1_storage.dir/bench_table1_storage.cpp.o.d"
+  "bench_table1_storage"
+  "bench_table1_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

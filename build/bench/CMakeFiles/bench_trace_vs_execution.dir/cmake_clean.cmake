@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_vs_execution.dir/bench_trace_vs_execution.cpp.o"
+  "CMakeFiles/bench_trace_vs_execution.dir/bench_trace_vs_execution.cpp.o.d"
+  "bench_trace_vs_execution"
+  "bench_trace_vs_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_vs_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

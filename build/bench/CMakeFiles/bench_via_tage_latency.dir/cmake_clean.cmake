@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_via_tage_latency.dir/bench_via_tage_latency.cpp.o"
+  "CMakeFiles/bench_via_tage_latency.dir/bench_via_tage_latency.cpp.o.d"
+  "bench_via_tage_latency"
+  "bench_via_tage_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_via_tage_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_via_tage_latency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vib_ghist_repair.dir/bench_vib_ghist_repair.cpp.o"
+  "CMakeFiles/bench_vib_ghist_repair.dir/bench_vib_ghist_repair.cpp.o.d"
+  "bench_vib_ghist_repair"
+  "bench_vib_ghist_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vib_ghist_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

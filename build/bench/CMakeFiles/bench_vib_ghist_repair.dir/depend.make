@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_vib_ghist_repair.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vic_sfb.dir/bench_vic_sfb.cpp.o"
+  "CMakeFiles/bench_vic_sfb.dir/bench_vic_sfb.cpp.o.d"
+  "bench_vic_sfb"
+  "bench_vic_sfb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vic_sfb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

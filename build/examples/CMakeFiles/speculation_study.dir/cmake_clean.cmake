@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculation_study.dir/speculation_study.cpp.o"
+  "CMakeFiles/speculation_study.dir/speculation_study.cpp.o.d"
+  "speculation_study"
+  "speculation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpu/bpu.cpp" "src/CMakeFiles/cobra.dir/bpu/bpu.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/bpu/bpu.cpp.o.d"
+  "/root/repo/src/bpu/composer.cpp" "src/CMakeFiles/cobra.dir/bpu/composer.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/bpu/composer.cpp.o.d"
+  "/root/repo/src/bpu/topology.cpp" "src/CMakeFiles/cobra.dir/bpu/topology.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/bpu/topology.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/cobra.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/cobra.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/common/table.cpp.o.d"
+  "/root/repo/src/components/bim.cpp" "src/CMakeFiles/cobra.dir/components/bim.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/components/bim.cpp.o.d"
+  "/root/repo/src/components/btb.cpp" "src/CMakeFiles/cobra.dir/components/btb.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/components/btb.cpp.o.d"
+  "/root/repo/src/components/gtag.cpp" "src/CMakeFiles/cobra.dir/components/gtag.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/components/gtag.cpp.o.d"
+  "/root/repo/src/components/ittage.cpp" "src/CMakeFiles/cobra.dir/components/ittage.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/components/ittage.cpp.o.d"
+  "/root/repo/src/components/loop.cpp" "src/CMakeFiles/cobra.dir/components/loop.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/components/loop.cpp.o.d"
+  "/root/repo/src/components/perceptron.cpp" "src/CMakeFiles/cobra.dir/components/perceptron.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/components/perceptron.cpp.o.d"
+  "/root/repo/src/components/stat_corrector.cpp" "src/CMakeFiles/cobra.dir/components/stat_corrector.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/components/stat_corrector.cpp.o.d"
+  "/root/repo/src/components/tage.cpp" "src/CMakeFiles/cobra.dir/components/tage.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/components/tage.cpp.o.d"
+  "/root/repo/src/components/tourney.cpp" "src/CMakeFiles/cobra.dir/components/tourney.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/components/tourney.cpp.o.d"
+  "/root/repo/src/components/yags.cpp" "src/CMakeFiles/cobra.dir/components/yags.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/components/yags.cpp.o.d"
+  "/root/repo/src/core/backend.cpp" "src/CMakeFiles/cobra.dir/core/backend.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/core/backend.cpp.o.d"
+  "/root/repo/src/core/cache.cpp" "src/CMakeFiles/cobra.dir/core/cache.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/core/cache.cpp.o.d"
+  "/root/repo/src/core/frontend.cpp" "src/CMakeFiles/cobra.dir/core/frontend.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/core/frontend.cpp.o.d"
+  "/root/repo/src/exec/oracle.cpp" "src/CMakeFiles/cobra.dir/exec/oracle.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/exec/oracle.cpp.o.d"
+  "/root/repo/src/phys/area_model.cpp" "src/CMakeFiles/cobra.dir/phys/area_model.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/phys/area_model.cpp.o.d"
+  "/root/repo/src/program/analysis.cpp" "src/CMakeFiles/cobra.dir/program/analysis.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/program/analysis.cpp.o.d"
+  "/root/repo/src/program/builder.cpp" "src/CMakeFiles/cobra.dir/program/builder.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/program/builder.cpp.o.d"
+  "/root/repo/src/program/program.cpp" "src/CMakeFiles/cobra.dir/program/program.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/program/program.cpp.o.d"
+  "/root/repo/src/program/workload.cpp" "src/CMakeFiles/cobra.dir/program/workload.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/program/workload.cpp.o.d"
+  "/root/repo/src/sim/core_area.cpp" "src/CMakeFiles/cobra.dir/sim/core_area.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/sim/core_area.cpp.o.d"
+  "/root/repo/src/sim/presets.cpp" "src/CMakeFiles/cobra.dir/sim/presets.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/sim/presets.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/cobra.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/cobra.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/cobra.dir/trace/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

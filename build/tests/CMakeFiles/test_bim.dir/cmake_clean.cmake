@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bim.dir/test_bim.cpp.o"
+  "CMakeFiles/test_bim.dir/test_bim.cpp.o.d"
+  "test_bim"
+  "test_bim.pdb"
+  "test_bim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

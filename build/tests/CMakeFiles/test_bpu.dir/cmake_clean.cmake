@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bpu.dir/test_bpu.cpp.o"
+  "CMakeFiles/test_bpu.dir/test_bpu.cpp.o.d"
+  "test_bpu"
+  "test_bpu.pdb"
+  "test_bpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

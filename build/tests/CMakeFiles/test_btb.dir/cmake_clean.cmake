@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_btb.dir/test_btb.cpp.o"
+  "CMakeFiles/test_btb.dir/test_btb.cpp.o.d"
+  "test_btb"
+  "test_btb.pdb"
+  "test_btb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_btb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

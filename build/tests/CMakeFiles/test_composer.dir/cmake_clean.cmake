@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_composer.dir/test_composer.cpp.o"
+  "CMakeFiles/test_composer.dir/test_composer.cpp.o.d"
+  "test_composer"
+  "test_composer.pdb"
+  "test_composer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_composer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_composer_edge.dir/test_composer_edge.cpp.o"
+  "CMakeFiles/test_composer_edge.dir/test_composer_edge.cpp.o.d"
+  "test_composer_edge"
+  "test_composer_edge.pdb"
+  "test_composer_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_composer_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_folded_history.dir/test_folded_history.cpp.o"
+  "CMakeFiles/test_folded_history.dir/test_folded_history.cpp.o.d"
+  "test_folded_history"
+  "test_folded_history.pdb"
+  "test_folded_history[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_folded_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontend_backend.dir/test_frontend_backend.cpp.o"
+  "CMakeFiles/test_frontend_backend.dir/test_frontend_backend.cpp.o.d"
+  "test_frontend_backend"
+  "test_frontend_backend.pdb"
+  "test_frontend_backend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontend_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gtag.dir/test_gtag.cpp.o"
+  "CMakeFiles/test_gtag.dir/test_gtag.cpp.o.d"
+  "test_gtag"
+  "test_gtag.pdb"
+  "test_gtag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gtag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_histories.dir/test_histories.cpp.o"
+  "CMakeFiles/test_histories.dir/test_histories.cpp.o.d"
+  "test_histories"
+  "test_histories.pdb"
+  "test_histories[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_histories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

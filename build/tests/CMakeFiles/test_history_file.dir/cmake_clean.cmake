@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_history_file.dir/test_history_file.cpp.o"
+  "CMakeFiles/test_history_file.dir/test_history_file.cpp.o.d"
+  "test_history_file"
+  "test_history_file.pdb"
+  "test_history_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_history_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

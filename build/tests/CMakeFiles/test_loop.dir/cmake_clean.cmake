@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loop.dir/test_loop.cpp.o"
+  "CMakeFiles/test_loop.dir/test_loop.cpp.o.d"
+  "test_loop"
+  "test_loop.pdb"
+  "test_loop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perceptron.dir/test_perceptron.cpp.o"
+  "CMakeFiles/test_perceptron.dir/test_perceptron.cpp.o.d"
+  "test_perceptron"
+  "test_perceptron.pdb"
+  "test_perceptron[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perceptron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

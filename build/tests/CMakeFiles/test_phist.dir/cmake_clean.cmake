@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phist.dir/test_phist.cpp.o"
+  "CMakeFiles/test_phist.dir/test_phist.cpp.o.d"
+  "test_phist"
+  "test_phist.pdb"
+  "test_phist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ras.dir/test_ras.cpp.o"
+  "CMakeFiles/test_ras.dir/test_ras.cpp.o.d"
+  "test_ras"
+  "test_ras.pdb"
+  "test_ras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

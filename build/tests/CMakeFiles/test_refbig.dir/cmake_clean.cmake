@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refbig.dir/test_refbig.cpp.o"
+  "CMakeFiles/test_refbig.dir/test_refbig.cpp.o.d"
+  "test_refbig"
+  "test_refbig.pdb"
+  "test_refbig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refbig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tage.dir/test_tage.cpp.o"
+  "CMakeFiles/test_tage.dir/test_tage.cpp.o.d"
+  "test_tage"
+  "test_tage.pdb"
+  "test_tage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tourney.dir/test_tourney.cpp.o"
+  "CMakeFiles/test_tourney.dir/test_tourney.cpp.o.d"
+  "test_tourney"
+  "test_tourney.pdb"
+  "test_tourney[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tourney.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

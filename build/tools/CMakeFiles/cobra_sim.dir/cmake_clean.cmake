@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_sim.dir/cobra_sim.cpp.o"
+  "CMakeFiles/cobra_sim.dir/cobra_sim.cpp.o.d"
+  "cobra_sim"
+  "cobra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

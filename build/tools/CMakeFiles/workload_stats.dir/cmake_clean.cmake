@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_stats.dir/workload_stats.cpp.o"
+  "CMakeFiles/workload_stats.dir/workload_stats.cpp.o.d"
+  "workload_stats"
+  "workload_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
