@@ -15,8 +15,43 @@ ghistRepairModeName(GhistRepairMode m)
     return "?";
 }
 
+void
+BpuConfig::validate() const
+{
+    auto require = [](bool ok, const char* field, const char* detail) {
+        if (!ok)
+            throw guard::ConfigError(field, detail);
+    };
+    require(fetchWidth >= 1 && fetchWidth <= kMaxFetchWidth,
+            "bpu.fetchWidth", "must be in [1, 8]");
+    require(historyFileEntries >= 2, "bpu.historyFileEntries",
+            "must be >= 2 (one in-flight packet plus headroom)");
+    require(ghistBits >= 1, "bpu.ghistBits", "must be >= 1");
+    require(lhistSets >= 1, "bpu.lhistSets", "must be >= 1");
+    require(lhistBits >= 1 && lhistBits <= 64, "bpu.lhistBits",
+            "must be in [1, 64]");
+    require(phistBits >= 1 && phistBits <= 64, "bpu.phistBits",
+            "must be in [1, 64]");
+    require(walkWidth >= 1, "bpu.walkWidth",
+            "must be >= 1 or the repair walk never drains");
+    require(updateWidth >= 1, "bpu.updateWidth",
+            "must be >= 1 or commit updates never drain");
+}
+
+namespace {
+
+/** Validate before any member construction sees the values. */
+const BpuConfig&
+validated(const BpuConfig& cfg)
+{
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace
+
 BranchPredictorUnit::BranchPredictorUnit(Topology topo, const BpuConfig& cfg)
-    : cfg_(cfg),
+    : cfg_(validated(cfg)),
       pred_(std::move(topo), cfg.fetchWidth),
       ghist_(cfg.ghistBits),
       lhist_(cfg.lhistSets, cfg.lhistBits),
@@ -34,7 +69,7 @@ BranchPredictorUnit::beginQuery(QueryState& q, Addr pc, unsigned valid_slots)
 {
     q.reset(pc, valid_slots, static_cast<unsigned>(
                 pred_.components().size()),
-            cfg_.fetchWidth);
+            cfg_.fetchWidth, ++querySerial_);
     ++stats_.counter("queries");
 }
 
@@ -157,7 +192,7 @@ BranchPredictorUnit::queueRepairWalk(FtqPos after)
     if (hf_.tailPos() == after + 1)
         return;
     for (FtqPos pos = hf_.tailPos(); pos-- > after + 1;)
-        repairQueue_.push_back(hf_.at(pos));
+        repairQueue_.push_back(RepairJob{hf_.at(pos), pos});
     ++stats_.counter("repair_walks");
 }
 
@@ -254,8 +289,8 @@ BranchPredictorUnit::tick()
     // Repair walk has priority over commit updates (§IV-B2).
     unsigned walked = 0;
     while (walked < cfg_.walkWidth && !repairQueue_.empty()) {
-        const HistoryFileEntry& e = repairQueue_.front();
-        ResolveEvent ev = makeEvent(e, 0);
+        const HistoryFileEntry& e = repairQueue_.front().entry;
+        ResolveEvent ev = makeEvent(e, repairQueue_.front().pos);
         // For squashed entries the "resolved" directions are the
         // misspeculated ones recorded at fire time.
         ev.takenMask = e.specTakenMask;

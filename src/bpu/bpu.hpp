@@ -39,6 +39,12 @@ struct BpuConfig
     unsigned walkWidth = 1;
     /** Commit updates issued per cycle. */
     unsigned updateWidth = 1;
+
+    /**
+     * Check structural invariants; throws guard::ConfigError with an
+     * actionable message on the first violation.
+     */
+    void validate() const;
 };
 
 /** Arguments for finalizing a query at Fetch-3. */
@@ -192,8 +198,19 @@ class BranchPredictorUnit
     PathHistoryProvider phist_;
     HistoryFile hf_;
 
+    /** A squashed entry awaiting its repair event, with the position
+     *  it occupied (so repair events carry a truthful ftqIdx). */
+    struct RepairJob
+    {
+        HistoryFileEntry entry;
+        FtqPos pos = 0;
+    };
+
     /** Copies of squashed entries awaiting their repair event. */
-    std::deque<HistoryFileEntry> repairQueue_;
+    std::deque<RepairJob> repairQueue_;
+
+    /** Monotonic query id handed to PredictContext::serial. */
+    std::uint64_t querySerial_ = 0;
 
     StatGroup stats_{"bpu"};
 };

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bpu/pred_types.hpp"
+#include "guard/errors.hpp"
 #include "phys/area_model.hpp"
 #include "phys/energy_model.hpp"
 
@@ -39,8 +40,18 @@ class PredictorComponent
         : name_(std::move(name)), latency_(latency),
           fetchWidth_(fetch_width)
     {
-        assert(latency >= 1);
-        assert(fetch_width >= 1 && fetch_width <= kMaxFetchWidth);
+        if (latency < 1) {
+            throw guard::ConfigError(
+                "component '" + name_ + "'",
+                "latency must be >= 1, got " + std::to_string(latency));
+        }
+        if (fetch_width < 1 || fetch_width > kMaxFetchWidth) {
+            throw guard::ConfigError(
+                "component '" + name_ + "'",
+                "fetch width must be in [1, " +
+                    std::to_string(kMaxFetchWidth) + "], got " +
+                    std::to_string(fetch_width));
+        }
     }
 
     virtual ~PredictorComponent() = default;
@@ -93,8 +104,10 @@ class PredictorComponent
               const std::vector<PredictionBundle>& inputs,
               PredictionBundle& inout, Metadata& meta)
     {
-        (void)ctx; (void)inputs; (void)inout; (void)meta;
-        assert(!"arbitrate() called on a non-arbiter component");
+        (void)inputs; (void)inout; (void)meta;
+        throw guard::ContractViolation(
+            name_, ctx.serial,
+            "arbitrate() called on a non-arbiter component");
     }
 
     // ---- Event interface (paper §III-E) ------------------------------
@@ -110,6 +123,21 @@ class PredictorComponent
 
     /** Slow commit-time update from a committing branch. */
     virtual void update(const ResolveEvent& ev) { (void)ev; }
+
+    // ---- Fault injection (SimGuard) -----------------------------------
+
+    /**
+     * Flip one bit of architectural predictor state chosen by the
+     * 64-bit random value @p rand. Returns false when the component
+     * has no injectable table state (the FaultInjector then perturbs
+     * the prediction output instead). Deterministic for a given
+     * @p rand and state shape.
+     */
+    virtual bool flipStateBit(std::uint64_t rand)
+    {
+        (void)rand;
+        return false;
+    }
 
     // ---- Physical characterisation ------------------------------------
 
@@ -166,9 +194,18 @@ class PredictorComponent
     const HistoryRegister&
     requireGhist(const PredictContext& ctx) const
     {
-        assert(latency_ >= 2 &&
-               "1-cycle components cannot read global history");
-        assert(ctx.ghist != nullptr);
+        if (latency_ < 2) {
+            throw guard::ContractViolation(
+                name_, ctx.serial,
+                "1-cycle components cannot read global history "
+                "(histories arrive at the end of Fetch-1, §III-B)");
+        }
+        if (ctx.ghist == nullptr) {
+            throw guard::ContractViolation(
+                name_, ctx.serial,
+                "global history unavailable: predict called before "
+                "the Fetch-1 history capture");
+        }
         return *ctx.ghist;
     }
 

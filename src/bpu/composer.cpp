@@ -43,7 +43,7 @@ applySlotPatch(PredictionSlot& dst, const PredictionSlot& src,
 
 void
 QueryState::reset(Addr pc, unsigned valid_slots, unsigned num_components,
-                  unsigned width)
+                  unsigned width, std::uint64_t serial)
 {
     pc_ = pc;
     validSlots_ = valid_slots;
@@ -52,6 +52,7 @@ QueryState::reset(Addr pc, unsigned valid_slots, unsigned num_components,
     lhist_ = 0;
     phist_ = 0;
     lastStage_ = 0;
+    serial_ = serial;
     results_.assign(num_components, CompResult{});
     metas_.assign(num_components, Metadata{});
 }
@@ -64,8 +65,8 @@ ComposedPredictor::ComposedPredictor(Topology topo, unsigned width)
     maxLatency_ = topo_.maxLatency();
     for (auto* c : components_) {
         if (c->fetchWidth() < width_) {
-            throw std::logic_error("component '" + c->name() +
-                                   "' narrower than pipeline width");
+            throw guard::ConfigError("component '" + c->name() +
+                                     "' narrower than pipeline width");
         }
     }
     // An arbiter must not respond before the predictions it chooses
@@ -89,7 +90,7 @@ ComposedPredictor::ComposedPredictor(Topology topo, unsigned width)
         }
         for (auto* k : kids) {
             if (k->latency() > n.comp->latency()) {
-                throw std::logic_error(
+                throw guard::ConfigError(
                     "arbiter '" + n.comp->name() +
                     "' responds before its input '" + k->name() + "'");
             }
@@ -118,6 +119,8 @@ ComposedPredictor::makeContext(const QueryState& q, unsigned d) const
     ctx.ghist = (d >= 2 && q.histCaptured_) ? &q.ghist_ : nullptr;
     ctx.lhist = (d >= 2 && q.histCaptured_) ? q.lhist_ : 0;
     ctx.phist = (d >= 2 && q.histCaptured_) ? q.phist_ : 0;
+    ctx.stage = d;
+    ctx.serial = q.serial_;
     return ctx;
 }
 

@@ -37,9 +37,10 @@ class QueryState
   public:
     QueryState() = default;
 
-    /** Reset for a new query over @p numComponents components. */
+    /** Reset for a new query over @p numComponents components.
+     *  @p serial is the BPU's monotonic query id (0 outside a BPU). */
     void reset(Addr pc, unsigned valid_slots, unsigned num_components,
-               unsigned width);
+               unsigned width, std::uint64_t serial = 0);
 
     /** Capture histories (call at the end of Fetch-1, §III-B). */
     void
@@ -82,6 +83,7 @@ class QueryState
     std::uint64_t lhist_ = 0;
     std::uint64_t phist_ = 0;
     unsigned lastStage_ = 0;
+    std::uint64_t serial_ = 0;
     std::vector<CompResult> results_;
     MetadataBundle metas_;
 };

@@ -121,6 +121,15 @@ struct PredictContext
     std::uint64_t lhist = 0;
     /** Path history: hashed PCs of recent taken CFIs (§IV-B3). */
     std::uint64_t phist = 0;
+    /**
+     * Pipeline stage this call is made at (0 when driven outside the
+     * composer, e.g. by component-level tests). The contract requires
+     * stage == latency() for chain members; arbiter children may be
+     * first evaluated at the arbiter's (later) stage.
+     */
+    unsigned stage = 0;
+    /** Monotonic query id from the BPU (0 outside the composer). */
+    std::uint64_t serial = 0;
 };
 
 /**

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <set>
 #include <sstream>
-#include <stdexcept>
+#include <unordered_map>
+
+#include "guard/errors.hpp"
 
 namespace cobra::bpu {
 
@@ -18,7 +20,7 @@ NodeRef
 Topology::leaf(PredictorComponent* comp)
 {
     if (comp == nullptr)
-        throw std::logic_error("leaf: null component");
+        throw guard::ConfigError("leaf: null component");
     Node n;
     n.kind = NodeKind::Leaf;
     n.comp = comp;
@@ -29,14 +31,14 @@ NodeRef
 Topology::chain(std::vector<NodeRef> children)
 {
     if (children.empty())
-        throw std::logic_error("chain: no children");
+        throw guard::ConfigError("chain: no children");
     if (children.size() == 1)
         return children.front();
     Node n;
     n.kind = NodeKind::Chain;
     for (const auto& c : children) {
         if (!c.valid())
-            throw std::logic_error("chain: invalid child");
+            throw guard::ConfigError("chain: invalid child");
         n.children.push_back(c.idx);
     }
     return NodeRef{addNode(std::move(n))};
@@ -46,15 +48,15 @@ NodeRef
 Topology::arb(PredictorComponent* arbiter, std::vector<NodeRef> children)
 {
     if (arbiter == nullptr || !arbiter->isArbiter())
-        throw std::logic_error("arb: arbiter component required");
+        throw guard::ConfigError("arb: arbiter component required");
     if (children.empty())
-        throw std::logic_error("arb: no children");
+        throw guard::ConfigError("arb: no children");
     Node n;
     n.kind = NodeKind::Arb;
     n.comp = arbiter;
     for (const auto& c : children) {
         if (!c.valid())
-            throw std::logic_error("arb: invalid child");
+            throw guard::ConfigError("arb: invalid child");
         n.children.push_back(c.idx);
     }
     return NodeRef{addNode(std::move(n))};
@@ -74,15 +76,41 @@ void
 Topology::validate() const
 {
     if (!root_.valid())
-        throw std::logic_error("topology: root not set");
+        throw guard::ConfigError("topology: root not set");
     std::vector<PredictorComponent*> comps;
     collectComponents(root_.idx, comps);
     std::set<PredictorComponent*> seen;
     for (auto* c : comps) {
         if (!seen.insert(c).second) {
-            throw std::logic_error("topology: component '" + c->name() +
-                                   "' used more than once");
+            throw guard::ConfigError("topology: component '" + c->name() +
+                                     "' used more than once");
         }
+    }
+}
+
+void
+Topology::wrapEach(
+    const std::function<std::unique_ptr<PredictorComponent>(
+        std::unique_ptr<PredictorComponent>)>& wrap)
+{
+    std::unordered_map<PredictorComponent*, PredictorComponent*> remap;
+    for (auto& owned : owned_) {
+        PredictorComponent* before = owned.get();
+        owned = wrap(std::move(owned));
+        if (owned == nullptr)
+            throw guard::ConfigError("wrapEach: wrapper returned null");
+        remap[before] = owned.get();
+    }
+    for (Node& n : nodes_) {
+        if (n.comp == nullptr)
+            continue;
+        auto it = remap.find(n.comp);
+        if (it == remap.end()) {
+            throw guard::ConfigError(
+                "wrapEach: node references a component the topology "
+                "does not own");
+        }
+        n.comp = it->second;
     }
 }
 

@@ -17,6 +17,7 @@
 #ifndef COBRA_BPU_TOPOLOGY_HPP
 #define COBRA_BPU_TOPOLOGY_HPP
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -86,6 +87,17 @@ class Topology
      * component used at most once. Throws std::logic_error on error.
      */
     void validate() const;
+
+    /**
+     * Replace every owned component with @p wrap(component) and remap
+     * the tree's node pointers accordingly. Used to interpose
+     * decorators (ContractAuditor, FaultInjector) around every
+     * component without the presets knowing about them. The wrapper
+     * must preserve name/latency/fetchWidth or re-validate after.
+     */
+    void wrapEach(
+        const std::function<std::unique_ptr<PredictorComponent>(
+            std::unique_ptr<PredictorComponent>)>& wrap);
 
     /** Maximum component latency (pipeline depth). */
     unsigned maxLatency() const;

@@ -101,6 +101,19 @@ class Hbim : public bpu::PredictorComponent
         return table_[set * fetchWidth() + slot];
     }
 
+    /** Fault injection: flip one bit of one saturating counter. */
+    bool
+    flipStateBit(std::uint64_t rand) override
+    {
+        if (table_.empty())
+            return false;
+        SatCounter& c = table_[rand % table_.size()];
+        const unsigned bit =
+            static_cast<unsigned>((rand >> 32) % c.numBits());
+        c.set(c.value() ^ (1u << bit));
+        return true;
+    }
+
   private:
     std::size_t indexOf(Addr pc, const bpu::PredictContext* ctx,
                         const HistoryRegister* ghist,

@@ -74,6 +74,26 @@ class Btb : public bpu::PredictorComponent
         return a;
     }
 
+    /** Fault injection: flip a way-tag or stored-target bit. */
+    bool
+    flipStateBit(std::uint64_t rand) override
+    {
+        if (ways_.empty())
+            return false;
+        Way& w = ways_[rand % ways_.size()];
+        const std::uint64_t pick = rand >> 32;
+        if (!w.slots.empty() && (pick & 1) != 0) {
+            SlotEntry& s = w.slots[(rand >> 16) % w.slots.size()];
+            if (s.valid && s.target != kInvalidAddr) {
+                s.target ^= 1ull << ((pick >> 1) % 32);
+                return true;
+            }
+        }
+        // Tag corruption: the way now misses (or aliases).
+        w.tag ^= 1ull << ((pick >> 1) % 48);
+        return true;
+    }
+
   private:
     /** One slot record within a way. */
     struct SlotEntry
@@ -154,6 +174,24 @@ class MicroBtb : public bpu::PredictorComponent
     }
 
     std::string describe() const override;
+
+    /** Fault injection: flip a hysteresis-counter or target bit. */
+    bool
+    flipStateBit(std::uint64_t rand) override
+    {
+        if (entries_.empty())
+            return false;
+        Entry& e = entries_[rand % entries_.size()];
+        const std::uint64_t pick = rand >> 32;
+        if (e.valid && (pick & 1) != 0 && e.target != kInvalidAddr) {
+            e.target ^= 1ull << ((pick >> 1) % 32);
+        } else {
+            const unsigned bit = static_cast<unsigned>(
+                (pick >> 1) % e.ctr.numBits());
+            e.ctr.set(e.ctr.value() ^ (1u << bit));
+        }
+        return true;
+    }
 
   private:
     struct Entry

@@ -114,6 +114,29 @@ Tage::maxHistLen() const
     return m;
 }
 
+bool
+Tage::flipStateBit(std::uint64_t rand)
+{
+    if (tables_.empty())
+        return false;
+    Table& t = tables_[rand % tables_.size()];
+    if (t.rows.empty())
+        return false;
+    Row& r = t.rows[(rand >> 8) % t.rows.size()];
+    const std::uint64_t pick = rand >> 32;
+    if (t.p.tagBits > 0 && (r.ctrs.empty() || (pick & 1) != 0)) {
+        // Tag bit: the row now misses (or aliases) for its branch.
+        r.tag ^= 1u << ((pick >> 1) % t.p.tagBits);
+        return true;
+    }
+    if (r.ctrs.empty())
+        return false;
+    SatCounter& c = r.ctrs[(pick >> 1) % r.ctrs.size()];
+    const unsigned bit = static_cast<unsigned>((pick >> 16) % c.numBits());
+    c.set(c.value() ^ (1u << bit));
+    return true;
+}
+
 std::size_t
 Tage::indexOf(const Table& t, Addr pc, const HistoryRegister& gh) const
 {

@@ -79,6 +79,9 @@ class Tage : public bpu::PredictorComponent
     /** Longest history length across tables (needs ghist >= this). */
     unsigned maxHistLen() const;
 
+    /** Fault injection: flip a tagged-table counter or tag bit. */
+    bool flipStateBit(std::uint64_t rand) override;
+
   private:
     struct Row
     {

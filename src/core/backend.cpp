@@ -14,6 +14,26 @@ Backend::Backend(exec::Oracle& oracle, bpu::BranchPredictorUnit& bpu,
 {
 }
 
+Backend::RobHeadView
+Backend::robHead() const
+{
+    RobHeadView v;
+    if (rob_.empty())
+        return v;
+    const RobEntry& e = rob_.front();
+    v.valid = true;
+    v.pc = e.fi.di.pc;
+    v.seq = e.fi.di.seq;
+    v.ftq = e.fi.ftq;
+    v.wrongPath = e.fi.di.wrongPath;
+    switch (e.st) {
+      case RobEntry::St::Waiting: v.state = "waiting"; break;
+      case RobEntry::St::Issued: v.state = "issued"; break;
+      case RobEntry::St::Done: v.state = "done"; break;
+    }
+    return v;
+}
+
 bpu::CfiType
 Backend::cfiTypeOf(OpClass op)
 {
@@ -180,7 +200,7 @@ Backend::resolveCf(std::size_t idx, Cycle now)
         onOracle = true;
     }
 
-    frontend_.redirect(actualNext, onOracle, rasPtr);
+    frontend_.redirect(actualNext, onOracle, rasPtr, now);
     if (actualTaken && res.isCall)
         frontend_.ras().push(di.pc + kInstBytes);
     if (actualTaken && res.isRet)

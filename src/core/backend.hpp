@@ -61,6 +61,20 @@ class Backend
     void tick(Cycle now);
 
     bool robEmpty() const { return rob_.empty(); }
+    std::size_t robSize() const { return rob_.size(); }
+
+    /** Snapshot of the ROB head for the watchdog post-mortem. */
+    struct RobHeadView
+    {
+        bool valid = false;
+        Addr pc = kInvalidAddr;
+        SeqNum seq = kInvalidSeq;
+        std::uint64_t ftq = 0;
+        const char* state = "empty"; ///< waiting / issued / done.
+        bool wrongPath = false;
+    };
+
+    RobHeadView robHead() const;
 
     // ---- Metrics -------------------------------------------------------
 

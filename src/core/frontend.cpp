@@ -373,7 +373,8 @@ Frontend::tick(Cycle now)
 }
 
 void
-Frontend::redirect(Addr pc, bool on_oracle_path, std::uint32_t ras_ptr)
+Frontend::redirect(Addr pc, bool on_oracle_path, std::uint32_t ras_ptr,
+                   Cycle now)
 {
     stats_.counter("packets_killed") += pipe_.size();
     pipe_.clear();
@@ -382,6 +383,20 @@ Frontend::redirect(Addr pc, bool on_oracle_path, std::uint32_t ras_ptr)
     nextFetchPc_ = pc;
     onOraclePath_ = on_oracle_path;
     ++stats_.counter("redirects");
+
+    redirects_.push_back(RedirectRecord{pc, now});
+    if (redirects_.size() > kRedirectLog)
+        redirects_.pop_front();
+}
+
+std::vector<Frontend::PacketView>
+Frontend::inFlightPackets() const
+{
+    std::vector<PacketView> out;
+    out.reserve(pipe_.size());
+    for (const Packet& p : pipe_)
+        out.push_back(PacketView{p.pc, p.stage, p.stallUntil});
+    return out;
 }
 
 } // namespace cobra::core

@@ -81,12 +81,42 @@ class Frontend
      * back on the architectural path (the oracle cursor has been
      * rewound by the caller).
      */
-    void redirect(Addr pc, bool on_oracle_path, std::uint32_t ras_ptr);
+    void redirect(Addr pc, bool on_oracle_path, std::uint32_t ras_ptr,
+                  Cycle now = 0);
 
     /** True while fetch has diverged from the architectural path. */
     bool onOraclePath() const { return onOraclePath_; }
 
     ReturnAddressStack& ras() { return ras_; }
+
+    // ---- Watchdog diagnostics (SimGuard post-mortem) ------------------
+
+    /** PC the next fetch packet would start at. */
+    Addr fetchPc() const { return nextFetchPc_; }
+
+    /** Read-only view of one in-flight fetch packet. */
+    struct PacketView
+    {
+        Addr pc = kInvalidAddr;
+        unsigned stage = 0;
+        Cycle stallUntil = 0;
+    };
+
+    /** In-flight packets, oldest first. */
+    std::vector<PacketView> inFlightPackets() const;
+
+    /** One recorded backend redirect. */
+    struct RedirectRecord
+    {
+        Addr pc = kInvalidAddr;
+        Cycle cycle = 0;
+    };
+
+    /** The last few backend redirects, newest last. */
+    const std::deque<RedirectRecord>& recentRedirects() const
+    {
+        return redirects_;
+    }
 
     StatGroup& stats() { return stats_; }
     const StatGroup& stats() const { return stats_; }
@@ -143,6 +173,10 @@ class Frontend
     std::deque<Packet> pipe_;  ///< Oldest first.
     std::deque<FetchedInst> buffer_;
     ReturnAddressStack ras_;
+
+    /** Ring of recent backend redirects for the post-mortem. */
+    static constexpr std::size_t kRedirectLog = 8;
+    std::deque<RedirectRecord> redirects_;
 
     Addr nextFetchPc_;
     bool finalizeSteer_ = false;

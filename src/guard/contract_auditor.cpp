@@ -1,0 +1,195 @@
+#include "guard/contract_auditor.hpp"
+
+#include <bit>
+
+namespace cobra::guard {
+
+namespace {
+
+unsigned
+popcountMeta(const bpu::Metadata& m)
+{
+    unsigned n = 0;
+    for (std::uint64_t w : m.w)
+        n += static_cast<unsigned>(std::popcount(w));
+    return n;
+}
+
+bool
+sameMeta(const bpu::Metadata& a, const bpu::Metadata& b)
+{
+    return a.w == b.w;
+}
+
+} // namespace
+
+ContractAuditor::ContractAuditor(
+    std::unique_ptr<bpu::PredictorComponent> inner)
+    : PredictorComponent(inner->name(), inner->latency(),
+                         inner->fetchWidth()),
+      inner_(std::move(inner))
+{
+}
+
+void
+ContractAuditor::violation(std::uint64_t query,
+                           const std::string& detail) const
+{
+    throw ContractViolation(name(), query, detail);
+}
+
+void
+ContractAuditor::checkQueryContext(const bpu::PredictContext& ctx)
+{
+    ++checks_;
+    // stage == 0 means the component is driven directly (component
+    // tests, standalone studies): no composer contract to audit.
+    if (ctx.stage == 0)
+        return;
+    if (ctx.stage < latency()) {
+        violation(ctx.serial,
+                  "predict at stage " + std::to_string(ctx.stage) +
+                      " before latency " + std::to_string(latency()));
+    }
+    if (latency() == 1 && ctx.stage == 1 && ctx.ghist != nullptr) {
+        violation(ctx.serial,
+                  "global history leaked to a 1-cycle component at "
+                  "stage 1 (histories arrive at end of Fetch-1)");
+    }
+    if (ctx.stage >= 2 && ctx.ghist == nullptr) {
+        violation(ctx.serial,
+                  "global history missing at stage " +
+                      std::to_string(ctx.stage) +
+                      " (capture skipped?)");
+    }
+    if (ctx.serial != 0) {
+        if (ctx.serial == lastSerial_) {
+            violation(ctx.serial,
+                      "predict called more than once for one query");
+        }
+        if (ctx.serial < lastSerial_) {
+            violation(ctx.serial,
+                      "queries evaluated out of order (last serial " +
+                          std::to_string(lastSerial_) + ")");
+        }
+        lastSerial_ = ctx.serial;
+    }
+}
+
+void
+ContractAuditor::checkMetaWidth(const bpu::Metadata& meta,
+                                std::uint64_t query,
+                                const char* when) const
+{
+    const unsigned used = popcountMeta(meta);
+    if (used > metaBits()) {
+        violation(query, std::string(when) + " wrote " +
+                             std::to_string(used) +
+                             " metadata bits but declares metaBits() = " +
+                             std::to_string(metaBits()));
+    }
+}
+
+void
+ContractAuditor::predict(const bpu::PredictContext& ctx,
+                         bpu::PredictionBundle& inout,
+                         bpu::Metadata& meta)
+{
+    checkQueryContext(ctx);
+    inner_->predict(ctx, inout, meta);
+    checkMetaWidth(meta, ctx.serial, "predict()");
+}
+
+void
+ContractAuditor::arbitrate(const bpu::PredictContext& ctx,
+                           const std::vector<bpu::PredictionBundle>& inputs,
+                           bpu::PredictionBundle& inout,
+                           bpu::Metadata& meta)
+{
+    checkQueryContext(ctx);
+    if (!inner_->isArbiter())
+        violation(ctx.serial, "arbitrate() on a non-arbiter component");
+    inner_->arbitrate(ctx, inputs, inout, meta);
+    checkMetaWidth(meta, ctx.serial, "arbitrate()");
+}
+
+void
+ContractAuditor::fire(const bpu::FireEvent& ev)
+{
+    ++checks_;
+    if (ev.meta == nullptr)
+        violation(ev.ftqIdx, "fire event carries no metadata");
+    // Forward first: fire may legitimately extend the metadata; what
+    // must round-trip is the value after the event returns.
+    inner_->fire(ev);
+    checkMetaWidth(*ev.meta, ev.ftqIdx, "fire()");
+
+    auto& gens = pending_[ev.ftqIdx];
+    gens.push_back(*ev.meta);
+    if (gens.size() > kMaxGenerations)
+        gens.pop_front();
+    // Bound the map: positions far behind the newest can no longer
+    // receive events once the history-file head has passed them.
+    while (pending_.size() > kMaxTracked)
+        pending_.erase(pending_.begin());
+}
+
+void
+ContractAuditor::mispredict(const bpu::ResolveEvent& ev)
+{
+    ++checks_;
+    if (ev.meta == nullptr)
+        violation(ev.ftqIdx, "mispredict event carries no metadata");
+    auto it = pending_.find(ev.ftqIdx);
+    if (it != pending_.end() && !it->second.empty() &&
+        !sameMeta(*ev.meta, it->second.back())) {
+        violation(ev.ftqIdx,
+                  "metadata mutated between fire and mispredict "
+                  "(must round-trip verbatim, §III-D)");
+    }
+    inner_->mispredict(ev);
+}
+
+void
+ContractAuditor::repair(const bpu::ResolveEvent& ev)
+{
+    ++checks_;
+    if (ev.meta == nullptr)
+        violation(ev.ftqIdx, "repair event carries no metadata");
+    auto it = pending_.find(ev.ftqIdx);
+    if (it != pending_.end() && !it->second.empty()) {
+        // Repairs walk squashed (older) generations of this position.
+        if (!sameMeta(*ev.meta, it->second.front())) {
+            violation(ev.ftqIdx,
+                      "metadata mutated between fire and repair "
+                      "(must round-trip verbatim, §III-D)");
+        }
+        it->second.pop_front();
+        if (it->second.empty())
+            pending_.erase(it);
+    }
+    inner_->repair(ev);
+}
+
+void
+ContractAuditor::update(const bpu::ResolveEvent& ev)
+{
+    ++checks_;
+    if (ev.meta == nullptr)
+        violation(ev.ftqIdx, "update event carries no metadata");
+    auto it = pending_.find(ev.ftqIdx);
+    if (it != pending_.end() && !it->second.empty()) {
+        // Updates retire the live (newest) generation.
+        if (!sameMeta(*ev.meta, it->second.back())) {
+            violation(ev.ftqIdx,
+                      "metadata mutated between fire and update "
+                      "(must round-trip verbatim, §III-D)");
+        }
+        it->second.pop_back();
+        if (it->second.empty())
+            pending_.erase(it);
+    }
+    inner_->update(ev);
+}
+
+} // namespace cobra::guard

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * ContractAuditor: a decorator around any PredictorComponent that
+ * verifies the COBRA interface contract (paper §III) at runtime:
+ *
+ *  - predict/arbitrate is called exactly once per query, never before
+ *    the component's latency stage, with a strictly increasing query
+ *    serial;
+ *  - histories obey the Fetch-1 rule: null ghist at stage 1 for
+ *    1-cycle components, non-null ghist at stages >= 2;
+ *  - the metadata a component writes fits in its declared metaBits()
+ *    (checked as population count, since components may pack fields
+ *    sparsely within their declared width);
+ *  - the metadata recorded at fire time is handed back verbatim in
+ *    mispredict / repair / update events.
+ *
+ * Violations throw guard::ContractViolation naming the component and
+ * the query. The auditor is only interposed when auditing is enabled,
+ * so the unaudited hot path pays nothing.
+ */
+
+#ifndef COBRA_GUARD_CONTRACT_AUDITOR_HPP
+#define COBRA_GUARD_CONTRACT_AUDITOR_HPP
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "bpu/component.hpp"
+
+namespace cobra::guard {
+
+class ContractAuditor final : public bpu::PredictorComponent
+{
+  public:
+    explicit ContractAuditor(
+        std::unique_ptr<bpu::PredictorComponent> inner);
+
+    /** The wrapped component (for tests / diagnostics). */
+    const bpu::PredictorComponent& inner() const { return *inner_; }
+
+    /** Number of contract checks performed so far. */
+    std::uint64_t checks() const { return checks_; }
+
+    // ---- Forwarded interface ------------------------------------------
+
+    unsigned metaBits() const override { return inner_->metaBits(); }
+    bool usesLocalHistory() const override
+    {
+        return inner_->usesLocalHistory();
+    }
+    bool isArbiter() const override { return inner_->isArbiter(); }
+    std::uint64_t storageBits() const override
+    {
+        return inner_->storageBits();
+    }
+    phys::PhysicalCost physicalCost() const override
+    {
+        return inner_->physicalCost();
+    }
+    phys::AccessProfile predictAccess() const override
+    {
+        return inner_->predictAccess();
+    }
+    phys::AccessProfile updateAccess() const override
+    {
+        return inner_->updateAccess();
+    }
+    std::string describe() const override { return inner_->describe(); }
+    bool flipStateBit(std::uint64_t rand) override
+    {
+        return inner_->flipStateBit(rand);
+    }
+
+    // ---- Audited interface --------------------------------------------
+
+    void predict(const bpu::PredictContext& ctx,
+                 bpu::PredictionBundle& inout,
+                 bpu::Metadata& meta) override;
+
+    void arbitrate(const bpu::PredictContext& ctx,
+                   const std::vector<bpu::PredictionBundle>& inputs,
+                   bpu::PredictionBundle& inout,
+                   bpu::Metadata& meta) override;
+
+    void fire(const bpu::FireEvent& ev) override;
+    void mispredict(const bpu::ResolveEvent& ev) override;
+    void repair(const bpu::ResolveEvent& ev) override;
+    void update(const bpu::ResolveEvent& ev) override;
+
+  private:
+    /** Shared stage/history/serial checks for predict and arbitrate. */
+    void checkQueryContext(const bpu::PredictContext& ctx);
+
+    /** Metadata must fit the declared width (popcount test). */
+    void checkMetaWidth(const bpu::Metadata& meta, std::uint64_t query,
+                        const char* when) const;
+
+    [[noreturn]] void violation(std::uint64_t query,
+                                const std::string& detail) const;
+
+    std::unique_ptr<bpu::PredictorComponent> inner_;
+    std::uint64_t lastSerial_ = 0;
+    std::uint64_t checks_ = 0;
+
+    /**
+     * Metadata recorded at fire time, keyed by history-file position.
+     * Positions are recycled after squashes (the tail rewinds), so a
+     * position can hold several generations: repair events consume the
+     * oldest (front), update events the newest (back). Bounded by
+     * evicting the oldest positions beyond kMaxTracked.
+     */
+    std::map<std::uint64_t, std::deque<bpu::Metadata>> pending_;
+
+    static constexpr std::size_t kMaxTracked = 1024;
+    static constexpr std::size_t kMaxGenerations = 8;
+};
+
+} // namespace cobra::guard
+
+#endif // COBRA_GUARD_CONTRACT_AUDITOR_HPP

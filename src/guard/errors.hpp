@@ -1,0 +1,100 @@
+/**
+ * @file
+ * SimGuard structured errors. Every failure the framework can detect
+ * at runtime maps onto one of three categories:
+ *
+ *  - ConfigError        — an invalid configuration or topology, caught
+ *                         before (or while) models are constructed;
+ *  - ContractViolation  — a component or the composer broke the COBRA
+ *                         event contract of paper §III (detected by
+ *                         the ContractAuditor or the base-class
+ *                         contract helpers);
+ *  - DeadlockError      — the pipeline stopped committing; carries the
+ *                         watchdog's post-mortem text.
+ *
+ * All derive from SimError, which itself derives from std::logic_error
+ * so legacy call sites (and tests) that catch std::logic_error keep
+ * working unchanged.
+ */
+
+#ifndef COBRA_GUARD_ERRORS_HPP
+#define COBRA_GUARD_ERRORS_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace cobra::guard {
+
+/** Root of the SimGuard error hierarchy. */
+class SimError : public std::logic_error
+{
+  public:
+    explicit SimError(const std::string& msg) : std::logic_error(msg) {}
+};
+
+/** An invalid configuration, topology, or parameter combination. */
+class ConfigError : public SimError
+{
+  public:
+    explicit ConfigError(const std::string& msg)
+        : SimError("invalid config: " + msg)
+    {
+    }
+
+    /** Field-style message: "invalid config: <field>: <detail>". */
+    ConfigError(const std::string& field, const std::string& detail)
+        : SimError("invalid config: " + field + ": " + detail)
+    {
+    }
+};
+
+/**
+ * A breach of the §III predictor interface contract. Names the
+ * offending component and, when known, the query (history-file
+ * position) it happened on.
+ */
+class ContractViolation : public SimError
+{
+  public:
+    ContractViolation(std::string component, std::uint64_t query,
+                      const std::string& detail)
+        : SimError("contract violation [component=" + component +
+                   " query=" + std::to_string(query) + "]: " + detail),
+          component_(std::move(component)), query_(query)
+    {
+    }
+
+    /** Name of the component the violation was detected on. */
+    const std::string& component() const { return component_; }
+
+    /** Query serial / history-file position the violation refers to. */
+    std::uint64_t query() const { return query_; }
+
+  private:
+    std::string component_;
+    std::uint64_t query_;
+};
+
+/**
+ * The simulated pipeline made no commit progress for longer than the
+ * configured watchdog threshold. what() is the short message; the
+ * full pipeline post-mortem text is available via postMortem().
+ */
+class DeadlockError : public SimError
+{
+  public:
+    DeadlockError(const std::string& msg, std::string post_mortem)
+        : SimError(msg), postMortem_(std::move(post_mortem))
+    {
+    }
+
+    const std::string& postMortem() const { return postMortem_; }
+
+  private:
+    std::string postMortem_;
+};
+
+} // namespace cobra::guard
+
+#endif // COBRA_GUARD_ERRORS_HPP

@@ -1,0 +1,73 @@
+#include "guard/fault_injector.hpp"
+
+#include <algorithm>
+
+namespace cobra::guard {
+
+FaultInjector::FaultInjector(
+    std::unique_ptr<bpu::PredictorComponent> inner, FaultEngine& engine)
+    : PredictorComponent(inner->name(), inner->latency(),
+                         inner->fetchWidth()),
+      inner_(std::move(inner)), engine_(engine)
+{
+}
+
+void
+FaultInjector::flipOutput(const bpu::PredictContext& ctx,
+                          bpu::PredictionBundle& inout)
+{
+    const unsigned slots =
+        std::max(1u, std::min(ctx.validSlots, inout.width));
+    auto& s = inout.slots[engine_.raw() % slots];
+    s.valid = true;
+    s.taken = !s.taken;
+    engine_.countOutputFault();
+}
+
+void
+FaultInjector::predict(const bpu::PredictContext& ctx,
+                       bpu::PredictionBundle& inout, bpu::Metadata& meta)
+{
+    if (engine_.roll()) {
+        // Prefer corrupting table state (a particle strike in SRAM);
+        // the prediction then reads the corrupted row. Components
+        // without injectable tables get an output-bit flip instead.
+        if (inner_->flipStateBit(engine_.raw())) {
+            engine_.countTableFault();
+        } else {
+            inner_->predict(ctx, inout, meta);
+            flipOutput(ctx, inout);
+            return;
+        }
+    }
+    inner_->predict(ctx, inout, meta);
+}
+
+void
+FaultInjector::arbitrate(const bpu::PredictContext& ctx,
+                         const std::vector<bpu::PredictionBundle>& inputs,
+                         bpu::PredictionBundle& inout, bpu::Metadata& meta)
+{
+    if (engine_.roll()) {
+        if (inner_->flipStateBit(engine_.raw())) {
+            engine_.countTableFault();
+        } else {
+            inner_->arbitrate(ctx, inputs, inout, meta);
+            flipOutput(ctx, inout);
+            return;
+        }
+    }
+    inner_->arbitrate(ctx, inputs, inout, meta);
+}
+
+void
+FaultInjector::update(const bpu::ResolveEvent& ev)
+{
+    if (engine_.roll()) {
+        engine_.countDroppedUpdate();
+        return;
+    }
+    inner_->update(ev);
+}
+
+} // namespace cobra::guard

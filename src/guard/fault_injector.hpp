@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection for predictor robustness
+ * studies: with a configured per-event probability, flip one bit of a
+ * component's architectural table state (or, when the component has
+ * no injectable tables, one bit of its prediction output) and drop
+ * commit-time update events. The composer's management structures
+ * must degrade gracefully — MPKI rises, nothing crashes, and no
+ * contract violation is introduced (faults corrupt state, never the
+ * event protocol).
+ */
+
+#ifndef COBRA_GUARD_FAULT_INJECTOR_HPP
+#define COBRA_GUARD_FAULT_INJECTOR_HPP
+
+#include <memory>
+
+#include "bpu/component.hpp"
+#include "common/random.hpp"
+
+namespace cobra::guard {
+
+/**
+ * Shared fault source and counters for one simulation. Owned by the
+ * Simulator; referenced by the per-component FaultInjector wrappers
+ * so one seed drives a deterministic global fault sequence.
+ */
+class FaultEngine
+{
+  public:
+    FaultEngine(double rate, std::uint64_t seed)
+        : rate_(rate), rng_(seed ^ 0xFA017'5EEDull)
+    {
+    }
+
+    double rate() const { return rate_; }
+    bool enabled() const { return rate_ > 0.0; }
+
+    /** One Bernoulli trial at the configured rate. */
+    bool roll() { return rate_ > 0.0 && rng_.chance(rate_); }
+
+    /** Raw randomness for choosing the faulted bit. */
+    std::uint64_t raw() { return rng_.next(); }
+
+    void countTableFault() { ++tableFaults_; }
+    void countOutputFault() { ++outputFaults_; }
+    void countDroppedUpdate() { ++droppedUpdates_; }
+
+    std::uint64_t tableFaults() const { return tableFaults_; }
+    std::uint64_t outputFaults() const { return outputFaults_; }
+    std::uint64_t droppedUpdates() const { return droppedUpdates_; }
+    std::uint64_t faultsInjected() const
+    {
+        return tableFaults_ + outputFaults_;
+    }
+
+  private:
+    double rate_;
+    Rng rng_;
+    std::uint64_t tableFaults_ = 0;
+    std::uint64_t outputFaults_ = 0;
+    std::uint64_t droppedUpdates_ = 0;
+};
+
+/**
+ * Decorator injecting faults into one wrapped component. Predict-side
+ * rolls flip table state (preferred) or the produced prediction;
+ * update-side rolls drop the commit update entirely. All other events
+ * forward untouched, so the §III contract stays intact.
+ */
+class FaultInjector final : public bpu::PredictorComponent
+{
+  public:
+    FaultInjector(std::unique_ptr<bpu::PredictorComponent> inner,
+                  FaultEngine& engine);
+
+    // ---- Forwarded interface ------------------------------------------
+
+    unsigned metaBits() const override { return inner_->metaBits(); }
+    bool usesLocalHistory() const override
+    {
+        return inner_->usesLocalHistory();
+    }
+    bool isArbiter() const override { return inner_->isArbiter(); }
+    std::uint64_t storageBits() const override
+    {
+        return inner_->storageBits();
+    }
+    phys::PhysicalCost physicalCost() const override
+    {
+        return inner_->physicalCost();
+    }
+    phys::AccessProfile predictAccess() const override
+    {
+        return inner_->predictAccess();
+    }
+    phys::AccessProfile updateAccess() const override
+    {
+        return inner_->updateAccess();
+    }
+    std::string describe() const override { return inner_->describe(); }
+    bool flipStateBit(std::uint64_t rand) override
+    {
+        return inner_->flipStateBit(rand);
+    }
+
+    void fire(const bpu::FireEvent& ev) override { inner_->fire(ev); }
+    void mispredict(const bpu::ResolveEvent& ev) override
+    {
+        inner_->mispredict(ev);
+    }
+    void repair(const bpu::ResolveEvent& ev) override
+    {
+        inner_->repair(ev);
+    }
+
+    // ---- Faulted interface --------------------------------------------
+
+    void predict(const bpu::PredictContext& ctx,
+                 bpu::PredictionBundle& inout,
+                 bpu::Metadata& meta) override;
+
+    void arbitrate(const bpu::PredictContext& ctx,
+                   const std::vector<bpu::PredictionBundle>& inputs,
+                   bpu::PredictionBundle& inout,
+                   bpu::Metadata& meta) override;
+
+    void update(const bpu::ResolveEvent& ev) override;
+
+  private:
+    /** Flip the direction of one slot of the produced bundle. */
+    void flipOutput(const bpu::PredictContext& ctx,
+                    bpu::PredictionBundle& inout);
+
+    std::unique_ptr<bpu::PredictorComponent> inner_;
+    FaultEngine& engine_;
+};
+
+} // namespace cobra::guard
+
+#endif // COBRA_GUARD_FAULT_INJECTOR_HPP

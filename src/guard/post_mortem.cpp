@@ -1,0 +1,66 @@
+#include "guard/post_mortem.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace cobra::guard {
+
+namespace {
+
+std::string
+hex(Addr a)
+{
+    if (a == kInvalidAddr)
+        return "<invalid>";
+    std::ostringstream oss;
+    oss << "0x" << std::hex << a;
+    return oss.str();
+}
+
+} // namespace
+
+std::string
+PostMortem::format() const
+{
+    std::ostringstream oss;
+    oss << "pipeline post-mortem @ cycle " << cycle << "\n"
+        << "  no commit progress for " << noProgressCycles
+        << " cycles (threshold " << deadlockThreshold << ")\n"
+        << "  committed insts: " << committedInsts << "\n";
+
+    oss << "  ROB: " << robEntries << " entries";
+    if (robHeadValid) {
+        oss << "; head pc=" << hex(robHeadPc) << " seq=";
+        if (robHeadSeq == kInvalidSeq)
+            oss << "<none>";
+        else
+            oss << robHeadSeq;
+        oss << " state=" << robHeadState << " ftq=" << robHeadFtq;
+        if (robHeadWrongPath)
+            oss << " (wrong-path)";
+    } else {
+        oss << " (empty)";
+    }
+    oss << "\n";
+
+    oss << "  frontend: fetch pc=" << hex(fetchPc)
+        << (onOraclePath ? " (oracle path)" : " (wrong path)")
+        << ", fetch buffer " << fetchBufferInsts << " insts\n";
+    oss << "  in-flight fetch packets: " << fetchPackets.size() << "\n";
+    for (const auto& p : fetchPackets) {
+        oss << "    pc=" << hex(p.pc) << " stage=" << p.stage
+            << " stallUntil=" << p.stallUntil << "\n";
+    }
+
+    oss << "  recent redirects (newest last): " << recentRedirects.size()
+        << "\n";
+    for (const auto& r : recentRedirects)
+        oss << "    cycle " << r.cycle << " -> " << hex(r.pc) << "\n";
+
+    oss << "  history file: " << historyFileSize << "/"
+        << historyFileCapacity << " entries, repair walk "
+        << (repairWalkBusy ? "busy" : "idle") << "\n";
+    return oss.str();
+}
+
+} // namespace cobra::guard

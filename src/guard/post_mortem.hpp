@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Pipeline post-mortem: the watchdog's snapshot of simulator state at
+ * the moment commit progress stopped. Captures what a person debugging
+ * a deadlock asks for first — what is the ROB head waiting on, where
+ * is fetch pointing, which packets are in flight, and where did the
+ * pipeline last redirect — so a deadlocked run fails with a readable
+ * report instead of a bare flag.
+ */
+
+#ifndef COBRA_GUARD_POST_MORTEM_HPP
+#define COBRA_GUARD_POST_MORTEM_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cobra::guard {
+
+/** Snapshot of pipeline state when the deadlock watchdog fired. */
+struct PostMortem
+{
+    Cycle cycle = 0;
+    std::uint64_t noProgressCycles = 0; ///< Cycles since the last commit.
+    std::uint64_t deadlockThreshold = 0;
+    std::uint64_t committedInsts = 0;
+
+    // ---- ROB -----------------------------------------------------------
+    std::size_t robEntries = 0;
+    bool robHeadValid = false;
+    Addr robHeadPc = kInvalidAddr;
+    SeqNum robHeadSeq = kInvalidSeq;
+    std::string robHeadState; ///< "waiting" / "issued" / "done".
+    bool robHeadWrongPath = false;
+    std::uint64_t robHeadFtq = 0;
+
+    // ---- Frontend ------------------------------------------------------
+    Addr fetchPc = kInvalidAddr;
+    bool onOraclePath = true;
+    std::size_t fetchBufferInsts = 0;
+
+    struct Packet
+    {
+        Addr pc = kInvalidAddr;
+        unsigned stage = 0;
+        Cycle stallUntil = 0;
+    };
+    std::vector<Packet> fetchPackets; ///< In-flight, oldest first.
+
+    struct Redirect
+    {
+        Addr pc = kInvalidAddr;
+        Cycle cycle = 0;
+    };
+    std::vector<Redirect> recentRedirects; ///< Newest last.
+
+    // ---- BPU management ------------------------------------------------
+    std::size_t historyFileSize = 0;
+    unsigned historyFileCapacity = 0;
+    bool repairWalkBusy = false;
+
+    /** Human-readable multi-line report. */
+    std::string format() const;
+};
+
+} // namespace cobra::guard
+
+#endif // COBRA_GUARD_POST_MORTEM_HPP

@@ -2,10 +2,69 @@
 
 namespace cobra::sim {
 
+void
+SimConfig::validate(bool strict) const
+{
+    auto require = [](bool ok, const char* field, const char* detail) {
+        if (!ok)
+            throw guard::ConfigError(field, detail);
+    };
+    require(frontend.fetchWidth >= 1 &&
+                frontend.fetchWidth <= bpu::kMaxFetchWidth,
+            "frontend.fetchWidth", "must be in [1, 8]");
+    require(frontend.fetchBufferInsts >= frontend.fetchWidth,
+            "frontend.fetchBufferInsts",
+            "must hold at least one fetch packet");
+    require(backend.coreWidth >= 1, "backend.coreWidth", "must be >= 1");
+    require(backend.robEntries >= 1, "backend.robEntries",
+            "must be >= 1");
+    require(maxInsts >= 1, "maxInsts", "must be >= 1");
+    require(maxCycles >= 1, "maxCycles", "must be >= 1");
+    require(deadlockCycles >= 1, "deadlockCycles",
+            "must be >= 1 (the watchdog cannot be disabled; raise it "
+            "instead)");
+    require(faultRate >= 0.0 && faultRate <= 1.0, "faultRate",
+            "must be a probability in [0, 1]");
+    bpu.validate();
+    if (strict) {
+        require(warmupInsts <= maxInsts, "warmupInsts",
+                "exceeds the measured-instruction budget (maxInsts); "
+                "the measured region would be empty");
+    }
+}
+
 Simulator::Simulator(const prog::Program& program, bpu::Topology topo,
                      const SimConfig& cfg)
     : cfg_(cfg), program_(program)
 {
+    // Structural validation only: deliberate experiments (e.g. a
+    // warmup-only run) may waive the strict heuristics.
+    cfg_.validate(false);
+
+    faults_ = std::make_unique<guard::FaultEngine>(cfg_.faultRate,
+                                                   cfg_.faultSeed);
+    if (faults_->enabled()) {
+        topo.wrapEach(
+            [this](std::unique_ptr<bpu::PredictorComponent> c)
+                -> std::unique_ptr<bpu::PredictorComponent> {
+                return std::make_unique<guard::FaultInjector>(
+                    std::move(c), *faults_);
+            });
+    }
+    if (cfg_.audit) {
+        // Auditor outermost: it observes the composer's calls, not the
+        // injector's perturbations, so injected faults are (correctly)
+        // not reported as contract violations.
+        topo.wrapEach(
+            [this](std::unique_ptr<bpu::PredictorComponent> c)
+                -> std::unique_ptr<bpu::PredictorComponent> {
+                auto a = std::make_unique<guard::ContractAuditor>(
+                    std::move(c));
+                auditors_.push_back(a.get());
+                return a;
+            });
+    }
+
     oracle_ = std::make_unique<exec::Oracle>(program, cfg.oracleSeed);
     caches_ = std::make_unique<core::CacheHierarchy>(cfg.caches);
     bpu_ = std::make_unique<bpu::BranchPredictorUnit>(std::move(topo),
@@ -38,30 +97,88 @@ Simulator::snapshot() const
     return s;
 }
 
+guard::PostMortem
+Simulator::buildPostMortem(std::uint64_t since_progress) const
+{
+    guard::PostMortem pm;
+    pm.cycle = now_;
+    pm.noProgressCycles = since_progress;
+    pm.deadlockThreshold = cfg_.deadlockCycles;
+    pm.committedInsts = backend_->committedInsts();
+
+    const core::Backend::RobHeadView head = backend_->robHead();
+    pm.robEntries = backend_->robSize();
+    pm.robHeadValid = head.valid;
+    pm.robHeadPc = head.pc;
+    pm.robHeadSeq = head.seq;
+    pm.robHeadState = head.state;
+    pm.robHeadWrongPath = head.wrongPath;
+    pm.robHeadFtq = head.ftq;
+
+    pm.fetchPc = frontend_->fetchPc();
+    pm.onOraclePath = frontend_->onOraclePath();
+    pm.fetchBufferInsts = frontend_->bufferSize();
+    for (const auto& p : frontend_->inFlightPackets())
+        pm.fetchPackets.push_back({p.pc, p.stage, p.stallUntil});
+    for (const auto& r : frontend_->recentRedirects())
+        pm.recentRedirects.push_back({r.pc, r.cycle});
+
+    pm.historyFileSize = bpu_->historyFile().size();
+    pm.historyFileCapacity = bpu_->historyFile().capacity();
+    pm.repairWalkBusy = bpu_->walkBusy();
+    return pm;
+}
+
+void
+Simulator::finishResult(SimResult& r, bool deadlocked,
+                        std::uint64_t since_progress) const
+{
+    r.faultsInjected = faults_->faultsInjected();
+    r.updatesDropped = faults_->droppedUpdates();
+    for (const auto* a : auditors_)
+        r.auditChecks += a->checks();
+    if (deadlocked) {
+        r.deadlocked = true;
+        r.postMortem = buildPostMortem(since_progress);
+        r.diagnostics = r.postMortem.format();
+    }
+}
+
 SimResult
 Simulator::run()
 {
+    SimResult r;
+    std::uint64_t lastProgress = backend_->committedInsts();
+    Cycle lastProgressCycle = now_;
+    auto stalled = [&]() -> bool {
+        if (backend_->committedInsts() != lastProgress) {
+            lastProgress = backend_->committedInsts();
+            lastProgressCycle = now_;
+            return false;
+        }
+        return now_ - lastProgressCycle > cfg_.deadlockCycles;
+    };
+
     // ---- Warmup ---------------------------------------------------------
-    std::uint64_t lastProgress = 0;
-    Cycle lastProgressCycle = 0;
     while (backend_->committedInsts() < cfg_.warmupInsts &&
            now_ < cfg_.maxCycles) {
         tickOnce();
+        if (stalled()) {
+            // Deadlocked before the measured region: report with zero
+            // metrics rather than spinning to maxCycles.
+            finishResult(r, true, now_ - lastProgressCycle);
+            return r;
+        }
     }
     const Snapshot base = snapshot();
 
     // ---- Measured region -------------------------------------------------
-    SimResult r;
+    bool deadlocked = false;
     const std::uint64_t target = cfg_.warmupInsts + cfg_.maxInsts;
-    lastProgress = backend_->committedInsts();
-    lastProgressCycle = now_;
     while (backend_->committedInsts() < target && now_ < cfg_.maxCycles) {
         tickOnce();
-        if (backend_->committedInsts() != lastProgress) {
-            lastProgress = backend_->committedInsts();
-            lastProgressCycle = now_;
-        } else if (now_ - lastProgressCycle > 100'000) {
-            r.deadlocked = true; // No commit progress: abort the run.
+        if (stalled()) {
+            deadlocked = true; // No commit progress: abort the run.
             break;
         }
     }
@@ -76,6 +193,21 @@ Simulator::run()
     r.sfbConversions = backend_->sfbConversions();
     r.ghistReplays = frontend_->stats().get("ghist_replays");
     r.packetsKilled = frontend_->stats().get("packets_killed");
+    finishResult(r, deadlocked, now_ - lastProgressCycle);
+    return r;
+}
+
+SimResult
+Simulator::runChecked()
+{
+    SimResult r = run();
+    if (r.deadlocked) {
+        throw guard::DeadlockError(
+            "pipeline deadlock: no commit progress for " +
+                std::to_string(cfg_.deadlockCycles) +
+                " cycles at cycle " + std::to_string(now_),
+            r.diagnostics);
+    }
     return r;
 }
 

@@ -10,12 +10,17 @@
 #define COBRA_SIM_SIMULATOR_HPP
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bpu/bpu.hpp"
 #include "core/backend.hpp"
 #include "core/cache.hpp"
 #include "core/frontend.hpp"
 #include "exec/oracle.hpp"
+#include "guard/contract_auditor.hpp"
+#include "guard/fault_injector.hpp"
+#include "guard/post_mortem.hpp"
 #include "program/program.hpp"
 
 namespace cobra::sim {
@@ -35,6 +40,19 @@ struct SimResult
     /** In-flight fetch packets killed by re-steers/replays/redirects. */
     std::uint64_t packetsKilled = 0;
     bool deadlocked = false;
+
+    // ---- SimGuard -------------------------------------------------------
+
+    /** Predictor-state / output faults injected (0 when disabled). */
+    std::uint64_t faultsInjected = 0;
+    /** Commit updates dropped by fault injection. */
+    std::uint64_t updatesDropped = 0;
+    /** Contract checks performed by the auditor (0 when off). */
+    std::uint64_t auditChecks = 0;
+    /** Watchdog report text; empty unless the run deadlocked. */
+    std::string diagnostics;
+    /** Structured watchdog snapshot (valid when deadlocked). */
+    guard::PostMortem postMortem;
 
     double
     ipc() const
@@ -84,6 +102,25 @@ struct SimConfig
     std::uint64_t warmupInsts = 50'000; ///< Stats reset after this.
     std::uint64_t maxCycles = 40'000'000;
     std::uint64_t oracleSeed = 0xD15EA5E;
+
+    // ---- SimGuard -------------------------------------------------------
+
+    /** Watchdog: abort after this many cycles without a commit. */
+    std::uint64_t deadlockCycles = 100'000;
+    /** Interpose a ContractAuditor around every component. */
+    bool audit = false;
+    /** Per-event fault probability (0 disables injection). */
+    double faultRate = 0.0;
+    std::uint64_t faultSeed = 0x5EED;
+
+    /**
+     * Check invariants; throws guard::ConfigError on the first
+     * violation. @p strict additionally enforces heuristics a
+     * deliberate experiment may waive (e.g. warmup <= maxInsts);
+     * the CLI validates strictly, the Simulator constructor only
+     * structurally.
+     */
+    void validate(bool strict = true) const;
 };
 
 /**
@@ -99,8 +136,17 @@ class Simulator
     /** Run to the instruction budget; returns post-warmup metrics. */
     SimResult run();
 
+    /**
+     * Like run(), but a deadlocked pipeline raises guard::DeadlockError
+     * (carrying the post-mortem) instead of returning a flagged result.
+     */
+    SimResult runChecked();
+
     /** Advance exactly one cycle (for tests). */
     void tickOnce();
+
+    /** The fault engine (counts are zero when injection is off). */
+    const guard::FaultEngine& faultEngine() const { return *faults_; }
 
     bpu::BranchPredictorUnit& bpu() { return *bpu_; }
     core::Frontend& frontend() { return *frontend_; }
@@ -124,13 +170,22 @@ class Simulator
 
     Snapshot snapshot() const;
 
+    /** Capture pipeline state for the watchdog report. */
+    guard::PostMortem buildPostMortem(std::uint64_t since_progress) const;
+
+    /** Fill a result's guard counters and deadlock diagnostics. */
+    void finishResult(SimResult& r, bool deadlocked,
+                      std::uint64_t since_progress) const;
+
     SimConfig cfg_;
     const prog::Program& program_;
+    std::unique_ptr<guard::FaultEngine> faults_;
     std::unique_ptr<exec::Oracle> oracle_;
     std::unique_ptr<core::CacheHierarchy> caches_;
     std::unique_ptr<bpu::BranchPredictorUnit> bpu_;
     std::unique_ptr<core::Frontend> frontend_;
     std::unique_ptr<core::Backend> backend_;
+    std::vector<guard::ContractAuditor*> auditors_;
     Cycle now_ = 0;
 };
 

@@ -7,7 +7,9 @@
  * Usage:
  *   cobra_sim [--design NAME] [--workload NAME] [--insts N]
  *             [--warmup N] [--ghist none|repair|replay] [--sfb]
- *             [--serialize] [--stats] [--list]
+ *             [--serialize] [--audit] [--inject-faults RATE]
+ *             [--fault-seed N] [--deadlock-cycles N] [--stats]
+ *             [--area] [--list]
  */
 
 #include <cstring>
@@ -30,17 +32,24 @@ usage()
     std::cout <<
         "cobra_sim — COBRA predictor-composition simulator\n"
         "\n"
-        "  --design NAME     tourney | b2 | tagel | refbig (default tagel)\n"
-        "  --workload NAME   SPECint17 proxy / dhrystone / coremark\n"
-        "                    (default leela)\n"
-        "  --insts N         measured instructions (default 400000)\n"
-        "  --warmup N        warmup instructions (default 120000)\n"
-        "  --ghist MODE      none | repair | replay (default replay)\n"
-        "  --sfb             enable short-forwards-branch predication\n"
-        "  --serialize       serialize fetch behind branches (§I)\n"
-        "  --stats           dump detailed pipeline statistics\n"
-        "  --area            print the predictor/core area breakdown\n"
-        "  --list            list designs and workloads\n";
+        "  --design NAME        tourney | b2 | tagel | refbig (default tagel)\n"
+        "  --workload NAME      SPECint17 proxy / dhrystone / coremark\n"
+        "                       (default leela)\n"
+        "  --insts N            measured instructions (default 400000)\n"
+        "  --warmup N           warmup instructions (default 120000)\n"
+        "  --ghist MODE         none | repair | replay (default replay)\n"
+        "  --sfb                enable short-forwards-branch predication\n"
+        "  --serialize          serialize fetch behind branches (§I)\n"
+        "  --audit              verify the §III interface contract at\n"
+        "                       runtime (throws on violation)\n"
+        "  --inject-faults RATE flip predictor state / drop updates with\n"
+        "                       per-event probability RATE\n"
+        "  --fault-seed N       fault-injection RNG seed (default 0x5EED)\n"
+        "  --deadlock-cycles N  watchdog: abort after N cycles without a\n"
+        "                       commit (default 100000)\n"
+        "  --stats              dump detailed pipeline statistics\n"
+        "  --area               print the predictor/core area breakdown\n"
+        "  --list               list designs and workloads\n";
 }
 
 sim::Design
@@ -69,17 +78,49 @@ parseGhist(const std::string& s)
     throw std::runtime_error("unknown ghist mode: " + s);
 }
 
-} // namespace
+std::uint64_t
+parseU64(const std::string& flag, const std::string& v)
+{
+    try {
+        std::size_t end = 0;
+        const std::uint64_t n = std::stoull(v, &end, 0); // 0x ok
+        if (end != v.size())
+            throw std::invalid_argument(v);
+        return n;
+    } catch (const std::exception&) {
+        throw std::runtime_error("invalid number for " + flag + ": '" +
+                                 v + "'");
+    }
+}
+
+double
+parseDouble(const std::string& flag, const std::string& v)
+{
+    try {
+        std::size_t end = 0;
+        const double d = std::stod(v, &end);
+        if (end != v.size())
+            throw std::invalid_argument(v);
+        return d;
+    } catch (const std::exception&) {
+        throw std::runtime_error("invalid number for " + flag + ": '" +
+                                 v + "'");
+    }
+}
 
 int
-main(int argc, char** argv)
+runMain(int argc, char** argv)
 {
     sim::Design design = sim::Design::TageL;
     std::string workload = "leela";
     std::uint64_t insts = 400'000;
     std::uint64_t warmup = 120'000;
+    std::uint64_t deadlockCycles = 100'000;
     bpu::GhistRepairMode ghist = bpu::GhistRepairMode::RepairAndReplay;
     bool sfb = false, serialize = false, stats = false, area = false;
+    bool audit = false;
+    double faultRate = 0.0;
+    std::uint64_t faultSeed = 0x5EED;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -94,15 +135,23 @@ main(int argc, char** argv)
             else if (a == "--workload")
                 workload = next();
             else if (a == "--insts")
-                insts = std::stoull(next());
+                insts = parseU64(a, next());
             else if (a == "--warmup")
-                warmup = std::stoull(next());
+                warmup = parseU64(a, next());
             else if (a == "--ghist")
                 ghist = parseGhist(next());
             else if (a == "--sfb")
                 sfb = true;
             else if (a == "--serialize")
                 serialize = true;
+            else if (a == "--audit")
+                audit = true;
+            else if (a == "--inject-faults")
+                faultRate = parseDouble(a, next());
+            else if (a == "--fault-seed")
+                faultSeed = parseU64(a, next());
+            else if (a == "--deadlock-cycles")
+                deadlockCycles = parseU64(a, next());
             else if (a == "--stats")
                 stats = true;
             else if (a == "--area")
@@ -137,7 +186,14 @@ main(int argc, char** argv)
               << program.size() << " static insts)\n"
               << "ghist:    " << bpu::ghistRepairModeName(ghist)
               << (sfb ? ", SFB on" : "")
-              << (serialize ? ", serialized fetch" : "") << "\n\n";
+              << (serialize ? ", serialized fetch" : "");
+    if (audit)
+        std::cout << ", contract audit on";
+    if (faultRate > 0.0) {
+        std::cout << ", fault rate " << faultRate << " (seed 0x"
+                  << std::hex << faultSeed << std::dec << ")";
+    }
+    std::cout << "\n\n";
 
     sim::SimConfig cfg = sim::makeConfig(design);
     cfg.maxInsts = insts;
@@ -146,6 +202,11 @@ main(int argc, char** argv)
     cfg.backend.ghistMode = ghist;
     cfg.backend.sfbEnabled = sfb;
     cfg.frontend.serializeFetch = serialize;
+    cfg.deadlockCycles = deadlockCycles;
+    cfg.audit = audit;
+    cfg.faultRate = faultRate;
+    cfg.faultSeed = faultSeed;
+    cfg.validate(/*strict=*/true);
 
     sim::Simulator s(program, std::move(topo), cfg);
     const sim::SimResult r = s.run();
@@ -167,10 +228,17 @@ main(int argc, char** argv)
     row("accuracy", formatDouble(100 * r.accuracy(), 2) + "%");
     if (sfb)
         row("SFB conversions", std::to_string(r.sfbConversions));
+    if (faultRate > 0.0) {
+        row("faults injected", std::to_string(r.faultsInjected));
+        row("updates dropped", std::to_string(r.updatesDropped));
+    }
+    if (audit)
+        row("contract checks", std::to_string(r.auditChecks));
     t.print(std::cout);
 
     if (r.deadlocked) {
-        std::cerr << "\nwarning: run aborted (no commit progress)\n";
+        std::cerr << "\nerror: run aborted (no commit progress)\n"
+                  << r.diagnostics;
         return 1;
     }
 
@@ -185,6 +253,18 @@ main(int argc, char** argv)
                   << s.caches().l1d().misses() << "\n"
                   << "caches.l2.misses = " << s.caches().l2().misses()
                   << "\n";
+        if (faultRate > 0.0) {
+            const auto& fe = s.faultEngine();
+            std::cout << "guard.table_faults = " << fe.tableFaults()
+                      << "\n"
+                      << "guard.output_faults = " << fe.outputFaults()
+                      << "\n"
+                      << "guard.updates_dropped = "
+                      << fe.droppedUpdates() << "\n";
+        }
+        if (audit)
+            std::cout << "guard.audit_checks = " << r.auditChecks
+                      << "\n";
     }
 
     if (area) {
@@ -202,4 +282,23 @@ main(int argc, char** argv)
                   << "%)\n";
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    try {
+        return runMain(argc, argv);
+    } catch (const guard::ContractViolation& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    } catch (const guard::DeadlockError& e) {
+        std::cerr << "error: " << e.what() << "\n" << e.postMortem();
+        return 1;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
 }
