@@ -116,132 +116,52 @@ tageLNoUbtb()
 int
 main()
 {
-    const bench::RunScale scale = bench::RunScale::fromEnv();
-    bench::WorkloadCache cache;
+    bench::Sweep sweep("ablations");
     bool ok = true;
 
-    // ---- (a) §IV-A1 loop placement ------------------------------------
-    std::cout << "== Ablation (a): loop-predictor placement in a "
-                 "tournament design (§IV-A1) ==\n\n";
-    {
-        TextTable t;
-        t.addRow({"Topology", "x264 acc", "exchange2 acc",
-                  "x264 IPC", "exchange2 IPC"});
-        const LoopPlacement places[] = {LoopPlacement::OnGlobal,
-                                        LoopPlacement::OnLocal,
-                                        LoopPlacement::OnTop};
-        double bestTopAcc = 0, bestAnyAcc = 0;
-        for (LoopPlacement place : places) {
-            bpu::Topology topoDesc = tourneyWithLoop(place);
-            t.beginRow();
-            t.cell(topoDesc.describe());
-            double accs[2], ipcs[2];
-            int i = 0;
-            for (const std::string wl : {"x264", "exchange2"}) {
-                sim::SimConfig cfg =
-                    sim::makeConfig(sim::Design::Tourney);
-                cfg.warmupInsts = scale.warmup;
-                cfg.maxInsts = scale.measure;
-                sim::Simulator s(cache.get(wl),
-                                 tourneyWithLoop(place), cfg);
-                const auto r = s.run();
-                accs[i] = r.accuracy();
-                ipcs[i] = r.ipc();
-                ++i;
-            }
-            t.cell(accs[0], 4);
-            t.cell(accs[1], 4);
-            t.cell(ipcs[0], 3);
-            t.cell(ipcs[1], 3);
-            const double mean = (accs[0] + accs[1]) / 2;
-            bestAnyAcc = std::max(bestAnyAcc, mean);
-            if (place == LoopPlacement::OnTop)
-                bestTopAcc = mean;
-        }
-        t.print(std::cout);
-        std::cout << "\n";
-        ok &= bench::shapeCheck(
-            "correcting the final tournament prediction (LOOP on "
-            "top) is competitive with per-side placement",
-            bestTopAcc > bestAnyAcc - 0.01);
+    // Queue every section's points up front so one parallel run
+    // covers the whole harness; handles are read back per section.
+    const LoopPlacement places[] = {LoopPlacement::OnGlobal,
+                                    LoopPlacement::OnLocal,
+                                    LoopPlacement::OnTop};
+    const std::vector<std::string> wlsA = {"x264", "exchange2"};
+    std::vector<std::vector<std::size_t>> hA;
+    for (LoopPlacement place : places) {
+        std::vector<std::size_t> row;
+        for (const std::string& wl : wlsA)
+            row.push_back(sweep.add(
+                "loop-placement/" + wl, wl,
+                [place] { return tourneyWithLoop(place); },
+                sim::Design::Tourney));
+        hA.push_back(row);
     }
 
-    // ---- (b) history-file capacity --------------------------------------
-    std::cout << "\n== Ablation (b): history-file capacity (§IV-B1) "
-                 "==\n\n";
-    {
-        TextTable t;
-        t.addRow({"Entries", "gcc IPC", "x264 IPC"});
-        double ipcSmall = 0, ipcBig = 0;
-        for (unsigned entries : {8u, 16u, 32u, 64u, 128u}) {
-            t.beginRow();
-            t.cell(std::to_string(entries));
-            double vals[2];
-            int i = 0;
-            for (const std::string wl : {"gcc", "x264"}) {
-                const auto r = bench::runOne(
-                    sim::Design::TageL, cache.get(wl), scale,
-                    [entries](sim::SimConfig& cfg) {
-                        cfg.bpu.historyFileEntries = entries;
-                    });
-                vals[i++] = r.ipc();
-                t.cell(r.ipc(), 3);
-            }
-            if (entries == 8)
-                ipcSmall = vals[1];
-            if (entries == 128)
-                ipcBig = vals[1];
-        }
-        t.print(std::cout);
-        std::cout << "\n";
-        ok &= bench::shapeCheck(
-            "an undersized history file backpressures fetch and "
-            "costs IPC",
-            ipcSmall < ipcBig * 0.95);
+    const unsigned hfEntries[] = {8u, 16u, 32u, 64u, 128u};
+    const std::vector<std::string> wlsB = {"gcc", "x264"};
+    std::vector<std::vector<std::size_t>> hB;
+    for (unsigned entries : hfEntries) {
+        std::vector<std::size_t> row;
+        for (const std::string& wl : wlsB)
+            row.push_back(sweep.add(
+                sim::Design::TageL, wl,
+                [entries](sim::SimConfig& cfg) {
+                    cfg.bpu.historyFileEntries = entries;
+                }));
+        hB.push_back(row);
     }
 
-    // ---- (c) uBTB presence ----------------------------------------------
-    std::cout << "\n== Ablation (c): 1-cycle uBTB presence ==\n\n";
-    {
-        TextTable t;
-        t.addRow({"Workload", "IPC with uBTB", "IPC without",
-                  "delta"});
-        double meanDelta = 0;
-        int n = 0;
-        for (const std::string wl :
-             {"dhrystone", "x264", "xalancbmk"}) {
-            sim::SimConfig cfg = sim::makeConfig(sim::Design::TageL);
-            cfg.warmupInsts = scale.warmup;
-            cfg.maxInsts = scale.measure;
-            sim::Simulator with(cache.get(wl),
-                                sim::buildTopology(sim::Design::TageL),
-                                cfg);
-            const auto rw = with.run();
-            sim::Simulator without(cache.get(wl), tageLNoUbtb(), cfg);
-            const auto ro = without.run();
-            const double delta = (rw.ipc() - ro.ipc()) / ro.ipc();
-            meanDelta += delta;
-            ++n;
-            t.beginRow();
-            t.cell(wl);
-            t.cell(rw.ipc(), 3);
-            t.cell(ro.ipc(), 3);
-            t.cell(formatDouble(100 * delta, 1) + "%");
-        }
-        t.print(std::cout);
-        meanDelta /= n;
-        std::cout << "\n";
-        ok &= bench::shapeCheck(
-            "the 1-cycle uBTB hides taken-branch bubbles (IPC gain)",
-            meanDelta > 0.0);
+    const std::vector<std::string> wlsC = {"dhrystone", "x264",
+                                           "xalancbmk"};
+    std::vector<std::pair<std::size_t, std::size_t>> hC;
+    for (const std::string& wl : wlsC) {
+        const std::size_t with = sweep.add(sim::Design::TageL, wl);
+        const std::size_t without =
+            sweep.add("no-ubtb/" + wl, wl, [] { return tageLNoUbtb(); },
+                      sim::Design::TageL);
+        hC.emplace_back(with, without);
     }
 
-    // ---- (d) statistical corrector (TAGE-SC-L completion) --------------
-    std::cout << "\n== Ablation (d): statistical corrector (the paper "
-                 "calls TAGE-L 'TAGE-SC-L with no statistical "
-                 "corrector') ==\n\n";
-    {
-        auto tageScL = [] {
+    auto tageScL = [] {
             bpu::Topology topo;
             StatCorrectorParams scp;
             scp.sets = 512;
@@ -280,27 +200,130 @@ main()
             return topo;
         };
 
+    const std::vector<std::string> wlsD = {"mcf", "deepsjeng", "leela",
+                                           "coremark"};
+    std::vector<std::pair<std::size_t, std::size_t>> hD;
+    for (const std::string& wl : wlsD) {
+        const std::size_t base = sweep.add(sim::Design::TageL, wl);
+        const std::size_t sc = sweep.add("tage-sc-l/" + wl, wl, tageScL,
+                                         sim::Design::TageL);
+        hD.emplace_back(base, sc);
+    }
+
+    std::cerr << "[bench] running ablation grid on " << sweep.jobs()
+              << " job(s)\n";
+    sweep.run();
+
+    // ---- (a) §IV-A1 loop placement ------------------------------------
+    std::cout << "== Ablation (a): loop-predictor placement in a "
+                 "tournament design (§IV-A1) ==\n\n";
+    {
+        TextTable t;
+        t.addRow({"Topology", "x264 acc", "exchange2 acc",
+                  "x264 IPC", "exchange2 IPC"});
+        double bestTopAcc = 0, bestAnyAcc = 0;
+        for (std::size_t pi = 0; pi < std::size(places); ++pi) {
+            bpu::Topology topoDesc = tourneyWithLoop(places[pi]);
+            t.beginRow();
+            t.cell(topoDesc.describe());
+            double accs[2], ipcs[2];
+            for (std::size_t i = 0; i < wlsA.size(); ++i) {
+                const auto& r = sweep.res(hA[pi][i]);
+                accs[i] = r.accuracy();
+                ipcs[i] = r.ipc();
+            }
+            t.cell(accs[0], 4);
+            t.cell(accs[1], 4);
+            t.cell(ipcs[0], 3);
+            t.cell(ipcs[1], 3);
+            const double mean = (accs[0] + accs[1]) / 2;
+            bestAnyAcc = std::max(bestAnyAcc, mean);
+            if (places[pi] == LoopPlacement::OnTop)
+                bestTopAcc = mean;
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+        ok &= bench::shapeCheck(
+            "correcting the final tournament prediction (LOOP on "
+            "top) is competitive with per-side placement",
+            bestTopAcc > bestAnyAcc - 0.01);
+    }
+
+    // ---- (b) history-file capacity --------------------------------------
+    std::cout << "\n== Ablation (b): history-file capacity (§IV-B1) "
+                 "==\n\n";
+    {
+        TextTable t;
+        t.addRow({"Entries", "gcc IPC", "x264 IPC"});
+        double ipcSmall = 0, ipcBig = 0;
+        for (std::size_t ei = 0; ei < std::size(hfEntries); ++ei) {
+            t.beginRow();
+            t.cell(std::to_string(hfEntries[ei]));
+            double vals[2];
+            for (std::size_t i = 0; i < wlsB.size(); ++i) {
+                const auto& r = sweep.res(hB[ei][i]);
+                vals[i] = r.ipc();
+                t.cell(r.ipc(), 3);
+            }
+            if (hfEntries[ei] == 8)
+                ipcSmall = vals[1];
+            if (hfEntries[ei] == 128)
+                ipcBig = vals[1];
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+        ok &= bench::shapeCheck(
+            "an undersized history file backpressures fetch and "
+            "costs IPC",
+            ipcSmall < ipcBig * 0.95);
+    }
+
+    // ---- (c) uBTB presence ----------------------------------------------
+    std::cout << "\n== Ablation (c): 1-cycle uBTB presence ==\n\n";
+    {
+        TextTable t;
+        t.addRow({"Workload", "IPC with uBTB", "IPC without",
+                  "delta"});
+        double meanDelta = 0;
+        int n = 0;
+        for (std::size_t i = 0; i < wlsC.size(); ++i) {
+            const auto& rw = sweep.res(hC[i].first);
+            const auto& ro = sweep.res(hC[i].second);
+            const double delta = (rw.ipc() - ro.ipc()) / ro.ipc();
+            meanDelta += delta;
+            ++n;
+            t.beginRow();
+            t.cell(wlsC[i]);
+            t.cell(rw.ipc(), 3);
+            t.cell(ro.ipc(), 3);
+            t.cell(formatDouble(100 * delta, 1) + "%");
+        }
+        t.print(std::cout);
+        meanDelta /= n;
+        std::cout << "\n";
+        ok &= bench::shapeCheck(
+            "the 1-cycle uBTB hides taken-branch bubbles (IPC gain)",
+            meanDelta > 0.0);
+    }
+
+    // ---- (d) statistical corrector (TAGE-SC-L completion) --------------
+    std::cout << "\n== Ablation (d): statistical corrector (the paper "
+                 "calls TAGE-L 'TAGE-SC-L with no statistical "
+                 "corrector') ==\n\n";
+    {
         TextTable t;
         t.addRow({"Workload", "TAGE-L acc", "TAGE-SC-L acc",
                   "delta (pp)"});
         double sumDelta = 0;
         int n = 0;
-        for (const std::string wl : {"mcf", "deepsjeng", "leela",
-                                     "coremark"}) {
-            sim::SimConfig cfgSc = sim::makeConfig(sim::Design::TageL);
-            cfgSc.warmupInsts = scale.warmup;
-            cfgSc.maxInsts = scale.measure;
-            sim::Simulator base(cache.get(wl),
-                                sim::buildTopology(sim::Design::TageL),
-                                cfgSc);
-            const auto rb = base.run();
-            sim::Simulator sc(cache.get(wl), tageScL(), cfgSc);
-            const auto rs = sc.run();
+        for (std::size_t i = 0; i < wlsD.size(); ++i) {
+            const auto& rb = sweep.res(hD[i].first);
+            const auto& rs = sweep.res(hD[i].second);
             const double delta = rs.accuracy() - rb.accuracy();
             sumDelta += delta;
             ++n;
             t.beginRow();
-            t.cell(wl);
+            t.cell(wlsD[i]);
             t.cell(rb.accuracy(), 4);
             t.cell(rs.accuracy(), 4);
             t.cell(formatDouble(100 * delta, 2));
@@ -313,5 +336,5 @@ main()
             sumDelta / n > -0.002);
     }
 
-    return ok ? 0 : 1;
+    return sweep.finish(ok);
 }

@@ -18,12 +18,25 @@ using namespace cobra;
 int
 main()
 {
-    const bench::RunScale scale = bench::RunScale::fromEnv();
-    bench::WorkloadCache cache;
+    bench::Sweep sweep("energy");
     const phys::EnergyModel model;
 
     std::cout << "== §VI-A (future work): predictor access energy "
                  "==\n\n";
+
+    const std::vector<sim::Design> designs = sim::paperDesigns();
+    std::vector<std::size_t> handles;
+    for (sim::Design d : designs)
+        handles.push_back(sweep.add(d, "gcc"));
+
+    // The energy report needs the live Simulator, so it is gathered
+    // in the post-run hook; each point writes only its own slot.
+    std::vector<phys::EnergyReport> reports(handles.size());
+    sweep.run([&](std::size_t h, sim::Simulator& s,
+                  const sim::SimResult&, const sim::SweepPoint&,
+                  std::ostream&) {
+        reports.at(h) = s.bpu().energyReport(model);
+    });
 
     TextTable t;
     t.addRow({"Design", "nJ / kilo-inst", "accuracy", "top consumer"});
@@ -35,15 +48,10 @@ main()
     };
     std::vector<Summary> sums;
 
-    for (sim::Design d : sim::paperDesigns()) {
-        const prog::Program& p = cache.get("gcc");
-        sim::SimConfig cfg = sim::makeConfig(d);
-        cfg.warmupInsts = scale.warmup;
-        cfg.maxInsts = scale.measure;
-        sim::Simulator s(p, sim::buildTopology(d), cfg);
-        const auto r = s.run();
-
-        const phys::EnergyReport er = s.bpu().energyReport(model);
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        const sim::Design d = designs[i];
+        const auto& r = sweep.res(handles[i]);
+        const phys::EnergyReport& er = reports[handles[i]];
         const double njPerKi =
             er.totalPj() / 1000.0 / (r.insts / 1000.0);
         std::string top = "?";
@@ -83,5 +91,5 @@ main()
         "the accurate TAGE-L pays the most access energy (its 7 "
         "tagged tables are read every fetch)",
         get("TAGE-L") > get("B2") && get("TAGE-L") > get("Tournament"));
-    return ok ? 0 : 1;
+    return sweep.finish(ok);
 }

@@ -21,8 +21,7 @@ using namespace cobra;
 int
 main()
 {
-    const bench::RunScale scale = bench::RunScale::fromEnv();
-    bench::WorkloadCache cache;
+    bench::Sweep sweep("fig10_specint");
 
     const std::vector<sim::Design> systems = {
         sim::Design::Tourney, sim::Design::B2, sim::Design::TageL,
@@ -59,17 +58,23 @@ main()
     }
 
     const auto workloads = prog::WorkloadLibrary::specint17();
-    std::map<std::string, std::map<std::string, sim::SimResult>> results;
 
-    for (const auto& wl : workloads) {
-        const prog::Program& p = cache.get(wl);
-        for (sim::Design d : systems) {
+    // Queue the full 10x4 grid, run it on the SweepEngine, then read
+    // the outcomes back into the same map the tables consume.
+    std::map<std::string, std::map<std::string, std::size_t>> handle;
+    for (const auto& wl : workloads)
+        for (sim::Design d : systems)
+            handle[wl][sim::designName(d)] = sweep.add(d, wl);
+    std::cerr << "[bench] running "
+              << workloads.size() * systems.size() << " points on "
+              << sweep.jobs() << " job(s)\n";
+    sweep.run();
+
+    std::map<std::string, std::map<std::string, sim::SimResult>> results;
+    for (const auto& wl : workloads)
+        for (sim::Design d : systems)
             results[wl][sim::designName(d)] =
-                bench::runOne(d, p, scale);
-            std::cerr << "." << std::flush;
-        }
-    }
-    std::cerr << "\n";
+                sweep.res(handle[wl][sim::designName(d)]);
 
     // ---- MPKI panel ------------------------------------------------------
     std::cout << "== Fig. 10 (top): branch misses per kilo-instruction "
@@ -155,5 +160,5 @@ main()
         "the commercial-class stand-in leads TAGE-L in mean IPC",
         harmonicMean(ipcSeries["REF-BIG"]) >
             harmonicMean(ipcSeries["TAGE-L"]));
-    return ok ? 0 : 1;
+    return sweep.finish(ok);
 }

@@ -55,7 +55,6 @@ makeTopology(bool loopOnTop)
 int
 main()
 {
-    const bench::RunScale scale = bench::RunScale::fromEnv();
     std::cout << "== Fig. 4: two orderings of {uBTB1, PHT2, LOOP2} ==\n\n";
 
     for (bool loopOnTop : {true, false}) {
@@ -63,27 +62,36 @@ main()
         std::cout << t.pipelineDiagram() << "\n";
     }
 
-    bench::WorkloadCache cache;
+    bench::Sweep sweep("fig4_topologies");
+    const std::vector<std::string> workloads = {"x264", "exchange2",
+                                                "dhrystone"};
+    std::vector<std::pair<std::size_t, std::size_t>> handles;
+    for (const std::string& wl : workloads) {
+        const std::size_t a =
+            sweep.add("LOOP>PHT>uBTB/" + wl, wl,
+                      [] { return makeTopology(true); },
+                      sim::Design::TageL);
+        const std::size_t b =
+            sweep.add("uBTB>PHT>LOOP/" + wl, wl,
+                      [] { return makeTopology(false); },
+                      sim::Design::TageL);
+        handles.emplace_back(a, b);
+    }
+    sweep.run();
+
     TextTable t;
     t.addRow({"Workload", "LOOP>PHT>uBTB acc", "uBTB>PHT>LOOP acc",
               "LOOP>PHT>uBTB IPC", "uBTB>PHT>LOOP IPC"});
 
     double accA = 0, accB = 0;
-    for (const std::string wl : {"x264", "exchange2", "dhrystone"}) {
-        const prog::Program& p = cache.get(wl);
-        sim::SimConfig cfg = sim::makeConfig(sim::Design::TageL);
-        cfg.warmupInsts = scale.warmup;
-        cfg.maxInsts = scale.measure;
-
-        sim::Simulator sa(p, makeTopology(true), cfg);
-        const auto ra = sa.run();
-        sim::Simulator sb(p, makeTopology(false), cfg);
-        const auto rb = sb.run();
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const auto& ra = sweep.res(handles[i].first);
+        const auto& rb = sweep.res(handles[i].second);
         accA += ra.accuracy();
         accB += rb.accuracy();
 
         t.beginRow();
-        t.cell(wl);
+        t.cell(workloads[i]);
         t.cell(ra.accuracy(), 4);
         t.cell(rb.accuracy(), 4);
         t.cell(ra.ipc(), 3);
@@ -97,5 +105,5 @@ main()
         "LOOP>PHT>uBTB (later components override) is at least as "
         "accurate as uBTB>PHT>LOOP on loop-heavy code",
         accA >= accB - 0.003);
-    return ok ? 0 : 1;
+    return sweep.finish(ok);
 }

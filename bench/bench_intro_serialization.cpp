@@ -15,32 +15,38 @@ using namespace cobra;
 int
 main()
 {
-    const bench::RunScale scale = bench::RunScale::fromEnv();
-    bench::WorkloadCache cache;
+    bench::Sweep sweep("intro_serialization");
 
     std::cout << "== §I: serializing fetch behind branch predictions "
                  "==\n\n";
+
+    const std::vector<std::string> workloads = {"dhrystone", "coremark",
+                                                "x264", "gcc"};
+    std::vector<std::pair<std::size_t, std::size_t>> handles;
+    for (const std::string& wl : workloads) {
+        const std::size_t normal = sweep.add(sim::Design::TageL, wl);
+        const std::size_t serial =
+            sweep.add(sim::Design::TageL, wl, [](sim::SimConfig& cfg) {
+                cfg.frontend.serializeFetch = true;
+            });
+        handles.emplace_back(normal, serial);
+    }
+    sweep.run();
 
     TextTable t;
     t.addRow({"Workload", "IPC (superscalar)", "IPC (serialized)",
               "delta"});
 
     double dhryDelta = 0.0;
-    for (const std::string wl :
-         {"dhrystone", "coremark", "x264", "gcc"}) {
-        const prog::Program& p = cache.get(wl);
-        const auto normal =
-            bench::runOne(sim::Design::TageL, p, scale);
-        const auto serial = bench::runOne(
-            sim::Design::TageL, p, scale, [](sim::SimConfig& cfg) {
-                cfg.frontend.serializeFetch = true;
-            });
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const auto& normal = sweep.res(handles[i].first);
+        const auto& serial = sweep.res(handles[i].second);
         const double delta =
             (serial.ipc() - normal.ipc()) / normal.ipc();
-        if (wl == "dhrystone")
+        if (workloads[i] == "dhrystone")
             dhryDelta = delta;
         t.beginRow();
-        t.cell(wl);
+        t.cell(workloads[i]);
         t.cell(normal.ipc(), 3);
         t.cell(serial.ipc(), 3);
         t.cell(formatDouble(100 * delta, 1) + "%");
@@ -52,5 +58,5 @@ main()
     ok &= bench::shapeCheck(
         "serialization costs 5-30% IPC on Dhrystone (paper: 15%)",
         dhryDelta < -0.05 && dhryDelta > -0.30);
-    return ok ? 0 : 1;
+    return sweep.finish(ok);
 }

@@ -24,31 +24,44 @@ using namespace cobra;
 int
 main()
 {
-    const bench::RunScale scale = bench::RunScale::fromEnv();
-    bench::WorkloadCache cache;
+    bench::Sweep sweep("trace_vs_execution");
+    const bench::RunScale scale = sweep.scale();
 
     std::cout << "== §II-B: trace-driven vs execution-driven accuracy "
                  "==\n\n";
+
+    const std::vector<std::string> workloads = {"deepsjeng", "leela",
+                                                "gcc", "dhrystone"};
+    const std::vector<sim::Design> designs = sim::paperDesigns();
+
+    // The execution-driven half of every comparison runs on the
+    // sweep pool; the idealized trace evaluations stay on this
+    // thread (they are cheap and share recorded traces per workload).
+    std::vector<std::size_t> handles;
+    for (const std::string& wl : workloads)
+        for (sim::Design d : designs)
+            handles.push_back(sweep.add(d, wl));
+    sweep.run();
 
     TextTable t;
     t.addRow({"Workload", "Design", "trace acc", "in-core acc",
               "error (pp)"});
 
     std::vector<double> errors;
-    for (const std::string wl :
-         {"deepsjeng", "leela", "gcc", "dhrystone"}) {
-        const prog::Program& p = cache.get(wl);
+    std::size_t pi = 0;
+    for (const std::string& wl : workloads) {
+        const prog::Program& p = sweep.workload(wl);
         const trace::BranchTrace tr = trace::recordTrace(
             p, scale.measure / 4 + scale.warmup / 4);
 
-        for (sim::Design d : sim::paperDesigns()) {
+        for (sim::Design d : designs) {
             const unsigned ghistBits = sim::makeConfig(d).bpu.ghistBits;
             trace::TraceDrivenEvaluator ev(
                 bpu::ComposedPredictor(sim::buildTopology(d), 4),
                 ghistBits);
             const auto traceRes = ev.evaluate(tr, tr.size() / 4);
 
-            const auto coreRes = bench::runOne(d, p, scale);
+            const auto& coreRes = sweep.res(handles[pi++]);
 
             const double err =
                 traceRes.accuracy() - coreRes.accuracy();
@@ -82,5 +95,5 @@ main()
     ok &= bench::shapeCheck(
         "the error is pervasive across designs and workloads",
         positive >= static_cast<int>(errors.size()) - 2);
-    return ok ? 0 : 1;
+    return sweep.finish(ok);
 }

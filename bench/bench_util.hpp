@@ -1,16 +1,22 @@
 /**
  * @file
- * Shared helpers for the figure/table regeneration harnesses: run a
- * (design, workload) pair and collect the paper's metrics.
+ * Shared helpers for the figure/table regeneration harnesses. Every
+ * simulating harness queues its (design, workload, config) points on a
+ * bench::Sweep, which runs them through the sim::SweepEngine thread
+ * pool (--jobs via COBRA_JOBS) and emits a machine-readable copy of
+ * the results to bench_results/<name>.json next to the text tables.
  */
 
 #ifndef COBRA_BENCH_BENCH_UTIL_HPP
 #define COBRA_BENCH_BENCH_UTIL_HPP
 
 #include <cstdint>
+#include <filesystem>
 #include <iostream>
-#include <map>
+#include <sstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -18,6 +24,7 @@
 #include "program/workload.hpp"
 #include "sim/presets.hpp"
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 
 namespace cobra::bench {
 
@@ -40,47 +47,8 @@ struct RunScale
     }
 };
 
-/** Run one design on one workload with optional config tweaks. */
-template <typename Tweak>
-sim::SimResult
-runOne(sim::Design d, const prog::Program& program, const RunScale& scale,
-       Tweak&& tweak)
-{
-    sim::SimConfig cfg = sim::makeConfig(d);
-    cfg.warmupInsts = scale.warmup;
-    cfg.maxInsts = scale.measure;
-    tweak(cfg);
-    sim::Simulator s(program, sim::buildTopology(d), cfg);
-    return s.run();
-}
-
-inline sim::SimResult
-runOne(sim::Design d, const prog::Program& program, const RunScale& scale)
-{
-    return runOne(d, program, scale, [](sim::SimConfig&) {});
-}
-
-/** Cache of built workloads (program generation is deterministic). */
-class WorkloadCache
-{
-  public:
-    const prog::Program&
-    get(const std::string& name)
-    {
-        auto it = cache_.find(name);
-        if (it == cache_.end()) {
-            it = cache_
-                     .emplace(name,
-                              prog::buildWorkload(
-                                  prog::WorkloadLibrary::profile(name)))
-                     .first;
-        }
-        return it->second;
-    }
-
-  private:
-    std::map<std::string, prog::Program> cache_;
-};
+/** Cache of built workloads (kept as an alias for older call sites). */
+using WorkloadCache = prog::WorkloadCache;
 
 /** Print a PASS/FAIL shape check (the reproduction criterion). */
 inline bool
@@ -90,6 +58,181 @@ shapeCheck(const std::string& what, bool ok)
               << "\n";
     return ok;
 }
+
+/**
+ * Harness-side front end to the SweepEngine: queue points (presets or
+ * custom topologies), run them in parallel, read results back by the
+ * submission handle, and finish() with a JSON dump of every point.
+ *
+ * Handles stay valid across multiple run() batches, so a harness can
+ * interleave queue/run/print phases and still get one merged JSON
+ * report at the end.
+ */
+class Sweep
+{
+  public:
+    explicit Sweep(std::string name, unsigned jobs = 0)
+        : name_(std::move(name)), engine_(jobs),
+          scale_(RunScale::fromEnv())
+    {
+    }
+
+    const RunScale& scale() const { return scale_; }
+    unsigned jobs() const { return engine_.jobs(); }
+
+    /** Build-or-fetch a workload Program (shared across points). */
+    const prog::Program&
+    workload(const std::string& name)
+    {
+        return cache_.get(name);
+    }
+
+    /** Queue a preset design on a library workload. */
+    std::size_t
+    add(sim::Design d, const std::string& wl)
+    {
+        return add(d, wl, [](sim::SimConfig&) {});
+    }
+
+    /** Queue a preset design with a config tweak. */
+    template <typename Tweak>
+    std::size_t
+    add(sim::Design d, const std::string& wl, Tweak&& tweak)
+    {
+        sim::SweepPoint p = sim::SweepPoint::preset(d, cache_.get(wl));
+        applyScale(p.cfg);
+        tweak(p.cfg);
+        return enqueue(std::move(p));
+    }
+
+    /**
+     * Queue a custom topology. @p topo is a factory invoked on the
+     * worker that runs the point; @p cfgBase picks the SimConfig
+     * preset the tweak starts from.
+     */
+    template <typename Factory, typename Tweak>
+    std::size_t
+    add(std::string label, const std::string& wl, Factory&& topo,
+        sim::Design cfgBase, Tweak&& tweak)
+    {
+        sim::SweepPoint p;
+        p.label = std::move(label);
+        p.topology = std::forward<Factory>(topo);
+        p.program = &cache_.get(wl);
+        p.cfg = sim::makeConfig(cfgBase);
+        applyScale(p.cfg);
+        tweak(p.cfg);
+        return enqueue(std::move(p));
+    }
+
+    template <typename Factory>
+    std::size_t
+    add(std::string label, const std::string& wl, Factory&& topo,
+        sim::Design cfgBase)
+    {
+        return add(std::move(label), wl, std::forward<Factory>(topo),
+                   cfgBase, [](sim::SimConfig&) {});
+    }
+
+    /**
+     * Run every queued point; previously-run handles stay valid.
+     * @p postRun (optional) executes on the worker while the point's
+     * Simulator is still alive; its first argument is the point's
+     * global handle (as returned by add()).
+     */
+    void
+    run(const sim::SweepEngine::PostRun& postRun = nullptr)
+    {
+        const std::size_t base = outcomes_.size();
+        sim::SweepEngine::PostRun rebased;
+        if (postRun) {
+            rebased = [&postRun, base](std::size_t idx,
+                                       sim::Simulator& s,
+                                       const sim::SimResult& r,
+                                       const sim::SweepPoint& pt,
+                                       std::ostream& os) {
+                postRun(base + idx, s, r, pt, os);
+            };
+        }
+        for (auto& o : engine_.run(rebased))
+            outcomes_.push_back(std::move(o));
+    }
+
+    /** SimResult for a handle; throws if that point failed. */
+    const sim::SimResult&
+    res(std::size_t h) const
+    {
+        const sim::SweepOutcome& o = outcomes_.at(h);
+        if (!o.ok())
+            throw std::runtime_error("sweep point '" + o.label +
+                                     "' failed: " + o.error);
+        return o.result;
+    }
+
+    const sim::SweepOutcome&
+    outcome(std::size_t h) const
+    {
+        return outcomes_.at(h);
+    }
+
+    /**
+     * Write bench_results/<name>.json and print a one-line host
+     * throughput summary; returns the process exit code for @p ok.
+     */
+    int
+    finish(bool ok)
+    {
+        try {
+            std::filesystem::create_directories("bench_results");
+            std::ostringstream extra;
+            extra << "\"shape_ok\": " << (ok ? "true" : "false")
+                  << ",\n  \"warmup_insts\": " << scale_.warmup
+                  << ",\n  \"measure_insts\": " << scale_.measure;
+            sim::writeSweepJson("bench_results/" + name_ + ".json",
+                                name_, outcomes_, engine_.jobs(),
+                                extra.str());
+        } catch (const std::exception& e) {
+            std::cerr << "[bench] JSON emit failed: " << e.what()
+                      << "\n";
+        }
+        double wall = 0.0;
+        std::uint64_t cycles = 0;
+        for (const auto& o : outcomes_) {
+            wall += o.host.wallSeconds;
+            cycles += o.host.simCycles;
+        }
+        std::cerr << "[bench] " << name_ << ": " << outcomes_.size()
+                  << " points, jobs=" << engine_.jobs() << ", "
+                  << formatDouble(wall, 2) << " s simulating, "
+                  << formatDouble(
+                         wall > 0 ? static_cast<double>(cycles) / 1e3 /
+                                        wall
+                                  : 0.0,
+                         1)
+                  << " kilocycles/s aggregate\n";
+        return ok ? 0 : 1;
+    }
+
+  private:
+    void
+    applyScale(sim::SimConfig& cfg) const
+    {
+        cfg.warmupInsts = scale_.warmup;
+        cfg.maxInsts = scale_.measure;
+    }
+
+    std::size_t
+    enqueue(sim::SweepPoint p)
+    {
+        return outcomes_.size() + engine_.add(std::move(p));
+    }
+
+    std::string name_;
+    sim::SweepEngine engine_;
+    RunScale scale_;
+    prog::WorkloadCache cache_;
+    std::vector<sim::SweepOutcome> outcomes_;
+};
 
 } // namespace cobra::bench
 

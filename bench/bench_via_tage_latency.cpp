@@ -67,8 +67,7 @@ tageLWithLatency(unsigned latency)
 int
 main()
 {
-    const bench::RunScale scale = bench::RunScale::fromEnv();
-    bench::WorkloadCache cache;
+    bench::Sweep sweep("via_tage_latency");
 
     std::cout << "== §VI-A: TAGE final-decision latency 2 vs 3 cycles "
                  "==\n\n";
@@ -77,22 +76,32 @@ main()
     std::cout << "topology (3-cycle): " << tageLWithLatency(3).describe()
               << "\n\n";
 
+    const std::vector<std::string> wls =
+        prog::WorkloadLibrary::specint17();
+    std::vector<std::pair<std::size_t, std::size_t>> handles;
+    for (const auto& wl : wls) {
+        const std::size_t fast =
+            sweep.add("tage-lat2/" + wl, wl,
+                      [] { return tageLWithLatency(2); },
+                      sim::Design::TageL);
+        const std::size_t slow =
+            sweep.add("tage-lat3/" + wl, wl,
+                      [] { return tageLWithLatency(3); },
+                      sim::Design::TageL);
+        handles.emplace_back(fast, slow);
+    }
+    sweep.run();
+
     TextTable t;
     t.addRow({"Workload", "IPC@2cyc", "IPC@3cyc", "IPC delta",
               "acc@2cyc", "acc@3cyc"});
 
     std::vector<double> ipcDeltas;
     std::vector<double> accDeltas;
-    for (const auto& wl : prog::WorkloadLibrary::specint17()) {
-        const prog::Program& p = cache.get(wl);
-        sim::SimConfig cfg = sim::makeConfig(sim::Design::TageL);
-        cfg.warmupInsts = scale.warmup;
-        cfg.maxInsts = scale.measure;
-
-        sim::Simulator fast(p, tageLWithLatency(2), cfg);
-        const auto rf = fast.run();
-        sim::Simulator slow(p, tageLWithLatency(3), cfg);
-        const auto rs = slow.run();
+    for (std::size_t i = 0; i < wls.size(); ++i) {
+        const std::string& wl = wls[i];
+        const auto& rf = sweep.res(handles[i].first);
+        const auto& rs = sweep.res(handles[i].second);
 
         const double dIpc = (rs.ipc() - rf.ipc()) / rf.ipc();
         ipcDeltas.push_back(dIpc);
@@ -125,5 +134,5 @@ main()
     ok &= bench::shapeCheck(
         "IPC degradation is minimal (between -5% and +1%)",
         meanIpcDelta > -0.05 && meanIpcDelta < 0.01);
-    return ok ? 0 : 1;
+    return sweep.finish(ok);
 }

@@ -21,15 +21,15 @@ using namespace cobra;
 
 namespace {
 
-sim::SimResult
-runMode(const prog::Program& p, bpu::GhistRepairMode mode,
-        const bench::RunScale& scale)
+std::size_t
+addMode(bench::Sweep& sweep, const std::string& wl,
+        bpu::GhistRepairMode mode)
 {
-    return bench::runOne(sim::Design::TageL, p, scale,
-                         [mode](sim::SimConfig& cfg) {
-                             cfg.frontend.ghistMode = mode;
-                             cfg.backend.ghistMode = mode;
-                         });
+    return sweep.add(sim::Design::TageL, wl,
+                     [mode](sim::SimConfig& cfg) {
+                         cfg.frontend.ghistMode = mode;
+                         cfg.backend.ghistMode = mode;
+                     });
 }
 
 } // namespace
@@ -37,11 +37,28 @@ runMode(const prog::Program& p, bpu::GhistRepairMode mode,
 int
 main()
 {
-    const bench::RunScale scale = bench::RunScale::fromEnv();
-    bench::WorkloadCache cache;
+    bench::Sweep sweep("vib_ghist_repair");
 
     std::cout << "== §VI-B: global-history repair and fetch replay "
                  "==\n\n";
+
+    std::vector<std::string> wls = prog::WorkloadLibrary::specint17();
+    wls.push_back("dhrystone");
+
+    struct Trio
+    {
+        std::size_t none, repair, replay;
+    };
+    std::vector<Trio> handles;
+    for (const auto& wl : wls) {
+        Trio tr;
+        tr.none = addMode(sweep, wl, bpu::GhistRepairMode::None);
+        tr.repair = addMode(sweep, wl, bpu::GhistRepairMode::RepairOnly);
+        tr.replay =
+            addMode(sweep, wl, bpu::GhistRepairMode::RepairAndReplay);
+        handles.push_back(tr);
+    }
+    sweep.run();
 
     TextTable t;
     t.addRow({"Workload", "IPC none", "IPC repair", "IPC replay",
@@ -53,17 +70,11 @@ main()
     std::uint64_t dhrystoneReplayBubbles = 0;
     std::uint64_t dhrystoneInsts = 1;
 
-    std::vector<std::string> wls = prog::WorkloadLibrary::specint17();
-    wls.push_back("dhrystone");
-
-    for (const auto& wl : wls) {
-        const prog::Program& p = cache.get(wl);
-        const auto none =
-            runMode(p, bpu::GhistRepairMode::None, scale);
-        const auto repair =
-            runMode(p, bpu::GhistRepairMode::RepairOnly, scale);
-        const auto replay =
-            runMode(p, bpu::GhistRepairMode::RepairAndReplay, scale);
+    for (std::size_t i = 0; i < wls.size(); ++i) {
+        const std::string& wl = wls[i];
+        const auto& none = sweep.res(handles[i].none);
+        const auto& repair = sweep.res(handles[i].repair);
+        const auto& replay = sweep.res(handles[i].replay);
 
         if (wl != "dhrystone") {
             ipcNone.push_back(none.ipc());
@@ -125,5 +136,5 @@ main()
     std::cout << "  (dhrystone replay events: "
               << dhrystoneReplayBubbles << " over " << dhrystoneInsts
               << " insts)\n";
-    return ok ? 0 : 1;
+    return sweep.finish(ok);
 }

@@ -17,10 +17,29 @@ using namespace cobra;
 int
 main()
 {
-    const bench::RunScale scale = bench::RunScale::fromEnv();
-    bench::WorkloadCache cache;
+    bench::Sweep sweep("vic_sfb");
 
     std::cout << "== §VI-C: short-forwards-branch predication ==\n\n";
+
+    const std::vector<std::string> workloads = {"coremark",
+                                                "dhrystone"};
+    const std::vector<sim::Design> designs = sim::paperDesigns();
+    struct Pair
+    {
+        std::size_t off, on;
+    };
+    std::vector<Pair> handles;
+    for (const std::string& wl : workloads) {
+        for (sim::Design d : designs) {
+            Pair pr;
+            pr.off = sweep.add(d, wl);
+            pr.on = sweep.add(d, wl, [](sim::SimConfig& cfg) {
+                cfg.backend.sfbEnabled = true;
+            });
+            handles.push_back(pr);
+        }
+    }
+    sweep.run();
 
     TextTable t;
     t.addRow({"Workload", "Design", "IPC off", "IPC on", "acc off",
@@ -30,14 +49,12 @@ main()
     double coremarkIpcOff = 0, coremarkIpcOn = 0;
     int designsImprovedAcc = 0;
 
-    for (const std::string wl : {"coremark", "dhrystone"}) {
-        const prog::Program& p = cache.get(wl);
-        for (sim::Design d : sim::paperDesigns()) {
-            const auto off = bench::runOne(d, p, scale);
-            const auto on = bench::runOne(
-                d, p, scale, [](sim::SimConfig& cfg) {
-                    cfg.backend.sfbEnabled = true;
-                });
+    std::size_t pi = 0;
+    for (const std::string& wl : workloads) {
+        for (sim::Design d : designs) {
+            const auto& off = sweep.res(handles[pi].off);
+            const auto& on = sweep.res(handles[pi].on);
+            ++pi;
             if (wl == "coremark") {
                 if (on.accuracy() > off.accuracy())
                     ++designsImprovedAcc;
@@ -82,5 +99,5 @@ main()
     ok &= bench::shapeCheck(
         "the accuracy gain is substantial (> 2 pp)",
         coremarkAccOn - coremarkAccOff > 0.02);
-    return ok ? 0 : 1;
+    return sweep.finish(ok);
 }

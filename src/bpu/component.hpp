@@ -11,6 +11,7 @@
 #define COBRA_BPU_COMPONENT_HPP
 
 #include <cassert>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -101,7 +102,7 @@ class PredictorComponent
      */
     virtual void
     arbitrate(const PredictContext& ctx,
-              const std::vector<PredictionBundle>& inputs,
+              std::span<const PredictionBundle> inputs,
               PredictionBundle& inout, Metadata& meta)
     {
         (void)inputs; (void)inout; (void)meta;

@@ -69,6 +69,11 @@ ComposedPredictor::ComposedPredictor(Topology topo, unsigned width)
                                      "' narrower than pipeline width");
         }
     }
+    nodeCompIdx_.assign(topo_.numNodes(), ~std::size_t{0});
+    for (std::size_t i = 0; i < topo_.numNodes(); ++i) {
+        if (topo_.node(i).comp != nullptr)
+            nodeCompIdx_[i] = compIndex(topo_.node(i).comp);
+    }
     // An arbiter must not respond before the predictions it chooses
     // among exist; enforce latency(arb) >= latency(children).
     for (std::size_t i = 0; i < topo_.numNodes(); ++i) {
@@ -125,15 +130,16 @@ ComposedPredictor::makeContext(const QueryState& q, unsigned d) const
 }
 
 void
-ComposedPredictor::applyComponent(QueryState& q, PredictorComponent* comp,
+ComposedPredictor::applyComponent(QueryState& q, std::size_t idx,
                                   unsigned d, PredictionBundle& bundle,
                                   const std::vector<std::size_t>*
                                       arb_children)
 {
+    PredictorComponent* comp = topo_.node(idx).comp;
     if (d < comp->latency())
         return; // Not yet responded: pure pass-through.
 
-    const std::size_t ci = compIndex(comp);
+    const std::size_t ci = nodeCompIdx_[idx];
     QueryState::CompResult& res = q.results_[ci];
 
     if (!res.computed) {
@@ -147,15 +153,18 @@ ComposedPredictor::applyComponent(QueryState& q, PredictorComponent* comp,
         PredictionBundle in = bundle;
         PredictionBundle out = bundle;
         if (arb_children != nullptr) {
-            std::vector<PredictionBundle> inputs;
-            inputs.reserve(arb_children->size());
+            SmallVector<PredictionBundle, 4> inputs;
             for (std::size_t childIdx : *arb_children) {
                 PredictionBundle cb;
                 cb.width = width_;
                 evalNode(q, childIdx, d, cb);
                 inputs.push_back(cb);
             }
-            comp->arbitrate(ctx, inputs, out, q.metas_[ci]);
+            comp->arbitrate(
+                ctx,
+                std::span<const PredictionBundle>(inputs.data(),
+                                                  inputs.size()),
+                out, q.metas_[ci]);
         } else {
             comp->predict(ctx, out, q.metas_[ci]);
         }
@@ -179,7 +188,7 @@ ComposedPredictor::evalNode(QueryState& q, std::size_t idx, unsigned d,
     const Topology::Node& n = topo_.node(idx);
     switch (n.kind) {
       case Topology::NodeKind::Leaf:
-        applyComponent(q, n.comp, d, bundle, nullptr);
+        applyComponent(q, idx, d, bundle, nullptr);
         break;
       case Topology::NodeKind::Chain:
         // Children are listed highest-priority first; evaluate from
@@ -194,7 +203,7 @@ ComposedPredictor::evalNode(QueryState& q, std::size_t idx, unsigned d,
             if (!n.children.empty())
                 evalNode(q, n.children.front(), d, bundle);
         } else {
-            applyComponent(q, n.comp, d, bundle, &n.children);
+            applyComponent(q, idx, d, bundle, &n.children);
         }
         break;
     }

@@ -84,7 +84,8 @@ class QueryState
     std::uint64_t phist_ = 0;
     unsigned lastStage_ = 0;
     std::uint64_t serial_ = 0;
-    std::vector<CompResult> results_;
+    /** Inline for <= 8 components: query reset allocates nothing. */
+    SmallVector<CompResult, 8> results_;
     MetadataBundle metas_;
 };
 
@@ -145,12 +146,12 @@ class ComposedPredictor
     void evalNode(QueryState& q, std::size_t idx, unsigned d,
                   PredictionBundle& bundle);
 
-    /** Compute-or-replay one component's patch onto @p bundle. */
-    void applyComponent(QueryState& q, PredictorComponent* comp,
-                        unsigned d, PredictionBundle& bundle,
+    /** Compute-or-replay node @p idx's component patch onto @p bundle. */
+    void applyComponent(QueryState& q, std::size_t idx, unsigned d,
+                        PredictionBundle& bundle,
                         const std::vector<std::size_t>* arbChildren);
 
-    /** Index of @p comp in components_. */
+    /** Index of @p comp in components_ (construction-time only). */
     std::size_t compIndex(const PredictorComponent* comp) const;
 
     PredictContext makeContext(const QueryState& q, unsigned d) const;
@@ -159,6 +160,9 @@ class ComposedPredictor
     unsigned width_;
     unsigned maxLatency_;
     std::vector<PredictorComponent*> components_;
+    /** Topology-node index -> metadata slot, precomputed once so the
+     *  per-query path never does the O(n) component scan. */
+    std::vector<std::size_t> nodeCompIdx_;
 };
 
 /** Diff two slots; returns the ProvideMask of changed field groups. */

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/folded_history.hpp"
+#include "common/small_vector.hpp"
 #include "common/types.hpp"
 
 namespace cobra::bpu {
@@ -101,8 +102,13 @@ struct Metadata
     const std::uint64_t& operator[](std::size_t i) const { return w[i]; }
 };
 
-/** Metadata for every component in a composed pipeline. */
-using MetadataBundle = std::vector<Metadata>;
+/**
+ * Metadata for every component in a composed pipeline. Compositions
+ * of up to 8 components (every paper design uses <= 5) store their
+ * metadata inline, so copying a bundle into the history file or a
+ * repair job allocates nothing.
+ */
+using MetadataBundle = SmallVector<Metadata, 8>;
 
 /**
  * Inputs available to a component when predicting (paper §III-A/B):

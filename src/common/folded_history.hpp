@@ -13,12 +13,17 @@
 #include <vector>
 
 #include "common/bitutil.hpp"
+#include "common/small_vector.hpp"
 
 namespace cobra {
 
 /**
  * A fixed-capacity shift register of branch outcomes. Bit 0 is the
  * most recent outcome. Supports snapshot/restore for speculation repair.
+ *
+ * Registers up to 256 bits (every paper configuration) live entirely
+ * inline — copying one into the history file or a query is a memcpy,
+ * not an allocation.
  */
 class HistoryRegister
 {
@@ -65,17 +70,32 @@ class HistoryRegister
         return v & maskBits(n);
     }
 
+    /**
+     * foldXor(low(min(histBits, 64)), outBits): the standard
+     * index/tag fold every ghist-consuming component uses.
+     */
+    std::uint64_t
+    folded(unsigned hist_bits, unsigned out_bits) const
+    {
+        return foldXor(low(hist_bits < 64 ? hist_bits : 64), out_bits);
+    }
+
     unsigned length() const { return length_; }
 
     /** Full snapshot of the register contents. */
-    std::vector<std::uint64_t> snapshot() const { return words_; }
+    std::vector<std::uint64_t>
+    snapshot() const
+    {
+        return std::vector<std::uint64_t>(words_.begin(), words_.end());
+    }
 
     /** Restore a snapshot taken from a register of identical length. */
     void
     restore(const std::vector<std::uint64_t>& snap)
     {
         assert(snap.size() == words_.size());
-        words_ = snap;
+        for (std::size_t i = 0; i < snap.size(); ++i)
+            words_[i] = snap[i];
     }
 
     bool
@@ -86,7 +106,8 @@ class HistoryRegister
 
   private:
     unsigned length_;
-    std::vector<std::uint64_t> words_;
+    /** 4 inline words = 256 bits, enough for every shipped config. */
+    SmallVector<std::uint64_t, 4> words_;
 };
 
 /**

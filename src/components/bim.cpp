@@ -49,16 +49,14 @@ Hbim::indexOf(Addr pc, const bpu::PredictContext*,
         break;
       case IndexMode::GlobalHist:
         assert(ghist != nullptr);
-        idx = foldXor(ghist->low(std::min(params_.histBits, 64u)),
-                      idxBits);
+        idx = ghist->folded(params_.histBits, idxBits);
         break;
       case IndexMode::LocalHist:
         idx = foldXor(lhist & maskBits(params_.histBits), idxBits);
         break;
       case IndexMode::GshareHash:
         assert(ghist != nullptr);
-        idx = pcBits ^ foldXor(ghist->low(std::min(params_.histBits, 64u)),
-                               idxBits);
+        idx = pcBits ^ ghist->folded(params_.histBits, idxBits);
         break;
       case IndexMode::LshareHash:
         idx = pcBits ^ foldXor(lhist & maskBits(params_.histBits),

@@ -28,18 +28,17 @@ Gtag::indexOf(Addr pc, const HistoryRegister& gh) const
 {
     const unsigned idxBits = ceilLog2(params_.sets);
     const std::uint64_t pcBits = pc >> (2 + ceilLog2(fetchWidth()));
-    const std::uint64_t h = gh.low(std::min(params_.histBits, 64u));
     return static_cast<std::size_t>(
-        (pcBits ^ foldXor(h, idxBits)) & maskBits(idxBits));
+        (pcBits ^ gh.folded(params_.histBits, idxBits)) &
+        maskBits(idxBits));
 }
 
 std::uint32_t
 Gtag::tagOf(Addr pc, const HistoryRegister& gh) const
 {
     const std::uint64_t pcBits = pc >> (2 + ceilLog2(fetchWidth()));
-    const std::uint64_t h = gh.low(std::min(params_.histBits, 64u));
     return static_cast<std::uint32_t>(
-        hashCombine(pcBits, foldXor(h, params_.tagBits)) &
+        hashCombine(pcBits, gh.folded(params_.histBits, params_.tagBits)) &
         maskBits(params_.tagBits));
 }
 

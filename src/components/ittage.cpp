@@ -29,9 +29,8 @@ Ittage::indexOf(const Table& t, Addr pc, const HistoryRegister& gh) const
 {
     const unsigned idxBits = ceilLog2(params_.sets);
     const std::uint64_t pcBits = pc >> (2 + ceilLog2(fetchWidth()));
-    const std::uint64_t h = gh.low(std::min(t.histLen, 64u));
     return static_cast<std::size_t>(
-        (pcBits ^ foldXor(h, idxBits) ^ (pcBits >> idxBits)) &
+        (pcBits ^ gh.folded(t.histLen, idxBits) ^ (pcBits >> idxBits)) &
         maskBits(idxBits));
 }
 
@@ -39,9 +38,9 @@ std::uint32_t
 Ittage::tagOf(const Table& t, Addr pc, const HistoryRegister& gh) const
 {
     const std::uint64_t pcBits = pc >> (2 + ceilLog2(fetchWidth()));
-    const std::uint64_t h = gh.low(std::min(t.histLen, 64u));
     return static_cast<std::uint32_t>(
-        hashCombine(pcBits, foldXor(h, params_.tagBits) ^ t.histLen) &
+        hashCombine(pcBits,
+                    gh.folded(t.histLen, params_.tagBits) ^ t.histLen) &
         maskBits(params_.tagBits));
 }
 

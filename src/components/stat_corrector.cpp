@@ -31,9 +31,8 @@ StatCorrector::indexOf(const Table& t, Addr pc, const HistoryRegister& gh,
 {
     const unsigned idxBits = ceilLog2(params_.sets);
     const std::uint64_t pcBits = pc >> (2 + ceilLog2(fetchWidth()));
-    const std::uint64_t h = gh.low(std::min(t.histLen, 64u));
     const std::uint64_t idx =
-        (pcBits ^ foldXor(h, idxBits)) & maskBits(idxBits);
+        (pcBits ^ gh.folded(t.histLen, idxBits)) & maskBits(idxBits);
     return ((static_cast<std::size_t>(idx) * fetchWidth() + slot) << 1) |
            (pred ? 1 : 0);
 }

@@ -12,6 +12,12 @@ namespace {
 
 /** Per-slot metadata layout (12 bits per slot). */
 constexpr unsigned kSlotMetaBits = 12;
+
+/** Upper bound on tagged tables; lets predict/update use fixed
+ *  stack arrays instead of per-call heap vectors. The provider field
+ *  in the slot metadata is 4 bits (table + 1), so 15 is also the
+ *  metadata format's limit. */
+constexpr unsigned kMaxTables = 15;
 constexpr unsigned kProviderShift = 0; // 4 bits, value = table + 1.
 constexpr unsigned kCtrShift = 4;      // 3 bits.
 constexpr unsigned kAltTakenShift = 7;
@@ -64,6 +70,7 @@ Tage::Tage(std::string name, const TageParams& p)
       params_(p), rng_(0x7A6E)
 {
     assert(!p.tables.empty());
+    assert(p.tables.size() <= kMaxTables);
     assert(p.latency >= 2);
     assert(p.ctrBits >= 2 && p.ctrBits <= 4);
     for (const auto& tp : p.tables) {
@@ -142,8 +149,7 @@ Tage::indexOf(const Table& t, Addr pc, const HistoryRegister& gh) const
 {
     const unsigned idxBits = ceilLog2(t.p.sets);
     const std::uint64_t pcBits = pc >> (2 + ceilLog2(fetchWidth()));
-    const std::uint64_t h = gh.low(std::min(t.p.histLen, 64u));
-    const std::uint64_t folded = foldXor(h, idxBits);
+    const std::uint64_t folded = gh.folded(t.p.histLen, idxBits);
     return static_cast<std::size_t>(
         (pcBits ^ (pcBits >> idxBits) ^ folded) & maskBits(idxBits));
 }
@@ -152,10 +158,10 @@ std::uint32_t
 Tage::tagOf(const Table& t, Addr pc, const HistoryRegister& gh) const
 {
     const std::uint64_t pcBits = pc >> (2 + ceilLog2(fetchWidth()));
-    const std::uint64_t h = gh.low(std::min(t.p.histLen, 64u));
     // A second, differently folded hash decorrelates tag from index.
-    const std::uint64_t folded = foldXor(h, t.p.tagBits) ^
-                                 (foldXor(h, t.p.tagBits - 1) << 1);
+    const std::uint64_t folded = gh.folded(t.p.histLen, t.p.tagBits) ^
+                                 (gh.folded(t.p.histLen, t.p.tagBits - 1)
+                                  << 1);
     return static_cast<std::uint32_t>(
         (pcBits ^ folded ^ (pcBits >> 7)) & maskBits(t.p.tagBits));
 }
@@ -167,8 +173,8 @@ Tage::predict(const bpu::PredictContext& ctx, bpu::PredictionBundle& inout,
     const HistoryRegister& gh = requireGhist(ctx);
     const unsigned n = static_cast<unsigned>(tables_.size());
 
-    std::vector<bool> hit(n, false);
-    std::vector<std::size_t> idx(n);
+    bool hit[kMaxTables];
+    std::size_t idx[kMaxTables];
     for (unsigned t = 0; t < n; ++t) {
         idx[t] = indexOf(tables_[t], ctx.pc, gh);
         const Row& row = tables_[t].rows[idx[t]];
@@ -239,8 +245,8 @@ Tage::update(const bpu::ResolveEvent& ev)
     const HistoryRegister& gh = *ev.ghist;
     const unsigned n = static_cast<unsigned>(tables_.size());
 
-    std::vector<std::size_t> idx(n);
-    std::vector<std::uint32_t> tag(n);
+    std::size_t idx[kMaxTables];
+    std::uint32_t tag[kMaxTables];
     for (unsigned t = 0; t < n; ++t) {
         idx[t] = indexOf(tables_[t], ev.pc, gh);
         tag[t] = tagOf(tables_[t], ev.pc, gh);

@@ -27,14 +27,13 @@ std::size_t
 Tourney::indexOf(const HistoryRegister& gh) const
 {
     const unsigned idxBits = ceilLog2(params_.sets);
-    return static_cast<std::size_t>(
-        foldXor(gh.low(std::min(params_.histBits, 64u)), idxBits) &
-        maskBits(idxBits));
+    return static_cast<std::size_t>(gh.folded(params_.histBits, idxBits) &
+                                    maskBits(idxBits));
 }
 
 void
 Tourney::arbitrate(const bpu::PredictContext& ctx,
-                   const std::vector<bpu::PredictionBundle>& inputs,
+                   std::span<const bpu::PredictionBundle> inputs,
                    bpu::PredictionBundle& inout, bpu::Metadata& meta)
 {
     assert(inputs.size() == 2 &&

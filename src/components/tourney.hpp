@@ -53,7 +53,7 @@ class Tourney : public bpu::PredictorComponent
     }
 
     void arbitrate(const bpu::PredictContext& ctx,
-                   const std::vector<bpu::PredictionBundle>& inputs,
+                   std::span<const bpu::PredictionBundle> inputs,
                    bpu::PredictionBundle& inout,
                    bpu::Metadata& meta) override;
 

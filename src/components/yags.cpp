@@ -38,11 +38,9 @@ Yags::cacheIndex(Addr pc, const HistoryRegister& gh, unsigned slot) const
 {
     const unsigned idxBits = ceilLog2(params_.cacheSets);
     const std::uint64_t pcBits = pc >> (2 + ceilLog2(fetchWidth()));
-    const std::uint64_t h =
-        gh.low(std::min(params_.histBits, 64u));
     return static_cast<std::size_t>(
         (((pcBits << ceilLog2(fetchWidth())) | slot) ^
-         foldXor(h, idxBits)) &
+         gh.folded(params_.histBits, idxBits)) &
         maskBits(idxBits));
 }
 

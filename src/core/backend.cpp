@@ -1,10 +1,19 @@
 #include "core/backend.hpp"
 
 #include <cassert>
+#include <limits>
 
 namespace cobra::core {
 
 using prog::OpClass;
+
+namespace {
+
+/** Sentinels for the scheduler scan accelerators. */
+constexpr Cycle kNeverDone = std::numeric_limits<Cycle>::max();
+constexpr std::uint64_t kNoRobId = std::numeric_limits<std::uint64_t>::max();
+
+} // namespace
 
 Backend::Backend(exec::Oracle& oracle, bpu::BranchPredictorUnit& bpu,
                  Frontend& frontend, CacheHierarchy& caches,
@@ -12,15 +21,38 @@ Backend::Backend(exec::Oracle& oracle, bpu::BranchPredictorUnit& bpu,
     : oracle_(oracle), bpu_(bpu), frontend_(frontend), caches_(caches),
       cfg_(cfg)
 {
+    // Power-of-two seq scoreboard sized so two live seqs (whose spread
+    // is bounded by the ROB) can never map to the same slot.
+    std::size_t cap = 64;
+    while (cap < 2 * static_cast<std::size_t>(cfg_.robEntries))
+        cap <<= 1;
+    seqTable_.assign(cap, SeqSlot{});
+    seqMask_ = cap - 1;
+    nextDoneCycle_ = kNeverDone;
+
+    std::size_t robCap = 16;
+    while (robCap < static_cast<std::size_t>(cfg_.robEntries))
+        robCap <<= 1;
+    robBuf_.resize(robCap);
+    robStatus_.assign(robCap, 0);
+    robMask_ = robCap - 1;
+    ctrResolvedMispredicts_ = &stats_.counter("resolved_mispredicts");
+    ctrIssued_ = &stats_.counter("issued");
+    ctrCommitted_ = &stats_.counter("committed");
+    ctrStallRob_ = &stats_.counter("stall_rob");
+    ctrStallIq_ = &stats_.counter("stall_iq");
+    ctrStallLdq_ = &stats_.counter("stall_ldq");
+    ctrStallStq_ = &stats_.counter("stall_stq");
+    ctrDispatched_ = &stats_.counter("dispatched");
 }
 
 Backend::RobHeadView
 Backend::robHead() const
 {
     RobHeadView v;
-    if (rob_.empty())
+    if (robCount_ == 0)
         return v;
-    const RobEntry& e = rob_.front();
+    const RobEntry& e = robAt(0);
     v.valid = true;
     v.pc = e.fi.di.pc;
     v.seq = e.fi.di.seq;
@@ -75,10 +107,7 @@ bool
 Backend::depsReady(const RobEntry& e) const
 {
     const auto ready = [&](SeqNum dep) {
-        if (dep == kInvalidSeq)
-            return true;
-        auto it = inFlightSeq_.find(dep);
-        return it == inFlightSeq_.end() || it->second != 0;
+        return dep == kInvalidSeq || seqReady(dep);
     };
     if (!ready(e.fi.di.dep1) || !ready(e.fi.di.dep2))
         return false;
@@ -94,19 +123,21 @@ Backend::depsReady(const RobEntry& e) const
 void
 Backend::squashYoungerThan(std::size_t idx)
 {
-    while (rob_.size() > idx + 1) {
-        RobEntry& e = rob_.back();
+    while (robCount_ > idx + 1) {
+        RobEntry& e = robAt(robCount_ - 1);
         if (e.st == RobEntry::St::Waiting)
             --iqCount_[static_cast<unsigned>(e.iq)];
+        else if (e.st == RobEntry::St::Issued)
+            --issuedCount_;
         if (e.fi.di.si->op == OpClass::Load && ldqCount_ > 0)
             --ldqCount_;
         if (e.fi.di.si->op == OpClass::Store && stqCount_ > 0)
             --stqCount_;
         if (e.fi.di.seq != kInvalidSeq)
-            inFlightSeq_.erase(e.fi.di.seq);
+            seqErase(e.fi.di.seq);
         if (e.sfbConverted)
             sfbGuardDone_.erase(e.fi.dynId);
-        rob_.pop_back();
+        robPopBack();
     }
     // Any in-dispatch SFB region referred to killed instructions.
     sfbActive_ = false;
@@ -116,7 +147,7 @@ bool
 Backend::resolveCf(std::size_t idx, Cycle now)
 {
     (void)now;
-    RobEntry& e = rob_[idx];
+    RobEntry& e = robAt(idx);
     const exec::DynInst& di = e.fi.di;
     const OpClass op = di.si->op;
     const bpu::CfiType type = cfiTypeOf(op);
@@ -162,7 +193,7 @@ Backend::resolveCf(std::size_t idx, Cycle now)
     if (!mispredict)
         return false;
 
-    ++stats_.counter("resolved_mispredicts");
+    ++(*ctrResolvedMispredicts_);
 
     // ---- Squash and redirect ------------------------------------------
     squashYoungerThan(idx);
@@ -212,40 +243,90 @@ Backend::resolveCf(std::size_t idx, Cycle now)
 void
 Backend::completeAndResolve(Cycle now)
 {
-    for (std::size_t i = 0; i < rob_.size(); ++i) {
-        RobEntry& e = rob_[i];
-        if (e.st != RobEntry::St::Issued || e.doneCycle > now)
+    // Nothing in flight can finish before nextDoneCycle_ (a lower
+    // bound, exact after an uninterrupted scan) — skip the ROB walk.
+    if (issuedCount_ == 0 || now < nextDoneCycle_)
+        return;
+    Cycle nextDone = kNeverDone;
+    for (std::size_t i = 0; i < robCount_; ++i) {
+        if (statusAt(i) !=
+            static_cast<std::uint8_t>(RobEntry::St::Issued))
             continue;
+        RobEntry& e = robAt(i);
+        if (e.doneCycle > now) {
+            if (e.doneCycle < nextDone)
+                nextDone = e.doneCycle;
+            continue;
+        }
         e.st = RobEntry::St::Done;
+        statusAt(i) = static_cast<std::uint8_t>(RobEntry::St::Done);
+        --issuedCount_;
         if (e.fi.di.seq != kInvalidSeq)
-            inFlightSeq_[e.fi.di.seq] = 1;
+            seqInsert(e.fi.di.seq, 1);
         if (prog::isControlFlow(e.fi.di.si->op)) {
             if (resolveCf(i, now))
-                break; // Everything younger is gone.
+                break; // Everything younger is gone (already scanned).
         }
     }
+    nextDoneCycle_ = nextDone;
 }
 
 void
 Backend::issue(Cycle now)
 {
+    if (iqCount_[0] + iqCount_[1] + iqCount_[2] == 0)
+        return;
     unsigned ports[3] = {cfg_.aluPorts, cfg_.memPorts, cfg_.fpPorts};
-    for (auto& e : rob_) {
-        if (ports[0] + ports[1] + ports[2] == 0)
-            break;
-        if (e.st != RobEntry::St::Waiting)
-            continue;
-        if (now < e.earliestIssue || !depsReady(e))
-            continue;
-        unsigned& port = ports[static_cast<unsigned>(e.iq)];
-        if (port == 0)
-            continue;
-        --port;
-        e.st = RobEntry::St::Issued;
-        e.doneCycle = now + execLatency(e.fi.di);
-        --iqCount_[static_cast<unsigned>(e.iq)];
-        ++stats_.counter("issued");
+    // Everything older than firstWaitingId_ has left Waiting for good
+    // (squashes only remove from the back), so resume the scan there.
+    // robIds are strictly increasing but NOT dense (squash gaps), so
+    // locate the resume point by binary search, not subtraction.
+    std::size_t i = 0;
+    {
+        std::size_t hi = robCount_;
+        while (i < hi) {
+            const std::size_t mid = i + (hi - i) / 2;
+            if (robAt(mid).robId < firstWaitingId_)
+                i = mid + 1;
+            else
+                hi = mid;
+        }
     }
+    std::uint64_t newFirst = kNoRobId;
+    unsigned portsLeft = ports[0] + ports[1] + ports[2];
+    for (; i < robCount_; ++i) {
+        if (portsLeft == 0) {
+            if (newFirst == kNoRobId)
+                newFirst = robAt(i).robId; // Unscanned tail may wait.
+            break;
+        }
+        if (statusAt(i) !=
+            static_cast<std::uint8_t>(RobEntry::St::Waiting))
+            continue;
+        RobEntry& e = robAt(i);
+        if (now < e.earliestIssue || !depsReady(e)) {
+            if (newFirst == kNoRobId)
+                newFirst = e.robId;
+            continue;
+        }
+        unsigned& port = ports[static_cast<unsigned>(e.iq)];
+        if (port == 0) {
+            if (newFirst == kNoRobId)
+                newFirst = e.robId;
+            continue;
+        }
+        --port;
+        --portsLeft;
+        e.st = RobEntry::St::Issued;
+        statusAt(i) = static_cast<std::uint8_t>(RobEntry::St::Issued);
+        e.doneCycle = now + execLatency(e.fi.di);
+        ++issuedCount_;
+        if (e.doneCycle < nextDoneCycle_)
+            nextDoneCycle_ = e.doneCycle;
+        --iqCount_[static_cast<unsigned>(e.iq)];
+        ++(*ctrIssued_);
+    }
+    firstWaitingId_ = newFirst == kNoRobId ? robIdNext_ : newFirst;
 }
 
 void
@@ -253,9 +334,9 @@ Backend::commit(Cycle now)
 {
     (void)now;
     unsigned n = 0;
-    while (n < cfg_.coreWidth && !rob_.empty() &&
-           rob_.front().st == RobEntry::St::Done) {
-        RobEntry& e = rob_.front();
+    while (n < cfg_.coreWidth && robCount_ != 0 &&
+           robAt(0).st == RobEntry::St::Done) {
+        RobEntry& e = robAt(0);
         ++committedInsts_;
         const OpClass op = e.fi.di.si->op;
         if (prog::isControlFlow(op)) {
@@ -281,16 +362,16 @@ Backend::commit(Cycle now)
         anyCommitted_ = true;
 
         if (e.fi.di.seq != kInvalidSeq) {
-            inFlightSeq_.erase(e.fi.di.seq);
+            seqErase(e.fi.di.seq);
             if (!e.fi.di.wrongPath)
                 oracle_.retireUpTo(e.fi.di.seq);
         }
         if (e.sfbConverted)
             sfbGuardDone_.erase(e.fi.dynId);
-        rob_.pop_front();
+        robPopFront();
         ++n;
     }
-    stats_.counter("committed") += n;
+    (*ctrCommitted_) += n;
 }
 
 void
@@ -298,8 +379,8 @@ Backend::dispatch(Cycle now)
 {
     unsigned n = 0;
     while (n < cfg_.coreWidth && !frontend_.bufferEmpty()) {
-        if (rob_.size() >= cfg_.robEntries) {
-            ++stats_.counter("stall_rob");
+        if (robCount_ >= cfg_.robEntries) {
+            ++(*ctrStallRob_);
             break;
         }
         const FetchedInst& fi = frontend_.bufferFront();
@@ -315,15 +396,15 @@ Backend::dispatch(Cycle now)
                                : iq == IqClass::Mem ? cfg_.memIqEntries
                                                     : cfg_.fpIqEntries;
         if (iqCount_[static_cast<unsigned>(iq)] >= iqCap) {
-            ++stats_.counter("stall_iq");
+            ++(*ctrStallIq_);
             break;
         }
         if (op == OpClass::Load && ldqCount_ >= cfg_.ldqEntries) {
-            ++stats_.counter("stall_ldq");
+            ++(*ctrStallLdq_);
             break;
         }
         if (op == OpClass::Store && stqCount_ >= cfg_.stqEntries) {
-            ++stats_.counter("stall_stq");
+            ++(*ctrStallStq_);
             break;
         }
 
@@ -331,6 +412,7 @@ Backend::dispatch(Cycle now)
         e.fi = fi;
         e.iq = iq;
         e.earliestIssue = now + cfg_.decodeDelay;
+        e.robId = robIdNext_++;
         frontend_.popFront();
 
         // ---- SFB decode pass (paper §VI-C) ---------------------------
@@ -358,16 +440,16 @@ Backend::dispatch(Cycle now)
         }
 
         if (e.fi.di.seq != kInvalidSeq)
-            inFlightSeq_[e.fi.di.seq] = 0;
+            seqInsert(e.fi.di.seq, 0);
         if (op == OpClass::Load)
             ++ldqCount_;
         if (op == OpClass::Store)
             ++stqCount_;
         ++iqCount_[static_cast<unsigned>(iq)];
-        rob_.push_back(std::move(e));
+        robPushBack(std::move(e));
         ++n;
     }
-    stats_.counter("dispatched") += n;
+    (*ctrDispatched_) += n;
 }
 
 void

@@ -10,8 +10,10 @@
 #ifndef COBRA_CORE_BACKEND_HPP
 #define COBRA_CORE_BACKEND_HPP
 
+#include <cassert>
 #include <deque>
 #include <unordered_map>
+#include <vector>
 
 #include "bpu/bpu.hpp"
 #include "core/cache.hpp"
@@ -60,8 +62,8 @@ class Backend
     /** Advance one cycle (execute-complete, issue, commit, dispatch). */
     void tick(Cycle now);
 
-    bool robEmpty() const { return rob_.empty(); }
-    std::size_t robSize() const { return rob_.size(); }
+    bool robEmpty() const { return robCount_ == 0; }
+    std::size_t robSize() const { return robCount_; }
 
     /** Snapshot of the ROB head for the watchdog post-mortem. */
     struct RobHeadView
@@ -109,7 +111,47 @@ class Backend
         bool sfbConverted = false; ///< Branch turned into set-flag.
         bool sfbShadow = false;    ///< Predicated shadow instruction.
         std::uint64_t sfbGuard = 0; ///< dynId of the guarding branch.
+        /** Monotone dispatch id (stable across deque front pops). */
+        std::uint64_t robId = 0;
     };
+
+    /**
+     * Direct-mapped scoreboard of in-flight oracle seq numbers,
+     * replacing an unordered_map on the issue critical path. Live
+     * seqs span at most robEntries consecutive values, so a
+     * power-of-two table of >= 2x that can never alias two live
+     * entries.
+     */
+    struct SeqSlot
+    {
+        SeqNum seq = kInvalidSeq;
+        std::uint8_t done = 0;
+    };
+
+    void
+    seqInsert(SeqNum seq, std::uint8_t done)
+    {
+        SeqSlot& s = seqTable_[seq & seqMask_];
+        assert(s.seq == kInvalidSeq || s.seq == seq);
+        s.seq = seq;
+        s.done = done;
+    }
+
+    void
+    seqErase(SeqNum seq)
+    {
+        SeqSlot& s = seqTable_[seq & seqMask_];
+        if (s.seq == seq)
+            s.seq = kInvalidSeq;
+    }
+
+    /** True when @p dep has left flight or produced its result. */
+    bool
+    seqReady(SeqNum dep) const
+    {
+        const SeqSlot& s = seqTable_[dep & seqMask_];
+        return s.seq != dep || s.done != 0;
+    }
 
     void completeAndResolve(Cycle now);
     void issue(Cycle now);
@@ -136,11 +178,67 @@ class Backend
     CacheHierarchy& caches_;
     BackendConfig cfg_;
 
-    std::deque<RobEntry> rob_;
-    /** Oracle seq -> ROB presence (for dependence tracking). */
-    std::unordered_map<SeqNum, std::uint8_t> inFlightSeq_;
+    // ---- ROB ring buffer ------------------------------------------------
+    // A power-of-two ring (not std::deque) so the per-cycle scans index
+    // with a mask instead of the deque's two-level lookup, plus a
+    // compact status mirror so they can reject non-candidate entries
+    // from one cache line before touching the fat RobEntry.
+
+    RobEntry& robAt(std::size_t i)
+    {
+        return robBuf_[(robHeadIdx_ + i) & robMask_];
+    }
+    const RobEntry& robAt(std::size_t i) const
+    {
+        return robBuf_[(robHeadIdx_ + i) & robMask_];
+    }
+    std::uint8_t& statusAt(std::size_t i)
+    {
+        return robStatus_[(robHeadIdx_ + i) & robMask_];
+    }
+
+    void
+    robPushBack(RobEntry&& e)
+    {
+        const std::size_t slot = (robHeadIdx_ + robCount_) & robMask_;
+        robStatus_[slot] = static_cast<std::uint8_t>(e.st);
+        robBuf_[slot] = std::move(e);
+        ++robCount_;
+    }
+
+    void
+    robPopFront()
+    {
+        robHeadIdx_ = (robHeadIdx_ + 1) & robMask_;
+        --robCount_;
+    }
+
+    void robPopBack() { --robCount_; }
+
+    std::vector<RobEntry> robBuf_;
+    std::vector<std::uint8_t> robStatus_;
+    std::size_t robHeadIdx_ = 0;
+    std::size_t robCount_ = 0;
+    std::size_t robMask_ = 0;
+
+    /** Oracle seq -> in-flight state (dependence tracking). */
+    std::vector<SeqSlot> seqTable_;
+    std::size_t seqMask_ = 0;
     /** dynId -> done flag for SFB guards. */
     std::unordered_map<std::uint64_t, bool> sfbGuardDone_;
+
+    // ---- Scheduler scan accelerators -----------------------------------
+    // All three are pure bookkeeping over state the scans recompute;
+    // they change which cycles scan, never what a scan decides.
+
+    /** Entries currently in St::Issued. */
+    unsigned issuedCount_ = 0;
+    /** Lower bound on the earliest doneCycle among issued entries. */
+    Cycle nextDoneCycle_ = 0;
+    /** Next robId to assign at dispatch. */
+    std::uint64_t robIdNext_ = 0;
+    /** Lower bound on the robId of the oldest Waiting entry. */
+    std::uint64_t firstWaitingId_ = 0;
 
     unsigned iqCount_[3] = {0, 0, 0};
     unsigned ldqCount_ = 0;
@@ -162,6 +260,17 @@ class Backend
     std::uint64_t sfbConversions_ = 0;
 
     StatGroup stats_{"backend"};
+
+    // Cached pointers into stats_: the per-cycle paths must
+    // not pay a string-keyed map lookup per event.
+    Counter* ctrResolvedMispredicts_ = nullptr;
+    Counter* ctrIssued_ = nullptr;
+    Counter* ctrCommitted_ = nullptr;
+    Counter* ctrStallRob_ = nullptr;
+    Counter* ctrStallIq_ = nullptr;
+    Counter* ctrStallLdq_ = nullptr;
+    Counter* ctrStallStq_ = nullptr;
+    Counter* ctrDispatched_ = nullptr;
 };
 
 } // namespace cobra::core

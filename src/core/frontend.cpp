@@ -14,6 +14,18 @@ Frontend::Frontend(const prog::Program& program, exec::Oracle& oracle,
       ras_(cfg.rasEntries), nextFetchPc_(program.entry())
 {
     assert(isPow2(cfg.fetchWidth));
+    ctrPacketsKilled_ = &stats_.counter("packets_killed");
+    ctrStallHistfile_ = &stats_.counter("stall_histfile");
+    ctrStallFetchbuffer_ = &stats_.counter("stall_fetchbuffer");
+    ctrGhistReplays_ = &stats_.counter("ghist_replays");
+    ctrOracleResyncs_ = &stats_.counter("oracle_resyncs");
+    ctrInstsFetched_ = &stats_.counter("insts_fetched");
+    ctrPacketsFinalized_ = &stats_.counter("packets_finalized");
+    ctrPacketsTaken_ = &stats_.counter("packets_taken");
+    ctrResteers_ = &stats_.counter("resteers");
+    ctrIcacheStallCycles_ = &stats_.counter("icache_stall_cycles");
+    ctrFetchBubbles_ = &stats_.counter("fetch_bubbles");
+    ctrRedirects_ = &stats_.counter("redirects");
 }
 
 Addr
@@ -21,6 +33,29 @@ Frontend::fallthrough(Addr pc) const
 {
     const Addr blockBytes = cfg_.fetchWidth * kInstBytes;
     return (pc & ~(blockBytes - 1)) + blockBytes;
+}
+
+Frontend::Packet*
+Frontend::allocPacket()
+{
+    if (freePackets_.empty()) {
+        packetPool_.push_back(std::make_unique<Packet>());
+        freePackets_.push_back(packetPool_.back().get());
+    }
+    Packet* p = freePackets_.back();
+    freePackets_.pop_back();
+    p->stage = 0;
+    p->pushedBits.clear();
+    return p;
+}
+
+void
+Frontend::releaseRange(std::size_t first, std::size_t last)
+{
+    for (std::size_t i = first; i < last; ++i)
+        freePackets_.push_back(pipe_[i]);
+    pipe_.erase(pipe_.begin() + static_cast<std::ptrdiff_t>(first),
+                pipe_.begin() + static_cast<std::ptrdiff_t>(last));
 }
 
 Addr
@@ -63,9 +98,8 @@ void
 Frontend::killYoungerThan(std::size_t idx)
 {
     const std::size_t killed = pipe_.size() - idx - 1;
-    stats_.counter("packets_killed") += killed;
-    pipe_.erase(pipe_.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
-                pipe_.end());
+    (*ctrPacketsKilled_) += killed;
+    releaseRange(idx + 1, pipe_.size());
 }
 
 bool
@@ -73,11 +107,11 @@ Frontend::tryFinalize(Packet& p, Cycle now)
 {
     (void)now;
     if (!bpu_.canFinalize()) {
-        ++stats_.counter("stall_histfile");
+        ++(*ctrStallHistfile_);
         return false;
     }
     if (buffer_.size() + cfg_.fetchWidth > cfg_.fetchBufferInsts) {
-        ++stats_.counter("stall_fetchbuffer");
+        ++(*ctrStallFetchbuffer_);
         return false;
     }
 
@@ -93,7 +127,7 @@ Frontend::tryFinalize(Packet& p, Cycle now)
         Addr predNextPc;
         bool isCfi = false;
     };
-    std::vector<Rec> recs;
+    SmallVector<Rec, bpu::kMaxFetchWidth> recs;
     std::array<bool, bpu::kMaxFetchWidth> brMask{};
     Addr nextPc = fallthrough(p.pc);
     Addr pcCursor = p.pc;
@@ -182,7 +216,7 @@ Frontend::tryFinalize(Packet& p, Cycle now)
         recs.empty() ? 0 : recs.back().slot + 1;
 
     // ---- Global history correction at F3 (§VI-B policy) ---------------
-    std::vector<bool> trueBits;
+    SmallVector<bool, bpu::kMaxFetchWidth> trueBits;
     for (const Rec& r : recs) {
         if (brMask[r.slot]) {
             trueBits.push_back(r.predTaken);
@@ -197,7 +231,7 @@ Frontend::tryFinalize(Packet& p, Cycle now)
         for (bool bit : trueBits)
             bpu_.pushSpecGhist(bit);
         replay = true;
-        ++stats_.counter("ghist_replays");
+        ++(*ctrGhistReplays_);
     }
 
     // ---- Allocate the history file entry + fire (paper §IV-B1) -------
@@ -208,7 +242,7 @@ Frontend::tryFinalize(Packet& p, Cycle now)
     args.rasPtr = rasPtrSnap;
 
     // ---- Source instructions: oracle (correct path) or synth ---------
-    std::vector<FetchedInst> fetched;
+    SmallVector<FetchedInst, bpu::kMaxFetchWidth> fetched;
     for (const Rec& r : recs) {
         FetchedInst fi;
         fi.slot = r.slot;
@@ -221,7 +255,7 @@ Frontend::tryFinalize(Packet& p, Cycle now)
             // Wrong-path fetch reconverged with the architectural
             // stream (e.g., past an SFB shadow): re-sync.
             onOraclePath_ = true;
-            ++stats_.counter("oracle_resyncs");
+            ++(*ctrOracleResyncs_);
         }
         if (onOraclePath_ && oracle_.peek(0).pc == r.pc) {
             fi.di = oracle_.consume();
@@ -245,10 +279,10 @@ Frontend::tryFinalize(Packet& p, Cycle now)
         fi.ftq = ftq;
         buffer_.push_back(fi);
     }
-    stats_.counter("insts_fetched") += fetched.size();
-    ++stats_.counter("packets_finalized");
+    (*ctrInstsFetched_) += fetched.size();
+    ++(*ctrPacketsFinalized_);
     if (endedTaken)
-        ++stats_.counter("packets_taken");
+        ++(*ctrPacketsTaken_);
 
     // Serialized fetch (§I ablation): a packet containing a branch
     // blocks younger fetch until its prediction is final — model by
@@ -276,7 +310,7 @@ Frontend::tick(Cycle now)
     bool blocked = false;
 
     for (std::size_t i = 0; i < pipe_.size(); ++i) {
-        Packet& p = pipe_[i];
+        Packet& p = *pipe_[i];
         if (now < p.stallUntil) {
             blocked = true;
             break;
@@ -286,15 +320,12 @@ Frontend::tick(Cycle now)
             // Stalled at the final stage from a previous cycle.
             if (tryFinalize(p, now)) {
                 const bool steer = finalizeSteer_;
-                pipe_.erase(pipe_.begin() +
-                            static_cast<std::ptrdiff_t>(i));
+                releaseRange(i, i + 1);
                 if (steer) {
                     // Kill everything younger (refetch from nextPc).
-                    stats_.counter("packets_killed") +=
+                    (*ctrPacketsKilled_) +=
                         pipe_.size() - i;
-                    pipe_.erase(pipe_.begin() +
-                                    static_cast<std::ptrdiff_t>(i),
-                                pipe_.end());
+                    releaseRange(i, pipe_.size());
                 }
                 --i;
                 continue;
@@ -320,14 +351,11 @@ Frontend::tick(Cycle now)
         if (p.stage == finalStage_) {
             if (tryFinalize(p, now)) {
                 const bool steer = finalizeSteer_;
-                pipe_.erase(pipe_.begin() +
-                            static_cast<std::ptrdiff_t>(i));
+                releaseRange(i, i + 1);
                 if (steer) {
-                    stats_.counter("packets_killed") +=
+                    (*ctrPacketsKilled_) +=
                         pipe_.size() - i;
-                    pipe_.erase(pipe_.begin() +
-                                    static_cast<std::ptrdiff_t>(i),
-                                pipe_.end());
+                    releaseRange(i, pipe_.size());
                 }
                 --i;
                 continue;
@@ -347,15 +375,15 @@ Frontend::tick(Cycle now)
             // bundle (the stage-d prediction supersedes stage-1's).
             bpu_.restoreSpecGhist(p.query.ghist());
             pushGhistBits(p, b);
-            ++stats_.counter("resteers");
+            ++(*ctrResteers_);
         }
     }
 
     // ---- F0: select a PC and open a new query -------------------------
     if (!blocked && pipe_.size() < finalStage_) {
         if (!pipe_.empty())
-            nextFetchPc_ = pipe_.back().predNextPc;
-        Packet p;
+            nextFetchPc_ = pipe_.back()->predNextPc;
+        Packet& p = *allocPacket();
         p.pc = nextFetchPc_;
         p.startSlot = slotOf(p.pc);
         p.predNextPc = fallthrough(p.pc);
@@ -363,12 +391,12 @@ Frontend::tick(Cycle now)
         const Cycle icLat = caches_.fetchAccess(p.pc);
         p.stallUntil = now + (icLat > 0 ? icLat - 1 : 0);
         if (icLat > 1)
-            stats_.counter("icache_stall_cycles") += icLat - 1;
+            (*ctrIcacheStallCycles_) += icLat - 1;
         bpu_.beginQuery(p.query, p.pc, cfg_.fetchWidth);
         nextFetchPc_ = p.predNextPc;
-        pipe_.push_back(std::move(p));
+        pipe_.push_back(&p);
     } else {
-        ++stats_.counter("fetch_bubbles");
+        ++(*ctrFetchBubbles_);
     }
 }
 
@@ -376,13 +404,13 @@ void
 Frontend::redirect(Addr pc, bool on_oracle_path, std::uint32_t ras_ptr,
                    Cycle now)
 {
-    stats_.counter("packets_killed") += pipe_.size();
-    pipe_.clear();
+    (*ctrPacketsKilled_) += pipe_.size();
+    releaseRange(0, pipe_.size());
     buffer_.clear();
     ras_.restore(ras_ptr);
     nextFetchPc_ = pc;
     onOraclePath_ = on_oracle_path;
-    ++stats_.counter("redirects");
+    ++(*ctrRedirects_);
 
     redirects_.push_back(RedirectRecord{pc, now});
     if (redirects_.size() > kRedirectLog)
@@ -394,8 +422,8 @@ Frontend::inFlightPackets() const
 {
     std::vector<PacketView> out;
     out.reserve(pipe_.size());
-    for (const Packet& p : pipe_)
-        out.push_back(PacketView{p.pc, p.stage, p.stallUntil});
+    for (const Packet* p : pipe_)
+        out.push_back(PacketView{p->pc, p->stage, p->stallUntil});
     return out;
 }
 

@@ -18,9 +18,11 @@
 #define COBRA_CORE_FRONTEND_HPP
 
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "bpu/bpu.hpp"
+#include "common/small_vector.hpp"
 #include "core/cache.hpp"
 #include "core/ras.hpp"
 #include "exec/oracle.hpp"
@@ -124,7 +126,11 @@ class Frontend
     const FrontendConfig& config() const { return cfg_; }
 
   private:
-    /** One in-flight fetch packet in the F0..F3 pipeline. */
+    /** One in-flight fetch packet in the F0..F3 pipeline. Packets are
+     *  pooled: the pipeline holds pointers into a free list sized by
+     *  the pipeline depth, so steady-state fetch recycles the same few
+     *  objects (and the capacities inside their QueryStates) instead
+     *  of constructing one per cycle. */
     struct Packet
     {
         Addr pc = kInvalidAddr;
@@ -135,11 +141,17 @@ class Frontend
         Addr predNextPc = kInvalidAddr;
         /** Spec-ghist bits this packet pushed at F1 (re-pushed on
          *  re-steer). */
-        std::vector<bool> pushedBits;
+        SmallVector<bool, bpu::kMaxFetchWidth> pushedBits;
         /** Spec ghist value just after this packet's own pushes. */
         HistoryRegister ghistAfterPush{1};
         std::uint64_t wrongPathSalt = 0;
     };
+
+    /** Take a recycled (or new) packet from the pool. */
+    Packet* allocPacket();
+
+    /** Return packets pipe_[first..last) to the pool and erase them. */
+    void releaseRange(std::size_t first, std::size_t last);
 
     /** Block-aligned fallthrough address. */
     Addr fallthrough(Addr pc) const;
@@ -170,7 +182,9 @@ class Frontend
     FrontendConfig cfg_;
     unsigned finalStage_;
 
-    std::deque<Packet> pipe_;  ///< Oldest first.
+    std::deque<Packet*> pipe_; ///< Oldest first; owned by packetPool_.
+    std::vector<std::unique_ptr<Packet>> packetPool_;
+    std::vector<Packet*> freePackets_;
     std::deque<FetchedInst> buffer_;
     ReturnAddressStack ras_;
 
@@ -185,6 +199,21 @@ class Frontend
     std::uint64_t nextDynId_ = 1;
 
     StatGroup stats_{"frontend"};
+
+    // Cached pointers into stats_: the per-cycle paths must
+    // not pay a string-keyed map lookup per event.
+    Counter* ctrPacketsKilled_ = nullptr;
+    Counter* ctrStallHistfile_ = nullptr;
+    Counter* ctrStallFetchbuffer_ = nullptr;
+    Counter* ctrGhistReplays_ = nullptr;
+    Counter* ctrOracleResyncs_ = nullptr;
+    Counter* ctrInstsFetched_ = nullptr;
+    Counter* ctrPacketsFinalized_ = nullptr;
+    Counter* ctrPacketsTaken_ = nullptr;
+    Counter* ctrResteers_ = nullptr;
+    Counter* ctrIcacheStallCycles_ = nullptr;
+    Counter* ctrFetchBubbles_ = nullptr;
+    Counter* ctrRedirects_ = nullptr;
 };
 
 } // namespace cobra::core

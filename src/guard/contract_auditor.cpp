@@ -102,7 +102,7 @@ ContractAuditor::predict(const bpu::PredictContext& ctx,
 
 void
 ContractAuditor::arbitrate(const bpu::PredictContext& ctx,
-                           const std::vector<bpu::PredictionBundle>& inputs,
+                           std::span<const bpu::PredictionBundle> inputs,
                            bpu::PredictionBundle& inout,
                            bpu::Metadata& meta)
 {

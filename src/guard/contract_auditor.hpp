@@ -79,7 +79,7 @@ class ContractAuditor final : public bpu::PredictorComponent
                  bpu::Metadata& meta) override;
 
     void arbitrate(const bpu::PredictContext& ctx,
-                   const std::vector<bpu::PredictionBundle>& inputs,
+                   std::span<const bpu::PredictionBundle> inputs,
                    bpu::PredictionBundle& inout,
                    bpu::Metadata& meta) override;
 

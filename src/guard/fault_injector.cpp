@@ -45,7 +45,7 @@ FaultInjector::predict(const bpu::PredictContext& ctx,
 
 void
 FaultInjector::arbitrate(const bpu::PredictContext& ctx,
-                         const std::vector<bpu::PredictionBundle>& inputs,
+                         std::span<const bpu::PredictionBundle> inputs,
                          bpu::PredictionBundle& inout, bpu::Metadata& meta)
 {
     if (engine_.roll()) {

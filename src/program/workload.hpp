@@ -10,6 +10,8 @@
 #define COBRA_PROGRAM_WORKLOAD_HPP
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -106,6 +108,45 @@ class WorkloadLibrary
 
     /** All known workload names. */
     static std::vector<std::string> all();
+};
+
+/**
+ * Keyed cache of generated Programs. Workload generation is
+ * deterministic but not cheap, and sweeps run the same workload under
+ * several designs — build each Program once and share it read-only.
+ *
+ * Returned references are stable for the cache's lifetime (node-based
+ * storage), so SweepPoints may hold them across a parallel run.
+ * get() is thread-safe, though sweeps normally pre-warm the cache on
+ * the main thread before workers start.
+ */
+class WorkloadCache
+{
+  public:
+    /** Build-or-fetch the Program for a library workload name. */
+    const Program&
+    get(const std::string& name)
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        auto it = cache_.find(name);
+        if (it == cache_.end()) {
+            it = cache_
+                     .emplace(name, buildWorkload(
+                                        WorkloadLibrary::profile(name)))
+                     .first;
+        }
+        return it->second;
+    }
+
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        return cache_.size();
+    }
+
+  private:
+    mutable std::mutex m_;
+    std::map<std::string, Program> cache_;
 };
 
 } // namespace cobra::prog

@@ -88,6 +88,29 @@ struct SimResult
                    : 1.0 - static_cast<double>(condMispredicts) /
                                static_cast<double>(condBranches);
     }
+
+    /**
+     * Counter-for-counter equality over every metric (the structured
+     * post-mortem is excluded; its text rendering is compared via
+     * diagnostics). Used by the sweep determinism tests to assert a
+     * parallel run reproduces the serial one exactly.
+     */
+    bool
+    operator==(const SimResult& o) const
+    {
+        return cycles == o.cycles && insts == o.insts &&
+               condBranches == o.condBranches && cfis == o.cfis &&
+               condMispredicts == o.condMispredicts &&
+               jalrMispredicts == o.jalrMispredicts &&
+               sfbConversions == o.sfbConversions &&
+               ghistReplays == o.ghistReplays &&
+               packetsKilled == o.packetsKilled &&
+               deadlocked == o.deadlocked &&
+               faultsInjected == o.faultsInjected &&
+               updatesDropped == o.updatesDropped &&
+               auditChecks == o.auditChecks &&
+               diagnostics == o.diagnostics;
+    }
 };
 
 /** Full simulation configuration. */

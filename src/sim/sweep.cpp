@@ -1,0 +1,227 @@
+#include "sim/sweep.hpp"
+
+#include "guard/errors.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace cobra::sim {
+
+SweepPoint
+SweepPoint::preset(Design d, const prog::Program& program)
+{
+    SweepPoint p;
+    p.label = std::string(designName(d)) + "/" + program.name();
+    p.topology = [d] { return buildTopology(d); };
+    p.program = &program;
+    p.cfg = makeConfig(d);
+    return p;
+}
+
+SweepEngine::SweepEngine(unsigned jobs)
+    : jobs_(jobs == 0 ? defaultJobs() : jobs)
+{
+}
+
+unsigned
+SweepEngine::defaultJobs()
+{
+    if (const char* env = std::getenv("COBRA_JOBS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        return n >= 1 ? static_cast<unsigned>(n) : 1u;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1u;
+}
+
+std::size_t
+SweepEngine::add(SweepPoint p)
+{
+    if (!p.topology)
+        throw std::invalid_argument("SweepPoint without a topology");
+    if (p.program == nullptr)
+        throw std::invalid_argument("SweepPoint without a program");
+    points_.push_back(std::move(p));
+    return points_.size() - 1;
+}
+
+SweepOutcome
+SweepEngine::runPoint(std::size_t idx, const SweepPoint& pt,
+                      const PostRun& postRun) const
+{
+    SweepOutcome out;
+    out.label = pt.label;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        Simulator s(*pt.program, pt.topology(), pt.cfg);
+        out.result = s.run();
+        out.host.simCycles = s.cycles();
+        out.host.simInsts = s.backend().committedInsts();
+        if (postRun) {
+            std::ostringstream oss;
+            postRun(idx, s, out.result, pt, oss);
+            out.postRunText = oss.str();
+        }
+    } catch (const guard::DeadlockError& e) {
+        // Keep the watchdog's pipeline post-mortem attached so CLI
+        // consumers can still print it.
+        out.error = std::string(e.what()) + "\n" + e.postMortem();
+    } catch (const std::exception& e) {
+        out.error = e.what();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    out.host.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    return out;
+}
+
+std::vector<SweepOutcome>
+SweepEngine::run(const PostRun& postRun)
+{
+    std::vector<SweepPoint> points = std::move(points_);
+    points_.clear();
+    std::vector<SweepOutcome> outcomes(points.size());
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, points.size()));
+
+    if (workers <= 1) {
+        // Inline serial path: the deterministic reference, and the
+        // zero-overhead path for single-point "sweeps" (cobra_sim).
+        for (std::size_t i = 0; i < points.size(); ++i)
+            outcomes[i] = runPoint(i, points[i], postRun);
+        return outcomes;
+    }
+
+    // Work-stealing deques: points are dealt round-robin; a worker
+    // pops its own queue from the back (LIFO keeps its cache warm)
+    // and steals from other queues' fronts (FIFO takes the oldest,
+    // largest-remaining work first). Each point writes only its own
+    // outcome slot, so no synchronisation is needed on results.
+    struct WorkerQueue
+    {
+        std::mutex m;
+        std::deque<std::size_t> q;
+    };
+    std::vector<WorkerQueue> queues(workers);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        queues[i % workers].q.push_back(i);
+
+    auto work = [&](unsigned self) {
+        for (;;) {
+            std::size_t idx = SIZE_MAX;
+            {
+                std::lock_guard<std::mutex> lk(queues[self].m);
+                if (!queues[self].q.empty()) {
+                    idx = queues[self].q.back();
+                    queues[self].q.pop_back();
+                }
+            }
+            if (idx == SIZE_MAX) {
+                for (unsigned v = 1; v < workers && idx == SIZE_MAX;
+                     ++v) {
+                    WorkerQueue& victim = queues[(self + v) % workers];
+                    std::lock_guard<std::mutex> lk(victim.m);
+                    if (!victim.q.empty()) {
+                        idx = victim.q.front();
+                        victim.q.pop_front();
+                    }
+                }
+            }
+            if (idx == SIZE_MAX)
+                return; // All queues drained.
+            outcomes[idx] = runPoint(idx, points[idx], postRun);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(work, w);
+    for (auto& t : pool)
+        t.join();
+    return outcomes;
+}
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeSweepJson(const std::string& path, const std::string& name,
+               const std::vector<SweepOutcome>& outcomes, unsigned jobs,
+               const std::string& extra)
+{
+    std::ofstream f(path);
+    if (!f)
+        throw std::runtime_error("cannot write " + path);
+    f << "{\n  \"bench\": \"" << jsonEscape(name) << "\",\n"
+      << "  \"jobs\": " << jobs << ",\n";
+    if (!extra.empty())
+        f << "  " << extra << ",\n";
+    f << "  \"points\": [\n";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const SweepOutcome& o = outcomes[i];
+        const SimResult& r = o.result;
+        f << "    {\n      \"label\": \"" << jsonEscape(o.label)
+          << "\",\n";
+        if (!o.ok()) {
+            f << "      \"error\": \"" << jsonEscape(o.error)
+              << "\"\n    }";
+        } else {
+            f << "      \"cycles\": " << r.cycles << ",\n"
+              << "      \"insts\": " << r.insts << ",\n"
+              << "      \"ipc\": " << r.ipc() << ",\n"
+              << "      \"cond_branches\": " << r.condBranches << ",\n"
+              << "      \"cond_mispredicts\": " << r.condMispredicts
+              << ",\n"
+              << "      \"jalr_mispredicts\": " << r.jalrMispredicts
+              << ",\n"
+              << "      \"mpki\": " << r.mpki() << ",\n"
+              << "      \"accuracy\": " << r.accuracy() << ",\n"
+              << "      \"deadlocked\": "
+              << (r.deadlocked ? "true" : "false") << ",\n"
+              << "      \"host\": {\n"
+              << "        \"wall_seconds\": " << o.host.wallSeconds
+              << ",\n"
+              << "        \"sim_cycles\": " << o.host.simCycles << ",\n"
+              << "        \"sim_insts\": " << o.host.simInsts << ",\n"
+              << "        \"kilocycles_per_sec\": "
+              << o.host.kiloCyclesPerSec() << ",\n"
+              << "        \"kips\": " << o.host.kips() << "\n"
+              << "      }\n    }";
+        }
+        f << (i + 1 < outcomes.size() ? ",\n" : "\n");
+    }
+    f << "  ]\n}\n";
+}
+
+} // namespace cobra::sim

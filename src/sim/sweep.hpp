@@ -1,0 +1,164 @@
+/**
+ * @file
+ * SweepEngine: parallel evaluation of independent (design, workload,
+ * config) simulation points — the paper's Figs. 4/7/10 are exactly
+ * such grids. Each point owns its Simulator, Topology, and SimConfig
+ * (isolation is structural: no predictor or pipeline state is shared
+ * between points; workload Programs are shared read-only), so points
+ * can run concurrently on a work-stealing thread pool while results
+ * are collected in deterministic submission order.
+ *
+ * Determinism guarantee: a point's SimResult depends only on its own
+ * inputs, never on the number of worker threads or the schedule, so a
+ * sweep at --jobs N is byte-identical to the same sweep at --jobs 1
+ * (tested in tests/test_sweep.cpp).
+ */
+
+#ifndef COBRA_SIM_SWEEP_HPP
+#define COBRA_SIM_SWEEP_HPP
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/presets.hpp"
+#include "sim/simulator.hpp"
+
+namespace cobra::sim {
+
+/**
+ * Host-side throughput counters for one simulation point: how fast
+ * the *host* chewed through simulated time (the FireSim-style metric
+ * the paper's evaluation methodology leans on).
+ */
+struct HostCounters
+{
+    double wallSeconds = 0.0;
+    /** Total simulated cycles, including warmup. */
+    std::uint64_t simCycles = 0;
+    /** Total committed instructions, including warmup. */
+    std::uint64_t simInsts = 0;
+
+    /** Simulated kilocycles per host second. */
+    double
+    kiloCyclesPerSec() const
+    {
+        return wallSeconds <= 0.0
+                   ? 0.0
+                   : static_cast<double>(simCycles) / 1e3 / wallSeconds;
+    }
+
+    /** Committed kilo-instructions per host second. */
+    double
+    kips() const
+    {
+        return wallSeconds <= 0.0
+                   ? 0.0
+                   : static_cast<double>(simInsts) / 1e3 / wallSeconds;
+    }
+};
+
+/**
+ * One unit of sweep work. The topology is provided as a factory and
+ * built on the worker that runs the point (topologies are single-use
+ * and hold learned state); the Program is borrowed read-only and must
+ * outlive the sweep.
+ */
+struct SweepPoint
+{
+    std::string label;
+    /** Builds this point's (fresh) topology on the worker. */
+    std::function<bpu::Topology()> topology;
+    const prog::Program* program = nullptr;
+    SimConfig cfg;
+
+    /** Convenience: a preset design on a workload program. */
+    static SweepPoint preset(Design d, const prog::Program& program);
+};
+
+/** Result of one point, delivered in submission order. */
+struct SweepOutcome
+{
+    std::string label;
+    SimResult result;
+    HostCounters host;
+    /** Exception text when the point failed; empty on success. */
+    std::string error;
+    /** Text captured from the post-run hook (stats/area dumps). */
+    std::string postRunText;
+
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * Work-stealing pool over sweep points. Submission is cheap (points
+ * are stored until run()); run() executes every point and returns
+ * outcomes indexed exactly like the add() calls. With jobs() == 1 the
+ * points run inline on the calling thread — the serial reference the
+ * determinism tests compare against.
+ */
+class SweepEngine
+{
+  public:
+    /**
+     * Hook run on the worker after a point's Simulator finishes,
+     * while the Simulator is still alive; whatever it writes to the
+     * stream is returned as SweepOutcome::postRunText (kept per-point
+     * so parallel runs print in submission order). The first argument
+     * is the point's submission index — hooks running concurrently
+     * may use it to write into pre-sized per-point slots without
+     * locking.
+     */
+    using PostRun =
+        std::function<void(std::size_t, Simulator&, const SimResult&,
+                           const SweepPoint&, std::ostream&)>;
+
+    /** @param jobs Worker count; 0 means defaultJobs(). */
+    explicit SweepEngine(unsigned jobs = 0);
+
+    /**
+     * Default worker count: COBRA_JOBS when set (clamped to >= 1),
+     * else the hardware concurrency, else 1.
+     */
+    static unsigned defaultJobs();
+
+    unsigned jobs() const { return jobs_; }
+
+    /** Queue a point; returns its submission index. */
+    std::size_t add(SweepPoint p);
+
+    std::size_t pending() const { return points_.size(); }
+
+    /**
+     * Run all queued points and clear the queue. Outcomes are ordered
+     * by submission index regardless of worker schedule. A point that
+     * throws reports through SweepOutcome::error; the sweep continues.
+     */
+    std::vector<SweepOutcome> run(const PostRun& postRun = nullptr);
+
+  private:
+    SweepOutcome runPoint(std::size_t idx, const SweepPoint& pt,
+                          const PostRun& postRun) const;
+
+    unsigned jobs_;
+    std::vector<SweepPoint> points_;
+};
+
+/**
+ * Write sweep outcomes as a machine-readable JSON document:
+ * per-point simulation metrics plus host throughput counters. The
+ * parent directory must exist. @p extra, when non-empty, is spliced
+ * verbatim as additional top-level fields (callers pass pre-formatted
+ * `"key": value` pairs).
+ */
+void writeSweepJson(const std::string& path, const std::string& name,
+                    const std::vector<SweepOutcome>& outcomes,
+                    unsigned jobs, const std::string& extra = "");
+
+/** JSON string escaping for writeSweepJson-style emitters. */
+std::string jsonEscape(const std::string& s);
+
+} // namespace cobra::sim
+
+#endif // COBRA_SIM_SWEEP_HPP

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * SmallVector: the inline-storage vector the prediction hot path uses
+ * to avoid per-event allocations. These tests pin down the spill
+ * (inline -> heap), re-spill after clear(), copy/move semantics, and
+ * equality — the operations MetadataBundle and the frontend exercise.
+ */
+
+#include <cstdint>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/small_vector.hpp"
+
+using cobra::SmallVector;
+
+TEST(SmallVector, StaysInlineUpToCapacity)
+{
+    SmallVector<int, 4> v;
+    EXPECT_TRUE(v.empty());
+    for (int i = 0; i < 4; ++i)
+        v.push_back(i);
+    EXPECT_EQ(v.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, SpillsToHeapAndKeepsContents)
+{
+    SmallVector<int, 4> v;
+    for (int i = 0; i < 100; ++i)
+        v.push_back(i);
+    ASSERT_EQ(v.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, ClearKeepsCapacityAndAllowsRespill)
+{
+    SmallVector<std::uint64_t, 2> v;
+    for (std::uint64_t i = 0; i < 10; ++i)
+        v.push_back(i);
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    // Refill through the inline region into the retained heap buffer.
+    for (std::uint64_t i = 0; i < 10; ++i)
+        v.push_back(i * 3);
+    ASSERT_EQ(v.size(), 10u);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        EXPECT_EQ(v[i], i * 3);
+}
+
+TEST(SmallVector, AssignAndResize)
+{
+    SmallVector<int, 4> v;
+    v.assign(3, 7);
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], 7);
+    EXPECT_EQ(v[2], 7);
+
+    v.assign(9, 2);
+    ASSERT_EQ(v.size(), 9u);
+    EXPECT_EQ(v[8], 2);
+
+    v.resize(2);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[1], 2);
+
+    v.resize(6);
+    ASSERT_EQ(v.size(), 6u);
+    EXPECT_EQ(v[5], 0);
+}
+
+TEST(SmallVector, CopyPreservesBothStorageModes)
+{
+    SmallVector<int, 4> inlineV;
+    inlineV.push_back(1);
+    inlineV.push_back(2);
+    SmallVector<int, 4> inlineCopy(inlineV);
+    EXPECT_EQ(inlineCopy, inlineV);
+
+    SmallVector<int, 4> heapV;
+    for (int i = 0; i < 20; ++i)
+        heapV.push_back(i);
+    SmallVector<int, 4> heapCopy(heapV);
+    EXPECT_EQ(heapCopy, heapV);
+
+    heapCopy[3] = 99;
+    EXPECT_NE(heapCopy, heapV); // deep copy, not aliased
+}
+
+TEST(SmallVector, CopyAssignOverwrites)
+{
+    SmallVector<int, 2> a;
+    a.push_back(5);
+    SmallVector<int, 2> b;
+    for (int i = 0; i < 8; ++i)
+        b.push_back(i);
+    a = b;
+    EXPECT_EQ(a, b);
+    b = SmallVector<int, 2>{};
+    EXPECT_TRUE(b.empty());
+}
+
+TEST(SmallVector, MoveStealsHeapBuffer)
+{
+    SmallVector<int, 2> src;
+    for (int i = 0; i < 16; ++i)
+        src.push_back(i);
+    const int* heap = src.data();
+    SmallVector<int, 2> dst(std::move(src));
+    EXPECT_EQ(dst.size(), 16u);
+    EXPECT_EQ(dst.data(), heap); // buffer moved, not copied
+    EXPECT_TRUE(src.empty());    // NOLINT: inspecting moved-from state
+}
+
+TEST(SmallVector, IterationAndFrontBack)
+{
+    SmallVector<int, 4> v;
+    for (int i = 1; i <= 3; ++i)
+        v.push_back(i);
+    int sum = 0;
+    for (int x : v)
+        sum += x;
+    EXPECT_EQ(sum, 6);
+    EXPECT_EQ(v.front(), 1);
+    EXPECT_EQ(v.back(), 3);
+}
+
+TEST(SmallVector, EqualityComparesLengthAndContents)
+{
+    SmallVector<int, 4> a, b;
+    a.push_back(1);
+    b.push_back(1);
+    EXPECT_EQ(a, b);
+    b.push_back(2);
+    EXPECT_NE(a, b);
+    a.push_back(3);
+    EXPECT_NE(a, b);
+}
+
+TEST(SmallVector, BoolSpecialisationWorks)
+{
+    // std::vector<bool> cannot back a data() pointer; SmallVector
+    // must handle plain bools (the frontend's pushedBits).
+    SmallVector<bool, 8> v;
+    for (int i = 0; i < 12; ++i)
+        v.push_back(i % 3 == 0);
+    ASSERT_EQ(v.size(), 12u);
+    for (int i = 0; i < 12; ++i)
+        EXPECT_EQ(v[static_cast<std::size_t>(i)], i % 3 == 0);
+}

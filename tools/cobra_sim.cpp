@@ -1,26 +1,33 @@
 /**
  * @file
  * cobra_sim: command-line driver for the COBRA reproduction — run any
- * (design, workload) pair with the §VI options, print the metrics and
- * optional detailed statistics.
+ * (design, workload) grid with the §VI options, print the metrics and
+ * optional detailed statistics. --design/--workload accept
+ * comma-separated lists; the resulting grid runs on the SweepEngine
+ * thread pool (--jobs / COBRA_JOBS), with output always printed in
+ * submission order so a parallel run is byte-identical to a serial
+ * one.
  *
  * Usage:
- *   cobra_sim [--design NAME] [--workload NAME] [--insts N]
+ *   cobra_sim [--design NAMES] [--workload NAMES] [--insts N]
  *             [--warmup N] [--ghist none|repair|replay] [--sfb]
  *             [--serialize] [--audit] [--inject-faults RATE]
- *             [--fault-seed N] [--deadlock-cycles N] [--stats]
- *             [--area] [--list]
+ *             [--fault-seed N] [--deadlock-cycles N] [--jobs N]
+ *             [--json PATH] [--stats] [--area] [--list]
  */
 
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
 #include "program/workload.hpp"
 #include "sim/core_area.hpp"
 #include "sim/presets.hpp"
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 
 using namespace cobra;
 
@@ -32,9 +39,11 @@ usage()
     std::cout <<
         "cobra_sim — COBRA predictor-composition simulator\n"
         "\n"
-        "  --design NAME        tourney | b2 | tagel | refbig (default tagel)\n"
-        "  --workload NAME      SPECint17 proxy / dhrystone / coremark\n"
-        "                       (default leela)\n"
+        "  --design NAMES       tourney | b2 | tagel | refbig (default tagel);\n"
+        "                       comma-separated list runs a sweep\n"
+        "  --workload NAMES     SPECint17 proxy / dhrystone / coremark\n"
+        "                       (default leela); comma-separated list\n"
+        "                       runs a sweep\n"
         "  --insts N            measured instructions (default 400000)\n"
         "  --warmup N           warmup instructions (default 120000)\n"
         "  --ghist MODE         none | repair | replay (default replay)\n"
@@ -47,6 +56,9 @@ usage()
         "  --fault-seed N       fault-injection RNG seed (default 0x5EED)\n"
         "  --deadlock-cycles N  watchdog: abort after N cycles without a\n"
         "                       commit (default 100000)\n"
+        "  --jobs N             worker threads for grid runs (default:\n"
+        "                       COBRA_JOBS, else hardware concurrency)\n"
+        "  --json PATH          also write results as JSON to PATH\n"
         "  --stats              dump detailed pipeline statistics\n"
         "  --area               print the predictor/core area breakdown\n"
         "  --list               list designs and workloads\n";
@@ -108,11 +120,32 @@ parseDouble(const std::string& flag, const std::string& v)
     }
 }
 
+std::vector<std::string>
+splitList(const std::string& s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    if (out.empty())
+        throw std::runtime_error("empty list: '" + s + "'");
+    return out;
+}
+
 int
 runMain(int argc, char** argv)
 {
-    sim::Design design = sim::Design::TageL;
-    std::string workload = "leela";
+    std::string designArg = "tagel";
+    std::string workloadArg = "leela";
     std::uint64_t insts = 400'000;
     std::uint64_t warmup = 120'000;
     std::uint64_t deadlockCycles = 100'000;
@@ -121,7 +154,11 @@ runMain(int argc, char** argv)
     bool audit = false;
     double faultRate = 0.0;
     std::uint64_t faultSeed = 0x5EED;
+    unsigned jobs = 0; // 0 = SweepEngine default (COBRA_JOBS / hw)
+    std::string jsonPath;
 
+    std::vector<sim::Design> designs;
+    std::vector<std::string> workloads;
     try {
         for (int i = 1; i < argc; ++i) {
             const std::string a = argv[i];
@@ -131,9 +168,9 @@ runMain(int argc, char** argv)
                 return argv[i];
             };
             if (a == "--design")
-                design = parseDesign(next());
+                designArg = next();
             else if (a == "--workload")
-                workload = next();
+                workloadArg = next();
             else if (a == "--insts")
                 insts = parseU64(a, next());
             else if (a == "--warmup")
@@ -152,6 +189,10 @@ runMain(int argc, char** argv)
                 faultSeed = parseU64(a, next());
             else if (a == "--deadlock-cycles")
                 deadlockCycles = parseU64(a, next());
+            else if (a == "--jobs")
+                jobs = static_cast<unsigned>(parseU64(a, next()));
+            else if (a == "--json")
+                jsonPath = next();
             else if (a == "--stats")
                 stats = true;
             else if (a == "--area")
@@ -170,118 +211,173 @@ runMain(int argc, char** argv)
                 throw std::runtime_error("unknown option: " + a);
             }
         }
+        for (const std::string& d : splitList(designArg))
+            designs.push_back(parseDesign(d));
+        workloads = splitList(workloadArg);
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n\n";
         usage();
         return 2;
     }
 
-    const prog::Program program =
-        prog::buildWorkload(prog::WorkloadLibrary::profile(workload));
+    prog::WorkloadCache cache;
+    sim::SweepEngine engine(jobs);
+    std::vector<std::string> headers;
+    std::vector<sim::Design> pointDesigns;
 
-    bpu::Topology topo = sim::buildTopology(design);
-    std::cout << "design:   " << sim::designName(design) << "  ("
-              << topo.describe() << ")\n"
-              << "workload: " << program.name() << " ("
-              << program.size() << " static insts)\n"
-              << "ghist:    " << bpu::ghistRepairModeName(ghist)
-              << (sfb ? ", SFB on" : "")
-              << (serialize ? ", serialized fetch" : "");
-    if (audit)
-        std::cout << ", contract audit on";
-    if (faultRate > 0.0) {
-        std::cout << ", fault rate " << faultRate << " (seed 0x"
-                  << std::hex << faultSeed << std::dec << ")";
-    }
-    std::cout << "\n\n";
+    for (const std::string& wl : workloads) {
+        const prog::Program& program = cache.get(wl);
+        for (sim::Design design : designs) {
+            // Describe the topology from a throwaway instance; the
+            // point builds its own fresh copy on the worker.
+            const bpu::Topology topo = sim::buildTopology(design);
+            std::ostringstream hdr;
+            hdr << "design:   " << sim::designName(design) << "  ("
+                << topo.describe() << ")\n"
+                << "workload: " << program.name() << " ("
+                << program.size() << " static insts)\n"
+                << "ghist:    " << bpu::ghistRepairModeName(ghist)
+                << (sfb ? ", SFB on" : "")
+                << (serialize ? ", serialized fetch" : "");
+            if (audit)
+                hdr << ", contract audit on";
+            if (faultRate > 0.0) {
+                hdr << ", fault rate " << faultRate << " (seed 0x"
+                    << std::hex << faultSeed << std::dec << ")";
+            }
+            hdr << "\n\n";
 
-    sim::SimConfig cfg = sim::makeConfig(design);
-    cfg.maxInsts = insts;
-    cfg.warmupInsts = warmup;
-    cfg.frontend.ghistMode = ghist;
-    cfg.backend.ghistMode = ghist;
-    cfg.backend.sfbEnabled = sfb;
-    cfg.frontend.serializeFetch = serialize;
-    cfg.deadlockCycles = deadlockCycles;
-    cfg.audit = audit;
-    cfg.faultRate = faultRate;
-    cfg.faultSeed = faultSeed;
-    cfg.validate(/*strict=*/true);
+            sim::SimConfig cfg = sim::makeConfig(design);
+            cfg.maxInsts = insts;
+            cfg.warmupInsts = warmup;
+            cfg.frontend.ghistMode = ghist;
+            cfg.backend.ghistMode = ghist;
+            cfg.backend.sfbEnabled = sfb;
+            cfg.frontend.serializeFetch = serialize;
+            cfg.deadlockCycles = deadlockCycles;
+            cfg.audit = audit;
+            cfg.faultRate = faultRate;
+            cfg.faultSeed = faultSeed;
+            cfg.validate(/*strict=*/true);
 
-    sim::Simulator s(program, std::move(topo), cfg);
-    const sim::SimResult r = s.run();
-
-    TextTable t;
-    t.addRow({"metric", "value"});
-    auto row = [&t](const std::string& k, const std::string& v) {
-        t.beginRow();
-        t.cell(k);
-        t.cell(v);
-    };
-    row("instructions", std::to_string(r.insts));
-    row("cycles", std::to_string(r.cycles));
-    row("IPC", formatDouble(r.ipc(), 3));
-    row("cond branches", std::to_string(r.condBranches));
-    row("cond mispredicts", std::to_string(r.condMispredicts));
-    row("jalr mispredicts", std::to_string(r.jalrMispredicts));
-    row("branch MPKI", formatDouble(r.mpki(), 2));
-    row("accuracy", formatDouble(100 * r.accuracy(), 2) + "%");
-    if (sfb)
-        row("SFB conversions", std::to_string(r.sfbConversions));
-    if (faultRate > 0.0) {
-        row("faults injected", std::to_string(r.faultsInjected));
-        row("updates dropped", std::to_string(r.updatesDropped));
-    }
-    if (audit)
-        row("contract checks", std::to_string(r.auditChecks));
-    t.print(std::cout);
-
-    if (r.deadlocked) {
-        std::cerr << "\nerror: run aborted (no commit progress)\n"
-                  << r.diagnostics;
-        return 1;
+            sim::SweepPoint pt;
+            pt.label = std::string(sim::designName(design)) + "/" +
+                       program.name();
+            pt.topology = [design] {
+                return sim::buildTopology(design);
+            };
+            pt.program = &program;
+            pt.cfg = cfg;
+            engine.add(std::move(pt));
+            headers.push_back(hdr.str());
+            pointDesigns.push_back(design);
+        }
     }
 
-    if (stats) {
-        std::cout << "\n";
-        s.frontend().stats().dump(std::cout);
-        s.backend().stats().dump(std::cout);
-        s.bpu().stats().dump(std::cout);
-        std::cout << "caches.l1i.misses = "
-                  << s.caches().l1i().misses() << "\n"
-                  << "caches.l1d.misses = "
-                  << s.caches().l1d().misses() << "\n"
-                  << "caches.l2.misses = " << s.caches().l2().misses()
-                  << "\n";
+    // Stats/area need the live Simulator, so they are rendered on the
+    // worker into per-point text and printed below in order.
+    sim::SweepEngine::PostRun postRun;
+    if (stats || area) {
+        postRun = [&](std::size_t idx, sim::Simulator& s,
+                      const sim::SimResult& r,
+                      const sim::SweepPoint& pt, std::ostream& os) {
+            if (stats) {
+                os << "\n";
+                s.frontend().stats().dump(os);
+                s.backend().stats().dump(os);
+                s.bpu().stats().dump(os);
+                os << "caches.l1i.misses = " << s.caches().l1i().misses()
+                   << "\n"
+                   << "caches.l1d.misses = " << s.caches().l1d().misses()
+                   << "\n"
+                   << "caches.l2.misses = " << s.caches().l2().misses()
+                   << "\n";
+                if (pt.cfg.faultRate > 0.0) {
+                    const auto& fe = s.faultEngine();
+                    os << "guard.table_faults = " << fe.tableFaults()
+                       << "\n"
+                       << "guard.output_faults = " << fe.outputFaults()
+                       << "\n"
+                       << "guard.updates_dropped = "
+                       << fe.droppedUpdates() << "\n";
+                }
+                if (pt.cfg.audit)
+                    os << "guard.audit_checks = " << r.auditChecks
+                       << "\n";
+            }
+            if (area) {
+                os << "\n";
+                const phys::AreaModel model;
+                const auto pr = s.bpu().areaReport(model);
+                os << "predictor area (um^2):\n";
+                for (const auto& item : pr.items)
+                    os << "  " << item.name << ": "
+                       << formatDouble(item.um2, 0) << "\n";
+                const auto cr =
+                    sim::coreAreaReport(pointDesigns[idx], model);
+                os << "core total: "
+                   << formatDouble(cr.total() / 1e6, 3) << " mm^2 (BPU "
+                   << formatDouble(100 * pr.total() / cr.total(), 1)
+                   << "%)\n";
+            }
+        };
+    }
+
+    const std::vector<sim::SweepOutcome> outcomes = engine.run(postRun);
+
+    bool anyFail = false;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const sim::SweepOutcome& o = outcomes[i];
+        if (i > 0)
+            std::cout << "\n";
+        std::cout << headers[i];
+        if (!o.ok()) {
+            std::cerr << "error: " << o.error << "\n";
+            anyFail = true;
+            continue;
+        }
+        const sim::SimResult& r = o.result;
+
+        TextTable t;
+        t.addRow({"metric", "value"});
+        auto row = [&t](const std::string& k, const std::string& v) {
+            t.beginRow();
+            t.cell(k);
+            t.cell(v);
+        };
+        row("instructions", std::to_string(r.insts));
+        row("cycles", std::to_string(r.cycles));
+        row("IPC", formatDouble(r.ipc(), 3));
+        row("cond branches", std::to_string(r.condBranches));
+        row("cond mispredicts", std::to_string(r.condMispredicts));
+        row("jalr mispredicts", std::to_string(r.jalrMispredicts));
+        row("branch MPKI", formatDouble(r.mpki(), 2));
+        row("accuracy", formatDouble(100 * r.accuracy(), 2) + "%");
+        if (sfb)
+            row("SFB conversions", std::to_string(r.sfbConversions));
         if (faultRate > 0.0) {
-            const auto& fe = s.faultEngine();
-            std::cout << "guard.table_faults = " << fe.tableFaults()
-                      << "\n"
-                      << "guard.output_faults = " << fe.outputFaults()
-                      << "\n"
-                      << "guard.updates_dropped = "
-                      << fe.droppedUpdates() << "\n";
+            row("faults injected", std::to_string(r.faultsInjected));
+            row("updates dropped", std::to_string(r.updatesDropped));
         }
         if (audit)
-            std::cout << "guard.audit_checks = " << r.auditChecks
-                      << "\n";
+            row("contract checks", std::to_string(r.auditChecks));
+        t.print(std::cout);
+
+        if (r.deadlocked) {
+            std::cerr << "\nerror: run aborted (no commit progress)\n"
+                      << r.diagnostics;
+            anyFail = true;
+            continue;
+        }
+
+        std::cout << o.postRunText;
     }
 
-    if (area) {
-        std::cout << "\n";
-        const phys::AreaModel model;
-        const auto pr = s.bpu().areaReport(model);
-        std::cout << "predictor area (um^2):\n";
-        for (const auto& item : pr.items)
-            std::cout << "  " << item.name << ": "
-                      << formatDouble(item.um2, 0) << "\n";
-        const auto cr = sim::coreAreaReport(design, model);
-        std::cout << "core total: " << formatDouble(cr.total() / 1e6, 3)
-                  << " mm^2 (BPU "
-                  << formatDouble(100 * pr.total() / cr.total(), 1)
-                  << "%)\n";
-    }
-    return 0;
+    if (!jsonPath.empty())
+        sim::writeSweepJson(jsonPath, "cobra_sim", outcomes,
+                            engine.jobs());
+
+    return anyFail ? 1 : 0;
 }
 
 } // namespace
