@@ -191,6 +191,9 @@ class Sweep
             sim::writeSweepJson("bench_results/" + name_ + ".json",
                                 name_, outcomes_, engine_.jobs(),
                                 extra.str());
+            if (const char* p = std::getenv("COBRA_STATS_JSON"))
+                sim::writeStatsJson(p, name_, outcomes_,
+                                    engine_.jobs());
         } catch (const std::exception& e) {
             std::cerr << "[bench] JSON emit failed: " << e.what()
                       << "\n";
@@ -219,6 +222,10 @@ class Sweep
     {
         cfg.warmupInsts = scale_.warmup;
         cfg.maxInsts = scale_.measure;
+        // COBRA_STATS_JSON=PATH: harness runs additionally emit the
+        // full CobraScope stat hierarchy (used by the CI smoke job).
+        if (const char* p = std::getenv("COBRA_STATS_JSON"))
+            cfg.output.statsJsonPath = p;
     }
 
     std::size_t

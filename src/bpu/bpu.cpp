@@ -70,7 +70,7 @@ BranchPredictorUnit::beginQuery(QueryState& q, Addr pc, unsigned valid_slots)
     q.reset(pc, valid_slots, static_cast<unsigned>(
                 pred_.components().size()),
             cfg_.fetchWidth, ++querySerial_);
-    ++stats_.counter("queries");
+    ++queries_;
 }
 
 PredictionBundle
@@ -104,6 +104,8 @@ BranchPredictorUnit::finalize(QueryState& q, const FinalizeArgs& args)
     e.lhistBefore = lhist_.read(q.pc());
     e.metas = q.metadata();
     e.finalPred = *args.finalPred;
+    e.dirProvider = q.dirProvider();
+    e.targetProvider = q.targetProvider();
     e.brMask = args.brMask;
     e.firstSeq = args.firstSeq;
     e.rasPtr = args.rasPtr;
@@ -156,7 +158,12 @@ BranchPredictorUnit::finalize(QueryState& q, const FinalizeArgs& args)
         phist_.push(blockBase + takenSlot * 4);
     }
 
-    ++stats_.counter("finalized");
+    ++finalized_;
+    if (tracer_ != nullptr) {
+        tracer_->record(scope::TraceKind::Fire, entry.pc, fev.ftqIdx,
+                        scope::kNoComponent, 0,
+                        takenSlot < entry.fetchedSlots);
+    }
     return pos;
 }
 
@@ -193,7 +200,7 @@ BranchPredictorUnit::queueRepairWalk(FtqPos after)
         return;
     for (FtqPos pos = hf_.tailPos(); pos-- > after + 1;)
         repairQueue_.push_back(RepairJob{hf_.at(pos), pos});
-    ++stats_.counter("repair_walks");
+    ++repairWalks_;
 }
 
 void
@@ -265,7 +272,22 @@ BranchPredictorUnit::resolve(const BranchResolution& res)
             lhist_.specUpdate(e.pc, takenBit);
         }
 
-        ++stats_.counter("mispredicts");
+        ++mispredicts_;
+        if (tracer_ != nullptr) {
+            // Attribute the mispredict to the component that provided
+            // the wrong field: direction for conditional branches,
+            // target for everything else.
+            const std::uint8_t comp =
+                res.slot < kMaxFetchWidth
+                    ? (res.type == CfiType::Br
+                           ? e.dirProvider[res.slot]
+                           : e.targetProvider[res.slot])
+                    : scope::kNoComponent;
+            tracer_->record(scope::TraceKind::Mispredict, e.pc,
+                            static_cast<std::uint32_t>(res.ftq), comp,
+                            static_cast<std::uint8_t>(res.slot),
+                            res.taken);
+        }
     }
 }
 
@@ -303,7 +325,9 @@ BranchPredictorUnit::tick()
             lhist_.restore(e.pc, e.lhistBefore);
         repairQueue_.pop_front();
         ++walked;
-        ++stats_.counter("repair_events");
+        ++repairEvents_;
+        if (tracer_ != nullptr)
+            tracer_->record(scope::TraceKind::Repair, ev.pc, ev.ftqIdx);
     }
     if (walked > 0)
         return;
@@ -345,7 +369,8 @@ BranchPredictorUnit::tick()
                                     head.sfbMask[head.cfiIdx]);
         if (anyWork) {
             pred_.update(ev, head.metas);
-            ++stats_.counter("updates");
+            pred_.creditResolution(ev, head.dirProvider);
+            ++updates_;
         }
         hf_.dequeueHead();
         ++updated;

@@ -23,6 +23,7 @@
 #include "bpu/lhist.hpp"
 #include "bpu/phist.hpp"
 #include "common/stats.hpp"
+#include "scope/tracer.hpp"
 
 namespace cobra::bpu {
 
@@ -184,6 +185,9 @@ class BranchPredictorUnit
     StatGroup& stats() { return stats_; }
     const StatGroup& stats() const { return stats_; }
 
+    /** Attach a CobraScope tracer (nullptr detaches; not owned). */
+    void setTracer(scope::Tracer* t) { tracer_ = t; }
+
   private:
     /** Build the common ResolveEvent payload from an entry. */
     ResolveEvent makeEvent(const HistoryFileEntry& e, FtqPos pos) const;
@@ -212,7 +216,21 @@ class BranchPredictorUnit
     /** Monotonic query id handed to PredictContext::serial. */
     std::uint64_t querySerial_ = 0;
 
+    scope::Tracer* tracer_ = nullptr;
+
     StatGroup stats_{"bpu"};
+    Stat<Counter> queries_{stats_, "queries",
+                           "prediction queries begun at Fetch-0"};
+    Stat<Counter> finalized_{stats_, "finalized",
+                             "queries finalized into history-file entries"};
+    Stat<Counter> mispredicts_{stats_, "mispredicts",
+                               "resolved mispredictions reaching the BPU"};
+    Stat<Counter> repairWalks_{stats_, "repair_walks",
+                               "repair walks queued after mispredicts"};
+    Stat<Counter> repairEvents_{stats_, "repair_events",
+                                "per-entry repair events delivered"};
+    Stat<Counter> updates_{stats_, "updates",
+                           "commit-time training updates issued"};
 };
 
 } // namespace cobra::bpu

@@ -55,6 +55,8 @@ QueryState::reset(Addr pc, unsigned valid_slots, unsigned num_components,
     serial_ = serial;
     results_.assign(num_components, CompResult{});
     metas_.assign(num_components, Metadata{});
+    dirProvider_.fill(kNoProvider);
+    targetProvider_.fill(kNoProvider);
 }
 
 ComposedPredictor::ComposedPredictor(Topology topo, unsigned width)
@@ -73,6 +75,20 @@ ComposedPredictor::ComposedPredictor(Topology topo, unsigned width)
     for (std::size_t i = 0; i < topo_.numNodes(); ++i) {
         if (topo_.node(i).comp != nullptr)
             nodeCompIdx_[i] = compIndex(topo_.node(i).comp);
+    }
+    // Attribution groups live under "bpu.comp.<name>"; a repeated
+    // component name gets a "#<index>" suffix so group paths stay
+    // unique for the stat registry.
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        std::string gname = "bpu.comp." + components_[i]->name();
+        for (std::size_t j = 0; j < i; ++j) {
+            if (components_[j]->name() == components_[i]->name()) {
+                gname += "#" + std::to_string(i);
+                break;
+            }
+        }
+        attribution_.push_back(
+            std::make_unique<CompAttribution>(std::move(gname)));
     }
     // An arbiter must not respond before the predictions it chooses
     // among exist; enforce latency(arb) >= latency(children).
@@ -172,13 +188,35 @@ ComposedPredictor::applyComponent(QueryState& q, std::size_t idx,
         for (unsigned i = 0; i < width_; ++i)
             res.provided[i] = diffSlots(in.slots[i], out.slots[i]);
         res.computed = true;
+
+        // Attribution (counted once per query, at compute time): a
+        // dir change over a valid incoming prediction is an override;
+        // a valid-vs-valid no-change is an agreement.
+        CompAttribution& att = *attribution_[ci];
+        for (unsigned i = 0; i < q.validSlots_ && i < width_; ++i) {
+            if (res.provided[i] & kProvideDir) {
+                ++att.dirProvided;
+                if (in.slots[i].valid)
+                    ++att.dirOverrides;
+            } else if (out.slots[i].valid && in.slots[i].valid) {
+                ++att.dirAgreements;
+            }
+            if (res.provided[i] & kProvideTarget)
+                ++att.targetProvided;
+        }
     }
 
     // Replay the recorded field-level overrides onto the current
     // bundle: where the component provided, its values win; where it
     // passed through, the (possibly newer) incoming prediction flows.
-    for (unsigned i = 0; i < width_; ++i)
+    // The last writer per field group is the provider of record.
+    for (unsigned i = 0; i < width_; ++i) {
         applySlotPatch(bundle.slots[i], res.out.slots[i], res.provided[i]);
+        if (res.provided[i] & kProvideDir)
+            q.dirProvider_[i] = static_cast<std::uint8_t>(ci);
+        if (res.provided[i] & kProvideTarget)
+            q.targetProvider_[i] = static_cast<std::uint8_t>(ci);
+    }
 }
 
 void
@@ -264,6 +302,26 @@ ComposedPredictor::update(ResolveEvent ev, const MetadataBundle& metas)
     for (std::size_t i = 0; i < components_.size(); ++i) {
         ev.meta = &metas[i];
         components_[i]->update(ev);
+    }
+}
+
+void
+ComposedPredictor::creditResolution(
+    const ResolveEvent& ev,
+    const std::array<std::uint8_t, kMaxFetchWidth>& dir_provider)
+{
+    for (unsigned i = 0; i < kMaxFetchWidth; ++i) {
+        if (!ev.brMask[i])
+            continue;
+        const std::uint8_t p = dir_provider[i];
+        if (p == kNoProvider || p >= attribution_.size())
+            continue;
+        const PredictionSlot& s = ev.predicted->slots[i];
+        const bool predictedTaken = s.valid && s.taken;
+        if (predictedTaken == ev.takenMask[i])
+            ++attribution_[p]->providerCorrect;
+        else
+            ++attribution_[p]->providerWrong;
     }
 }
 

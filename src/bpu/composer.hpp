@@ -12,9 +12,11 @@
 #ifndef COBRA_BPU_COMPOSER_HPP
 #define COBRA_BPU_COMPOSER_HPP
 
+#include <memory>
 #include <vector>
 
 #include "bpu/topology.hpp"
+#include "common/stats.hpp"
 
 namespace cobra::bpu {
 
@@ -27,6 +29,9 @@ enum ProvideMask : std::uint8_t
     kProvideTarget = 2, ///< targetValid/target fields.
     kProvideType = 4,  ///< CFI type / call / ret fields.
 };
+
+/** "No component provided this field" marker for provider indices. */
+inline constexpr std::uint8_t kNoProvider = 0xFF;
 
 /**
  * Per-query evaluation state. The frontend creates one per fetch
@@ -64,6 +69,21 @@ class QueryState
     /** Metadata gathered from all components (by component index). */
     const MetadataBundle& metadata() const { return metas_; }
 
+    /** Component index that provided each slot's direction field in
+     *  the final fold (kNoProvider where nothing predicted). */
+    const std::array<std::uint8_t, kMaxFetchWidth>&
+    dirProvider() const
+    {
+        return dirProvider_;
+    }
+
+    /** Component index that provided each slot's target field. */
+    const std::array<std::uint8_t, kMaxFetchWidth>&
+    targetProvider() const
+    {
+        return targetProvider_;
+    }
+
   private:
     friend class ComposedPredictor;
 
@@ -87,6 +107,39 @@ class QueryState
     /** Inline for <= 8 components: query reset allocates nothing. */
     SmallVector<CompResult, 8> results_;
     MetadataBundle metas_;
+    std::array<std::uint8_t, kMaxFetchWidth> dirProvider_{};
+    std::array<std::uint8_t, kMaxFetchWidth> targetProvider_{};
+};
+
+/**
+ * Per-component composition-attribution counters (CobraScope): who
+ * provided each prediction field, who overrode whom, and whether the
+ * provider turned out right — the composition effects the paper's
+ * aggregate accuracy numbers average away.
+ */
+struct CompAttribution
+{
+    explicit CompAttribution(std::string groupName)
+        : group(std::move(groupName))
+    {}
+
+    StatGroup group;
+    Stat<Counter> dirProvided{group, "dir_provided",
+                              "slots whose direction this component set"};
+    Stat<Counter> dirOverrides{
+        group, "dir_overrides",
+        "direction predictions that overrode an earlier component"};
+    Stat<Counter> dirAgreements{
+        group, "dir_agreements",
+        "direction predictions agreeing with the incoming bundle"};
+    Stat<Counter> targetProvided{group, "target_provided",
+                                 "slots whose target this component set"};
+    Stat<Counter> providerCorrect{
+        group, "provider_correct",
+        "resolved branches whose provided direction was right"};
+    Stat<Counter> providerWrong{
+        group, "provider_wrong",
+        "resolved branches whose provided direction was wrong"};
 };
 
 /**
@@ -130,6 +183,22 @@ class ComposedPredictor
     void repair(ResolveEvent ev, const MetadataBundle& metas);
     void update(ResolveEvent ev, const MetadataBundle& metas);
 
+    /**
+     * Credit the recorded per-slot direction providers against the
+     * resolved outcome (called once per commit update): right calls
+     * bump provider_correct, wrong ones provider_wrong.
+     */
+    void creditResolution(
+        const ResolveEvent& ev,
+        const std::array<std::uint8_t, kMaxFetchWidth>& dir_provider);
+
+    /** Per-component attribution stats, parallel to components(). */
+    const std::vector<std::unique_ptr<CompAttribution>>&
+    attribution() const
+    {
+        return attribution_;
+    }
+
     // ---- Physical accounting ------------------------------------------
 
     /** Total predictor storage in bits (sub-components only). */
@@ -163,6 +232,8 @@ class ComposedPredictor
     /** Topology-node index -> metadata slot, precomputed once so the
      *  per-query path never does the O(n) component scan. */
     std::vector<std::size_t> nodeCompIdx_;
+    /** Attribution counters, one group per component (same index). */
+    std::vector<std::unique_ptr<CompAttribution>> attribution_;
 };
 
 /** Diff two slots; returns the ProvideMask of changed field groups. */

@@ -53,6 +53,12 @@ struct HistoryFileEntry
     /** Speculative directions recorded at fire time. */
     std::array<bool, kMaxFetchWidth> specTakenMask{};
 
+    /** Per-slot component index that provided the direction/target in
+     *  the finalized prediction (CobraScope attribution; finalize
+     *  always overwrites these from the query state). */
+    std::array<std::uint8_t, kMaxFetchWidth> dirProvider{};
+    std::array<std::uint8_t, kMaxFetchWidth> targetProvider{};
+
     /** RAS pointer snapshot for frontend repair. */
     std::uint32_t rasPtr = 0;
 

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the stats/trace writers.
+ * COBRA emits JSON (it never parses it), so a string escaper and a
+ * couple of formatting helpers are the whole surface.
+ */
+
+#ifndef COBRA_COMMON_JSON_HPP
+#define COBRA_COMMON_JSON_HPP
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace cobra {
+
+/** Escape @p s for inclusion in a double-quoted JSON string. */
+inline std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Convert a camelCase identifier to the snake_case used for JSON
+ * keys ("condMispredicts" -> "cond_mispredicts").
+ */
+inline std::string
+jsonKeyFromCamel(std::string_view name)
+{
+    std::string out;
+    out.reserve(name.size() + 4);
+    for (char c : name) {
+        if (c >= 'A' && c <= 'Z') {
+            out += '_';
+            out += static_cast<char>(c - 'A' + 'a');
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace cobra
+
+#endif // COBRA_COMMON_JSON_HPP

@@ -3,15 +3,26 @@
  * Lightweight named statistics: scalar counters, ratios, and
  * histograms, with formatted dumping. Inspired by gem5's stats
  * package but deliberately tiny.
+ *
+ * Stats are *registered handles*: a simulation object declares
+ * `Stat<Counter>` / `Stat<Histogram>` members constructed against its
+ * StatGroup with a name and a description. Registration happens once,
+ * at construction; the hot path increments the member directly (no
+ * string-keyed lookup of any kind). The group keeps the registration
+ * order and metadata so CobraScope (src/scope) can render every stat
+ * — text or JSON — without the owning object's cooperation.
  */
 
 #ifndef COBRA_COMMON_STATS_HPP
 #define COBRA_COMMON_STATS_HPP
 
 #include <cstdint>
-#include <map>
 #include <ostream>
+#include <stdexcept>
 #include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace cobra {
@@ -75,42 +86,124 @@ class Histogram
 };
 
 /**
- * A registry of named counters grouped by component, so simulation
- * objects can expose stats without global state.
+ * The named-stat registry of one simulation object. Owns no values —
+ * `Stat<T>` members register themselves here at construction and must
+ * therefore outlive the group reads (declare the StatGroup member
+ * before the Stat members it hosts). Duplicate stat names within one
+ * group are a wiring bug and are rejected with std::invalid_argument.
  */
 class StatGroup
 {
   public:
+    /** One registered stat: exactly one of the two pointers is set. */
+    struct Entry
+    {
+        std::string name;
+        std::string description;
+        Counter* counter = nullptr;
+        Histogram* histogram = nullptr;
+    };
+
     explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
 
-    Counter& counter(const std::string& key) { return counters_[key]; }
+    /** Registered handles point at members of the owning object. */
+    StatGroup(const StatGroup&) = delete;
+    StatGroup& operator=(const StatGroup&) = delete;
 
-    std::uint64_t
-    get(const std::string& key) const
+    /** Called by Stat<T>'s constructor; rejects duplicate names. */
+    void
+    registerStat(std::string name, std::string description, Counter* c,
+                 Histogram* h)
     {
-        auto it = counters_.find(key);
-        return it == counters_.end() ? 0 : it->second.value();
+        for (const Entry& e : entries_) {
+            if (e.name == name) {
+                throw std::invalid_argument(
+                    "duplicate stat '" + name + "' in group '" + name_ +
+                    "'");
+            }
+        }
+        entries_.push_back(
+            Entry{std::move(name), std::move(description), c, h});
+    }
+
+    /** Read a counter by name (0 when absent). Cold path only. */
+    std::uint64_t
+    get(std::string_view key) const
+    {
+        for (const Entry& e : entries_) {
+            if (e.counter != nullptr && e.name == key)
+                return e.counter->value();
+        }
+        return 0;
     }
 
     const std::string& name() const { return name_; }
 
+    /** Registered stats, in registration order. */
+    const std::vector<Entry>& entries() const { return entries_; }
+
     void
     dump(std::ostream& os) const
     {
-        for (const auto& [k, c] : counters_)
-            os << name_ << "." << k << " = " << c.value() << "\n";
+        for (const Entry& e : entries_) {
+            if (e.counter != nullptr) {
+                os << name_ << "." << e.name << " = "
+                   << e.counter->value() << "\n";
+            } else {
+                os << name_ << "." << e.name << " = samples "
+                   << e.histogram->samples() << ", mean "
+                   << e.histogram->mean() << "\n";
+            }
+        }
     }
 
     void
     reset()
     {
-        for (auto& [k, c] : counters_)
-            c.reset();
+        for (Entry& e : entries_) {
+            if (e.counter != nullptr)
+                e.counter->reset();
+            else
+                e.histogram->reset();
+        }
     }
 
   private:
     std::string name_;
-    std::map<std::string, Counter> counters_;
+    std::vector<Entry> entries_;
+};
+
+/**
+ * A registered statistic handle: a Counter or Histogram declared as a
+ * member and tied to its StatGroup at construction. The handle IS the
+ * value — `++stat` / `stat.sample(v)` touch the member directly, so
+ * per-event updates cost exactly what the bare value type costs.
+ */
+template <typename T>
+class Stat : public T
+{
+  public:
+    static_assert(std::is_same_v<T, Counter> ||
+                      std::is_same_v<T, Histogram>,
+                  "Stat<T> supports Counter and Histogram");
+
+    template <typename... Args>
+    Stat(StatGroup& group, std::string name, std::string description,
+         Args&&... args)
+        : T(std::forward<Args>(args)...)
+    {
+        if constexpr (std::is_same_v<T, Counter>) {
+            group.registerStat(std::move(name), std::move(description),
+                               this, nullptr);
+        } else {
+            group.registerStat(std::move(name), std::move(description),
+                               nullptr, this);
+        }
+    }
+
+    /** The registered address must stay stable. */
+    Stat(const Stat&) = delete;
+    Stat& operator=(const Stat&) = delete;
 };
 
 /** Harmonic mean of a series of positive values. */

@@ -36,14 +36,6 @@ Backend::Backend(exec::Oracle& oracle, bpu::BranchPredictorUnit& bpu,
     robBuf_.resize(robCap);
     robStatus_.assign(robCap, 0);
     robMask_ = robCap - 1;
-    ctrResolvedMispredicts_ = &stats_.counter("resolved_mispredicts");
-    ctrIssued_ = &stats_.counter("issued");
-    ctrCommitted_ = &stats_.counter("committed");
-    ctrStallRob_ = &stats_.counter("stall_rob");
-    ctrStallIq_ = &stats_.counter("stall_iq");
-    ctrStallLdq_ = &stats_.counter("stall_ldq");
-    ctrStallStq_ = &stats_.counter("stall_stq");
-    ctrDispatched_ = &stats_.counter("dispatched");
 }
 
 Backend::RobHeadView
@@ -193,7 +185,7 @@ Backend::resolveCf(std::size_t idx, Cycle now)
     if (!mispredict)
         return false;
 
-    ++(*ctrResolvedMispredicts_);
+    ++resolvedMispredicts_;
 
     // ---- Squash and redirect ------------------------------------------
     squashYoungerThan(idx);
@@ -324,7 +316,7 @@ Backend::issue(Cycle now)
         if (e.doneCycle < nextDoneCycle_)
             nextDoneCycle_ = e.doneCycle;
         --iqCount_[static_cast<unsigned>(e.iq)];
-        ++(*ctrIssued_);
+        ++issued_;
     }
     firstWaitingId_ = newFirst == kNoRobId ? robIdNext_ : newFirst;
 }
@@ -349,6 +341,13 @@ Backend::commit(Cycle now)
                 else
                     ++jalrMispredicts_;
             }
+            if (tracer_ != nullptr) {
+                tracer_->record(scope::TraceKind::Commit, e.fi.di.pc,
+                                static_cast<std::uint32_t>(e.fi.ftq),
+                                scope::kNoComponent,
+                                static_cast<std::uint8_t>(e.fi.slot),
+                                e.wasMispredict);
+            }
         }
         if (op == OpClass::Load && ldqCount_ > 0)
             --ldqCount_;
@@ -371,7 +370,7 @@ Backend::commit(Cycle now)
         robPopFront();
         ++n;
     }
-    (*ctrCommitted_) += n;
+    committed_ += n;
 }
 
 void
@@ -380,7 +379,7 @@ Backend::dispatch(Cycle now)
     unsigned n = 0;
     while (n < cfg_.coreWidth && !frontend_.bufferEmpty()) {
         if (robCount_ >= cfg_.robEntries) {
-            ++(*ctrStallRob_);
+            ++stallRob_;
             break;
         }
         const FetchedInst& fi = frontend_.bufferFront();
@@ -396,15 +395,15 @@ Backend::dispatch(Cycle now)
                                : iq == IqClass::Mem ? cfg_.memIqEntries
                                                     : cfg_.fpIqEntries;
         if (iqCount_[static_cast<unsigned>(iq)] >= iqCap) {
-            ++(*ctrStallIq_);
+            ++stallIq_;
             break;
         }
         if (op == OpClass::Load && ldqCount_ >= cfg_.ldqEntries) {
-            ++(*ctrStallLdq_);
+            ++stallLdq_;
             break;
         }
         if (op == OpClass::Store && stqCount_ >= cfg_.stqEntries) {
-            ++(*ctrStallStq_);
+            ++stallStq_;
             break;
         }
 
@@ -449,7 +448,7 @@ Backend::dispatch(Cycle now)
         robPushBack(std::move(e));
         ++n;
     }
-    (*ctrDispatched_) += n;
+    dispatched_ += n;
 }
 
 void

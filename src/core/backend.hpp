@@ -94,6 +94,9 @@ class Backend
     StatGroup& stats() { return stats_; }
     const StatGroup& stats() const { return stats_; }
 
+    /** Attach a CobraScope tracer (nullptr detaches; not owned). */
+    void setTracer(scope::Tracer* t) { tracer_ = t; }
+
     const BackendConfig& config() const { return cfg_; }
 
   private:
@@ -259,18 +262,27 @@ class Backend
     std::uint64_t jalrMispredicts_ = 0;
     std::uint64_t sfbConversions_ = 0;
 
-    StatGroup stats_{"backend"};
+    scope::Tracer* tracer_ = nullptr;
 
-    // Cached pointers into stats_: the per-cycle paths must
-    // not pay a string-keyed map lookup per event.
-    Counter* ctrResolvedMispredicts_ = nullptr;
-    Counter* ctrIssued_ = nullptr;
-    Counter* ctrCommitted_ = nullptr;
-    Counter* ctrStallRob_ = nullptr;
-    Counter* ctrStallIq_ = nullptr;
-    Counter* ctrStallLdq_ = nullptr;
-    Counter* ctrStallStq_ = nullptr;
-    Counter* ctrDispatched_ = nullptr;
+    // Registered stat handles (stats_ must precede them): per-cycle
+    // paths increment the members directly.
+    StatGroup stats_{"backend"};
+    Stat<Counter> resolvedMispredicts_{
+        stats_, "resolved_mispredicts",
+        "mispredicts resolved at execute (incl. wrong-path)"};
+    Stat<Counter> issued_{stats_, "issued", "instructions issued"};
+    Stat<Counter> committed_{stats_, "committed",
+                             "instructions committed"};
+    Stat<Counter> stallRob_{stats_, "stall_rob",
+                            "dispatch stalls on a full ROB"};
+    Stat<Counter> stallIq_{stats_, "stall_iq",
+                           "dispatch stalls on a full issue queue"};
+    Stat<Counter> stallLdq_{stats_, "stall_ldq",
+                            "dispatch stalls on a full load queue"};
+    Stat<Counter> stallStq_{stats_, "stall_stq",
+                            "dispatch stalls on a full store queue"};
+    Stat<Counter> dispatched_{stats_, "dispatched",
+                              "instructions dispatched into the ROB"};
 };
 
 } // namespace cobra::core

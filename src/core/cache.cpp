@@ -7,7 +7,7 @@
 namespace cobra::core {
 
 Cache::Cache(const CacheParams& p)
-    : params_(p)
+    : params_(p), stats_(p.name)
 {
     const std::uint64_t lineCount = p.sizeBytes / p.lineBytes;
     assert(lineCount % p.ways == 0);

@@ -46,8 +46,11 @@ class Cache
     const CacheParams& params() const { return params_; }
     Cycle hitLatency() const { return params_.hitLatency; }
 
-    std::uint64_t accesses() const { return accesses_; }
-    std::uint64_t misses() const { return misses_; }
+    std::uint64_t accesses() const { return accesses_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+    /** Registered stat handles (named after the level, e.g. "L1I"). */
+    const StatGroup& stats() const { return stats_; }
 
     /** Bits of data + tag storage. */
     std::uint64_t storageBits() const;
@@ -69,8 +72,10 @@ class Cache
     unsigned sets_;
     std::vector<Line> lines_;
     std::uint64_t stamp_ = 0;
-    std::uint64_t accesses_ = 0;
-    std::uint64_t misses_ = 0;
+
+    StatGroup stats_;
+    Stat<Counter> accesses_{stats_, "accesses", "total probes"};
+    Stat<Counter> misses_{stats_, "misses", "probes that missed"};
 };
 
 /** Latency parameters of the full hierarchy. */

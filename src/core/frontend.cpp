@@ -14,18 +14,6 @@ Frontend::Frontend(const prog::Program& program, exec::Oracle& oracle,
       ras_(cfg.rasEntries), nextFetchPc_(program.entry())
 {
     assert(isPow2(cfg.fetchWidth));
-    ctrPacketsKilled_ = &stats_.counter("packets_killed");
-    ctrStallHistfile_ = &stats_.counter("stall_histfile");
-    ctrStallFetchbuffer_ = &stats_.counter("stall_fetchbuffer");
-    ctrGhistReplays_ = &stats_.counter("ghist_replays");
-    ctrOracleResyncs_ = &stats_.counter("oracle_resyncs");
-    ctrInstsFetched_ = &stats_.counter("insts_fetched");
-    ctrPacketsFinalized_ = &stats_.counter("packets_finalized");
-    ctrPacketsTaken_ = &stats_.counter("packets_taken");
-    ctrResteers_ = &stats_.counter("resteers");
-    ctrIcacheStallCycles_ = &stats_.counter("icache_stall_cycles");
-    ctrFetchBubbles_ = &stats_.counter("fetch_bubbles");
-    ctrRedirects_ = &stats_.counter("redirects");
 }
 
 Addr
@@ -98,7 +86,7 @@ void
 Frontend::killYoungerThan(std::size_t idx)
 {
     const std::size_t killed = pipe_.size() - idx - 1;
-    (*ctrPacketsKilled_) += killed;
+    packetsKilled_ += killed;
     releaseRange(idx + 1, pipe_.size());
 }
 
@@ -107,11 +95,11 @@ Frontend::tryFinalize(Packet& p, Cycle now)
 {
     (void)now;
     if (!bpu_.canFinalize()) {
-        ++(*ctrStallHistfile_);
+        ++stallHistfile_;
         return false;
     }
     if (buffer_.size() + cfg_.fetchWidth > cfg_.fetchBufferInsts) {
-        ++(*ctrStallFetchbuffer_);
+        ++stallFetchbuffer_;
         return false;
     }
 
@@ -231,7 +219,7 @@ Frontend::tryFinalize(Packet& p, Cycle now)
         for (bool bit : trueBits)
             bpu_.pushSpecGhist(bit);
         replay = true;
-        ++(*ctrGhistReplays_);
+        ++ghistReplays_;
     }
 
     // ---- Allocate the history file entry + fire (paper §IV-B1) -------
@@ -255,7 +243,7 @@ Frontend::tryFinalize(Packet& p, Cycle now)
             // Wrong-path fetch reconverged with the architectural
             // stream (e.g., past an SFB shadow): re-sync.
             onOraclePath_ = true;
-            ++(*ctrOracleResyncs_);
+            ++oracleResyncs_;
         }
         if (onOraclePath_ && oracle_.peek(0).pc == r.pc) {
             fi.di = oracle_.consume();
@@ -279,10 +267,19 @@ Frontend::tryFinalize(Packet& p, Cycle now)
         fi.ftq = ftq;
         buffer_.push_back(fi);
     }
-    (*ctrInstsFetched_) += fetched.size();
-    ++(*ctrPacketsFinalized_);
+    instsFetched_ += fetched.size();
+    ++packetsFinalized_;
     if (endedTaken)
-        ++(*ctrPacketsTaken_);
+        ++packetsTaken_;
+    if (tracer_ != nullptr) {
+        tracer_->record(scope::TraceKind::Predict, p.pc,
+                        static_cast<std::uint32_t>(ftq),
+                        scope::kNoComponent, 0, endedTaken);
+        if (replay) {
+            tracer_->record(scope::TraceKind::Replay, p.pc,
+                            static_cast<std::uint32_t>(ftq));
+        }
+    }
 
     // Serialized fetch (§I ablation): a packet containing a branch
     // blocks younger fetch until its prediction is final — model by
@@ -323,8 +320,7 @@ Frontend::tick(Cycle now)
                 releaseRange(i, i + 1);
                 if (steer) {
                     // Kill everything younger (refetch from nextPc).
-                    (*ctrPacketsKilled_) +=
-                        pipe_.size() - i;
+                    packetsKilled_ += pipe_.size() - i;
                     releaseRange(i, pipe_.size());
                 }
                 --i;
@@ -353,8 +349,7 @@ Frontend::tick(Cycle now)
                 const bool steer = finalizeSteer_;
                 releaseRange(i, i + 1);
                 if (steer) {
-                    (*ctrPacketsKilled_) +=
-                        pipe_.size() - i;
+                    packetsKilled_ += pipe_.size() - i;
                     releaseRange(i, pipe_.size());
                 }
                 --i;
@@ -375,7 +370,7 @@ Frontend::tick(Cycle now)
             // bundle (the stage-d prediction supersedes stage-1's).
             bpu_.restoreSpecGhist(p.query.ghist());
             pushGhistBits(p, b);
-            ++(*ctrResteers_);
+            ++resteers_;
         }
     }
 
@@ -391,12 +386,12 @@ Frontend::tick(Cycle now)
         const Cycle icLat = caches_.fetchAccess(p.pc);
         p.stallUntil = now + (icLat > 0 ? icLat - 1 : 0);
         if (icLat > 1)
-            (*ctrIcacheStallCycles_) += icLat - 1;
+            icacheStallCycles_ += icLat - 1;
         bpu_.beginQuery(p.query, p.pc, cfg_.fetchWidth);
         nextFetchPc_ = p.predNextPc;
         pipe_.push_back(&p);
     } else {
-        ++(*ctrFetchBubbles_);
+        ++fetchBubbles_;
     }
 }
 
@@ -404,13 +399,13 @@ void
 Frontend::redirect(Addr pc, bool on_oracle_path, std::uint32_t ras_ptr,
                    Cycle now)
 {
-    (*ctrPacketsKilled_) += pipe_.size();
+    packetsKilled_ += pipe_.size();
     releaseRange(0, pipe_.size());
     buffer_.clear();
     ras_.restore(ras_ptr);
     nextFetchPc_ = pc;
     onOraclePath_ = on_oracle_path;
-    ++(*ctrRedirects_);
+    ++redirectEvents_;
 
     redirects_.push_back(RedirectRecord{pc, now});
     if (redirects_.size() > kRedirectLog)

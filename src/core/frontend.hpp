@@ -27,6 +27,7 @@
 #include "core/ras.hpp"
 #include "exec/oracle.hpp"
 #include "program/program.hpp"
+#include "scope/tracer.hpp"
 
 namespace cobra::core {
 
@@ -123,6 +124,9 @@ class Frontend
     StatGroup& stats() { return stats_; }
     const StatGroup& stats() const { return stats_; }
 
+    /** Attach a CobraScope tracer (nullptr detaches; not owned). */
+    void setTracer(scope::Tracer* t) { tracer_ = t; }
+
     const FrontendConfig& config() const { return cfg_; }
 
   private:
@@ -198,22 +202,35 @@ class Frontend
     std::uint64_t wrongPathEpoch_ = 0;
     std::uint64_t nextDynId_ = 1;
 
-    StatGroup stats_{"frontend"};
+    scope::Tracer* tracer_ = nullptr;
 
-    // Cached pointers into stats_: the per-cycle paths must
-    // not pay a string-keyed map lookup per event.
-    Counter* ctrPacketsKilled_ = nullptr;
-    Counter* ctrStallHistfile_ = nullptr;
-    Counter* ctrStallFetchbuffer_ = nullptr;
-    Counter* ctrGhistReplays_ = nullptr;
-    Counter* ctrOracleResyncs_ = nullptr;
-    Counter* ctrInstsFetched_ = nullptr;
-    Counter* ctrPacketsFinalized_ = nullptr;
-    Counter* ctrPacketsTaken_ = nullptr;
-    Counter* ctrResteers_ = nullptr;
-    Counter* ctrIcacheStallCycles_ = nullptr;
-    Counter* ctrFetchBubbles_ = nullptr;
-    Counter* ctrRedirects_ = nullptr;
+    // Registered stat handles (stats_ must precede them): per-cycle
+    // paths increment the members directly.
+    StatGroup stats_{"frontend"};
+    Stat<Counter> packetsKilled_{stats_, "packets_killed",
+                                 "in-flight packets killed by steers"};
+    Stat<Counter> stallHistfile_{stats_, "stall_histfile",
+                                 "finalize stalls on a full history file"};
+    Stat<Counter> stallFetchbuffer_{stats_, "stall_fetchbuffer",
+                                    "finalize stalls on a full fetch buffer"};
+    Stat<Counter> ghistReplays_{stats_, "ghist_replays",
+                                "F3 ghist corrections forcing a replay"};
+    Stat<Counter> oracleResyncs_{stats_, "oracle_resyncs",
+                                 "wrong-path fetch reconvergences"};
+    Stat<Counter> instsFetched_{stats_, "insts_fetched",
+                                "instructions delivered to the buffer"};
+    Stat<Counter> packetsFinalized_{stats_, "packets_finalized",
+                                    "fetch packets finalized at F3"};
+    Stat<Counter> packetsTaken_{stats_, "packets_taken",
+                                "packets ending in a taken CFI"};
+    Stat<Counter> resteers_{stats_, "resteers",
+                            "intermediate-stage fetch re-steers"};
+    Stat<Counter> icacheStallCycles_{stats_, "icache_stall_cycles",
+                                     "cycles lost to icache misses"};
+    Stat<Counter> fetchBubbles_{stats_, "fetch_bubbles",
+                                "cycles no new packet entered F0"};
+    Stat<Counter> redirectEvents_{stats_, "redirects",
+                                  "backend redirects after mispredicts"};
 };
 
 } // namespace cobra::core

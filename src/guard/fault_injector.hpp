@@ -17,6 +17,7 @@
 
 #include "bpu/component.hpp"
 #include "common/random.hpp"
+#include "common/stats.hpp"
 
 namespace cobra::guard {
 
@@ -46,20 +47,31 @@ class FaultEngine
     void countOutputFault() { ++outputFaults_; }
     void countDroppedUpdate() { ++droppedUpdates_; }
 
-    std::uint64_t tableFaults() const { return tableFaults_; }
-    std::uint64_t outputFaults() const { return outputFaults_; }
-    std::uint64_t droppedUpdates() const { return droppedUpdates_; }
+    std::uint64_t tableFaults() const { return tableFaults_.value(); }
+    std::uint64_t outputFaults() const { return outputFaults_.value(); }
+    std::uint64_t droppedUpdates() const
+    {
+        return droppedUpdates_.value();
+    }
     std::uint64_t faultsInjected() const
     {
-        return tableFaults_ + outputFaults_;
+        return tableFaults() + outputFaults();
     }
+
+    /** Registered stat handles for the registry ("guard" group). */
+    const StatGroup& stats() const { return stats_; }
 
   private:
     double rate_;
     Rng rng_;
-    std::uint64_t tableFaults_ = 0;
-    std::uint64_t outputFaults_ = 0;
-    std::uint64_t droppedUpdates_ = 0;
+
+    StatGroup stats_{"guard"};
+    Stat<Counter> tableFaults_{stats_, "table_faults",
+                               "predictor table bits flipped"};
+    Stat<Counter> outputFaults_{stats_, "output_faults",
+                                "prediction outputs flipped"};
+    Stat<Counter> droppedUpdates_{stats_, "dropped_updates",
+                                  "commit updates dropped"};
 };
 
 /**

@@ -1,0 +1,150 @@
+#include "scope/stat_registry.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "common/json.hpp"
+
+namespace cobra::scope {
+
+void
+StatRegistry::add(std::string path, const StatGroup& group)
+{
+    if (path.empty())
+        throw std::invalid_argument("StatRegistry: empty group path");
+    for (const Node& n : nodes_) {
+        if (n.path == path) {
+            throw std::invalid_argument(
+                "StatRegistry: duplicate group '" + path + "'");
+        }
+    }
+    nodes_.push_back(Node{std::move(path), &group});
+}
+
+const StatGroup*
+StatRegistry::find(std::string_view path) const
+{
+    for (const Node& n : nodes_)
+        if (n.path == path)
+            return n.group;
+    return nullptr;
+}
+
+std::uint64_t
+StatRegistry::get(std::string_view path, std::string_view counter) const
+{
+    const StatGroup* g = find(path);
+    return g == nullptr ? 0 : g->get(counter);
+}
+
+void
+StatRegistry::dump(std::ostream& os) const
+{
+    for (const Node& n : nodes_) {
+        for (const StatGroup::Entry& e : n.group->entries()) {
+            if (e.counter != nullptr) {
+                os << n.path << "." << e.name << " = "
+                   << e.counter->value() << "\n";
+            } else {
+                os << n.path << "." << e.name << " = samples "
+                   << e.histogram->samples() << ", mean "
+                   << e.histogram->mean() << "\n";
+            }
+        }
+    }
+}
+
+namespace {
+
+/** Trie over dotted group paths, built at render time (cold path). */
+struct Tree
+{
+    std::string seg;
+    const StatGroup* group = nullptr;
+    std::vector<Tree> kids;
+
+    Tree&
+    child(std::string_view s)
+    {
+        for (Tree& k : kids)
+            if (k.seg == s)
+                return k;
+        kids.push_back(Tree{std::string(s), nullptr, {}});
+        return kids.back();
+    }
+};
+
+void
+writeGroupBody(std::ostream& os, const StatGroup& g,
+               const std::string& pad, bool more_after)
+{
+    std::vector<const StatGroup::Entry*> counters, histograms;
+    for (const StatGroup::Entry& e : g.entries())
+        (e.counter != nullptr ? counters : histograms).push_back(&e);
+
+    os << pad << "\"counters\": {";
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        os << (i == 0 ? "\n" : ",\n") << pad << "  \""
+           << jsonEscape(counters[i]->name)
+           << "\": " << counters[i]->counter->value();
+    }
+    os << (counters.empty() ? "}" : "\n" + pad + "}");
+
+    if (!histograms.empty()) {
+        os << ",\n" << pad << "\"histograms\": {";
+        for (std::size_t i = 0; i < histograms.size(); ++i) {
+            const Histogram& h = *histograms[i]->histogram;
+            os << (i == 0 ? "\n" : ",\n") << pad << "  \""
+               << jsonEscape(histograms[i]->name) << "\": {\"samples\": "
+               << h.samples() << ", \"mean\": " << h.mean()
+               << ", \"buckets\": [";
+            for (std::size_t b = 0; b < h.numBuckets(); ++b)
+                os << (b == 0 ? "" : ", ") << h.bucket(b);
+            os << "]}";
+        }
+        os << "\n" << pad << "}";
+    }
+    if (more_after)
+        os << ",";
+    os << "\n";
+}
+
+void
+writeTree(std::ostream& os, const Tree& t, unsigned indent)
+{
+    const std::string pad(indent + 2, ' ');
+    os << "{\n";
+    const bool hasKids = !t.kids.empty();
+    if (t.group != nullptr)
+        writeGroupBody(os, *t.group, pad, hasKids);
+    for (std::size_t i = 0; i < t.kids.size(); ++i) {
+        os << pad << "\"" << jsonEscape(t.kids[i].seg) << "\": ";
+        writeTree(os, t.kids[i], indent + 2);
+        os << (i + 1 < t.kids.size() ? ",\n" : "\n");
+    }
+    os << std::string(indent, ' ') << "}";
+}
+
+} // namespace
+
+void
+StatRegistry::writeJson(std::ostream& os, unsigned indent) const
+{
+    Tree root;
+    for (const Node& n : nodes_) {
+        Tree* cur = &root;
+        std::string_view rest = n.path;
+        while (!rest.empty()) {
+            const std::size_t dot = rest.find('.');
+            const std::string_view seg = rest.substr(0, dot);
+            cur = &cur->child(seg);
+            rest = dot == std::string_view::npos
+                       ? std::string_view{}
+                       : rest.substr(dot + 1);
+        }
+        cur->group = n.group;
+    }
+    writeTree(os, root, indent);
+}
+
+} // namespace cobra::scope

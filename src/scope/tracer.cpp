@@ -1,0 +1,86 @@
+#include "scope/tracer.hpp"
+
+#include <ostream>
+
+#include "common/json.hpp"
+
+namespace cobra::scope {
+
+const char*
+traceKindName(TraceKind k)
+{
+    switch (k) {
+      case TraceKind::Predict: return "predict";
+      case TraceKind::Fire: return "fire";
+      case TraceKind::Mispredict: return "mispredict";
+      case TraceKind::Repair: return "repair";
+      case TraceKind::Replay: return "replay";
+      case TraceKind::Commit: return "commit";
+    }
+    return "?";
+}
+
+const std::string&
+Tracer::componentName(std::uint8_t idx) const
+{
+    static const std::string none = "-";
+    if (idx == kNoComponent || idx >= compNames_.size())
+        return none;
+    return compNames_[idx];
+}
+
+namespace {
+
+void
+writeHexPc(std::ostream& os, Addr pc)
+{
+    // Manual hex render keeps the stream's format flags untouched.
+    char buf[19];
+    char* p = buf + sizeof(buf);
+    *--p = '\0';
+    do {
+        const unsigned d = pc & 0xF;
+        *--p = static_cast<char>(d < 10 ? '0' + d : 'a' + (d - 10));
+        pc >>= 4;
+    } while (pc != 0);
+    *--p = 'x';
+    *--p = '0';
+    os << p;
+}
+
+} // namespace
+
+void
+Tracer::writeChromeTrace(std::ostream& os, unsigned pid,
+                         const std::string& label) const
+{
+    const std::string pidStr = std::to_string(pid);
+    // Process metadata: one sweep point = one trace "process".
+    os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+       << pidStr << ", \"tid\": 0, \"args\": {\"name\": \""
+       << jsonEscape(label) << "\"}},\n";
+    // One "thread" per event kind so the kinds render as lanes.
+    for (std::size_t k = 0; k < kNumTraceKinds; ++k) {
+        os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": "
+           << pidStr << ", \"tid\": " << k
+           << ", \"args\": {\"name\": \""
+           << traceKindName(static_cast<TraceKind>(k)) << "\"}},\n";
+    }
+    for (const TraceRecord& r : records_) {
+        const auto kind = static_cast<std::size_t>(r.kind);
+        os << "{\"name\": \"" << traceKindName(r.kind)
+           << "\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " << r.cycle
+           << ", \"pid\": " << pidStr << ", \"tid\": " << kind
+           << ", \"args\": {\"pc\": \"";
+        writeHexPc(os, r.pc);
+        os << "\", \"ftq\": " << r.ftq;
+        if (r.comp != kNoComponent) {
+            os << ", \"comp\": \"" << jsonEscape(componentName(r.comp))
+               << "\", \"slot\": " << unsigned(r.slot);
+        }
+        os << ", \"flag\": " << (r.flag ? "true" : "false")
+           << "}},\n";
+    }
+}
+
+} // namespace cobra::scope

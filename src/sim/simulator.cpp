@@ -3,6 +3,28 @@
 namespace cobra::sim {
 
 void
+OutputConfig::validate() const
+{
+    auto require = [](bool ok, const char* field, const char* detail) {
+        if (!ok)
+            throw guard::ConfigError(field, detail);
+    };
+    require(traceEventsPath.empty()
+                ? traceStartCycle == 0 && traceCycles == 0
+                : true,
+            "output.traceStartCycle",
+            "trace window flags require --trace-events");
+    auto distinct = [&](const std::string& a, const std::string& b,
+                        const char* field) {
+        require(a.empty() || b.empty() || a != b, field,
+                "output paths must be distinct files");
+    };
+    distinct(resultsJsonPath, statsJsonPath, "output.statsJsonPath");
+    distinct(resultsJsonPath, traceEventsPath, "output.traceEventsPath");
+    distinct(statsJsonPath, traceEventsPath, "output.traceEventsPath");
+}
+
+void
 SimConfig::validate(bool strict) const
 {
     auto require = [](bool ok, const char* field, const char* detail) {
@@ -25,6 +47,7 @@ SimConfig::validate(bool strict) const
             "instead)");
     require(faultRate >= 0.0 && faultRate <= 1.0, "faultRate",
             "must be a probability in [0, 1]");
+    output.validate();
     bpu.validate();
     if (strict) {
         require(warmupInsts <= maxInsts, "warmupInsts",
@@ -73,11 +96,39 @@ Simulator::Simulator(const prog::Program& program, bpu::Topology topo,
                                                  *caches_, cfg.frontend);
     backend_ = std::make_unique<core::Backend>(*oracle_, *bpu_, *frontend_,
                                                *caches_, cfg.backend);
+
+    // ---- CobraScope: the unified stat registry ------------------------
+    registry_.add(frontend_->stats());
+    registry_.add(backend_->stats());
+    registry_.add(bpu_->stats());
+    for (const auto& att : bpu_->predictor().attribution())
+        registry_.add(att->group);
+    registry_.add("caches.l1i", caches_->l1i().stats());
+    registry_.add("caches.l1d", caches_->l1d().stats());
+    registry_.add("caches.l2", caches_->l2().stats());
+    registry_.add("caches.l3", caches_->l3().stats());
+    registry_.add(faults_->stats());
+
+    if (cfg_.output.tracing()) {
+        tracer_ = std::make_unique<scope::Tracer>(
+            scope::TraceWindow{cfg_.output.traceStartCycle,
+                               cfg_.output.traceCycles});
+        std::vector<std::string> names;
+        for (const auto* c : bpu_->predictor().components())
+            names.push_back(c->name());
+        tracer_->setComponentNames(std::move(names));
+        tracer_->setCycle(now_);
+        frontend_->setTracer(tracer_.get());
+        backend_->setTracer(tracer_.get());
+        bpu_->setTracer(tracer_.get());
+    }
 }
 
 void
 Simulator::tickOnce()
 {
+    if (tracer_ != nullptr)
+        tracer_->setCycle(now_);
     frontend_->tick(now_);
     backend_->tick(now_);
     bpu_->tick();

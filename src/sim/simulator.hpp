@@ -22,6 +22,8 @@
 #include "guard/fault_injector.hpp"
 #include "guard/post_mortem.hpp"
 #include "program/program.hpp"
+#include "scope/stat_registry.hpp"
+#include "scope/tracer.hpp"
 
 namespace cobra::sim {
 
@@ -90,27 +92,96 @@ struct SimResult
     }
 
     /**
-     * Counter-for-counter equality over every metric (the structured
-     * post-mortem is excluded; its text rendering is compared via
-     * diagnostics). Used by the sweep determinism tests to assert a
-     * parallel run reproduces the serial one exactly.
+     * The single authoritative field list: visits (name, member
+     * pointer) for every compared/exported field. Equality, the JSON
+     * writers, and the sweep determinism diagnostics all derive from
+     * this one enumeration, so a new metric added here is
+     * automatically compared and exported everywhere. The structured
+     * post-mortem is deliberately excluded; its text rendering is
+     * covered via diagnostics.
      */
+    template <typename V>
+    static void
+    visitFields(V&& v)
+    {
+        v("cycles", &SimResult::cycles);
+        v("insts", &SimResult::insts);
+        v("condBranches", &SimResult::condBranches);
+        v("cfis", &SimResult::cfis);
+        v("condMispredicts", &SimResult::condMispredicts);
+        v("jalrMispredicts", &SimResult::jalrMispredicts);
+        v("sfbConversions", &SimResult::sfbConversions);
+        v("ghistReplays", &SimResult::ghistReplays);
+        v("packetsKilled", &SimResult::packetsKilled);
+        v("deadlocked", &SimResult::deadlocked);
+        v("faultsInjected", &SimResult::faultsInjected);
+        v("updatesDropped", &SimResult::updatesDropped);
+        v("auditChecks", &SimResult::auditChecks);
+        v("diagnostics", &SimResult::diagnostics);
+    }
+
+    /** Visit (name, value) for every field of this result. */
+    template <typename V>
+    void
+    forEachField(V&& v) const
+    {
+        visitFields(
+            [&](const char* name, auto mp) { v(name, this->*mp); });
+    }
+
+    /** Mutable variant (e.g. for field-sensitivity tests). */
+    template <typename V>
+    void
+    forEachField(V&& v)
+    {
+        visitFields(
+            [&](const char* name, auto mp) { v(name, this->*mp); });
+    }
+
+    /** Field-for-field equality over visitFields' enumeration. */
     bool
     operator==(const SimResult& o) const
     {
-        return cycles == o.cycles && insts == o.insts &&
-               condBranches == o.condBranches && cfis == o.cfis &&
-               condMispredicts == o.condMispredicts &&
-               jalrMispredicts == o.jalrMispredicts &&
-               sfbConversions == o.sfbConversions &&
-               ghistReplays == o.ghistReplays &&
-               packetsKilled == o.packetsKilled &&
-               deadlocked == o.deadlocked &&
-               faultsInjected == o.faultsInjected &&
-               updatesDropped == o.updatesDropped &&
-               auditChecks == o.auditChecks &&
-               diagnostics == o.diagnostics;
+        bool eq = true;
+        visitFields([&](const char*, auto mp) {
+            eq = eq && this->*mp == o.*mp;
+        });
+        return eq;
     }
+};
+
+/** Names of the fields on which two results differ (empty if equal). */
+inline std::vector<std::string>
+diffFields(const SimResult& a, const SimResult& b)
+{
+    std::vector<std::string> out;
+    SimResult::visitFields([&](const char* name, auto mp) {
+        if (!(a.*mp == b.*mp))
+            out.emplace_back(name);
+    });
+    return out;
+}
+
+/**
+ * Where and how one run reports its results (CobraScope). All of
+ * cobra_sim's output flags funnel through this one struct so their
+ * interactions are validated in a single place.
+ */
+struct OutputConfig
+{
+    bool textStats = false; ///< Text stat dump after the run (--stats).
+    bool textArea = false;  ///< Area report after the run (--area).
+    std::string resultsJsonPath; ///< Sweep-results JSON (--json).
+    std::string statsJsonPath;   ///< Full stat hierarchy (--stats-json).
+    std::string traceEventsPath; ///< Chrome trace JSON (--trace-events).
+    /** Tracer sampling window (--trace-start / --trace-cycles). */
+    std::uint64_t traceStartCycle = 0;
+    std::uint64_t traceCycles = 0; ///< 0 = unbounded.
+
+    bool tracing() const { return !traceEventsPath.empty(); }
+
+    /** Throws guard::ConfigError on inconsistent settings. */
+    void validate() const;
 };
 
 /** Full simulation configuration. */
@@ -135,6 +206,10 @@ struct SimConfig
     /** Per-event fault probability (0 disables injection). */
     double faultRate = 0.0;
     std::uint64_t faultSeed = 0x5EED;
+
+    // ---- CobraScope -----------------------------------------------------
+
+    OutputConfig output{};
 
     /**
      * Check invariants; throws guard::ConfigError on the first
@@ -170,6 +245,13 @@ class Simulator
 
     /** The fault engine (counts are zero when injection is off). */
     const guard::FaultEngine& faultEngine() const { return *faults_; }
+
+    /** Every StatGroup in this simulator tree, by hierarchical path. */
+    const scope::StatRegistry& statRegistry() const { return registry_; }
+
+    /** The pipeline event tracer; nullptr unless tracing is on. */
+    scope::Tracer* tracer() { return tracer_.get(); }
+    const scope::Tracer* tracer() const { return tracer_.get(); }
 
     bpu::BranchPredictorUnit& bpu() { return *bpu_; }
     core::Frontend& frontend() { return *frontend_; }
@@ -209,6 +291,8 @@ class Simulator
     std::unique_ptr<core::Frontend> frontend_;
     std::unique_ptr<core::Backend> backend_;
     std::vector<guard::ContractAuditor*> auditors_;
+    scope::StatRegistry registry_;
+    std::unique_ptr<scope::Tracer> tracer_;
     Cycle now_ = 0;
 };
 

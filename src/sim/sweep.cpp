@@ -1,9 +1,9 @@
 #include "sim/sweep.hpp"
 
+#include "common/json.hpp"
 #include "guard/errors.hpp"
 
 #include <chrono>
-#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <fstream>
@@ -11,6 +11,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <type_traits>
 
 namespace cobra::sim {
 
@@ -68,6 +69,16 @@ SweepEngine::runPoint(std::size_t idx, const SweepPoint& pt,
             std::ostringstream oss;
             postRun(idx, s, out.result, pt, oss);
             out.postRunText = oss.str();
+        }
+        // CobraScope renders on the worker, while the Simulator is
+        // alive; the writers later concatenate in submission order.
+        if (!pt.cfg.output.statsJsonPath.empty())
+            out.statsJson = renderPointStats(pt.label, s, out.result);
+        if (s.tracer() != nullptr) {
+            std::ostringstream oss;
+            s.tracer()->writeChromeTrace(
+                oss, static_cast<unsigned>(idx), pt.label);
+            out.traceEvents = oss.str();
         }
     } catch (const guard::DeadlockError& e) {
         // Keep the watchdog's pipeline post-mortem attached so CLI
@@ -153,27 +164,39 @@ SweepEngine::run(const PostRun& postRun)
 std::string
 jsonEscape(const std::string& s)
 {
-    std::string out;
-    out.reserve(s.size() + 8);
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          case '\r': out += "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
+    return cobra::jsonEscape(s);
 }
+
+namespace {
+
+/**
+ * Emit every SimResult field (snake_case keys from visitFields' names)
+ * followed by the derived ratios, one `pad"key": value` line each.
+ * The final line carries a comma iff @p trailing_comma, so callers can
+ * append further members or close the object.
+ */
+void
+emitResultFields(std::ostream& os, const SimResult& r,
+                 const std::string& pad, bool trailing_comma)
+{
+    r.forEachField([&](const char* name, const auto& v) {
+        os << pad << "\"" << cobra::jsonKeyFromCamel(name) << "\": ";
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, bool>)
+            os << (v ? "true" : "false");
+        else if constexpr (std::is_same_v<T, std::string>)
+            os << "\"" << cobra::jsonEscape(v) << "\"";
+        else
+            os << v;
+        os << ",\n";
+    });
+    os << pad << "\"ipc\": " << r.ipc() << ",\n"
+       << pad << "\"mpki\": " << r.mpki() << ",\n"
+       << pad << "\"accuracy\": " << r.accuracy()
+       << (trailing_comma ? ",\n" : "\n");
+}
+
+} // namespace
 
 void
 writeSweepJson(const std::string& path, const std::string& name,
@@ -190,26 +213,15 @@ writeSweepJson(const std::string& path, const std::string& name,
     f << "  \"points\": [\n";
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         const SweepOutcome& o = outcomes[i];
-        const SimResult& r = o.result;
         f << "    {\n      \"label\": \"" << jsonEscape(o.label)
           << "\",\n";
         if (!o.ok()) {
             f << "      \"error\": \"" << jsonEscape(o.error)
               << "\"\n    }";
         } else {
-            f << "      \"cycles\": " << r.cycles << ",\n"
-              << "      \"insts\": " << r.insts << ",\n"
-              << "      \"ipc\": " << r.ipc() << ",\n"
-              << "      \"cond_branches\": " << r.condBranches << ",\n"
-              << "      \"cond_mispredicts\": " << r.condMispredicts
-              << ",\n"
-              << "      \"jalr_mispredicts\": " << r.jalrMispredicts
-              << ",\n"
-              << "      \"mpki\": " << r.mpki() << ",\n"
-              << "      \"accuracy\": " << r.accuracy() << ",\n"
-              << "      \"deadlocked\": "
-              << (r.deadlocked ? "true" : "false") << ",\n"
-              << "      \"host\": {\n"
+            emitResultFields(f, o.result, "      ",
+                             /*trailing_comma=*/true);
+            f << "      \"host\": {\n"
               << "        \"wall_seconds\": " << o.host.wallSeconds
               << ",\n"
               << "        \"sim_cycles\": " << o.host.simCycles << ",\n"
@@ -222,6 +234,63 @@ writeSweepJson(const std::string& path, const std::string& name,
         f << (i + 1 < outcomes.size() ? ",\n" : "\n");
     }
     f << "  ]\n}\n";
+}
+
+std::string
+renderPointStats(const std::string& label, const Simulator& s,
+                 const SimResult& r)
+{
+    std::ostringstream os;
+    os << "    {\n      \"label\": \"" << jsonEscape(label) << "\",\n"
+       << "      \"result\": {\n";
+    emitResultFields(os, r, "        ", /*trailing_comma=*/false);
+    os << "      },\n      \"groups\": ";
+    s.statRegistry().writeJson(os, 6);
+    os << "\n    }";
+    return os.str();
+}
+
+void
+writeStatsJson(const std::string& path, const std::string& tool,
+               const std::vector<SweepOutcome>& outcomes, unsigned jobs)
+{
+    std::ofstream f(path);
+    if (!f)
+        throw std::runtime_error("cannot write " + path);
+    f << "{\n  \"tool\": \"" << jsonEscape(tool) << "\",\n"
+      << "  \"version\": 1,\n"
+      << "  \"jobs\": " << jobs << ",\n"
+      << "  \"points\": [\n";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const SweepOutcome& o = outcomes[i];
+        if (!o.statsJson.empty()) {
+            f << o.statsJson;
+        } else {
+            f << "    {\n      \"label\": \"" << jsonEscape(o.label)
+              << "\",\n      \"error\": \""
+              << jsonEscape(o.ok() ? "stats not rendered" : o.error)
+              << "\"\n    }";
+        }
+        f << (i + 1 < outcomes.size() ? ",\n" : "\n");
+    }
+    f << "  ]\n}\n";
+}
+
+void
+writeTraceEvents(const std::string& path,
+                 const std::vector<SweepOutcome>& outcomes)
+{
+    std::ofstream f(path);
+    if (!f)
+        throw std::runtime_error("cannot write " + path);
+    f << "[\n";
+    for (const SweepOutcome& o : outcomes)
+        f << o.traceEvents;
+    // Final no-comma metadata event closes the array legally even
+    // when no point traced anything.
+    f << "{\"name\": \"cobra_trace\", \"ph\": \"M\", \"pid\": 0, "
+         "\"tid\": 0, \"args\": {\"points\": "
+      << outcomes.size() << "}}\n]\n";
 }
 
 } // namespace cobra::sim

@@ -87,6 +87,12 @@ struct SweepOutcome
     std::string error;
     /** Text captured from the post-run hook (stats/area dumps). */
     std::string postRunText;
+    /** CobraScope: this point's stats document (JSON object), rendered
+     *  on the worker when cfg.output.statsJsonPath is set. */
+    std::string statsJson;
+    /** CobraScope: this point's Chrome trace-event lines, rendered on
+     *  the worker when cfg.output.traceEventsPath is set. */
+    std::string traceEvents;
 
     bool ok() const { return error.empty(); }
 };
@@ -155,6 +161,36 @@ class SweepEngine
 void writeSweepJson(const std::string& path, const std::string& name,
                     const std::vector<SweepOutcome>& outcomes,
                     unsigned jobs, const std::string& extra = "");
+
+/**
+ * Render one point's full CobraScope stats document: the SimResult
+ * (every visitFields field plus derived ipc/mpki/accuracy) and the
+ * complete stat-group hierarchy from the simulator's registry. The
+ * returned string is a JSON object indented for splicing into
+ * writeStatsJson's "points" array.
+ */
+std::string renderPointStats(const std::string& label,
+                             const Simulator& s, const SimResult& r);
+
+/**
+ * Write the per-point stats documents gathered in
+ * SweepOutcome::statsJson as one JSON file (`--stats-json`). Points
+ * appear in submission order, so parallel sweeps emit byte-identical
+ * documents. Failed or stats-less points appear as error stubs.
+ */
+void writeStatsJson(const std::string& path, const std::string& tool,
+                    const std::vector<SweepOutcome>& outcomes,
+                    unsigned jobs);
+
+/**
+ * Write the per-point Chrome trace fragments gathered in
+ * SweepOutcome::traceEvents as one trace file (`--trace-events`),
+ * loadable in Perfetto / chrome://tracing. Each point renders as its
+ * own process (pid = submission index); submission order makes
+ * parallel sweeps byte-identical.
+ */
+void writeTraceEvents(const std::string& path,
+                      const std::vector<SweepOutcome>& outcomes);
 
 /** JSON string escaping for writeSweepJson-style emitters. */
 std::string jsonEscape(const std::string& s);

@@ -39,17 +39,54 @@ TEST(Histogram, Mean)
     EXPECT_DOUBLE_EQ(h.mean(), 3.0);
 }
 
-TEST(StatGroup, NamedCounters)
+TEST(StatGroup, RegisteredHandles)
 {
     StatGroup g("grp");
-    ++g.counter("a");
-    g.counter("b") += 5;
+    Stat<Counter> a{g, "a", "events of kind a"};
+    Stat<Counter> b{g, "b", "events of kind b"};
+    ++a;
+    b += 5;
     EXPECT_EQ(g.get("a"), 1u);
     EXPECT_EQ(g.get("b"), 5u);
     EXPECT_EQ(g.get("missing"), 0u);
     std::ostringstream oss;
     g.dump(oss);
     EXPECT_NE(oss.str().find("grp.a = 1"), std::string::npos);
+}
+
+TEST(StatGroup, KeepsRegistrationOrderAndMetadata)
+{
+    StatGroup g("grp");
+    Stat<Counter> z{g, "z", "last letter first"};
+    Stat<Histogram> h{g, "h", "a histogram", 4};
+    h.sample(2);
+    ASSERT_EQ(g.entries().size(), 2u);
+    EXPECT_EQ(g.entries()[0].name, "z");
+    EXPECT_EQ(g.entries()[0].description, "last letter first");
+    EXPECT_NE(g.entries()[0].counter, nullptr);
+    EXPECT_EQ(g.entries()[1].name, "h");
+    EXPECT_NE(g.entries()[1].histogram, nullptr);
+    EXPECT_EQ(g.entries()[1].histogram->samples(), 1u);
+}
+
+TEST(StatGroup, RejectsDuplicateNames)
+{
+    StatGroup g("grp");
+    Stat<Counter> a{g, "a", "first registration"};
+    EXPECT_THROW((Stat<Counter>{g, "a", "second registration"}),
+                 std::invalid_argument);
+}
+
+TEST(StatGroup, ResetClearsEveryHandle)
+{
+    StatGroup g("grp");
+    Stat<Counter> a{g, "a", "counter"};
+    Stat<Histogram> h{g, "h", "histogram", 4};
+    a += 3;
+    h.sample(1);
+    g.reset();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(h.samples(), 0u);
 }
 
 TEST(Means, Harmonic)

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Validate a CobraScope --stats-json document against the checked-in
+structural schema (tools/stats_schema.json).
+
+Standard library only, deliberately: CI and developer machines can run
+it with any Python 3 without installing a JSON-Schema package. The
+schema file describes required keys and coarse types; the deep
+invariants (counter values are non-negative integers, the group tree
+nests properly, histograms carry samples/mean/buckets) are encoded
+here.
+
+Usage:
+    python3 tools/check_stats_schema.py STATS.json [--schema FILE]
+
+Exits 0 when the document conforms, 1 with a list of violations
+otherwise.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TYPES = {
+    "string": str,
+    "int": int,
+    "number": (int, float),
+    "bool": bool,
+    "list": list,
+    "dict": dict,
+}
+
+
+class Checker:
+    def __init__(self, schema):
+        self.schema = schema
+        self.errors = []
+
+    def fail(self, where, msg):
+        self.errors.append(f"{where}: {msg}")
+
+    def expect_type(self, where, value, tyname):
+        if not isinstance(value, TYPES[tyname]) or (
+            tyname != "bool" and isinstance(value, bool)
+        ):
+            self.fail(where, f"expected {tyname}, got {type(value).__name__}")
+            return False
+        return True
+
+    def check_top(self, doc):
+        for key, tyname in self.schema["top"].items():
+            if key not in doc:
+                self.fail("$", f"missing top-level key '{key}'")
+            else:
+                self.expect_type(f"$.{key}", doc[key], tyname)
+        version = doc.get("version")
+        if version != self.schema["version"]:
+            self.fail("$.version", f"expected {self.schema['version']}, got {version}")
+
+    def check_point(self, where, point):
+        if not self.expect_type(where, point, "dict"):
+            return
+        label_key = self.schema["point_label"]
+        if label_key not in point or not isinstance(point[label_key], str):
+            self.fail(where, f"missing string '{label_key}'")
+        if self.schema["point_error_key"] in point:
+            # Failed points are label + error stubs; nothing else to check.
+            self.expect_type(
+                f"{where}.error", point[self.schema["point_error_key"]], "string"
+            )
+            return
+        for key, tyname in self.schema["point_required"].items():
+            if key not in point:
+                self.fail(where, f"missing '{key}'")
+            elif self.expect_type(f"{where}.{key}", point[key], tyname):
+                if key == "result":
+                    self.check_result(f"{where}.result", point[key])
+                elif key == "groups":
+                    self.check_groups(f"{where}.groups", point[key])
+
+    def check_result(self, where, result):
+        for key in self.schema["result_required"]:
+            if key not in result:
+                self.fail(where, f"missing result field '{key}'")
+                continue
+            value = result[key]
+            if key == "deadlocked":
+                self.expect_type(f"{where}.{key}", value, "bool")
+            elif key == "diagnostics":
+                self.expect_type(f"{where}.{key}", value, "string")
+            else:
+                self.expect_type(f"{where}.{key}", value, "number")
+
+    def check_groups(self, where, groups):
+        for key in self.schema["groups_required"]:
+            if key not in groups:
+                self.fail(where, f"missing group subtree '{key}'")
+        self.check_tree(where, groups)
+
+    def check_tree(self, where, node):
+        """A group-tree node holds optional leaf stats plus nested children."""
+        counters_key = self.schema["leaf_counters_key"]
+        histograms_key = self.schema["leaf_histograms_key"]
+        for key, value in node.items():
+            here = f"{where}.{key}"
+            if key == counters_key:
+                if self.expect_type(here, value, "dict"):
+                    for name, count in value.items():
+                        if not isinstance(count, int) or isinstance(count, bool):
+                            self.fail(f"{here}.{name}", "counter must be an integer")
+                        elif count < 0:
+                            self.fail(f"{here}.{name}", "counter must be >= 0")
+            elif key == histograms_key:
+                if self.expect_type(here, value, "dict"):
+                    for name, hist in value.items():
+                        self.check_histogram(f"{here}.{name}", hist)
+            elif self.expect_type(here, value, "dict"):
+                self.check_tree(here, value)
+
+    def check_histogram(self, where, hist):
+        if not self.expect_type(where, hist, "dict"):
+            return
+        for key in self.schema["histogram_required"]:
+            if key not in hist:
+                self.fail(where, f"missing histogram field '{key}'")
+        if not isinstance(hist.get("buckets"), list):
+            self.fail(f"{where}.buckets", "must be a list")
+
+    def run(self, doc):
+        self.check_top(doc)
+        for i, point in enumerate(doc.get("points", [])):
+            self.check_point(f"$.points[{i}]", point)
+        return not self.errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("stats", help="the --stats-json document to validate")
+    parser.add_argument(
+        "--schema",
+        default=os.path.join(os.path.dirname(__file__), "stats_schema.json"),
+        help="schema file (default: tools/stats_schema.json)",
+    )
+    args = parser.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+    with open(args.stats) as f:
+        doc = json.load(f)
+
+    checker = Checker(schema)
+    if checker.run(doc):
+        points = doc.get("points", [])
+        errored = sum(1 for p in points if "error" in p)
+        print(
+            f"OK: {args.stats} conforms "
+            f"({len(points)} points, {errored} error stubs)"
+        )
+        return 0
+    for err in checker.errors:
+        print(f"FAIL {err}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,13 @@
  *             [--warmup N] [--ghist none|repair|replay] [--sfb]
  *             [--serialize] [--audit] [--inject-faults RATE]
  *             [--fault-seed N] [--deadlock-cycles N] [--jobs N]
- *             [--json PATH] [--stats] [--area] [--list]
+ *             [--json PATH] [--stats-json PATH] [--trace-events PATH]
+ *             [--trace-start N] [--trace-cycles N]
+ *             [--stats] [--area] [--list]
+ *
+ * All output flags funnel into sim::OutputConfig (CobraScope), so
+ * their interactions are validated in one place and inconsistent
+ * combinations exit 2 like any other usage error.
  */
 
 #include <cstring>
@@ -59,6 +65,13 @@ usage()
         "  --jobs N             worker threads for grid runs (default:\n"
         "                       COBRA_JOBS, else hardware concurrency)\n"
         "  --json PATH          also write results as JSON to PATH\n"
+        "  --stats-json PATH    write the full stat-group hierarchy as\n"
+        "                       JSON to PATH (CobraScope)\n"
+        "  --trace-events PATH  write pipeline events as a Chrome\n"
+        "                       trace-event file (Perfetto-loadable)\n"
+        "  --trace-start N      first traced cycle (default 0)\n"
+        "  --trace-cycles N     trace window length in cycles\n"
+        "                       (default 0 = unbounded)\n"
         "  --stats              dump detailed pipeline statistics\n"
         "  --area               print the predictor/core area breakdown\n"
         "  --list               list designs and workloads\n";
@@ -150,12 +163,12 @@ runMain(int argc, char** argv)
     std::uint64_t warmup = 120'000;
     std::uint64_t deadlockCycles = 100'000;
     bpu::GhistRepairMode ghist = bpu::GhistRepairMode::RepairAndReplay;
-    bool sfb = false, serialize = false, stats = false, area = false;
+    bool sfb = false, serialize = false;
     bool audit = false;
     double faultRate = 0.0;
     std::uint64_t faultSeed = 0x5EED;
     unsigned jobs = 0; // 0 = SweepEngine default (COBRA_JOBS / hw)
-    std::string jsonPath;
+    sim::OutputConfig out;
 
     std::vector<sim::Design> designs;
     std::vector<std::string> workloads;
@@ -192,11 +205,19 @@ runMain(int argc, char** argv)
             else if (a == "--jobs")
                 jobs = static_cast<unsigned>(parseU64(a, next()));
             else if (a == "--json")
-                jsonPath = next();
+                out.resultsJsonPath = next();
+            else if (a == "--stats-json")
+                out.statsJsonPath = next();
+            else if (a == "--trace-events")
+                out.traceEventsPath = next();
+            else if (a == "--trace-start")
+                out.traceStartCycle = parseU64(a, next());
+            else if (a == "--trace-cycles")
+                out.traceCycles = parseU64(a, next());
             else if (a == "--stats")
-                stats = true;
+                out.textStats = true;
             else if (a == "--area")
-                area = true;
+                out.textArea = true;
             else if (a == "--list") {
                 std::cout << "designs: tourney b2 tagel refbig\n"
                           << "workloads:";
@@ -214,6 +235,7 @@ runMain(int argc, char** argv)
         for (const std::string& d : splitList(designArg))
             designs.push_back(parseDesign(d));
         workloads = splitList(workloadArg);
+        out.validate(); // Bad flag combinations are usage errors.
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n\n";
         usage();
@@ -258,6 +280,7 @@ runMain(int argc, char** argv)
             cfg.audit = audit;
             cfg.faultRate = faultRate;
             cfg.faultSeed = faultSeed;
+            cfg.output = out;
             cfg.validate(/*strict=*/true);
 
             sim::SweepPoint pt;
@@ -277,35 +300,20 @@ runMain(int argc, char** argv)
     // Stats/area need the live Simulator, so they are rendered on the
     // worker into per-point text and printed below in order.
     sim::SweepEngine::PostRun postRun;
-    if (stats || area) {
+    if (out.textStats || out.textArea) {
         postRun = [&](std::size_t idx, sim::Simulator& s,
                       const sim::SimResult& r,
                       const sim::SweepPoint& pt, std::ostream& os) {
-            if (stats) {
+            if (pt.cfg.output.textStats) {
                 os << "\n";
-                s.frontend().stats().dump(os);
-                s.backend().stats().dump(os);
-                s.bpu().stats().dump(os);
-                os << "caches.l1i.misses = " << s.caches().l1i().misses()
-                   << "\n"
-                   << "caches.l1d.misses = " << s.caches().l1d().misses()
-                   << "\n"
-                   << "caches.l2.misses = " << s.caches().l2().misses()
-                   << "\n";
-                if (pt.cfg.faultRate > 0.0) {
-                    const auto& fe = s.faultEngine();
-                    os << "guard.table_faults = " << fe.tableFaults()
-                       << "\n"
-                       << "guard.output_faults = " << fe.outputFaults()
-                       << "\n"
-                       << "guard.updates_dropped = "
-                       << fe.droppedUpdates() << "\n";
-                }
+                // The registry covers frontend/backend/bpu, the
+                // per-component attribution, caches, and guard.
+                s.statRegistry().dump(os);
                 if (pt.cfg.audit)
                     os << "guard.audit_checks = " << r.auditChecks
                        << "\n";
             }
-            if (area) {
+            if (pt.cfg.output.textArea) {
                 os << "\n";
                 const phys::AreaModel model;
                 const auto pr = s.bpu().areaReport(model);
@@ -373,9 +381,14 @@ runMain(int argc, char** argv)
         std::cout << o.postRunText;
     }
 
-    if (!jsonPath.empty())
-        sim::writeSweepJson(jsonPath, "cobra_sim", outcomes,
+    if (!out.resultsJsonPath.empty())
+        sim::writeSweepJson(out.resultsJsonPath, "cobra_sim", outcomes,
                             engine.jobs());
+    if (!out.statsJsonPath.empty())
+        sim::writeStatsJson(out.statsJsonPath, "cobra_sim", outcomes,
+                            engine.jobs());
+    if (!out.traceEventsPath.empty())
+        sim::writeTraceEvents(out.traceEventsPath, outcomes);
 
     return anyFail ? 1 : 0;
 }
