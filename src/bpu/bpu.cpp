@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "warp/state_bpu.hpp"
+#include "warp/state_util.hpp"
+
 namespace cobra::bpu {
 
 const char*
@@ -414,6 +417,147 @@ BranchPredictorUnit::energyReport(const phys::EnergyModel& model) const
     report.add("Meta", finalized * model.accessPj(hfWrite) +
                            updates * model.accessPj(hfRead));
     return report;
+}
+
+void
+HistoryFileEntry::saveState(warp::StateWriter& w) const
+{
+    w.u64(pc);
+    w.u32(fetchedSlots);
+    warp::saveHistFull(w, ghist);
+    w.u64(lhist);
+    w.u64(phist);
+    w.u64(lhistBefore);
+    warp::saveMetas(w, metas);
+    warp::saveBundle(w, finalPred);
+    warp::saveBoolArray(w, brMask);
+    warp::saveBoolArray(w, specTakenMask);
+    warp::saveU8Array(w, dirProvider);
+    warp::saveU8Array(w, targetProvider);
+    w.u32(rasPtr);
+    w.u64(firstSeq);
+    w.boolean(resolved);
+    w.boolean(mispredicted);
+    warp::saveBoolArray(w, takenMask);
+    w.boolean(cfiValid);
+    w.u32(cfiIdx);
+    w.u8(static_cast<std::uint8_t>(cfiType));
+    w.boolean(cfiTaken);
+    w.boolean(cfiIsCall);
+    w.boolean(cfiIsRet);
+    w.u64(actualTarget);
+    warp::saveBoolArray(w, sfbMask);
+    w.boolean(committed);
+}
+
+void
+HistoryFileEntry::restoreState(warp::StateReader& r)
+{
+    pc = r.u64();
+    fetchedSlots = r.u32();
+    if (fetchedSlots > kMaxFetchWidth)
+        r.fail("history-file entry fetched-slot count out of range");
+    warp::loadHistFull(r, ghist);
+    lhist = r.u64();
+    phist = r.u64();
+    lhistBefore = r.u64();
+    warp::loadMetas(r, metas);
+    warp::loadBundle(r, finalPred);
+    warp::loadBoolArray(r, brMask);
+    warp::loadBoolArray(r, specTakenMask);
+    warp::loadU8Array(r, dirProvider);
+    warp::loadU8Array(r, targetProvider);
+    rasPtr = r.u32();
+    firstSeq = r.u64();
+    resolved = r.boolean();
+    mispredicted = r.boolean();
+    warp::loadBoolArray(r, takenMask);
+    cfiValid = r.boolean();
+    cfiIdx = r.u32();
+    const std::uint8_t type = r.u8();
+    if (type > static_cast<std::uint8_t>(CfiType::Jalr))
+        r.fail("history-file entry CFI type out of range");
+    cfiType = static_cast<CfiType>(type);
+    cfiTaken = r.boolean();
+    cfiIsCall = r.boolean();
+    cfiIsRet = r.boolean();
+    actualTarget = r.u64();
+    warp::loadBoolArray(r, sfbMask);
+    committed = r.boolean();
+}
+
+void
+HistoryFile::saveState(warp::StateWriter& w) const
+{
+    w.u64(head_);
+    w.u64(tail_);
+    for (FtqPos pos = head_; pos < tail_; ++pos)
+        ring_[pos % capacity_].saveState(w);
+}
+
+void
+HistoryFile::restoreState(warp::StateReader& r)
+{
+    const FtqPos head = r.u64();
+    const FtqPos tail = r.u64();
+    if (tail < head || tail - head > capacity_)
+        r.fail("history-file occupancy exceeds its capacity");
+    head_ = head;
+    tail_ = tail;
+    for (auto& e : ring_)
+        e = HistoryFileEntry{};
+    for (FtqPos pos = head_; pos < tail_; ++pos)
+        ring_[pos % capacity_].restoreState(r);
+}
+
+void
+BranchPredictorUnit::saveState(warp::StateWriter& w) const
+{
+    w.section("bpu");
+    warp::saveHist(w, ghist_.current());
+    lhist_.saveState(w);
+    w.u64(phist_.current());
+    w.u64(querySerial_);
+    hf_.saveState(w);
+    w.u64(repairQueue_.size());
+    for (const RepairJob& job : repairQueue_) {
+        job.entry.saveState(w);
+        w.u64(job.pos);
+    }
+    for (const auto* c : pred_.components()) {
+        w.section(c->name());
+        c->saveState(w);
+    }
+}
+
+void
+BranchPredictorUnit::restoreState(warp::StateReader& r)
+{
+    r.section("bpu");
+    HistoryRegister gh = ghist_.current();
+    warp::loadHist(r, gh);
+    ghist_.restore(gh);
+    lhist_.restoreState(r);
+    phist_.restore(r.u64());
+    querySerial_ = r.u64();
+    hf_.restoreState(r);
+    repairQueue_.clear();
+    const std::uint64_t jobs = r.u64();
+    // Each mispredict queues at most capacity-1 squashed entries, and
+    // the walk drains before the next resolve: anything larger is not
+    // a state this machine produces.
+    if (jobs > std::uint64_t{hf_.capacity()} * 64)
+        r.fail("repair queue implausibly large");
+    for (std::uint64_t i = 0; i < jobs; ++i) {
+        RepairJob job;
+        job.entry.restoreState(r);
+        job.pos = r.u64();
+        repairQueue_.push_back(std::move(job));
+    }
+    for (auto* c : pred_.components()) {
+        r.section(c->name());
+        c->restoreState(r);
+    }
 }
 
 phys::AreaReport

@@ -185,6 +185,15 @@ class BranchPredictorUnit
     StatGroup& stats() { return stats_; }
     const StatGroup& stats() const { return stats_; }
 
+    /**
+     * Checkpoint the full BPU: histories, history file, repair queue,
+     * query serial, and every composed component (each bracketed by a
+     * name-tagged section). Event counters round-trip with the stat
+     * registry, not here.
+     */
+    void saveState(warp::StateWriter& w) const;
+    void restoreState(warp::StateReader& r);
+
     /** Attach a CobraScope tracer (nullptr detaches; not owned). */
     void setTracer(scope::Tracer* t) { tracer_ = t; }
 

@@ -20,6 +20,11 @@
 #include "phys/area_model.hpp"
 #include "phys/energy_model.hpp"
 
+namespace cobra::warp {
+class StateWriter;
+class StateReader;
+} // namespace cobra::warp
+
 namespace cobra::bpu {
 
 /**
@@ -124,6 +129,23 @@ class PredictorComponent
 
     /** Slow commit-time update from a committing branch. */
     virtual void update(const ResolveEvent& ev) { (void)ev; }
+
+    // ---- Checkpointing (warp) -----------------------------------------
+
+    /**
+     * Serialize every bit of learned/speculative state into @p w, and
+     * restore it from @p r, such that a restored component is
+     * behaviorally indistinguishable from the one that saved. The
+     * defaults save/restore nothing — correct only for stateless
+     * components; every stateful component must override both (see
+     * docs/EXTENDING.md). The BPU brackets each component's stream
+     * with a name-tagged section, so save/restore asymmetries surface
+     * as structured guard::CheckpointError, not silent corruption.
+     */
+    virtual void saveState(warp::StateWriter& w) const { (void)w; }
+
+    /** @see saveState */
+    virtual void restoreState(warp::StateReader& r) { (void)r; }
 
     // ---- Fault injection (SimGuard) -----------------------------------
 

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "warp/state_bpu.hpp"
+#include "warp/state_util.hpp"
+
 namespace cobra::bpu {
 
 std::uint8_t
@@ -57,6 +60,57 @@ QueryState::reset(Addr pc, unsigned valid_slots, unsigned num_components,
     metas_.assign(num_components, Metadata{});
     dirProvider_.fill(kNoProvider);
     targetProvider_.fill(kNoProvider);
+}
+
+void
+QueryState::saveState(warp::StateWriter& w) const
+{
+    w.u64(pc_);
+    w.u32(validSlots_);
+    w.u32(width_);
+    w.boolean(histCaptured_);
+    warp::saveHistFull(w, ghist_);
+    w.u64(lhist_);
+    w.u64(phist_);
+    w.u32(lastStage_);
+    w.u64(serial_);
+    w.u32(static_cast<std::uint32_t>(results_.size()));
+    for (const CompResult& res : results_) {
+        w.boolean(res.computed);
+        warp::saveBundle(w, res.out);
+        warp::saveU8Array(w, res.provided);
+    }
+    warp::saveMetas(w, metas_);
+    warp::saveU8Array(w, dirProvider_);
+    warp::saveU8Array(w, targetProvider_);
+}
+
+void
+QueryState::restoreState(warp::StateReader& r)
+{
+    pc_ = r.u64();
+    validSlots_ = r.u32();
+    width_ = r.u32();
+    histCaptured_ = r.boolean();
+    warp::loadHistFull(r, ghist_);
+    lhist_ = r.u64();
+    phist_ = r.u64();
+    lastStage_ = r.u32();
+    serial_ = r.u64();
+    const std::uint32_t nResults = r.u32();
+    if (nResults > 64)
+        r.fail("query component count out of range");
+    results_.clear();
+    for (std::uint32_t i = 0; i < nResults; ++i) {
+        CompResult res;
+        res.computed = r.boolean();
+        warp::loadBundle(r, res.out);
+        warp::loadU8Array(r, res.provided);
+        results_.push_back(res);
+    }
+    warp::loadMetas(r, metas_);
+    warp::loadU8Array(r, dirProvider_);
+    warp::loadU8Array(r, targetProvider_);
 }
 
 ComposedPredictor::ComposedPredictor(Topology topo, unsigned width)

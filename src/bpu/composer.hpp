@@ -18,6 +18,11 @@
 #include "bpu/topology.hpp"
 #include "common/stats.hpp"
 
+namespace cobra::warp {
+class StateWriter;
+class StateReader;
+} // namespace cobra::warp
+
 namespace cobra::bpu {
 
 /** Field groups a component can provide for a slot (pass-through
@@ -83,6 +88,10 @@ class QueryState
     {
         return targetProvider_;
     }
+
+    /** Checkpoint the in-flight evaluation state (warp snapshots). */
+    void saveState(warp::StateWriter& w) const;
+    void restoreState(warp::StateReader& r);
 
   private:
     friend class ComposedPredictor;

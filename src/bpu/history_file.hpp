@@ -22,6 +22,11 @@
 #include "bpu/pred_types.hpp"
 #include "phys/area_model.hpp"
 
+namespace cobra::warp {
+class StateWriter;
+class StateReader;
+} // namespace cobra::warp
+
 namespace cobra::bpu {
 
 /** Monotonic position of an entry in the history file. */
@@ -82,6 +87,10 @@ struct HistoryFileEntry
 
     /** Ready to be dequeued (the packet's branches committed). */
     bool committed = false;
+
+    /** Checkpoint one entry (warp snapshots; defined in bpu.cpp). */
+    void saveState(warp::StateWriter& w) const;
+    void restoreState(warp::StateReader& r);
 };
 
 /**
@@ -182,6 +191,10 @@ class HistoryFile
         c.logicGates = 2000;
         return c;
     }
+
+    /** Checkpoint positions and live entries (warp snapshots). */
+    void saveState(warp::StateWriter& w) const;
+    void restoreState(warp::StateReader& r);
 
   private:
     unsigned capacity_;

@@ -14,6 +14,7 @@
 #include "common/bitutil.hpp"
 #include "common/types.hpp"
 #include "phys/area_model.hpp"
+#include "warp/state_io.hpp"
 
 namespace cobra::bpu {
 
@@ -62,6 +63,18 @@ class LocalHistoryProvider
 
     unsigned sets() const { return sets_; }
     unsigned histLen() const { return histLen_; }
+
+    /** Checkpoint the full history table (warp snapshots). */
+    void saveState(warp::StateWriter& w) const { w.vecU(table_); }
+
+    void
+    restoreState(warp::StateReader& r)
+    {
+        std::vector<std::uint64_t> t = r.vecU<std::uint64_t>();
+        if (t.size() != table_.size())
+            r.fail("local-history table size does not match");
+        table_ = std::move(t);
+    }
 
     /** Table storage in bits (the "large PC-indexed table" of Fig. 8). */
     std::uint64_t

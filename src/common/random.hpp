@@ -73,6 +73,22 @@ class Rng
     /** Bernoulli trial with probability @p p of true. */
     bool chance(double p) { return uniform() < p; }
 
+    /** Raw generator state, for checkpointing. */
+    void
+    state(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = s_[i];
+    }
+
+    /** Restore state captured by state(). */
+    void
+    setState(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            s_[i] = in[i];
+    }
+
     /**
      * Geometric-ish small integer: returns k >= 1 where
      * P(k) ~ (1-p) p^(k-1), capped at @p cap.

@@ -36,6 +36,8 @@ class Counter
     void operator+=(std::uint64_t n) { value_ += n; }
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
+    /** Overwrite the count (checkpoint restore only). */
+    void set(std::uint64_t v) { value_ = v; }
 
   private:
     std::uint64_t value_ = 0;
@@ -62,6 +64,23 @@ class Histogram
     std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
     std::size_t numBuckets() const { return buckets_.size(); }
     std::uint64_t samples() const { return samples_; }
+    std::uint64_t sum() const { return sum_; }
+
+    /**
+     * Overwrite the full histogram state (checkpoint restore only).
+     * The bucket count is part of the histogram's configuration, not
+     * its state, so it must match.
+     */
+    void
+    setState(const std::vector<std::uint64_t>& buckets,
+             std::uint64_t samples, std::uint64_t sum)
+    {
+        if (buckets.size() != buckets_.size())
+            throw std::invalid_argument("histogram bucket-count mismatch");
+        buckets_ = buckets;
+        samples_ = samples;
+        sum_ = sum;
+    }
 
     double
     mean() const
@@ -141,6 +160,9 @@ class StatGroup
 
     /** Registered stats, in registration order. */
     const std::vector<Entry>& entries() const { return entries_; }
+
+    /** Mutable view for checkpoint restore (same order as entries()). */
+    std::vector<Entry>& mutableEntries() { return entries_; }
 
     void
     dump(std::ostream& os) const

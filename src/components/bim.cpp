@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/bitutil.hpp"
+#include "warp/state_util.hpp"
 
 namespace cobra::comps {
 
@@ -122,6 +123,18 @@ Hbim::describe() const
         oss << " (" << params_.histBits << "b hist)";
     oss << ", latency " << latency();
     return oss.str();
+}
+
+void
+Hbim::saveState(warp::StateWriter& w) const
+{
+    warp::saveSatVec(w, table_);
+}
+
+void
+Hbim::restoreState(warp::StateReader& r)
+{
+    warp::loadSatVec(r, table_);
 }
 
 } // namespace cobra::comps

@@ -84,6 +84,9 @@ class Hbim : public bpu::PredictorComponent
 
     void update(const bpu::ResolveEvent& ev) override;
 
+    void saveState(warp::StateWriter& w) const override;
+    void restoreState(warp::StateReader& r) override;
+
     std::uint64_t
     storageBits() const override
     {

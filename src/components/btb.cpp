@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/bitutil.hpp"
+#include "warp/state_util.hpp"
 
 namespace cobra::comps {
 
@@ -270,6 +271,87 @@ MicroBtb::describe() const
     oss << name() << ": " << params_.entries
         << "-entry fully-associative uBTB, latency 1";
     return oss.str();
+}
+
+void
+Btb::saveState(warp::StateWriter& w) const
+{
+    w.u64(ways_.size());
+    for (const Way& way : ways_) {
+        w.boolean(way.valid);
+        w.u64(way.tag);
+        w.u32(way.lruStamp);
+        w.u64(way.slots.size());
+        for (const SlotEntry& s : way.slots) {
+            w.boolean(s.valid);
+            w.u64(s.target);
+            w.u8(static_cast<std::uint8_t>(s.type));
+            w.boolean(s.isCall);
+            w.boolean(s.isRet);
+        }
+    }
+    w.u32(stamp_);
+    warp::saveRng(w, rng_);
+}
+
+void
+Btb::restoreState(warp::StateReader& r)
+{
+    if (r.u64() != ways_.size())
+        r.fail("BTB way count does not match");
+    for (Way& way : ways_) {
+        way.valid = r.boolean();
+        way.tag = r.u64();
+        way.lruStamp = r.u32();
+        if (r.u64() != way.slots.size())
+            r.fail("BTB slot count does not match");
+        for (SlotEntry& s : way.slots) {
+            s.valid = r.boolean();
+            s.target = r.u64();
+            s.type = static_cast<bpu::CfiType>(r.u8());
+            s.isCall = r.boolean();
+            s.isRet = r.boolean();
+        }
+    }
+    stamp_ = r.u32();
+    warp::loadRng(r, rng_);
+}
+
+void
+MicroBtb::saveState(warp::StateWriter& w) const
+{
+    w.u64(entries_.size());
+    for (const Entry& e : entries_) {
+        w.boolean(e.valid);
+        w.u64(e.pc);
+        w.u32(e.slot);
+        w.u64(e.target);
+        w.u8(static_cast<std::uint8_t>(e.type));
+        w.boolean(e.isCall);
+        w.boolean(e.isRet);
+        warp::saveSat(w, e.ctr);
+        w.u32(e.lruStamp);
+    }
+    w.u32(stamp_);
+}
+
+void
+MicroBtb::restoreState(warp::StateReader& r)
+{
+    if (r.u64() != entries_.size())
+        r.fail("uBTB entry count does not match");
+    for (Entry& e : entries_) {
+        e.valid = r.boolean();
+        e.pc = r.u64();
+        e.slot = r.u32();
+        e.target = r.u64();
+        e.type = static_cast<bpu::CfiType>(r.u8());
+        e.isCall = r.boolean();
+        e.isRet = r.boolean();
+        warp::loadSat(r, e.ctr);
+        e.lruStamp = r.u32();
+    }
+    stamp_ = r.u32();
 }
 
 } // namespace cobra::comps

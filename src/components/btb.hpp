@@ -51,6 +51,9 @@ class Btb : public bpu::PredictorComponent
 
     void update(const bpu::ResolveEvent& ev) override;
 
+    void saveState(warp::StateWriter& w) const override;
+    void restoreState(warp::StateReader& r) override;
+
     std::uint64_t storageBits() const override;
 
     std::string describe() const override;
@@ -150,6 +153,9 @@ class MicroBtb : public bpu::PredictorComponent
                  bpu::Metadata& meta) override;
 
     void update(const bpu::ResolveEvent& ev) override;
+
+    void saveState(warp::StateWriter& w) const override;
+    void restoreState(warp::StateReader& r) override;
 
     std::uint64_t storageBits() const override;
 

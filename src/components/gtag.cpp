@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/bitutil.hpp"
+#include "warp/state_util.hpp"
 
 namespace cobra::comps {
 
@@ -101,6 +102,36 @@ Gtag::describe() const
         << " partially tagged counters (" << params_.tagBits << "b tag, "
         << params_.histBits << "b ghist), latency " << latency();
     return oss.str();
+}
+
+void
+Gtag::saveState(warp::StateWriter& w) const
+{
+    w.u64(rows_.size());
+    for (const Row& row : rows_) {
+        w.u64(row.valids.size());
+        for (bool v : row.valids)
+            w.boolean(v);
+        for (std::uint32_t t : row.tags)
+            w.u32(t);
+        warp::saveSatVec(w, row.ctrs);
+    }
+}
+
+void
+Gtag::restoreState(warp::StateReader& r)
+{
+    if (r.u64() != rows_.size())
+        r.fail("GTAG row count does not match");
+    for (Row& row : rows_) {
+        if (r.u64() != row.valids.size())
+            r.fail("GTAG slot count does not match");
+        for (std::size_t i = 0; i < row.valids.size(); ++i)
+            row.valids[i] = r.boolean();
+        for (std::uint32_t& t : row.tags)
+            t = r.u32();
+        warp::loadSatVec(r, row.ctrs);
+    }
 }
 
 } // namespace cobra::comps

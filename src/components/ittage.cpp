@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/bitutil.hpp"
+#include "warp/state_util.hpp"
 
 namespace cobra::comps {
 
@@ -150,6 +151,40 @@ Ittage::describe() const
         << " indirect-target tables x " << params_.sets
         << " entries, latency " << latency();
     return oss.str();
+}
+
+void
+Ittage::saveState(warp::StateWriter& w) const
+{
+    w.u64(tables_.size());
+    for (const Table& t : tables_) {
+        w.u64(t.rows.size());
+        for (const Row& row : t.rows) {
+            w.boolean(row.valid);
+            w.u32(row.tag);
+            w.u64(row.target);
+            warp::saveSat(w, row.conf);
+        }
+    }
+    warp::saveRng(w, rng_);
+}
+
+void
+Ittage::restoreState(warp::StateReader& r)
+{
+    if (r.u64() != tables_.size())
+        r.fail("ITTAGE table count does not match");
+    for (Table& t : tables_) {
+        if (r.u64() != t.rows.size())
+            r.fail("ITTAGE row count does not match");
+        for (Row& row : t.rows) {
+            row.valid = r.boolean();
+            row.tag = r.u32();
+            row.target = r.u64();
+            warp::loadSat(r, row.conf);
+        }
+    }
+    warp::loadRng(r, rng_);
 }
 
 } // namespace cobra::comps

@@ -53,6 +53,9 @@ class Ittage : public bpu::PredictorComponent
 
     void update(const bpu::ResolveEvent& ev) override;
 
+    void saveState(warp::StateWriter& w) const override;
+    void restoreState(warp::StateReader& r) override;
+
     std::uint64_t storageBits() const override;
 
     std::string describe() const override;

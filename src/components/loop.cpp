@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/bitutil.hpp"
+#include "warp/state_util.hpp"
 
 namespace cobra::comps {
 
@@ -195,6 +196,37 @@ LoopPredictor::describe() const
     oss << name() << ": " << params_.entries
         << "-entry loop predictor, latency " << latency();
     return oss.str();
+}
+
+void
+LoopPredictor::saveState(warp::StateWriter& w) const
+{
+    w.u64(table_.size());
+    for (const Entry& e : table_) {
+        w.boolean(e.valid);
+        w.u32(e.tag);
+        w.u32(e.slot);
+        w.u32(e.trip);
+        w.u32(e.specCount);
+        w.u32(e.archCount);
+        w.u32(e.conf);
+    }
+}
+
+void
+LoopPredictor::restoreState(warp::StateReader& r)
+{
+    if (r.u64() != table_.size())
+        r.fail("loop-predictor entry count does not match");
+    for (Entry& e : table_) {
+        e.valid = r.boolean();
+        e.tag = r.u32();
+        e.slot = r.u32();
+        e.trip = r.u32();
+        e.specCount = r.u32();
+        e.archCount = r.u32();
+        e.conf = r.u32();
+    }
 }
 
 } // namespace cobra::comps

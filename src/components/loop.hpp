@@ -60,6 +60,9 @@ class LoopPredictor : public bpu::PredictorComponent
     /** Commit-time training of trip counts and confidence. */
     void update(const bpu::ResolveEvent& ev) override;
 
+    void saveState(warp::StateWriter& w) const override;
+    void restoreState(warp::StateReader& r) override;
+
     phys::AccessProfile
     predictAccess() const override
     {

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/bitutil.hpp"
+#include "warp/state_util.hpp"
 
 namespace cobra::comps {
 
@@ -98,6 +99,27 @@ Perceptron::describe() const
     oss << name() << ": " << params_.entries << " perceptrons x "
         << params_.histBits << " weights, latency " << latency();
     return oss.str();
+}
+
+void
+Perceptron::saveState(warp::StateWriter& w) const
+{
+    w.u64(table_.size());
+    for (const Entry& e : table_) {
+        warp::saveSignedVec(w, e.weights);
+        w.u32(e.slot);
+    }
+}
+
+void
+Perceptron::restoreState(warp::StateReader& r)
+{
+    if (r.u64() != table_.size())
+        r.fail("perceptron entry count does not match");
+    for (Entry& e : table_) {
+        warp::loadSignedVec(r, e.weights);
+        e.slot = r.u32();
+    }
 }
 
 } // namespace cobra::comps

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/bitutil.hpp"
+#include "warp/state_util.hpp"
 
 namespace cobra::comps {
 
@@ -126,6 +127,25 @@ StatCorrector::describe() const
         << " statistical-corrector tables x " << params_.sets
         << " sets, latency " << latency();
     return oss.str();
+}
+
+void
+StatCorrector::saveState(warp::StateWriter& w) const
+{
+    w.u64(tables_.size());
+    for (const Table& t : tables_)
+        warp::saveSignedVec(w, t.ctrs);
+    warp::saveSat(w, useThreshold_);
+}
+
+void
+StatCorrector::restoreState(warp::StateReader& r)
+{
+    if (r.u64() != tables_.size())
+        r.fail("corrector table count does not match");
+    for (Table& t : tables_)
+        warp::loadSignedVec(r, t.ctrs);
+    warp::loadSat(r, useThreshold_);
 }
 
 } // namespace cobra::comps

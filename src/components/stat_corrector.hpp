@@ -50,6 +50,9 @@ class StatCorrector : public bpu::PredictorComponent
 
     void update(const bpu::ResolveEvent& ev) override;
 
+    void saveState(warp::StateWriter& w) const override;
+    void restoreState(warp::StateReader& r) override;
+
     std::uint64_t storageBits() const override;
 
     std::string describe() const override;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/bitutil.hpp"
+#include "warp/state_util.hpp"
 
 namespace cobra::comps {
 
@@ -372,6 +373,44 @@ Tage::describe() const
     }
     oss << "b hist), latency " << latency();
     return oss.str();
+}
+
+void
+Tage::saveState(warp::StateWriter& w) const
+{
+    w.u64(tables_.size());
+    for (const Table& t : tables_) {
+        w.u64(t.rows.size());
+        for (const Row& row : t.rows) {
+            w.boolean(row.valid);
+            w.u32(row.tag);
+            w.u8(row.u);
+            warp::saveSatVec(w, row.ctrs);
+        }
+    }
+    warp::saveSigned(w, useAltOnNa_);
+    w.u64(updateCount_);
+    warp::saveRng(w, rng_);
+}
+
+void
+Tage::restoreState(warp::StateReader& r)
+{
+    if (r.u64() != tables_.size())
+        r.fail("TAGE table count does not match");
+    for (Table& t : tables_) {
+        if (r.u64() != t.rows.size())
+            r.fail("TAGE row count does not match");
+        for (Row& row : t.rows) {
+            row.valid = r.boolean();
+            row.tag = r.u32();
+            row.u = r.u8();
+            warp::loadSatVec(r, row.ctrs);
+        }
+    }
+    warp::loadSigned(r, useAltOnNa_);
+    updateCount_ = r.u64();
+    warp::loadRng(r, rng_);
 }
 
 } // namespace cobra::comps

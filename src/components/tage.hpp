@@ -67,6 +67,9 @@ class Tage : public bpu::PredictorComponent
 
     void update(const bpu::ResolveEvent& ev) override;
 
+    void saveState(warp::StateWriter& w) const override;
+    void restoreState(warp::StateReader& r) override;
+
     phys::AccessProfile predictAccess() const override;
     phys::AccessProfile updateAccess() const override;
 

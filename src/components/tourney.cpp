@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/bitutil.hpp"
+#include "warp/state_util.hpp"
 
 namespace cobra::comps {
 
@@ -106,6 +107,18 @@ Tourney::describe() const
     oss << name() << ": " << params_.sets << " choice counters ("
         << params_.histBits << "b ghist index), latency " << latency();
     return oss.str();
+}
+
+void
+Tourney::saveState(warp::StateWriter& w) const
+{
+    warp::saveSatVec(w, table_);
+}
+
+void
+Tourney::restoreState(warp::StateReader& r)
+{
+    warp::loadSatVec(r, table_);
 }
 
 } // namespace cobra::comps

@@ -59,6 +59,9 @@ class Tourney : public bpu::PredictorComponent
 
     void update(const bpu::ResolveEvent& ev) override;
 
+    void saveState(warp::StateWriter& w) const override;
+    void restoreState(warp::StateReader& r) override;
+
     phys::AccessProfile
     predictAccess() const override
     {

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/bitutil.hpp"
+#include "warp/state_util.hpp"
 
 namespace cobra::comps {
 
@@ -129,6 +130,35 @@ Yags::describe() const
         << " choice counters + 2x" << params_.cacheSets
         << " tagged exception caches, latency " << latency();
     return oss.str();
+}
+
+void
+Yags::saveState(warp::StateWriter& w) const
+{
+    warp::saveSatVec(w, choice_);
+    for (const auto* cache : {&takenCache_, &notTakenCache_}) {
+        w.u64(cache->size());
+        for (const CacheEntry& e : *cache) {
+            w.boolean(e.valid);
+            w.u32(e.tag);
+            warp::saveSat(w, e.ctr);
+        }
+    }
+}
+
+void
+Yags::restoreState(warp::StateReader& r)
+{
+    warp::loadSatVec(r, choice_);
+    for (auto* cache : {&takenCache_, &notTakenCache_}) {
+        if (r.u64() != cache->size())
+            r.fail("YAGS cache size does not match");
+        for (CacheEntry& e : *cache) {
+            e.valid = r.boolean();
+            e.tag = r.u32();
+            warp::loadSat(r, e.ctr);
+        }
+    }
 }
 
 } // namespace cobra::comps

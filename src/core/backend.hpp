@@ -99,6 +99,15 @@ class Backend
 
     const BackendConfig& config() const { return cfg_; }
 
+    /**
+     * Checkpoint the full execution-engine state: the ROB ring (every
+     * in-flight instruction with its scheduling state), the seq
+     * scoreboard, SFB predication state, and the commit counters.
+     * Registered stat handles ride the stat registry.
+     */
+    void saveState(warp::StateWriter& w) const;
+    void restoreState(warp::StateReader& r);
+
   private:
     enum class IqClass : std::uint8_t { Int = 0, Mem = 1, Fp = 2 };
 

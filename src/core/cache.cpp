@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bitutil.hpp"
+#include "warp/state_io.hpp"
 
 namespace cobra::core {
 
@@ -144,6 +145,51 @@ CacheHierarchy::storeAccess(Addr addr)
     // visible occupancy is short.
     l1d_.access(addr);
     return 1;
+}
+
+void
+Cache::saveState(warp::StateWriter& w) const
+{
+    w.u64(lines_.size());
+    for (const Line& l : lines_) {
+        w.boolean(l.valid);
+        w.u64(l.tag);
+        w.u64(l.lruStamp);
+    }
+    w.u64(stamp_);
+}
+
+void
+Cache::restoreState(warp::StateReader& r)
+{
+    if (r.u64() != lines_.size())
+        r.fail("cache line count does not match this configuration");
+    for (Line& l : lines_) {
+        l.valid = r.boolean();
+        l.tag = r.u64();
+        l.lruStamp = r.u64();
+    }
+    stamp_ = r.u64();
+}
+
+void
+CacheHierarchy::saveState(warp::StateWriter& w) const
+{
+    l1i_.saveState(w);
+    l1d_.saveState(w);
+    l2_.saveState(w);
+    l3_.saveState(w);
+    w.u64(lastFetchLine_);
+}
+
+void
+CacheHierarchy::restoreState(warp::StateReader& r)
+{
+    l1i_.restoreState(r);
+    l1d_.restoreState(r);
+    l2_.restoreState(r);
+    l3_.restoreState(r);
+    lastFetchLine_ = r.u64();
 }
 
 } // namespace cobra::core

@@ -17,6 +17,11 @@
 #include "common/types.hpp"
 #include "phys/area_model.hpp"
 
+namespace cobra::warp {
+class StateWriter;
+class StateReader;
+} // namespace cobra::warp
+
 namespace cobra::core {
 
 /** Parameters of one cache level. */
@@ -56,6 +61,10 @@ class Cache
     std::uint64_t storageBits() const;
 
     phys::PhysicalCost physicalCost() const;
+
+    /** Checkpoint tag/LRU state (counters ride the stat registry). */
+    void saveState(warp::StateWriter& w) const;
+    void restoreState(warp::StateReader& r);
 
   private:
     struct Line
@@ -113,6 +122,10 @@ class CacheHierarchy
     const Cache& l3() const { return l3_; }
 
     const HierarchyParams& params() const { return params_; }
+
+    /** Checkpoint all four levels plus the prefetch tracker. */
+    void saveState(warp::StateWriter& w) const;
+    void restoreState(warp::StateReader& r);
 
   private:
     /** Walk L2 -> L3 -> memory; returns added latency beyond L1. */

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "warp/state_util.hpp"
+
 namespace cobra::exec {
 
 using prog::OpClass;
@@ -295,6 +297,119 @@ Oracle::wrongPath(Addr raw_pc, std::uint64_t salt) const
         break;
     }
     return di;
+}
+
+void
+saveDynInst(warp::StateWriter& w, const DynInst& di,
+            const prog::Program& prog)
+{
+    w.u64(di.seq);
+    w.u64(di.pc);
+    // Pointer -> index into the static image; ~0 encodes null.
+    const std::uint64_t idx =
+        di.si == nullptr
+            ? ~std::uint64_t{0}
+            : static_cast<std::uint64_t>(di.si - &prog.at(prog.base()));
+    w.u64(idx);
+    w.boolean(di.taken);
+    w.u64(di.nextPc);
+    w.u64(di.memAddr);
+    w.u64(di.dep1);
+    w.u64(di.dep2);
+    w.boolean(di.wrongPath);
+}
+
+void
+loadDynInst(warp::StateReader& r, DynInst& di, const prog::Program& prog)
+{
+    di.seq = r.u64();
+    di.pc = r.u64();
+    const std::uint64_t idx = r.u64();
+    if (idx == ~std::uint64_t{0}) {
+        di.si = nullptr;
+    } else {
+        if (idx >= prog.size())
+            r.fail("static-instruction index exceeds the program image");
+        di.si = &prog.at(prog.pcOf(idx));
+    }
+    di.taken = r.boolean();
+    di.nextPc = r.u64();
+    di.memAddr = r.u64();
+    di.dep1 = r.u64();
+    di.dep2 = r.u64();
+    di.wrongPath = r.boolean();
+}
+
+void
+Oracle::saveState(warp::StateWriter& w) const
+{
+    w.u64(pc_);
+    w.u64(genSeq_);
+    w.vecU(callStack_);
+    w.u64(ghist_);
+    warp::saveVec(w, branchState_,
+                  [](warp::StateWriter& ww, const BranchState& b) {
+                      ww.u64(b.occurrence);
+                      ww.u32(b.loopCount);
+                      ww.u32(b.curTrip);
+                      ww.u64(b.localHist);
+                  });
+    warp::saveVec(w, indirectState_,
+                  [](warp::StateWriter& ww, const IndirectState& s) {
+                      ww.u64(s.occurrence);
+                  });
+    warp::saveVec(w, memState_,
+                  [](warp::StateWriter& ww, const MemState& s) {
+                      ww.u64(s.occurrence);
+                      ww.u64(s.last);
+                  });
+    for (SeqNum s : lastWriter_)
+        w.u64(s);
+    w.u64(buffer_.size());
+    for (const DynInst& di : buffer_)
+        saveDynInst(w, di, prog_);
+    w.u64(bufferBase_);
+    w.u64(cursor_);
+}
+
+void
+Oracle::restoreState(warp::StateReader& r)
+{
+    pc_ = r.u64();
+    genSeq_ = r.u64();
+    callStack_ = r.vecU<Addr>();
+    ghist_ = r.u64();
+    warp::loadVec(r, branchState_,
+                  [](warp::StateReader& rr, BranchState& b) {
+                      b.occurrence = rr.u64();
+                      b.loopCount = rr.u32();
+                      b.curTrip = rr.u32();
+                      b.localHist = rr.u64();
+                  });
+    warp::loadVec(r, indirectState_,
+                  [](warp::StateReader& rr, IndirectState& s) {
+                      s.occurrence = rr.u64();
+                  });
+    warp::loadVec(r, memState_,
+                  [](warp::StateReader& rr, MemState& s) {
+                      s.occurrence = rr.u64();
+                      s.last = rr.u64();
+                  });
+    for (SeqNum& s : lastWriter_)
+        s = r.u64();
+    buffer_.clear();
+    const std::uint64_t buffered = r.u64();
+    if (buffered > (1u << 20))
+        r.fail("oracle buffer implausibly large");
+    for (std::uint64_t i = 0; i < buffered; ++i) {
+        DynInst di;
+        loadDynInst(r, di, prog_);
+        buffer_.push_back(di);
+    }
+    bufferBase_ = r.u64();
+    cursor_ = r.u64();
+    if (cursor_ > buffer_.size())
+        r.fail("oracle cursor beyond its buffer");
 }
 
 } // namespace cobra::exec

@@ -26,6 +26,11 @@
 #include "common/types.hpp"
 #include "program/program.hpp"
 
+namespace cobra::warp {
+class StateWriter;
+class StateReader;
+} // namespace cobra::warp
+
 namespace cobra::exec {
 
 /** One dynamic instruction (correct-path or synthesised wrong-path). */
@@ -101,6 +106,14 @@ class Oracle
 
     const prog::Program& program() const { return prog_; }
 
+    /**
+     * Checkpoint the full architectural execution state, including
+     * the rewindable output buffer (so in-flight squash/rewind state
+     * resumes bit-exactly).
+     */
+    void saveState(warp::StateWriter& w) const;
+    void restoreState(warp::StateReader& r);
+
   private:
     /** Generate one more correct-path instruction into the buffer. */
     void generateOne();
@@ -152,6 +165,16 @@ class Oracle
     SeqNum bufferBase_ = 0; ///< seq of buffer_[0].
     std::size_t cursor_ = 0;
 };
+
+/**
+ * Serialize one dynamic instruction. The static-instruction pointer
+ * is encoded as its index into @p prog (the checkpoint fingerprint
+ * guarantees both sides see the same image).
+ */
+void saveDynInst(warp::StateWriter& w, const DynInst& di,
+                 const prog::Program& prog);
+void loadDynInst(warp::StateReader& r, DynInst& di,
+                 const prog::Program& prog);
 
 } // namespace cobra::exec
 

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "warp/state_util.hpp"
+
 namespace cobra::guard {
 
 namespace {
@@ -190,6 +192,46 @@ ContractAuditor::update(const bpu::ResolveEvent& ev)
             pending_.erase(it);
     }
     inner_->update(ev);
+}
+
+void
+ContractAuditor::saveState(warp::StateWriter& w) const
+{
+    w.u64(lastSerial_);
+    w.u64(checks_);
+    w.u64(pending_.size());
+    for (const auto& [pos, gens] : pending_) {
+        w.u64(pos);
+        w.u64(gens.size());
+        for (const bpu::Metadata& m : gens) {
+            for (std::uint64_t word : m.w)
+                w.u64(word);
+        }
+    }
+    inner_->saveState(w);
+}
+
+void
+ContractAuditor::restoreState(warp::StateReader& r)
+{
+    lastSerial_ = r.u64();
+    checks_ = r.u64();
+    pending_.clear();
+    const std::uint64_t entries = r.u64();
+    for (std::uint64_t i = 0; i < entries; ++i) {
+        const std::uint64_t pos = r.u64();
+        const std::uint64_t gens = r.u64();
+        if (gens > kMaxGenerations)
+            r.fail("auditor generation count exceeds its bound");
+        std::deque<bpu::Metadata>& dq = pending_[pos];
+        for (std::uint64_t g = 0; g < gens; ++g) {
+            bpu::Metadata m{};
+            for (std::uint64_t& word : m.w)
+                word = r.u64();
+            dq.push_back(m);
+        }
+    }
+    inner_->restoreState(r);
 }
 
 } // namespace cobra::guard

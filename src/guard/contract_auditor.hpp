@@ -88,6 +88,10 @@ class ContractAuditor final : public bpu::PredictorComponent
     void repair(const bpu::ResolveEvent& ev) override;
     void update(const bpu::ResolveEvent& ev) override;
 
+    /** Serializes the audit bookkeeping, then the wrapped component. */
+    void saveState(warp::StateWriter& w) const override;
+    void restoreState(warp::StateReader& r) override;
+
   private:
     /** Shared stage/history/serial checks for predict and arbitrate. */
     void checkQueryContext(const bpu::PredictContext& ctx);

@@ -10,7 +10,10 @@
  *                         the ContractAuditor or the base-class
  *                         contract helpers);
  *  - DeadlockError      — the pipeline stopped committing; carries the
- *                         watchdog's post-mortem text.
+ *                         watchdog's post-mortem text;
+ *  - CheckpointError    — a warp-mode checkpoint could not be written,
+ *                         read, or applied (corruption, truncation,
+ *                         version/config mismatch).
  *
  * All derive from SimError, which itself derives from std::logic_error
  * so legacy call sites (and tests) that catch std::logic_error keep
@@ -93,6 +96,28 @@ class DeadlockError : public SimError
 
   private:
     std::string postMortem_;
+};
+
+/**
+ * A warp-mode checkpoint failed structural validation (bad magic,
+ * version skew, checksum mismatch, truncation, section-tag mismatch)
+ * or does not match the simulator it is being restored into
+ * (configuration fingerprint mismatch). Restores fail atomically with
+ * this error instead of applying partial state.
+ */
+class CheckpointError : public SimError
+{
+  public:
+    explicit CheckpointError(const std::string& msg)
+        : SimError("invalid checkpoint: " + msg)
+    {
+    }
+
+    /** Context-style message: "invalid checkpoint: <where>: <detail>". */
+    CheckpointError(const std::string& where, const std::string& detail)
+        : SimError("invalid checkpoint: " + where + ": " + detail)
+    {
+    }
 };
 
 } // namespace cobra::guard

@@ -18,6 +18,7 @@
 #include "bpu/component.hpp"
 #include "common/random.hpp"
 #include "common/stats.hpp"
+#include "warp/state_util.hpp"
 
 namespace cobra::guard {
 
@@ -60,6 +61,14 @@ class FaultEngine
 
     /** Registered stat handles for the registry ("guard" group). */
     const StatGroup& stats() const { return stats_; }
+
+    /**
+     * Checkpoint the fault sequence position. The counters live in
+     * the "guard" stat group and round-trip with the stat registry;
+     * only the RNG core is serialized here.
+     */
+    void saveState(warp::StateWriter& w) const { warp::saveRng(w, rng_); }
+    void restoreState(warp::StateReader& r) { warp::loadRng(r, rng_); }
 
   private:
     double rate_;
@@ -124,6 +133,16 @@ class FaultInjector final : public bpu::PredictorComponent
     void repair(const bpu::ResolveEvent& ev) override
     {
         inner_->repair(ev);
+    }
+
+    /** The injector is stateless (the engine checkpoints the RNG). */
+    void saveState(warp::StateWriter& w) const override
+    {
+        inner_->saveState(w);
+    }
+    void restoreState(warp::StateReader& r) override
+    {
+        inner_->restoreState(r);
     }
 
     // ---- Faulted interface --------------------------------------------

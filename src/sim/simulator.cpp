@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include "warp/state_io.hpp"
+
 namespace cobra::sim {
 
 void
@@ -195,33 +197,61 @@ Simulator::finishResult(SimResult& r, bool deadlocked,
     }
 }
 
+bool
+Simulator::stalled()
+{
+    if (backend_->committedInsts() != lastProgress_) {
+        lastProgress_ = backend_->committedInsts();
+        lastProgressCycle_ = now_;
+        return false;
+    }
+    return now_ - lastProgressCycle_ > cfg_.deadlockCycles;
+}
+
+SimResult
+Simulator::measuredResult(bool deadlocked)
+{
+    SimResult r;
+    const Snapshot end = snapshot();
+    r.cycles = end.cycles - base_.cycles;
+    r.insts = end.insts - base_.insts;
+    r.condBranches = end.branches - base_.branches;
+    r.cfis = end.cfis - base_.cfis;
+    r.condMispredicts = end.condMisp - base_.condMisp;
+    r.jalrMispredicts = end.jalrMisp - base_.jalrMisp;
+    r.sfbConversions = backend_->sfbConversions();
+    r.ghistReplays = frontend_->stats().get("ghist_replays");
+    r.packetsKilled = frontend_->stats().get("packets_killed");
+    finishResult(r, deadlocked, now_ - lastProgressCycle_);
+    return r;
+}
+
 SimResult
 Simulator::run()
 {
     SimResult r;
-    std::uint64_t lastProgress = backend_->committedInsts();
-    Cycle lastProgressCycle = now_;
-    auto stalled = [&]() -> bool {
-        if (backend_->committedInsts() != lastProgress) {
-            lastProgress = backend_->committedInsts();
-            lastProgressCycle = now_;
-            return false;
-        }
-        return now_ - lastProgressCycle > cfg_.deadlockCycles;
-    };
+    if (!runStateValid_) {
+        lastProgress_ = backend_->committedInsts();
+        lastProgressCycle_ = now_;
+        runStateValid_ = true;
+    }
 
     // ---- Warmup ---------------------------------------------------------
-    while (backend_->committedInsts() < cfg_.warmupInsts &&
+    while (!baseCaptured_ &&
+           backend_->committedInsts() < cfg_.warmupInsts &&
            now_ < cfg_.maxCycles) {
         tickOnce();
         if (stalled()) {
             // Deadlocked before the measured region: report with zero
             // metrics rather than spinning to maxCycles.
-            finishResult(r, true, now_ - lastProgressCycle);
+            finishResult(r, true, now_ - lastProgressCycle_);
             return r;
         }
     }
-    const Snapshot base = snapshot();
+    if (!baseCaptured_) {
+        base_ = snapshot();
+        baseCaptured_ = true;
+    }
 
     // ---- Measured region -------------------------------------------------
     bool deadlocked = false;
@@ -233,19 +263,228 @@ Simulator::run()
             break;
         }
     }
+    return measuredResult(deadlocked);
+}
 
-    const Snapshot end = snapshot();
-    r.cycles = end.cycles - base.cycles;
-    r.insts = end.insts - base.insts;
-    r.condBranches = end.branches - base.branches;
-    r.cfis = end.cfis - base.cfis;
-    r.condMispredicts = end.condMisp - base.condMisp;
-    r.jalrMispredicts = end.jalrMisp - base.jalrMisp;
-    r.sfbConversions = backend_->sfbConversions();
-    r.ghistReplays = frontend_->stats().get("ghist_replays");
-    r.packetsKilled = frontend_->stats().get("packets_killed");
-    finishResult(r, deadlocked, now_ - lastProgressCycle);
-    return r;
+bool
+Simulator::advanceTo(Cycle stop_cycle)
+{
+    if (!runStateValid_) {
+        lastProgress_ = backend_->committedInsts();
+        lastProgressCycle_ = now_;
+        runStateValid_ = true;
+    }
+
+    while (!baseCaptured_ &&
+           backend_->committedInsts() < cfg_.warmupInsts &&
+           now_ < cfg_.maxCycles && now_ < stop_cycle) {
+        tickOnce();
+        if (stalled())
+            return false;
+    }
+    // Capture the measurement base exactly when run() would: at the
+    // warmup loop's own exit condition, never at a stop_cycle pause.
+    if (!baseCaptured_ &&
+        (backend_->committedInsts() >= cfg_.warmupInsts ||
+         now_ >= cfg_.maxCycles)) {
+        base_ = snapshot();
+        baseCaptured_ = true;
+    }
+    if (!baseCaptured_)
+        return true;
+
+    const std::uint64_t target = cfg_.warmupInsts + cfg_.maxInsts;
+    while (backend_->committedInsts() < target &&
+           now_ < cfg_.maxCycles && now_ < stop_cycle) {
+        tickOnce();
+        if (stalled())
+            return false;
+    }
+    return backend_->committedInsts() < target && now_ < cfg_.maxCycles;
+}
+
+SimResult
+Simulator::runInterval(std::uint64_t warmup_cycles,
+                       std::uint64_t measure_insts)
+{
+    SimResult r;
+    lastProgress_ = backend_->committedInsts();
+    lastProgressCycle_ = now_;
+    runStateValid_ = true;
+
+    // ---- Detailed warmup (cycle-denominated, discarded) -----------------
+    const Cycle warmupEnd = now_ + warmup_cycles;
+    while (now_ < warmupEnd && now_ < cfg_.maxCycles) {
+        tickOnce();
+        if (stalled()) {
+            finishResult(r, true, now_ - lastProgressCycle_);
+            return r;
+        }
+    }
+    base_ = snapshot();
+    baseCaptured_ = true;
+
+    // ---- Measured sample -------------------------------------------------
+    bool deadlocked = false;
+    const std::uint64_t target = base_.insts + measure_insts;
+    while (backend_->committedInsts() < target && now_ < cfg_.maxCycles) {
+        tickOnce();
+        if (stalled()) {
+            deadlocked = true;
+            break;
+        }
+    }
+    return measuredResult(deadlocked);
+}
+
+void
+Simulator::saveStats(warp::StateWriter& w) const
+{
+    w.section("stats");
+    w.u64(registry_.nodes().size());
+    for (const scope::StatRegistry::Node& n : registry_.nodes()) {
+        w.str(n.path);
+        w.u64(n.group->entries().size());
+        for (const StatGroup::Entry& e : n.group->entries()) {
+            if (e.counter != nullptr) {
+                w.u8(0);
+                w.u64(e.counter->value());
+            } else {
+                w.u8(1);
+                std::vector<std::uint64_t> buckets;
+                buckets.reserve(e.histogram->numBuckets());
+                for (std::size_t i = 0; i < e.histogram->numBuckets();
+                     ++i)
+                    buckets.push_back(e.histogram->bucket(i));
+                w.vecU(buckets);
+                w.u64(e.histogram->samples());
+                w.u64(e.histogram->sum());
+            }
+        }
+    }
+}
+
+void
+Simulator::restoreStats(warp::StateReader& r)
+{
+    r.section("stats");
+    if (r.u64() != registry_.nodes().size())
+        r.fail("stat-group count does not match this configuration");
+    for (const scope::StatRegistry::Node& n : registry_.nodes()) {
+        if (r.str() != n.path)
+            r.fail("stat group order diverges at '" + n.path + "'");
+        if (r.u64() != n.group->entries().size())
+            r.fail("stat count differs in group '" + n.path + "'");
+        for (const StatGroup::Entry& e : n.group->entries()) {
+            const std::uint8_t kind = r.u8();
+            if (e.counter != nullptr) {
+                if (kind != 0)
+                    r.fail("expected a counter in group '" + n.path +
+                           "'");
+                e.counter->set(r.u64());
+            } else {
+                if (kind != 1)
+                    r.fail("expected a histogram in group '" + n.path +
+                           "'");
+                const std::vector<std::uint64_t> buckets =
+                    r.vecU<std::uint64_t>();
+                const std::uint64_t samples = r.u64();
+                const std::uint64_t sum = r.u64();
+                if (buckets.size() != e.histogram->numBuckets())
+                    r.fail("histogram bucket count differs in group '" +
+                           n.path + "'");
+                e.histogram->setState(buckets, samples, sum);
+            }
+        }
+    }
+}
+
+void
+Simulator::saveState(warp::StateWriter& w) const
+{
+    w.section("sim");
+    w.u64(now_);
+    w.boolean(runStateValid_);
+    w.u64(lastProgress_);
+    w.u64(lastProgressCycle_);
+    w.boolean(baseCaptured_);
+    w.u64(base_.insts);
+    w.u64(base_.branches);
+    w.u64(base_.cfis);
+    w.u64(base_.condMisp);
+    w.u64(base_.jalrMisp);
+    w.u64(base_.cycles);
+
+    w.section("oracle");
+    oracle_->saveState(w);
+    w.section("caches");
+    caches_->saveState(w);
+    bpu_->saveState(w); // Writes its own "bpu" section.
+    w.section("frontend");
+    frontend_->saveState(w);
+    w.section("backend");
+    backend_->saveState(w);
+    w.section("faults");
+    faults_->saveState(w);
+    saveStats(w);
+}
+
+void
+Simulator::restoreState(warp::StateReader& r)
+{
+    r.section("sim");
+    now_ = r.u64();
+    runStateValid_ = r.boolean();
+    lastProgress_ = r.u64();
+    lastProgressCycle_ = r.u64();
+    baseCaptured_ = r.boolean();
+    base_.insts = r.u64();
+    base_.branches = r.u64();
+    base_.cfis = r.u64();
+    base_.condMisp = r.u64();
+    base_.jalrMisp = r.u64();
+    base_.cycles = r.u64();
+
+    r.section("oracle");
+    oracle_->restoreState(r);
+    r.section("caches");
+    caches_->restoreState(r);
+    bpu_->restoreState(r); // Verifies its own "bpu" section.
+    r.section("frontend");
+    frontend_->restoreState(r);
+    r.section("backend");
+    backend_->restoreState(r);
+    r.section("faults");
+    faults_->restoreState(r);
+    restoreStats(r);
+}
+
+std::uint64_t
+Simulator::stateFingerprint() const
+{
+    // Serialize the restore-relevant configuration through the same
+    // byte layer and hash it: a checkpoint produced under a different
+    // program image, composition, or core geometry must not restore.
+    warp::StateWriter w;
+    w.u64(program_.size());
+    w.u64(program_.base());
+    w.u64(program_.entry());
+    w.u64(cfg_.oracleSeed);
+    w.u32(cfg_.frontend.fetchWidth);
+    w.u32(cfg_.frontend.fetchBufferInsts);
+    w.u32(cfg_.frontend.rasEntries);
+    w.u8(static_cast<std::uint8_t>(cfg_.frontend.ghistMode));
+    w.boolean(cfg_.frontend.serializeFetch);
+    w.u32(cfg_.backend.coreWidth);
+    w.u32(cfg_.backend.robEntries);
+    w.boolean(cfg_.backend.sfbEnabled);
+    w.boolean(cfg_.audit);
+    w.f64(cfg_.faultRate);
+    for (const auto* c : bpu_->predictor().components()) {
+        w.str(c->name());
+        w.u64(c->storageBits());
+    }
+    return warp::fnv1a(w.bytes().data(), w.bytes().size());
 }
 
 SimResult

@@ -240,6 +240,48 @@ class Simulator
      */
     SimResult runChecked();
 
+    /**
+     * Warp interval run: tick detailed for @p warmup_cycles (the
+     * discarded cache/pipeline re-warming prefix), then measure until
+     * @p measure_insts further instructions commit (or maxCycles).
+     * Unlike run(), the warmup is cycle-denominated because interval
+     * checkpoints restored from a fast-forward start with warm
+     * predictors but a cold pipeline.
+     */
+    SimResult runInterval(std::uint64_t warmup_cycles,
+                          std::uint64_t measure_insts);
+
+    /**
+     * Drive the run() state machine up to @p stop_cycle and pause,
+     * leaving resumable mid-run state: checkpoint here (saveState),
+     * and a later run() — on this simulator or on a restored one —
+     * finishes with exactly the result an uninterrupted run() would
+     * have produced. Returns true while the run has work left, false
+     * once it has finished (budget reached, deadlocked, or out of
+     * cycles).
+     */
+    bool advanceTo(Cycle stop_cycle);
+
+    /**
+     * Serialize the complete mid-flight simulation state — oracle,
+     * caches, predictor composition, frontend (in-flight packets and
+     * all), backend (ROB and all), fault RNG, run-loop progress
+     * bookkeeping, and every registered stat — such that restoring
+     * into an identically-configured Simulator and continuing yields
+     * a bit-identical SimResult to the uninterrupted run. Pipeline
+     * trace events (CobraScope tracer) are not checkpointed.
+     */
+    void saveState(warp::StateWriter& w) const;
+    void restoreState(warp::StateReader& r);
+
+    /**
+     * Fingerprint of the restore-relevant configuration (program
+     * image, composition, core parameters). Checkpoints embed it so a
+     * restore into a differently-configured simulator fails up front
+     * with a structured error instead of mid-stream.
+     */
+    std::uint64_t stateFingerprint() const;
+
     /** Advance exactly one cycle (for tests). */
     void tickOnce();
 
@@ -275,6 +317,15 @@ class Simulator
 
     Snapshot snapshot() const;
 
+    /** Deadlock watchdog step over the progress members. */
+    bool stalled();
+
+    /** Deltas vs base_ plus the absolute event counters. */
+    SimResult measuredResult(bool deadlocked);
+
+    void saveStats(warp::StateWriter& w) const;
+    void restoreStats(warp::StateReader& r);
+
     /** Capture pipeline state for the watchdog report. */
     guard::PostMortem buildPostMortem(std::uint64_t since_progress) const;
 
@@ -294,6 +345,14 @@ class Simulator
     scope::StatRegistry registry_;
     std::unique_ptr<scope::Tracer> tracer_;
     Cycle now_ = 0;
+
+    // Run-loop state lives in members (not run() locals) so a
+    // checkpoint taken mid-run resumes the measured region exactly.
+    Snapshot base_{};
+    bool baseCaptured_ = false;
+    bool runStateValid_ = false;
+    std::uint64_t lastProgress_ = 0;
+    Cycle lastProgressCycle_ = 0;
 };
 
 } // namespace cobra::sim

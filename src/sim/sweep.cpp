@@ -3,7 +3,9 @@
 #include "common/json.hpp"
 #include "guard/errors.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <fstream>
@@ -62,7 +64,7 @@ SweepEngine::runPoint(std::size_t idx, const SweepPoint& pt,
     const auto t0 = std::chrono::steady_clock::now();
     try {
         Simulator s(*pt.program, pt.topology(), pt.cfg);
-        out.result = s.run();
+        out.result = pt.execute ? pt.execute(s) : s.run();
         out.host.simCycles = s.cycles();
         out.host.simInsts = s.backend().committedInsts();
         if (postRun) {
@@ -100,14 +102,30 @@ SweepEngine::run(const PostRun& postRun)
     points_.clear();
     std::vector<SweepOutcome> outcomes(points.size());
 
+    // Progress goes to stderr only (stdout must stay byte-identical
+    // with and without it). The counter is shared across workers; the
+    // line itself is a single atomic-enough fprintf.
+    std::atomic<std::size_t> completed{0};
+    auto report = [&](const SweepOutcome& o) {
+        if (!progress_)
+            return;
+        const std::size_t k = completed.fetch_add(1) + 1;
+        std::fprintf(stderr, "[%zu/%zu] %s: %.0f kcps%s\n", k,
+                     points.size(), o.label.c_str(),
+                     o.host.kiloCyclesPerSec(),
+                     o.ok() ? "" : " (FAILED)");
+    };
+
     const unsigned workers = static_cast<unsigned>(
         std::min<std::size_t>(jobs_, points.size()));
 
     if (workers <= 1) {
         // Inline serial path: the deterministic reference, and the
         // zero-overhead path for single-point "sweeps" (cobra_sim).
-        for (std::size_t i = 0; i < points.size(); ++i)
+        for (std::size_t i = 0; i < points.size(); ++i) {
             outcomes[i] = runPoint(i, points[i], postRun);
+            report(outcomes[i]);
+        }
         return outcomes;
     }
 
@@ -149,6 +167,7 @@ SweepEngine::run(const PostRun& postRun)
             if (idx == SIZE_MAX)
                 return; // All queues drained.
             outcomes[idx] = runPoint(idx, points[idx], postRun);
+            report(outcomes[idx]);
         }
     };
 
@@ -241,12 +260,19 @@ renderPointStats(const std::string& label, const Simulator& s,
                  const SimResult& r)
 {
     std::ostringstream os;
+    s.statRegistry().writeJson(os, 6);
+    return renderPointStats(label, r, os.str());
+}
+
+std::string
+renderPointStats(const std::string& label, const SimResult& r,
+                 const std::string& groups_json)
+{
+    std::ostringstream os;
     os << "    {\n      \"label\": \"" << jsonEscape(label) << "\",\n"
        << "      \"result\": {\n";
     emitResultFields(os, r, "        ", /*trailing_comma=*/false);
-    os << "      },\n      \"groups\": ";
-    s.statRegistry().writeJson(os, 6);
-    os << "\n    }";
+    os << "      },\n      \"groups\": " << groups_json << "\n    }";
     return os.str();
 }
 

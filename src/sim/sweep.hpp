@@ -73,6 +73,13 @@ struct SweepPoint
     const prog::Program* program = nullptr;
     SimConfig cfg;
 
+    /**
+     * How to drive the point's Simulator; defaults to Simulator::run()
+     * when empty. The warp driver submits interval points whose hook
+     * restores a checkpoint and runs a bounded sample instead.
+     */
+    std::function<SimResult(Simulator&)> execute;
+
     /** Convenience: a preset design on a workload program. */
     static SweepPoint preset(Design d, const prog::Program& program);
 };
@@ -131,6 +138,13 @@ class SweepEngine
 
     unsigned jobs() const { return jobs_; }
 
+    /**
+     * Report each point's completion to stderr (`--progress`):
+     * `[completed/total] label: N kcps`. Off by default; stdout is
+     * never touched, so sweep output stays byte-identical.
+     */
+    void setProgress(bool on) { progress_ = on; }
+
     /** Queue a point; returns its submission index. */
     std::size_t add(SweepPoint p);
 
@@ -148,6 +162,7 @@ class SweepEngine
                           const PostRun& postRun) const;
 
     unsigned jobs_;
+    bool progress_ = false;
     std::vector<SweepPoint> points_;
 };
 
@@ -171,6 +186,16 @@ void writeSweepJson(const std::string& path, const std::string& name,
  */
 std::string renderPointStats(const std::string& label,
                              const Simulator& s, const SimResult& r);
+
+/**
+ * Variant for callers that no longer hold a live Simulator (the warp
+ * driver, whose interval simulators die on the sweep workers):
+ * @p groups_json is a pre-rendered stat-group hierarchy object at the
+ * indentation StatRegistry::writeJson(os, 6) would produce.
+ */
+std::string renderPointStats(const std::string& label,
+                             const SimResult& r,
+                             const std::string& groups_json);
 
 /**
  * Write the per-point stats documents gathered in

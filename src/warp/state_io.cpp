@@ -1,0 +1,16 @@
+#include "warp/state_io.hpp"
+
+namespace cobra::warp {
+
+std::uint64_t
+fnv1a(const std::uint8_t* data, std::size_t size)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace cobra::warp

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Warp driver: time-parallel sampled simulation of one long run. The
+ * run's instruction stream is cut into K intervals; a serial
+ * functional fast-forward pass (with predictor/cache warming) lays a
+ * checkpoint at each interval boundary, and the intervals are then
+ * simulated concurrently on the SweepEngine pool — each interval
+ * restores its checkpoint, re-warms the detailed pipeline for a
+ * configurable cycle prefix (discarded), and measures a bounded
+ * instruction sample. The per-interval samples are stitched into a
+ * whole-run IPC/MPKI estimate with confidence intervals from the
+ * interval-to-interval variance (SMARTS-style systematic sampling).
+ *
+ * Two independent sources of speedup compose:
+ *  - sampling: only `sampleInsts` of each interval run in detail, the
+ *    rest advance at functional fast-forward speed (the dominant win
+ *    on any host);
+ *  - time-parallelism: intervals run concurrently on the worker pool
+ *    (wins on multi-core hosts).
+ */
+
+#ifndef COBRA_WARP_WARP_HPP
+#define COBRA_WARP_WARP_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hpp"
+#include "warp/fastforward.hpp"
+
+namespace cobra::warp {
+
+/** Warp-mode parameters. */
+struct WarpConfig
+{
+    /** Number of intervals the measured region is cut into. */
+    unsigned intervals = 4;
+    /**
+     * Detailed warmup prefix per interval (cycles, discarded): the
+     * restored checkpoint has warm predictors/caches but an empty
+     * pipeline, so the first cycles re-fill fetch and the ROB.
+     */
+    std::uint64_t warmupCycles = 10'000;
+    /**
+     * Instructions measured in detail per interval; 0 measures the
+     * whole interval (no sampling — time-parallelism only).
+     */
+    std::uint64_t sampleInsts = 0;
+    /** Worker pool size; 0 = SweepEngine::defaultJobs(). */
+    unsigned jobs = 0;
+    /** Report interval completion to stderr. */
+    bool progress = false;
+    /** Persist per-interval checkpoints here when non-empty. */
+    std::string checkpointDir;
+    /** Fast-forward warming mode. */
+    FastForwardOptions ff{};
+
+    /** Throws guard::ConfigError on invalid settings. */
+    void validate() const;
+};
+
+/** One interval's sample. */
+struct WarpInterval
+{
+    /** Absolute instruction index of the interval start. */
+    std::uint64_t startInst = 0;
+    /** Instructions the interval spans in the full run. */
+    std::uint64_t lengthInsts = 0;
+    /** Instructions measured in detail (<= lengthInsts). */
+    std::uint64_t sampledInsts = 0;
+    /**
+     * Absolute instruction index where the detailed sample begins:
+     * the interval midpoint, so a within-interval learning trend
+     * cancels to first order instead of biasing the extrapolation.
+     */
+    std::uint64_t sampleStart = 0;
+    sim::SimResult result;
+    double ipc = 0.0;
+    double mpki = 0.0;
+};
+
+/** The stitched whole-run estimate. */
+struct WarpEstimate
+{
+    /** Field-wise sum of the interval samples (raw, unscaled). */
+    sim::SimResult sampled;
+    /**
+     * Whole-run estimate expressed as a SimResult: each interval's
+     * sampled counts scaled by lengthInsts / sampled insts, summed
+     * (so estimate.ipc() and estimate.mpki() reproduce the stitched
+     * ipc/mpki fields up to rounding). This is the result the CLI and
+     * the JSON writers report for a warp point.
+     */
+    sim::SimResult estimate;
+    /** Whole-run IPC estimate (length-weighted harmonic stitch). */
+    double ipc = 0.0;
+    /** Whole-run branch-MPKI estimate (length-weighted). */
+    double mpki = 0.0;
+    /** 95% confidence half-widths from interval variance. */
+    double ipcCi95 = 0.0;
+    double mpkiCi95 = 0.0;
+    /** Relative half-width (ipcCi95 / ipc), the reported error bar. */
+    double ipcRelErr = 0.0;
+
+    /** Instructions advanced functionally (fast-forward). */
+    std::uint64_t ffInsts = 0;
+    /** Cycles simulated in detail across all intervals. */
+    std::uint64_t detailedCycles = 0;
+    /** Of which warmup (discarded) cycles. */
+    std::uint64_t warmupCycles = 0;
+    /** Instructions measured in detail across all intervals. */
+    std::uint64_t detailedInsts = 0;
+
+    /**
+     * CobraScope stat-group hierarchy (JSON object) of the last
+     * interval's simulator, whose checkpointed stats span the whole
+     * warmed run; counters mix fast-forward warming with that
+     * interval's detailed sample, so the authoritative whole-run
+     * numbers are `estimate` and the `warp` group, not this tree.
+     */
+    std::string groupsJson;
+
+    std::vector<WarpInterval> intervals;
+};
+
+/**
+ * The stats-document group tree for a warp point: `groupsJson` with a
+ * synthetic "warp" group spliced in, recording the fast-forward /
+ * detailed cycle split and the estimated error (CI half-widths in
+ * parts-per-million, since stat counters are unsigned integers).
+ * Validates against tools/stats_schema.json like any registry render.
+ */
+std::string statsGroupsJson(const WarpEstimate& est);
+
+/**
+ * Run @p cfg's workload in warp mode. @p topology is invoked once per
+ * interval plus once for the fast-forward pass (topologies are
+ * single-use). Throws guard::SimError if any interval fails
+ * (deadlock, checkpoint mismatch), guard::ConfigError on an invalid
+ * @p wcfg.
+ */
+WarpEstimate runWarp(const prog::Program& program,
+                     const std::function<bpu::Topology()>& topology,
+                     const sim::SimConfig& cfg, const WarpConfig& wcfg);
+
+} // namespace cobra::warp
+
+#endif // COBRA_WARP_WARP_HPP

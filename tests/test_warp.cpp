@@ -1,0 +1,458 @@
+/**
+ * @file
+ * Warp subsystem tests: state-archive primitives, full-simulator
+ * checkpoint round-trips (including mid-speculation captures taken at
+ * arbitrary cycles), structured rejection of corrupted or mismatched
+ * snapshots, functional fast-forward, and warp-driver determinism.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "guard/errors.hpp"
+#include "program/workload.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulator.hpp"
+#include "warp/fastforward.hpp"
+#include "warp/snapshot.hpp"
+#include "warp/state_io.hpp"
+#include "warp/warp.hpp"
+
+using namespace cobra;
+
+namespace {
+
+/** Shared workload cache: programs are immutable once built. */
+prog::WorkloadCache&
+cache()
+{
+    static prog::WorkloadCache c;
+    return c;
+}
+
+sim::SimConfig
+smallCfg(sim::Design d)
+{
+    sim::SimConfig cfg = sim::makeConfig(d);
+    cfg.warmupInsts = 2000;
+    cfg.maxInsts = 40000;
+    return cfg;
+}
+
+/** A scratch directory under the system temp dir, wiped on entry. */
+std::string
+scratchDir(const char* leaf)
+{
+    const std::filesystem::path p =
+        std::filesystem::temp_directory_path() / leaf;
+    std::filesystem::remove_all(p);
+    std::filesystem::create_directories(p);
+    return p.string();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// State archive primitives
+// ---------------------------------------------------------------------
+
+TEST(StateIo, PrimitivesRoundTripThroughSections)
+{
+    warp::StateWriter w;
+    w.section("scalars");
+    w.u8(0xAB);
+    w.u32(0xDEADBEEFu);
+    w.u64(0x0123456789ABCDEFull);
+    w.i64(-42);
+    w.boolean(true);
+    w.boolean(false);
+    w.f64(3.14159);
+    w.str("cobra");
+    w.section("vectors");
+    w.vecU(std::vector<std::uint16_t>{1, 2, 65535});
+    w.vecU(std::vector<std::uint64_t>{});
+
+    const std::vector<std::uint8_t> bytes = w.take();
+    warp::StateReader r(bytes.data(), bytes.size());
+    r.section("scalars");
+    EXPECT_EQ(r.u8(), 0xAB);
+    EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_TRUE(r.boolean());
+    EXPECT_FALSE(r.boolean());
+    EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+    EXPECT_EQ(r.str(), "cobra");
+    r.section("vectors");
+    EXPECT_EQ(r.vecU<std::uint16_t>(),
+              (std::vector<std::uint16_t>{1, 2, 65535}));
+    EXPECT_TRUE(r.vecU<std::uint64_t>().empty());
+    EXPECT_NO_THROW(r.expectEnd());
+}
+
+TEST(StateIo, TruncatedArchiveIsAStructuredError)
+{
+    warp::StateWriter w;
+    w.u64(7);
+    const std::vector<std::uint8_t> bytes = w.take();
+    warp::StateReader r(bytes.data(), bytes.size() - 3);
+    EXPECT_THROW(r.u64(), guard::CheckpointError);
+}
+
+TEST(StateIo, SectionTagMismatchIsAStructuredError)
+{
+    warp::StateWriter w;
+    w.section("alpha");
+    const std::vector<std::uint8_t> bytes = w.take();
+    warp::StateReader r(bytes.data(), bytes.size());
+    EXPECT_THROW(r.section("beta"), guard::CheckpointError);
+}
+
+TEST(StateIo, MissingSectionSentinelIsAStructuredError)
+{
+    warp::StateWriter w;
+    w.u32(0); // Not the sentinel.
+    w.str("alpha");
+    const std::vector<std::uint8_t> bytes = w.take();
+    warp::StateReader r(bytes.data(), bytes.size());
+    EXPECT_THROW(r.section("alpha"), guard::CheckpointError);
+}
+
+TEST(StateIo, BooleanByteOutOfRangeIsAStructuredError)
+{
+    warp::StateWriter w;
+    w.u8(2);
+    const std::vector<std::uint8_t> bytes = w.take();
+    warp::StateReader r(bytes.data(), bytes.size());
+    EXPECT_THROW(r.boolean(), guard::CheckpointError);
+}
+
+TEST(StateIo, TrailingBytesAreAStructuredError)
+{
+    warp::StateWriter w;
+    w.u8(1);
+    w.u8(2);
+    const std::vector<std::uint8_t> bytes = w.take();
+    warp::StateReader r(bytes.data(), bytes.size());
+    (void)r.u8();
+    EXPECT_THROW(r.expectEnd(), guard::CheckpointError);
+}
+
+TEST(StateIo, OversizedVectorLengthIsAStructuredError)
+{
+    // A length prefix far beyond the archive: must fail the bounds
+    // check, not allocate or read out of bounds.
+    warp::StateWriter w;
+    w.u64(1ull << 40);
+    const std::vector<std::uint8_t> bytes = w.take();
+    warp::StateReader r(bytes.data(), bytes.size());
+    EXPECT_THROW(r.vecU<std::uint64_t>(), guard::CheckpointError);
+}
+
+// ---------------------------------------------------------------------
+// Full-simulator snapshot round-trips
+// ---------------------------------------------------------------------
+
+TEST(Snapshot, MidRunRoundTripIsBitExactForEveryPresetDesign)
+{
+    const prog::Program& p = cache().get("x264");
+    for (sim::Design d : sim::paperDesigns()) {
+        const sim::SimConfig cfg = smallCfg(d);
+
+        sim::Simulator ref(p, sim::buildTopology(d), cfg);
+        const sim::SimResult want = ref.run();
+        ASSERT_GT(want.cycles, 0u);
+
+        // Stop mid-run at an arbitrary cycle: the pipeline is full of
+        // in-flight speculation (fetch packets, ROB entries, pending
+        // repair walks) — exactly the state a checkpoint must carry.
+        sim::Simulator a(p, sim::buildTopology(d), cfg);
+        ASSERT_TRUE(a.advanceTo(want.cycles / 2))
+            << sim::designName(d) << ": run finished before midpoint";
+        const warp::Snapshot snap = warp::captureSnapshot(a);
+        EXPECT_EQ(snap.cycle, want.cycles / 2);
+
+        // The capturing simulator itself resumes bit-exactly...
+        const sim::SimResult resumed = a.run();
+        EXPECT_EQ(resumed, want)
+            << sim::designName(d) << ": capture perturbed the run";
+
+        // ...and so does a fresh simulator restored from the snapshot.
+        sim::Simulator b(p, sim::buildTopology(d), cfg);
+        warp::restoreSnapshot(b, snap);
+        const sim::SimResult restored = b.run();
+        EXPECT_EQ(restored, want)
+            << sim::designName(d) << ": restore diverged";
+    }
+}
+
+TEST(Snapshot, AuditedRunRoundTripsBitExactly)
+{
+    const prog::Program& p = cache().get("leela");
+    sim::SimConfig cfg = smallCfg(sim::Design::B2);
+    cfg.audit = true;
+
+    sim::Simulator ref(p, sim::buildTopology(sim::Design::B2), cfg);
+    const sim::SimResult want = ref.run();
+
+    sim::Simulator a(p, sim::buildTopology(sim::Design::B2), cfg);
+    ASSERT_TRUE(a.advanceTo(want.cycles / 3));
+    const warp::Snapshot snap = warp::captureSnapshot(a);
+
+    sim::Simulator b(p, sim::buildTopology(sim::Design::B2), cfg);
+    warp::restoreSnapshot(b, snap);
+    EXPECT_EQ(b.run(), want);
+}
+
+TEST(Snapshot, EncodeDecodeRoundTrips)
+{
+    const prog::Program& p = cache().get("x264");
+    const sim::SimConfig cfg = smallCfg(sim::Design::Tourney);
+    sim::Simulator s(p, sim::buildTopology(sim::Design::Tourney), cfg);
+    ASSERT_TRUE(s.advanceTo(5000));
+    const warp::Snapshot snap = warp::captureSnapshot(s);
+
+    const std::vector<std::uint8_t> bytes = warp::encodeSnapshot(snap);
+    const warp::Snapshot back = warp::decodeSnapshot(bytes);
+    EXPECT_EQ(back.fingerprint, snap.fingerprint);
+    EXPECT_EQ(back.cycle, snap.cycle);
+    EXPECT_EQ(back.insts, snap.insts);
+    EXPECT_EQ(back.payload, snap.payload);
+}
+
+TEST(Snapshot, CorruptionIsRejectedStructurally)
+{
+    const prog::Program& p = cache().get("x264");
+    const sim::SimConfig cfg = smallCfg(sim::Design::Tourney);
+    sim::Simulator s(p, sim::buildTopology(sim::Design::Tourney), cfg);
+    ASSERT_TRUE(s.advanceTo(5000));
+    const std::vector<std::uint8_t> good =
+        warp::encodeSnapshot(warp::captureSnapshot(s));
+
+    // Bad magic.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[0] ^= 0xFF;
+        EXPECT_THROW(warp::decodeSnapshot(bad),
+                     guard::CheckpointError);
+    }
+    // Unsupported version.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[4] += 1;
+        EXPECT_THROW(warp::decodeSnapshot(bad),
+                     guard::CheckpointError);
+    }
+    // Flipped payload byte: caught by the checksum.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[good.size() - 1] ^= 0x01;
+        EXPECT_THROW(warp::decodeSnapshot(bad),
+                     guard::CheckpointError);
+    }
+    // Truncated mid-payload and truncated mid-header.
+    {
+        std::vector<std::uint8_t> bad(good.begin(),
+                                      good.end() - good.size() / 4);
+        EXPECT_THROW(warp::decodeSnapshot(bad),
+                     guard::CheckpointError);
+        bad.resize(10);
+        EXPECT_THROW(warp::decodeSnapshot(bad),
+                     guard::CheckpointError);
+    }
+    // Empty buffer.
+    EXPECT_THROW(warp::decodeSnapshot({}), guard::CheckpointError);
+}
+
+TEST(Snapshot, FingerprintMismatchIsRejectedOnRestore)
+{
+    const prog::Program& p = cache().get("x264");
+    sim::Simulator producer(p, sim::buildTopology(sim::Design::B2),
+                            smallCfg(sim::Design::B2));
+    ASSERT_TRUE(producer.advanceTo(5000));
+    const warp::Snapshot snap = warp::captureSnapshot(producer);
+
+    // A differently-configured simulator must refuse the snapshot
+    // before touching the payload.
+    sim::Simulator other(p, sim::buildTopology(sim::Design::TageL),
+                         smallCfg(sim::Design::TageL));
+    EXPECT_THROW(warp::restoreSnapshot(other, snap),
+                 guard::CheckpointError);
+}
+
+TEST(Snapshot, FileRoundTripAndIoErrors)
+{
+    const std::string dir = scratchDir("cobra_warp_test_snapdir");
+    const prog::Program& p = cache().get("x264");
+    const sim::SimConfig cfg = smallCfg(sim::Design::Tourney);
+    sim::Simulator s(p, sim::buildTopology(sim::Design::Tourney), cfg);
+    ASSERT_TRUE(s.advanceTo(5000));
+    const warp::Snapshot snap = warp::captureSnapshot(s);
+
+    const std::string path = dir + "/mid.warp";
+    warp::writeSnapshotFile(snap, path);
+    const warp::Snapshot back = warp::readSnapshotFile(path);
+    EXPECT_EQ(back.payload, snap.payload);
+    EXPECT_EQ(back.cycle, snap.cycle);
+
+    EXPECT_THROW(warp::readSnapshotFile(dir + "/missing.warp"),
+                 guard::CheckpointError);
+    EXPECT_THROW(warp::writeSnapshotFile(snap, dir +
+                                                   "/no/such/dir/x"),
+                 guard::CheckpointError);
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Functional fast-forward
+// ---------------------------------------------------------------------
+
+TEST(FastForward, AdvancesAndStaysCheckpointable)
+{
+    const prog::Program& p = cache().get("x264");
+    const sim::SimConfig cfg = smallCfg(sim::Design::B2);
+
+    sim::Simulator s(p, sim::buildTopology(sim::Design::B2), cfg);
+    const warp::FastForwardResult r = warp::fastForward(s, 10000);
+    EXPECT_EQ(r.insts, 10000u);
+    EXPECT_GT(r.packets, 0u);
+
+    // The quiesced post-FF state checkpoints and restores cleanly.
+    const warp::Snapshot snap = warp::captureSnapshot(s);
+    sim::Simulator b(p, sim::buildTopology(sim::Design::B2), cfg);
+    warp::restoreSnapshot(b, snap);
+    const sim::SimResult after = b.runInterval(2000, 4000);
+    // Superscalar commit may overshoot the bound by one group.
+    EXPECT_GE(after.insts, 4000u);
+    EXPECT_LT(after.insts, 4000u + 8u);
+    EXPECT_FALSE(after.deadlocked);
+}
+
+TEST(FastForward, NoWarmModeStillAdvancesArchitecture)
+{
+    const prog::Program& p = cache().get("x264");
+    const sim::SimConfig cfg = smallCfg(sim::Design::B2);
+    sim::Simulator s(p, sim::buildTopology(sim::Design::B2), cfg);
+
+    warp::FastForwardOptions off;
+    off.warmPredictor = false;
+    off.warmCaches = false;
+    const warp::FastForwardResult r = warp::fastForward(s, 10000, off);
+    EXPECT_EQ(r.insts, 10000u);
+    EXPECT_EQ(r.packets, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Warp driver
+// ---------------------------------------------------------------------
+
+namespace {
+
+warp::WarpEstimate
+runSmallWarp(unsigned jobs, const std::string& checkpoint_dir = "")
+{
+    const prog::Program& p = cache().get("leela");
+    const sim::SimConfig cfg = smallCfg(sim::Design::B2);
+    warp::WarpConfig w;
+    w.intervals = 4;
+    w.sampleInsts = 4000;
+    w.warmupCycles = 2000;
+    w.jobs = jobs;
+    w.checkpointDir = checkpoint_dir;
+    return warp::runWarp(
+        p, [] { return sim::buildTopology(sim::Design::B2); }, cfg, w);
+}
+
+} // namespace
+
+TEST(Warp, EstimateIsDeterministicAndJobCountInvariant)
+{
+    const warp::WarpEstimate a = runSmallWarp(1);
+    const warp::WarpEstimate b = runSmallWarp(1);
+    const warp::WarpEstimate c = runSmallWarp(2);
+
+    ASSERT_EQ(a.intervals.size(), 4u);
+    EXPECT_EQ(a.estimate, b.estimate);
+    EXPECT_EQ(a.estimate, c.estimate);
+    EXPECT_DOUBLE_EQ(a.ipc, c.ipc);
+    EXPECT_DOUBLE_EQ(a.mpki, c.mpki);
+    for (std::size_t i = 0; i < a.intervals.size(); ++i)
+        EXPECT_EQ(a.intervals[i].result, c.intervals[i].result)
+            << "interval " << i
+            << " diverged between jobs=1 and jobs=2";
+}
+
+TEST(Warp, EstimateTracksTheFullDetailedRun)
+{
+    const prog::Program& p = cache().get("leela");
+    const sim::SimConfig cfg = smallCfg(sim::Design::B2);
+    sim::Simulator full(p, sim::buildTopology(sim::Design::B2), cfg);
+    const sim::SimResult want = full.run();
+
+    const warp::WarpEstimate est = runSmallWarp(1);
+    EXPECT_EQ(est.estimate.insts, cfg.maxInsts);
+    // At this tiny scale the sampling error is large compared to the
+    // acceptance benchmark; this only pins the estimator to the right
+    // ballpark (a stitching bug is off by integer factors).
+    EXPECT_NEAR(est.ipc, want.ipc(), 0.15 * want.ipc());
+    EXPECT_GT(est.detailedInsts, 0u);
+    EXPECT_GT(est.ffInsts, 0u);
+}
+
+TEST(Warp, StatsGroupsJsonCarriesTheWarpGroup)
+{
+    const warp::WarpEstimate est = runSmallWarp(1);
+    const std::string groups = warp::statsGroupsJson(est);
+    EXPECT_EQ(groups.front(), '{');
+    EXPECT_NE(groups.find("\"warp\""), std::string::npos);
+    EXPECT_NE(groups.find("\"ff_insts\""), std::string::npos);
+    EXPECT_NE(groups.find("\"ipc_ci95_ppm\""), std::string::npos);
+    // The registry tree of the last interval rides along.
+    EXPECT_NE(groups.find("\"frontend\""), std::string::npos);
+    EXPECT_NE(groups.find("\"bpu\""), std::string::npos);
+}
+
+TEST(Warp, CheckpointDirPersistsRestorableSnapshots)
+{
+    const std::string dir = scratchDir("cobra_warp_test_ckptdir");
+    const warp::WarpEstimate est = runSmallWarp(1, dir);
+    ASSERT_EQ(est.intervals.size(), 4u);
+
+    const sim::SimConfig cfg = smallCfg(sim::Design::B2);
+    for (unsigned i = 0; i < 4; ++i) {
+        const warp::Snapshot snap = warp::readSnapshotFile(
+            dir + "/interval-" + std::to_string(i) + ".warp");
+        sim::Simulator s(cache().get("leela"),
+                         sim::buildTopology(sim::Design::B2), cfg);
+        EXPECT_NO_THROW(warp::restoreSnapshot(s, snap))
+            << "interval " << i;
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Warp, InvalidConfigurationsAreRejected)
+{
+    const prog::Program& p = cache().get("leela");
+    const sim::SimConfig cfg = smallCfg(sim::Design::B2);
+    const auto topo = [] {
+        return sim::buildTopology(sim::Design::B2);
+    };
+
+    warp::WarpConfig w;
+    w.intervals = 0;
+    EXPECT_THROW(warp::runWarp(p, topo, cfg, w), guard::ConfigError);
+
+    w.intervals = 4;
+    w.warmupCycles = 0;
+    EXPECT_THROW(warp::runWarp(p, topo, cfg, w), guard::ConfigError);
+
+    w = warp::WarpConfig{};
+    sim::SimConfig tiny = cfg;
+    tiny.maxInsts = 2;
+    w.intervals = 8;
+    EXPECT_THROW(warp::runWarp(p, topo, tiny, w), guard::ConfigError);
+}

@@ -13,6 +13,8 @@
  *             [--warmup N] [--ghist none|repair|replay] [--sfb]
  *             [--serialize] [--audit] [--inject-faults RATE]
  *             [--fault-seed N] [--deadlock-cycles N] [--jobs N]
+ *             [--warp] [--intervals N] [--warmup-cycles N]
+ *             [--sample-insts N] [--checkpoint-dir PATH] [--progress]
  *             [--json PATH] [--stats-json PATH] [--trace-events PATH]
  *             [--trace-start N] [--trace-cycles N]
  *             [--stats] [--area] [--list]
@@ -22,6 +24,7 @@
  * combinations exit 2 like any other usage error.
  */
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -34,6 +37,7 @@
 #include "sim/presets.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
+#include "warp/warp.hpp"
 
 using namespace cobra;
 
@@ -64,6 +68,20 @@ usage()
         "                       commit (default 100000)\n"
         "  --jobs N             worker threads for grid runs (default:\n"
         "                       COBRA_JOBS, else hardware concurrency)\n"
+        "  --warp               time-parallel sampled simulation: cut\n"
+        "                       the run into checkpointed intervals and\n"
+        "                       estimate whole-run IPC/MPKI with error\n"
+        "                       bars from bounded detailed samples\n"
+        "  --intervals N        warp: number of intervals (default 4)\n"
+        "  --warmup-cycles N    warp: discarded detailed pipeline\n"
+        "                       re-warm prefix per interval (default\n"
+        "                       10000 cycles)\n"
+        "  --sample-insts N     warp: instructions measured in detail\n"
+        "                       per interval (default 0 = the whole\n"
+        "                       interval)\n"
+        "  --checkpoint-dir P   warp: persist per-interval checkpoints\n"
+        "                       under P\n"
+        "  --progress           report per-point completion to stderr\n"
         "  --json PATH          also write results as JSON to PATH\n"
         "  --stats-json PATH    write the full stat-group hierarchy as\n"
         "                       JSON to PATH (CobraScope)\n"
@@ -133,6 +151,47 @@ parseDouble(const std::string& flag, const std::string& v)
     }
 }
 
+void
+printWarpEstimate(const warp::WarpEstimate& est, bool sfb,
+                  double fault_rate, bool audit)
+{
+    TextTable t;
+    t.addRow({"metric", "value"});
+    auto row = [&t](const std::string& k, const std::string& v) {
+        t.beginRow();
+        t.cell(k);
+        t.cell(v);
+    };
+    row("instructions", std::to_string(est.estimate.insts));
+    row("est cycles", std::to_string(est.estimate.cycles));
+    row("est IPC", formatDouble(est.ipc, 3) + " +/- " +
+                       formatDouble(est.ipcCi95, 3) + " (95% CI)");
+    row("est branch MPKI", formatDouble(est.mpki, 2) + " +/- " +
+                               formatDouble(est.mpkiCi95, 2) +
+                               " (95% CI)");
+    row("accuracy", formatDouble(100 * est.estimate.accuracy(), 2) +
+                        "%");
+    row("intervals", std::to_string(est.intervals.size()));
+    row("ff insts", std::to_string(est.ffInsts));
+    row("detailed insts", std::to_string(est.detailedInsts));
+    row("detailed cycles",
+        std::to_string(est.detailedCycles) + " (warmup " +
+            std::to_string(est.warmupCycles) + ")");
+    if (sfb)
+        row("SFB conversions",
+            std::to_string(est.estimate.sfbConversions));
+    if (fault_rate > 0.0) {
+        row("faults injected",
+            std::to_string(est.estimate.faultsInjected));
+        row("updates dropped",
+            std::to_string(est.estimate.updatesDropped));
+    }
+    if (audit)
+        row("contract checks",
+            std::to_string(est.estimate.auditChecks));
+    t.print(std::cout);
+}
+
 std::vector<std::string>
 splitList(const std::string& s)
 {
@@ -168,6 +227,9 @@ runMain(int argc, char** argv)
     double faultRate = 0.0;
     std::uint64_t faultSeed = 0x5EED;
     unsigned jobs = 0; // 0 = SweepEngine default (COBRA_JOBS / hw)
+    bool warpMode = false;
+    bool progress = false;
+    warp::WarpConfig wcfg;
     sim::OutputConfig out;
 
     std::vector<sim::Design> designs;
@@ -204,6 +266,19 @@ runMain(int argc, char** argv)
                 deadlockCycles = parseU64(a, next());
             else if (a == "--jobs")
                 jobs = static_cast<unsigned>(parseU64(a, next()));
+            else if (a == "--warp")
+                warpMode = true;
+            else if (a == "--intervals")
+                wcfg.intervals =
+                    static_cast<unsigned>(parseU64(a, next()));
+            else if (a == "--warmup-cycles")
+                wcfg.warmupCycles = parseU64(a, next());
+            else if (a == "--sample-insts")
+                wcfg.sampleInsts = parseU64(a, next());
+            else if (a == "--checkpoint-dir")
+                wcfg.checkpointDir = next();
+            else if (a == "--progress")
+                progress = true;
             else if (a == "--json")
                 out.resultsJsonPath = next();
             else if (a == "--stats-json")
@@ -236,6 +311,21 @@ runMain(int argc, char** argv)
             designs.push_back(parseDesign(d));
         workloads = splitList(workloadArg);
         out.validate(); // Bad flag combinations are usage errors.
+        if (warpMode) {
+            if (out.tracing()) {
+                throw std::runtime_error(
+                    "--warp cannot be combined with --trace-events "
+                    "(pipeline traces are not checkpointed)");
+            }
+            if (out.textStats || out.textArea) {
+                throw std::runtime_error(
+                    "--warp does not support --stats/--area (interval "
+                    "simulators are transient); use --stats-json");
+            }
+            wcfg.jobs = jobs;
+            wcfg.progress = progress;
+            wcfg.validate();
+        }
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n\n";
         usage();
@@ -244,8 +334,10 @@ runMain(int argc, char** argv)
 
     prog::WorkloadCache cache;
     sim::SweepEngine engine(jobs);
+    engine.setProgress(progress);
     std::vector<std::string> headers;
     std::vector<sim::Design> pointDesigns;
+    std::vector<sim::SweepPoint> warpJobs;
 
     for (const std::string& wl : workloads) {
         const prog::Program& program = cache.get(wl);
@@ -266,6 +358,15 @@ runMain(int argc, char** argv)
             if (faultRate > 0.0) {
                 hdr << ", fault rate " << faultRate << " (seed 0x"
                     << std::hex << faultSeed << std::dec << ")";
+            }
+            if (warpMode) {
+                hdr << "\nwarp:     " << wcfg.intervals
+                    << " intervals, sample ";
+                if (wcfg.sampleInsts == 0)
+                    hdr << "full";
+                else
+                    hdr << wcfg.sampleInsts << " insts";
+                hdr << ", warmup " << wcfg.warmupCycles << " cycles";
             }
             hdr << "\n\n";
 
@@ -291,10 +392,65 @@ runMain(int argc, char** argv)
             };
             pt.program = &program;
             pt.cfg = cfg;
-            engine.add(std::move(pt));
+            if (warpMode)
+                warpJobs.push_back(std::move(pt));
+            else
+                engine.add(std::move(pt));
             headers.push_back(hdr.str());
             pointDesigns.push_back(design);
         }
+    }
+
+    if (warpMode) {
+        // Warp points run one at a time: each runWarp drives its own
+        // SweepEngine over the intervals, which is where the
+        // parallelism (and the --jobs setting) goes.
+        bool anyFail = false;
+        std::vector<sim::SweepOutcome> outcomes;
+        for (std::size_t i = 0; i < warpJobs.size(); ++i) {
+            const sim::SweepPoint& pt = warpJobs[i];
+            if (i > 0)
+                std::cout << "\n";
+            std::cout << headers[i];
+            sim::SweepOutcome o;
+            o.label = pt.label;
+            const auto t0 = std::chrono::steady_clock::now();
+            try {
+                warp::WarpConfig w = wcfg;
+                if (!wcfg.checkpointDir.empty() && warpJobs.size() > 1)
+                    w.checkpointDir =
+                        wcfg.checkpointDir + "/" + pt.label;
+                const warp::WarpEstimate est =
+                    warp::runWarp(*pt.program, pt.topology, pt.cfg, w);
+                o.result = est.estimate;
+                o.host.simCycles = est.detailedCycles;
+                o.host.simInsts = est.detailedInsts;
+                if (!out.statsJsonPath.empty()) {
+                    o.statsJson = sim::renderPointStats(
+                        pt.label, est.estimate,
+                        warp::statsGroupsJson(est));
+                }
+                printWarpEstimate(est, sfb, faultRate, audit);
+            } catch (const std::exception& e) {
+                o.error = e.what();
+                std::cerr << "error: " << o.error << "\n";
+                anyFail = true;
+            }
+            const auto t1 = std::chrono::steady_clock::now();
+            o.host.wallSeconds =
+                std::chrono::duration<double>(t1 - t0).count();
+            outcomes.push_back(std::move(o));
+        }
+        const unsigned effJobs =
+            jobs == 0 ? sim::SweepEngine::defaultJobs() : jobs;
+        if (!out.resultsJsonPath.empty())
+            sim::writeSweepJson(out.resultsJsonPath, "cobra_sim",
+                                outcomes, effJobs,
+                                "\"mode\": \"warp\"");
+        if (!out.statsJsonPath.empty())
+            sim::writeStatsJson(out.statsJsonPath, "cobra_sim",
+                                outcomes, effJobs);
+        return anyFail ? 1 : 0;
     }
 
     // Stats/area need the live Simulator, so they are rendered on the

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Regenerate every committed bench_results/ artifact from a release
+# build. Run from anywhere; pass the build directory as $1 (default:
+# ./build relative to the repo root). See bench_results/README.md for
+# what each artifact is and when it must be refreshed.
+#
+#   cmake -B build -DCMAKE_BUILD_TYPE=Release && cmake --build build
+#   tools/refresh_bench_results.sh build
+#
+# Each harness's stdout (the paper-style tables and [SHAPE] checks)
+# becomes bench_results/<name>.txt; the harnesses themselves write the
+# machine-readable bench_results/<name>.json side-car. progress.log
+# records one "name rc=N" line per harness so a partial refresh is
+# visible in review.
+set -u
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+if [ ! -x "$BUILD/bench/bench_table1_storage" ]; then
+    echo "error: $BUILD/bench does not contain built harnesses" >&2
+    echo "       (cmake --build $BUILD first)" >&2
+    exit 2
+fi
+
+HARNESSES="
+bench_table1_storage
+bench_table2_config
+bench_fig2_timing
+bench_fig4_topologies
+bench_fig7_pipelines
+bench_fig8_predictor_area
+bench_fig9_core_area
+bench_fig10_specint
+bench_intro_serialization
+bench_via_tage_latency
+bench_vib_ghist_repair
+bench_vic_sfb
+bench_ablations
+bench_trace_vs_execution
+bench_energy
+bench_warp
+"
+
+mkdir -p bench_results
+: > bench_results/progress.log
+
+fails=0
+for b in $HARNESSES; do
+    echo "== $b =="
+    "$BUILD/bench/$b" > "bench_results/$b.txt"
+    rc=$?
+    echo "$b rc=$rc" >> bench_results/progress.log
+    [ "$rc" -eq 0 ] || fails=$((fails + 1))
+done
+
+# Host-throughput gate: JSON only (wall-clock tables are host-specific
+# noise in review diffs, the JSON carries the comparable numbers).
+echo "== bench_host_throughput =="
+"$BUILD/bench/bench_host_throughput"
+rc=$?
+echo "bench_host_throughput rc=$rc" >> bench_results/progress.log
+[ "$rc" -eq 0 ] || fails=$((fails + 1))
+
+echo "ALL-DONE" >> bench_results/progress.log
+echo
+grep -c "SHAPE PASS" bench_results/*.txt /dev/null | sed 's/^bench_results\///'
+echo
+if [ "$fails" -ne 0 ]; then
+    echo "$fails harness(es) failed — see bench_results/progress.log" >&2
+    exit 1
+fi
+echo "all harnesses passed; review the bench_results/ diff and commit"
