@@ -13,11 +13,23 @@
  *                         watchdog's post-mortem text;
  *  - CheckpointError    — a warp-mode checkpoint could not be written,
  *                         read, or applied (corruption, truncation,
- *                         version/config mismatch).
+ *                         version/config mismatch);
+ *  - TimeoutError       — a cooperative wall-clock watchdog expired
+ *                         while driving a simulation point (the serve
+ *                         daemon's per-point deadline).
  *
  * All derive from SimError, which itself derives from std::logic_error
  * so legacy call sites (and tests) that catch std::logic_error keep
  * working unchanged.
+ *
+ * The hierarchy doubles as a machine-readable failure taxonomy:
+ * errorClassOf() maps any exception onto a stable class string
+ * ("config", "contract", "deadlock", "checkpoint", "timeout", "sim",
+ * "internal") used by SweepOutcome::errorClass and the cobra_serve
+ * failure records, and errorClassTransient() says whether a class is
+ * worth retrying (environmental, e.g. a timeout under host load or a
+ * regenerable checkpoint) or deterministic (a config or contract bug
+ * that will fail identically on every attempt).
  */
 
 #ifndef COBRA_GUARD_ERRORS_HPP
@@ -26,6 +38,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace cobra::guard {
 
@@ -119,6 +132,67 @@ class CheckpointError : public SimError
     {
     }
 };
+
+/**
+ * A cooperative wall-clock watchdog expired: the point's simulation
+ * exceeded its deadline and was abandoned at a slice boundary. Raised
+ * by deadline-driven run loops (cobra_serve), never by Simulator
+ * itself.
+ */
+class TimeoutError : public SimError
+{
+  public:
+    TimeoutError(const std::string& what_ran, std::uint64_t limit_ms)
+        : SimError("wall-clock timeout: " + what_ran + " exceeded " +
+                   std::to_string(limit_ms) + " ms"),
+          limitMs_(limit_ms)
+    {
+    }
+
+    std::uint64_t limitMs() const { return limitMs_; }
+
+  private:
+    std::uint64_t limitMs_;
+};
+
+/**
+ * Machine-readable failure class of @p e — the error taxonomy string
+ * carried by SweepOutcome::errorClass and cobra_serve point records.
+ * Subclass checks run most-derived-first so e.g. a CheckpointError is
+ * "checkpoint", not "sim".
+ */
+inline const char*
+errorClassOf(const std::exception& e)
+{
+    if (dynamic_cast<const ConfigError*>(&e) != nullptr)
+        return "config";
+    if (dynamic_cast<const ContractViolation*>(&e) != nullptr)
+        return "contract";
+    if (dynamic_cast<const DeadlockError*>(&e) != nullptr)
+        return "deadlock";
+    if (dynamic_cast<const CheckpointError*>(&e) != nullptr)
+        return "checkpoint";
+    if (dynamic_cast<const TimeoutError*>(&e) != nullptr)
+        return "timeout";
+    if (dynamic_cast<const SimError*>(&e) != nullptr)
+        return "sim";
+    return "internal";
+}
+
+/**
+ * Whether a failure class is transient — plausibly environmental, so
+ * a bounded retry may succeed (timeouts under host load, checkpoint
+ * cache entries that are regenerated after rejection, unclassified
+ * internal errors). Deterministic classes (config, contract,
+ * deadlock, sim) fail identically on every attempt and are never
+ * retried.
+ */
+inline bool
+errorClassTransient(std::string_view cls)
+{
+    return cls == "timeout" || cls == "checkpoint" ||
+           cls == "internal";
+}
 
 } // namespace cobra::guard
 

@@ -1,0 +1,199 @@
+#include "serve/request.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "guard/errors.hpp"
+#include "program/workload.hpp"
+#include "serve/json.hpp"
+
+namespace cobra::serve {
+
+sim::Design
+designFromName(const std::string& name)
+{
+    if (name == "tourney")
+        return sim::Design::Tourney;
+    if (name == "b2")
+        return sim::Design::B2;
+    if (name == "tagel")
+        return sim::Design::TageL;
+    if (name == "refbig")
+        return sim::Design::RefBig;
+    throw RequestError("unknown design '" + name +
+                       "' (tourney | b2 | tagel | refbig)");
+}
+
+namespace {
+
+bpu::GhistRepairMode
+ghistFromName(const std::string& name)
+{
+    if (name == "none")
+        return bpu::GhistRepairMode::None;
+    if (name == "repair")
+        return bpu::GhistRepairMode::RepairOnly;
+    if (name == "replay")
+        return bpu::GhistRepairMode::RepairAndReplay;
+    throw RequestError("unknown ghist mode '" + name +
+                       "' (none | repair | replay)");
+}
+
+std::vector<std::string>
+stringList(const Json& doc, const char* key)
+{
+    const Json* v = doc.find(key);
+    if (v == nullptr || !v->isArray() || v->asArray().empty())
+        throw RequestError(std::string("'") + key +
+                           "' must be a non-empty array of strings");
+    std::vector<std::string> out;
+    for (const Json& e : v->asArray()) {
+        if (!e.isString())
+            throw RequestError(std::string("'") + key +
+                               "' entries must be strings");
+        out.push_back(e.asString());
+    }
+    return out;
+}
+
+} // namespace
+
+SweepRequest
+SweepRequest::parse(const std::string& text,
+                    const std::string& fallback_id)
+{
+    Json doc;
+    try {
+        doc = Json::parse(text);
+    } catch (const JsonError& e) {
+        throw RequestError(e.what());
+    }
+    if (!doc.isObject())
+        throw RequestError("document must be a JSON object");
+
+    SweepRequest r;
+    try {
+        r.id = doc.getString("id", fallback_id);
+        r.client = doc.getString("client", "");
+        r.priority = static_cast<int>(doc.getU64("priority", 1));
+
+        for (const std::string& d : stringList(doc, "designs"))
+            r.designs.push_back(designFromName(d));
+        r.workloads = stringList(doc, "workloads");
+
+        r.insts = doc.getU64("insts", r.insts);
+        r.warmup = doc.getU64("warmup", r.warmup);
+        r.ghist = ghistFromName(doc.getString("ghist", "replay"));
+        r.sfb = doc.getBool("sfb", false);
+        r.serialize = doc.getBool("serialize", false);
+        r.audit = doc.getBool("audit", false);
+        r.faultRate = doc.getDouble("fault_rate", 0.0);
+        r.faultSeed = doc.getU64("fault_seed", r.faultSeed);
+        r.deadlockCycles =
+            doc.getU64("deadlock_cycles", r.deadlockCycles);
+        r.pointTimeoutMs = doc.getU64("point_timeout_ms", 0);
+        r.maxRetries =
+            static_cast<unsigned>(doc.getU64("max_retries", 2));
+
+        if (const Json* w = doc.find("warp")) {
+            if (!w->isObject())
+                throw RequestError("'warp' must be an object");
+            r.warp = true;
+            r.intervals = static_cast<unsigned>(
+                w->getU64("intervals", r.intervals));
+            r.warmupCycles =
+                w->getU64("warmup_cycles", r.warmupCycles);
+            r.sampleInsts = w->getU64("sample_insts", r.sampleInsts);
+        }
+    } catch (const JsonError& e) {
+        // A typed-accessor mismatch (e.g. "insts": "lots").
+        throw RequestError(e.what());
+    }
+
+    // ---- Semantic validation ------------------------------------------
+    if (r.id.empty())
+        throw RequestError("'id' must be non-empty");
+    if (r.id.find('/') != std::string::npos ||
+        r.id.find("..") != std::string::npos)
+        throw RequestError("'id' must not contain '/' or '..' (it "
+                           "names spool files)");
+    if (r.client.empty())
+        throw RequestError("'client' is required");
+    if (r.priority < 0 || r.priority > 3)
+        throw RequestError("'priority' must be in [0, 3]");
+    if (r.maxRetries > 8)
+        throw RequestError("'max_retries' must be <= 8");
+    {
+        std::set<sim::Design> seenDesigns;
+        for (sim::Design d : r.designs) {
+            if (!seenDesigns.insert(d).second)
+                throw RequestError(
+                    std::string("duplicate design '") +
+                    sim::designName(d) + "'");
+        }
+        const auto known = prog::WorkloadLibrary::all();
+        const std::set<std::string> knownSet(known.begin(),
+                                             known.end());
+        std::set<std::string> seen;
+        for (const std::string& w : r.workloads) {
+            if (knownSet.count(w) == 0)
+                throw RequestError("unknown workload '" + w + "'");
+            if (!seen.insert(w).second)
+                throw RequestError("duplicate workload '" + w + "'");
+        }
+    }
+    if (r.warp) {
+        if (r.intervals < 1)
+            throw RequestError("'warp.intervals' must be >= 1");
+        if (r.intervals > r.insts)
+            throw RequestError(
+                "'warp.intervals' exceeds the instruction budget");
+        if (r.warmupCycles < 1)
+            throw RequestError("'warp.warmup_cycles' must be >= 1");
+    }
+    // Run the full SimConfig validation (strict, as the CLI does) so
+    // e.g. warmup > insts or fault_rate > 1 is rejected at admission
+    // with the validator's own message, per design.
+    try {
+        for (sim::Design d : r.designs)
+            r.makeConfig(d).validate(/*strict=*/true);
+    } catch (const guard::ConfigError& e) {
+        throw RequestError(e.what());
+    }
+    return r;
+}
+
+std::vector<PointSpec>
+SweepRequest::points() const
+{
+    std::vector<PointSpec> out;
+    for (const std::string& wl : workloads) {
+        for (sim::Design d : designs) {
+            PointSpec p;
+            p.design = d;
+            p.workload = wl;
+            p.label = std::string(sim::designName(d)) + "/" + wl;
+            out.push_back(std::move(p));
+        }
+    }
+    return out;
+}
+
+sim::SimConfig
+SweepRequest::makeConfig(sim::Design d) const
+{
+    sim::SimConfig cfg = sim::makeConfig(d);
+    cfg.maxInsts = insts;
+    cfg.warmupInsts = warmup;
+    cfg.frontend.ghistMode = ghist;
+    cfg.backend.ghistMode = ghist;
+    cfg.backend.sfbEnabled = sfb;
+    cfg.frontend.serializeFetch = serialize;
+    cfg.deadlockCycles = deadlockCycles;
+    cfg.audit = audit;
+    cfg.faultRate = faultRate;
+    cfg.faultSeed = faultSeed;
+    return cfg;
+}
+
+} // namespace cobra::serve

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * cobra_serve request documents: the JSON schema a client drops into
+ * `spool/incoming/`, parsed and validated into a SweepRequest before
+ * any simulation work is admitted. A request names a (design x
+ * workload) grid plus the run options cobra_sim exposes as flags, an
+ * optional warp block, and the robustness envelope (priority class,
+ * per-point wall-clock timeout, retry budget). See docs/SERVICE.md
+ * for the full schema.
+ *
+ * Parsing is total: every malformed document becomes a RequestError
+ * whose text names the offending field — the daemon turns it into a
+ * structured `invalid_request` rejection record, never a crash.
+ */
+
+#ifndef COBRA_SERVE_REQUEST_HPP
+#define COBRA_SERVE_REQUEST_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/presets.hpp"
+
+namespace cobra::serve {
+
+/** A structurally invalid request document. */
+class RequestError : public std::runtime_error
+{
+  public:
+    explicit RequestError(const std::string& msg)
+        : std::runtime_error("invalid request: " + msg)
+    {
+    }
+};
+
+/** One grid cell of a request: a (design, workload) evaluation. */
+struct PointSpec
+{
+    sim::Design design;
+    std::string workload;
+    std::string label; ///< "<design>/<workload>", unique per request.
+};
+
+/** A parsed, validated sweep-request document. */
+struct SweepRequest
+{
+    std::string id;     ///< Unique id (document or spool filename).
+    std::string client; ///< Submitting client (quota accounting).
+    /** Priority class 0..3; higher wins admission and scheduling. */
+    int priority = 1;
+
+    std::vector<sim::Design> designs;
+    std::vector<std::string> workloads;
+
+    // ---- Run options (cobra_sim flag equivalents) ---------------------
+    std::uint64_t insts = 400'000;
+    std::uint64_t warmup = 120'000;
+    bpu::GhistRepairMode ghist = bpu::GhistRepairMode::RepairAndReplay;
+    bool sfb = false;
+    bool serialize = false;
+    bool audit = false;
+    double faultRate = 0.0;
+    std::uint64_t faultSeed = 0x5EED;
+    std::uint64_t deadlockCycles = 100'000;
+
+    // ---- Robustness envelope ------------------------------------------
+    /** Per-point wall-clock watchdog; 0 = no deadline. */
+    std::uint64_t pointTimeoutMs = 0;
+    /** Extra attempts for transient failure classes. */
+    unsigned maxRetries = 2;
+
+    // ---- Warp block ----------------------------------------------------
+    bool warp = false;
+    unsigned intervals = 4;
+    std::uint64_t warmupCycles = 10'000;
+    std::uint64_t sampleInsts = 0;
+
+    /**
+     * Parse and validate one request document. @p fallback_id names
+     * the request when the document carries no "id" (the daemon
+     * passes the spool filename stem). Throws RequestError on any
+     * structural or semantic violation (unknown design/workload, bad
+     * priority, warmup > insts, ...).
+     */
+    static SweepRequest parse(const std::string& text,
+                              const std::string& fallback_id);
+
+    /** The request's grid, workload-major (cobra_sim's order). */
+    std::vector<PointSpec> points() const;
+
+    /** cobra_sim-equivalent SimConfig for one design of this request. */
+    sim::SimConfig makeConfig(sim::Design d) const;
+};
+
+/** Design from its CLI name; throws RequestError on an unknown name. */
+sim::Design designFromName(const std::string& name);
+
+} // namespace cobra::serve
+
+#endif // COBRA_SERVE_REQUEST_HPP

@@ -1,0 +1,134 @@
+#include "serve/spool.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace fs = std::filesystem;
+
+namespace cobra::serve {
+
+void
+writeFileAtomic(const std::string& path, const std::string& content)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            throw std::runtime_error("cannot write " + tmp);
+        os << content;
+        os.flush();
+        if (!os)
+            throw std::runtime_error("write failed: " + tmp);
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        throw std::runtime_error("rename " + tmp + " -> " + path +
+                                 ": " + ec.message());
+    }
+}
+
+std::string
+readFileText(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("cannot read " + path);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+Spool::Spool(std::string root) : root_(std::move(root))
+{
+    for (const std::string& d :
+         {incomingDir(), activeDir(), doneDir(), failedDir(),
+          resultsDir(), warmDir()})
+        fs::create_directories(d);
+}
+
+namespace {
+
+std::vector<std::string>
+scanJsonFiles(const std::string& dir)
+{
+    std::vector<std::string> out;
+    std::error_code ec;
+    for (const auto& e : fs::directory_iterator(dir, ec)) {
+        if (!e.is_regular_file())
+            continue;
+        const std::string name = e.path().filename().string();
+        // Skip in-flight temp files from write-then-rename clients.
+        if (name.size() > 5 &&
+            name.compare(name.size() - 5, 5, ".json") == 0)
+            out.push_back(name);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace
+
+std::vector<std::string>
+Spool::scanIncoming() const
+{
+    return scanJsonFiles(incomingDir());
+}
+
+std::vector<std::string>
+Spool::scanActive() const
+{
+    return scanJsonFiles(activeDir());
+}
+
+bool
+Spool::claim(const std::string& fname)
+{
+    std::error_code ec;
+    fs::rename(incomingDir() + "/" + fname,
+               activeDir() + "/" + fname, ec);
+    return !ec;
+}
+
+void
+Spool::finish(const std::string& fname, bool ok)
+{
+    std::error_code ec;
+    fs::rename(activeDir() + "/" + fname,
+               (ok ? doneDir() : failedDir()) + "/" + fname, ec);
+    if (ec) {
+        throw std::runtime_error("finish " + fname + ": " +
+                                 ec.message());
+    }
+}
+
+void
+Spool::reject(const std::string& fname)
+{
+    std::error_code ec;
+    fs::rename(incomingDir() + "/" + fname,
+               failedDir() + "/" + fname, ec);
+    if (ec) {
+        throw std::runtime_error("reject " + fname + ": " +
+                                 ec.message());
+    }
+}
+
+void
+Spool::writeResult(const std::string& id, const std::string& text)
+{
+    writeFileAtomic(resultPath(id), text);
+}
+
+std::string
+Spool::resultPath(const std::string& id) const
+{
+    return resultsDir() + "/" + id + ".json";
+}
+
+} // namespace cobra::serve

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The cobra_serve spool: a watched directory tree that doubles as the
+ * daemon's request state machine. A request document's location IS
+ * its lifecycle state, and every transition is a same-filesystem
+ * rename (atomic on POSIX), so a crash at any instant leaves each
+ * request in exactly one well-defined state:
+ *
+ *     incoming/r.json  --claim-->  active/r.json  --finish-->  done/r.json
+ *                       (accept                   (result       failed/r.json
+ *                        journaled                 written
+ *                        first)                    first)
+ *
+ * Clients submit by writing a temp file and renaming it into
+ * `incoming/` (write-then-rename, like the daemon's own outputs), so
+ * the daemon never observes a half-written document. Result and
+ * status documents are written with the same temp+rename discipline
+ * via writeFileAtomic().
+ */
+
+#ifndef COBRA_SERVE_SPOOL_HPP
+#define COBRA_SERVE_SPOOL_HPP
+
+#include <string>
+#include <vector>
+
+namespace cobra::serve {
+
+/** Atomic file publish: write `path.tmp`, flush, rename onto @p path. */
+void writeFileAtomic(const std::string& path,
+                     const std::string& content);
+
+/** Read a whole file; throws std::runtime_error when unreadable. */
+std::string readFileText(const std::string& path);
+
+class Spool
+{
+  public:
+    /** Opens (creating if needed) the spool tree under @p root. */
+    explicit Spool(std::string root);
+
+    const std::string& root() const { return root_; }
+    std::string incomingDir() const { return root_ + "/incoming"; }
+    std::string activeDir() const { return root_ + "/active"; }
+    std::string doneDir() const { return root_ + "/done"; }
+    std::string failedDir() const { return root_ + "/failed"; }
+    std::string resultsDir() const { return root_ + "/results"; }
+    std::string warmDir() const { return root_ + "/warm"; }
+    std::string journalPath() const { return root_ + "/journal.log"; }
+    std::string statusPath() const { return root_ + "/status.json"; }
+
+    /** `*.json` filenames in incoming/, sorted (submission order). */
+    std::vector<std::string> scanIncoming() const;
+
+    /** `*.json` filenames in active/, sorted (recovery order). */
+    std::vector<std::string> scanActive() const;
+
+    /**
+     * Claim a request: incoming/@p fname -> active/@p fname. False if
+     * the file vanished (a competing claim or a client withdrew it).
+     */
+    bool claim(const std::string& fname);
+
+    /** Retire a request: active/@p fname -> done|failed/@p fname. */
+    void finish(const std::string& fname, bool ok);
+
+    /** Reject without claiming: incoming/@p fname -> failed/@p fname. */
+    void reject(const std::string& fname);
+
+    /** Publish a result document as results/<id>.json (atomic). */
+    void writeResult(const std::string& id, const std::string& text);
+
+    /** Path a request id's result document lives at. */
+    std::string resultPath(const std::string& id) const;
+
+  private:
+    std::string root_;
+};
+
+} // namespace cobra::serve
+
+#endif // COBRA_SERVE_SPOOL_HPP

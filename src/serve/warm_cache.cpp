@@ -1,0 +1,70 @@
+#include "serve/warm_cache.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include "guard/errors.hpp"
+
+namespace fs = std::filesystem;
+
+namespace cobra::serve {
+
+WarmCache::WarmCache(std::string dir) : dir_(std::move(dir))
+{
+    fs::create_directories(dir_);
+}
+
+std::string
+WarmCache::keyPath(const std::string& workload,
+                   std::uint64_t config_hash, unsigned intervals,
+                   unsigned idx) const
+{
+    std::ostringstream os;
+    os << dir_ << "/" << workload << "-" << std::hex << config_hash
+       << std::dec << "-k" << intervals << "-i" << idx << ".snap";
+    return os.str();
+}
+
+bool
+WarmCache::lookup(const std::string& path, warp::Snapshot& out)
+{
+    std::error_code ec;
+    if (!fs::exists(path, ec) || ec) {
+        ++misses_;
+        return false;
+    }
+    try {
+        out = warp::readSnapshotFile(path);
+    } catch (const guard::CheckpointError&) {
+        // Corrupt/truncated/foreign bytes: evict so the slot can be
+        // regenerated cleanly, and report a miss.
+        ++rejected_;
+        fs::remove(path, ec);
+        return false;
+    }
+    ++hits_;
+    return true;
+}
+
+void
+WarmCache::store(const std::string& path, const warp::Snapshot& snap)
+{
+    // Best-effort: a failed store costs a future fast-forward pass,
+    // not correctness, so don't fail the point over it.
+    const std::string tmp = path + ".tmp";
+    try {
+        warp::writeSnapshotFile(snap, tmp);
+        std::error_code ec;
+        fs::rename(tmp, path, ec);
+        if (ec) {
+            fs::remove(tmp, ec);
+            return;
+        }
+        ++stores_;
+    } catch (const guard::CheckpointError&) {
+        std::error_code ec;
+        fs::remove(tmp, ec);
+    }
+}
+
+} // namespace cobra::serve

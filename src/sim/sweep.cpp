@@ -86,8 +86,15 @@ SweepEngine::runPoint(std::size_t idx, const SweepPoint& pt,
         // Keep the watchdog's pipeline post-mortem attached so CLI
         // consumers can still print it.
         out.error = std::string(e.what()) + "\n" + e.postMortem();
+        out.errorClass = guard::errorClassOf(e);
     } catch (const std::exception& e) {
         out.error = e.what();
+        out.errorClass = guard::errorClassOf(e);
+    } catch (...) {
+        // A non-std exception from a user-supplied topology factory
+        // or execute hook must not tear down the worker pool either.
+        out.error = "unknown non-std exception";
+        out.errorClass = "internal";
     }
     const auto t1 = std::chrono::steady_clock::now();
     out.host.wallSeconds =
@@ -106,7 +113,9 @@ SweepEngine::run(const PostRun& postRun)
     // with and without it). The counter is shared across workers; the
     // line itself is a single atomic-enough fprintf.
     std::atomic<std::size_t> completed{0};
-    auto report = [&](const SweepOutcome& o) {
+    auto report = [&](std::size_t idx, const SweepOutcome& o) {
+        if (onOutcome_)
+            onOutcome_(idx, o);
         if (!progress_)
             return;
         const std::size_t k = completed.fetch_add(1) + 1;
@@ -114,6 +123,11 @@ SweepEngine::run(const PostRun& postRun)
                      points.size(), o.label.c_str(),
                      o.host.kiloCyclesPerSec(),
                      o.ok() ? "" : " (FAILED)");
+    };
+    auto cancel = [&](std::size_t idx) {
+        outcomes[idx].label = points[idx].label;
+        outcomes[idx].error = "interrupted before start";
+        outcomes[idx].errorClass = "interrupted";
     };
 
     const unsigned workers = static_cast<unsigned>(
@@ -123,8 +137,12 @@ SweepEngine::run(const PostRun& postRun)
         // Inline serial path: the deterministic reference, and the
         // zero-overhead path for single-point "sweeps" (cobra_sim).
         for (std::size_t i = 0; i < points.size(); ++i) {
+            if (stopped()) {
+                cancel(i);
+                continue;
+            }
             outcomes[i] = runPoint(i, points[i], postRun);
-            report(outcomes[i]);
+            report(i, outcomes[i]);
         }
         return outcomes;
     }
@@ -166,8 +184,14 @@ SweepEngine::run(const PostRun& postRun)
             }
             if (idx == SIZE_MAX)
                 return; // All queues drained.
+            if (stopped()) {
+                // Drain mode: mark the remaining claim cancelled and
+                // keep pulling so every queued index gets an outcome.
+                cancel(idx);
+                continue;
+            }
             outcomes[idx] = runPoint(idx, points[idx], postRun);
-            report(outcomes[idx]);
+            report(idx, outcomes[idx]);
         }
     };
 
@@ -186,17 +210,9 @@ jsonEscape(const std::string& s)
     return cobra::jsonEscape(s);
 }
 
-namespace {
-
-/**
- * Emit every SimResult field (snake_case keys from visitFields' names)
- * followed by the derived ratios, one `pad"key": value` line each.
- * The final line carries a comma iff @p trailing_comma, so callers can
- * append further members or close the object.
- */
 void
-emitResultFields(std::ostream& os, const SimResult& r,
-                 const std::string& pad, bool trailing_comma)
+writeResultFields(std::ostream& os, const SimResult& r,
+                  const std::string& pad, bool trailing_comma)
 {
     r.forEachField([&](const char* name, const auto& v) {
         os << pad << "\"" << cobra::jsonKeyFromCamel(name) << "\": ";
@@ -214,8 +230,6 @@ emitResultFields(std::ostream& os, const SimResult& r,
        << pad << "\"accuracy\": " << r.accuracy()
        << (trailing_comma ? ",\n" : "\n");
 }
-
-} // namespace
 
 void
 writeSweepJson(const std::string& path, const std::string& name,
@@ -235,11 +249,14 @@ writeSweepJson(const std::string& path, const std::string& name,
         f << "    {\n      \"label\": \"" << jsonEscape(o.label)
           << "\",\n";
         if (!o.ok()) {
-            f << "      \"error\": \"" << jsonEscape(o.error)
+            f << "      \"error_class\": \""
+              << jsonEscape(o.errorClass.empty() ? "internal"
+                                                 : o.errorClass)
+              << "\",\n      \"error\": \"" << jsonEscape(o.error)
               << "\"\n    }";
         } else {
-            emitResultFields(f, o.result, "      ",
-                             /*trailing_comma=*/true);
+            writeResultFields(f, o.result, "      ",
+                              /*trailing_comma=*/true);
             f << "      \"host\": {\n"
               << "        \"wall_seconds\": " << o.host.wallSeconds
               << ",\n"
@@ -271,7 +288,7 @@ renderPointStats(const std::string& label, const SimResult& r,
     std::ostringstream os;
     os << "    {\n      \"label\": \"" << jsonEscape(label) << "\",\n"
        << "      \"result\": {\n";
-    emitResultFields(os, r, "        ", /*trailing_comma=*/false);
+    writeResultFields(os, r, "        ", /*trailing_comma=*/false);
     os << "      },\n      \"groups\": " << groups_json << "\n    }";
     return os.str();
 }

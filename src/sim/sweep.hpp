@@ -17,6 +17,7 @@
 #ifndef COBRA_SIM_SWEEP_HPP
 #define COBRA_SIM_SWEEP_HPP
 
+#include <atomic>
 #include <functional>
 #include <iosfwd>
 #include <string>
@@ -92,6 +93,14 @@ struct SweepOutcome
     HostCounters host;
     /** Exception text when the point failed; empty on success. */
     std::string error;
+    /**
+     * Machine-readable failure class when the point failed (see
+     * guard::errorClassOf: "config", "contract", "deadlock",
+     * "checkpoint", "timeout", "sim", "internal"), or "interrupted"
+     * when a stop flag cancelled the point before it started. Empty
+     * on success.
+     */
+    std::string errorClass;
     /** Text captured from the post-run hook (stats/area dumps). */
     std::string postRunText;
     /** CobraScope: this point's stats document (JSON object), rendered
@@ -127,6 +136,15 @@ class SweepEngine
         std::function<void(std::size_t, Simulator&, const SimResult&,
                            const SweepPoint&, std::ostream&)>;
 
+    /**
+     * Hook run as each point completes, on the worker that ran it
+     * (concurrently under --jobs N — the callee synchronises). The
+     * serve daemon journals per-point completion here so a crash
+     * mid-sweep loses at most the points still in flight.
+     */
+    using OnOutcome =
+        std::function<void(std::size_t, const SweepOutcome&)>;
+
     /** @param jobs Worker count; 0 means defaultJobs(). */
     explicit SweepEngine(unsigned jobs = 0);
 
@@ -145,6 +163,18 @@ class SweepEngine
      */
     void setProgress(bool on) { progress_ = on; }
 
+    /**
+     * Cooperative cancellation: when @p flag becomes true, workers
+     * finish the points they are running but start no new ones;
+     * cancelled points report errorClass "interrupted". The flag is
+     * polled between points only (async-signal safe to set from a
+     * SIGINT/SIGTERM handler). Pass nullptr to clear.
+     */
+    void setStopFlag(const std::atomic<bool>* flag) { stop_ = flag; }
+
+    /** Per-point completion hook (see OnOutcome). */
+    void setOnOutcome(OnOutcome cb) { onOutcome_ = std::move(cb); }
+
     /** Queue a point; returns its submission index. */
     std::size_t add(SweepPoint p);
 
@@ -161,8 +191,16 @@ class SweepEngine
     SweepOutcome runPoint(std::size_t idx, const SweepPoint& pt,
                           const PostRun& postRun) const;
 
+    bool stopped() const
+    {
+        return stop_ != nullptr &&
+               stop_->load(std::memory_order_relaxed);
+    }
+
     unsigned jobs_;
     bool progress_ = false;
+    const std::atomic<bool>* stop_ = nullptr;
+    OnOutcome onOutcome_;
     std::vector<SweepPoint> points_;
 };
 
@@ -219,6 +257,17 @@ void writeTraceEvents(const std::string& path,
 
 /** JSON string escaping for writeSweepJson-style emitters. */
 std::string jsonEscape(const std::string& s);
+
+/**
+ * Emit every SimResult field (snake_case keys from visitFields'
+ * names) followed by the derived ipc/mpki/accuracy ratios, one
+ * `pad"key": value` line each. The final line carries a comma iff
+ * @p trailing_comma, so callers can append further members or close
+ * the object. Shared by the sweep writers and the cobra_serve result
+ * documents, so every consumer renders result fields identically.
+ */
+void writeResultFields(std::ostream& os, const SimResult& r,
+                       const std::string& pad, bool trailing_comma);
 
 } // namespace cobra::sim
 

@@ -65,18 +65,46 @@ runWarp(const prog::Program& program,
             iv.startInst + (iv.lengthInsts - iv.sampledInsts) / 2;
     }
 
+    // ---- Warm-state cache probe (all-or-nothing) ----------------------
+    std::vector<std::shared_ptr<Snapshot>> snaps(K);
+    bool warm = false;
+    if (wcfg.snapshotLookup) {
+        // A throwaway simulator supplies the fingerprint every cached
+        // snapshot must match; a mismatched or misplaced entry is a
+        // miss (regenerate), never trusted.
+        const std::uint64_t fp =
+            sim::Simulator(program, topology(), runCfg)
+                .stateFingerprint();
+        warm = true;
+        for (unsigned i = 0; i < K && warm; ++i) {
+            auto snap = std::make_shared<Snapshot>();
+            warm = wcfg.snapshotLookup(i, *snap) &&
+                   snap->fingerprint == fp &&
+                   snap->insts == est.intervals[i].sampleStart;
+            snaps[i] = std::move(snap);
+        }
+    }
+    if (warm)
+        est.warmHits = K;
+
     // ---- Serial fast-forward pass: one checkpoint per interval --------
-    std::vector<std::shared_ptr<Snapshot>> snaps;
-    snaps.reserve(K);
-    {
+    if (!warm) {
         sim::Simulator master(program, topology(), runCfg);
         std::uint64_t ffAt = 0;
         for (unsigned i = 0; i < K; ++i) {
             const std::uint64_t start = est.intervals[i].sampleStart;
             fastForward(master, start - ffAt, wcfg.ff);
             ffAt = start;
-            snaps.push_back(
-                std::make_shared<Snapshot>(captureSnapshot(master)));
+            snaps[i] = std::make_shared<Snapshot>(
+                captureSnapshot(master));
+            // The backend commits nothing during functional
+            // fast-forward, so captureSnapshot records insts == 0
+            // here; stamp the snapshot with its architectural
+            // placement so the warm-probe position check above can
+            // match it on a later run.
+            snaps[i]->insts = start;
+            if (wcfg.snapshotStore)
+                wcfg.snapshotStore(i, *snaps[i]);
         }
         est.ffInsts = ffAt;
         if (!wcfg.checkpointDir.empty()) {
@@ -230,6 +258,7 @@ statsGroupsJson(const WarpEstimate& est)
        << "            \"intervals\": " << est.intervals.size()
        << ",\n"
        << "            \"ff_insts\": " << est.ffInsts << ",\n"
+       << "            \"warm_hits\": " << est.warmHits << ",\n"
        << "            \"detailed_insts\": " << est.detailedInsts
        << ",\n"
        << "            \"detailed_cycles\": " << est.detailedCycles

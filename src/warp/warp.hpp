@@ -29,6 +29,7 @@
 
 #include "sim/sweep.hpp"
 #include "warp/fastforward.hpp"
+#include "warp/snapshot.hpp"
 
 namespace cobra::warp {
 
@@ -56,6 +57,27 @@ struct WarpConfig
     std::string checkpointDir;
     /** Fast-forward warming mode. */
     FastForwardOptions ff{};
+
+    // ---- Warm-state cache hooks (cobra_serve) -------------------------
+    //
+    // When snapshotLookup is set it is tried for every interval
+    // before the fast-forward pass; only if ALL intervals produce a
+    // snapshot that matches this run's configuration fingerprint and
+    // interval placement is the pass skipped (a warm hit — repeat
+    // evaluations of a (workload, config) pair skip fast-forward
+    // entirely and are bit-identical to a cold run, since the
+    // intervals restore the exact bytes the cold run checkpointed).
+    // Any mismatched or missing entry falls back to a full cold pass,
+    // and snapshotStore is then offered every freshly-captured
+    // snapshot. Lookup implementations must validate their storage
+    // (guard::CheckpointError on corruption -> evict and return
+    // false, never return a snapshot they cannot vouch for).
+
+    /** Fill @p out for interval @p idx; false = cache miss. */
+    std::function<bool(unsigned idx, Snapshot& out)> snapshotLookup;
+    /** Offer interval @p idx's freshly-captured snapshot. */
+    std::function<void(unsigned idx, const Snapshot& snap)>
+        snapshotStore;
 
     /** Throws guard::ConfigError on invalid settings. */
     void validate() const;
@@ -104,8 +126,13 @@ struct WarpEstimate
     /** Relative half-width (ipcCi95 / ipc), the reported error bar. */
     double ipcRelErr = 0.0;
 
-    /** Instructions advanced functionally (fast-forward). */
+    /** Instructions advanced functionally (fast-forward); 0 when the
+     *  interval checkpoints all came from the warm-state cache. */
     std::uint64_t ffInsts = 0;
+    /** Interval checkpoints served by the warm-state cache (0 on a
+     *  cold run, intervals.size() on a full warm hit — partial hits
+     *  do not exist: one miss forces a full cold pass). */
+    unsigned warmHits = 0;
     /** Cycles simulated in detail across all intervals. */
     std::uint64_t detailedCycles = 0;
     /** Of which warmup (discarded) cycles. */

@@ -1,0 +1,782 @@
+/**
+ * @file
+ * cobra_serve tests: the strict JSON parser, request validation, the
+ * spool state machine, the write-ahead journal (including torn-tail
+ * replay), the warm-state snapshot cache under poisoning, concurrent
+ * WorkloadCache use, and the daemon end to end — healthy grids,
+ * structured rejections, per-point timeout/retry records, priority
+ * shedding, and crash recovery from a journaled mid-request state.
+ */
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "guard/errors.hpp"
+#include "program/workload.hpp"
+#include "serve/daemon.hpp"
+#include "serve/json.hpp"
+#include "serve/journal.hpp"
+#include "serve/request.hpp"
+#include "serve/spool.hpp"
+#include "serve/warm_cache.hpp"
+#include "warp/snapshot.hpp"
+
+using namespace cobra;
+namespace fs = std::filesystem;
+
+namespace {
+
+/** A scratch directory under the system temp dir, wiped on entry. */
+std::string
+scratchDir(const char* leaf)
+{
+    const fs::path p = fs::temp_directory_path() / leaf;
+    fs::remove_all(p);
+    fs::create_directories(p);
+    return p.string();
+}
+
+void
+writeFile(const std::string& path, const std::string& text)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << text;
+}
+
+/** Submit a request document the way clients must: temp + rename. */
+void
+submit(const serve::Spool& spool, const std::string& fname,
+       const std::string& text)
+{
+    const std::string dst = spool.incomingDir() + "/" + fname;
+    writeFile(dst + ".tmp", text);
+    fs::rename(dst + ".tmp", dst);
+}
+
+/** A minimal valid request body; extra fields splice in before "}". */
+std::string
+smallRequest(const std::string& id, const std::string& extra = "")
+{
+    return "{\"id\": \"" + id + "\", \"client\": \"test\", "
+           "\"designs\": [\"tagel\"], \"workloads\": [\"leela\"], "
+           "\"insts\": 8000, \"warmup\": 1000" +
+           (extra.empty() ? "" : ", " + extra) + "}";
+}
+
+std::string
+resultText(const serve::Spool& spool, const std::string& id)
+{
+    return serve::readFileText(spool.resultPath(id));
+}
+
+serve::ServeConfig
+onceConfig(const std::string& root)
+{
+    serve::ServeConfig cfg;
+    cfg.spoolRoot = root;
+    cfg.jobs = 2;
+    cfg.once = true;
+    cfg.backoffBaseMs = 1; // Keep retry tests fast.
+    return cfg;
+}
+
+std::size_t
+runOnce(const serve::ServeConfig& cfg)
+{
+    std::atomic<bool> stop{false};
+    serve::Daemon daemon(cfg);
+    return daemon.run(stop);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// JSON parser
+// ---------------------------------------------------------------------
+
+TEST(ServeJson, ParsesScalarsArraysAndObjects)
+{
+    const serve::Json doc = serve::Json::parse(
+        "{\"a\": 1, \"b\": -2.5, \"c\": true, \"d\": null, "
+        "\"e\": [1, 2, 3], \"f\": {\"g\": \"hi\"}}");
+    EXPECT_EQ(doc.getU64("a", 0), 1u);
+    EXPECT_DOUBLE_EQ(doc.getDouble("b", 0.0), -2.5);
+    EXPECT_TRUE(doc.getBool("c", false));
+    ASSERT_NE(doc.find("d"), nullptr);
+    EXPECT_TRUE(doc.find("d")->isNull());
+    ASSERT_NE(doc.find("e"), nullptr);
+    EXPECT_EQ(doc.find("e")->asArray().size(), 3u);
+    EXPECT_EQ(doc.find("f")->getString("g", ""), "hi");
+}
+
+TEST(ServeJson, IntegersSurviveUntruncated)
+{
+    const serve::Json doc =
+        serve::Json::parse("{\"big\": 9007199254740993}");
+    // 2^53 + 1 is not representable as a double; the integer view is.
+    EXPECT_EQ(doc.getU64("big", 0), 9007199254740993ull);
+}
+
+TEST(ServeJson, StringEscapesDecode)
+{
+    const serve::Json doc = serve::Json::parse(
+        "{\"s\": \"a\\\"b\\\\c\\n\\t\\u0041\"}");
+    EXPECT_EQ(doc.getString("s", ""), "a\"b\\c\n\tA");
+}
+
+TEST(ServeJson, MalformedDocumentsAreStructuredErrors)
+{
+    const char* bad[] = {
+        "",                        // empty
+        "{",                       // unterminated object
+        "[1, 2",                   // unterminated array
+        "{\"a\": 1,}",             // trailing comma
+        "{\"a\" 1}",               // missing colon
+        "{\"a\": 1} extra",        // trailing content
+        "{\"a\": 1, \"a\": 2}",    // duplicate key
+        "\"unterminated",          // unterminated string
+        "{\"a\": 01}",             // leading zero
+        "nul",                     // truncated literal
+        "{\"a\": \"\x01\"}",       // raw control character
+    };
+    for (const char* text : bad)
+        EXPECT_THROW(serve::Json::parse(text), serve::JsonError)
+            << "accepted: " << text;
+}
+
+TEST(ServeJson, NestingDepthIsBounded)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += "[";
+    EXPECT_THROW(serve::Json::parse(deep), serve::JsonError);
+}
+
+TEST(ServeJson, TypeMismatchesThrowNotCrash)
+{
+    const serve::Json doc = serve::Json::parse("{\"a\": \"text\"}");
+    EXPECT_THROW(doc.find("a")->asU64(), serve::JsonError);
+    EXPECT_THROW(doc.find("a")->asArray(), serve::JsonError);
+    EXPECT_THROW(serve::Json::parse("{\"a\": -1}").getU64("a", 0),
+                 serve::JsonError);
+}
+
+// ---------------------------------------------------------------------
+// Request parsing and validation
+// ---------------------------------------------------------------------
+
+TEST(ServeRequest, ParsesFullDocumentWithDefaults)
+{
+    const serve::SweepRequest r = serve::SweepRequest::parse(
+        smallRequest("r1"), "fallback");
+    EXPECT_EQ(r.id, "r1");
+    EXPECT_EQ(r.client, "test");
+    EXPECT_EQ(r.priority, 1);
+    ASSERT_EQ(r.designs.size(), 1u);
+    EXPECT_EQ(r.designs[0], sim::Design::TageL);
+    EXPECT_EQ(r.workloads, std::vector<std::string>{"leela"});
+    EXPECT_EQ(r.insts, 8000u);
+    EXPECT_EQ(r.warmup, 1000u);
+    EXPECT_FALSE(r.warp);
+    EXPECT_EQ(r.maxRetries, 2u);
+}
+
+TEST(ServeRequest, FallbackIdIsTheSpoolStem)
+{
+    const serve::SweepRequest r = serve::SweepRequest::parse(
+        "{\"client\": \"c\", \"designs\": [\"b2\"], "
+        "\"workloads\": [\"leela\"]}",
+        "spool-stem");
+    EXPECT_EQ(r.id, "spool-stem");
+}
+
+TEST(ServeRequest, GridIsWorkloadMajor)
+{
+    const serve::SweepRequest r = serve::SweepRequest::parse(
+        "{\"id\": \"g\", \"client\": \"c\", "
+        "\"designs\": [\"tagel\", \"b2\"], "
+        "\"workloads\": [\"leela\", \"x264\"]}",
+        "g");
+    const auto pts = r.points();
+    ASSERT_EQ(pts.size(), 4u);
+    EXPECT_EQ(pts[0].label, "TAGE-L/leela");
+    EXPECT_EQ(pts[1].label, "B2/leela");
+    EXPECT_EQ(pts[2].label, "TAGE-L/x264");
+    EXPECT_EQ(pts[3].label, "B2/x264");
+}
+
+TEST(ServeRequest, SemanticViolationsAreRejected)
+{
+    const char* bad[] = {
+        "{\"client\": \"c\", \"designs\": [\"nope\"], "
+        "\"workloads\": [\"leela\"]}", // unknown design
+        "{\"client\": \"c\", \"designs\": [\"b2\"], "
+        "\"workloads\": [\"nope\"]}", // unknown workload
+        "{\"designs\": [\"b2\"], \"workloads\": [\"leela\"]}", // no client
+        "{\"client\": \"c\", \"designs\": [], "
+        "\"workloads\": [\"leela\"]}", // empty designs
+        "{\"client\": \"c\", \"designs\": [\"b2\", \"b2\"], "
+        "\"workloads\": [\"leela\"]}", // duplicate design
+        "{\"client\": \"c\", \"designs\": [\"b2\"], "
+        "\"workloads\": [\"leela\", \"leela\"]}", // duplicate workload
+        "{\"client\": \"c\", \"designs\": [\"b2\"], "
+        "\"workloads\": [\"leela\"], \"priority\": 7}", // bad priority
+        "{\"client\": \"c\", \"designs\": [\"b2\"], "
+        "\"workloads\": [\"leela\"], \"id\": \"../x\"}", // path escape
+        "{\"client\": \"c\", \"designs\": [\"b2\"], "
+        "\"workloads\": [\"leela\"], \"insts\": 1000, "
+        "\"warmup\": 2000}", // warmup > insts (strict validate)
+        "{\"client\": \"c\", \"designs\": [\"b2\"], "
+        "\"workloads\": [\"leela\"], "
+        "\"warp\": {\"intervals\": 0}}", // bad warp block
+        "not json at all",
+    };
+    for (const char* text : bad)
+        EXPECT_THROW(serve::SweepRequest::parse(text, "f"),
+                     serve::RequestError)
+            << "accepted: " << text;
+}
+
+// ---------------------------------------------------------------------
+// Spool state machine
+// ---------------------------------------------------------------------
+
+TEST(ServeSpool, LifecycleRenamesMoveTheDocument)
+{
+    serve::Spool spool(scratchDir("cobra_spool_lifecycle"));
+    submit(spool, "r.json", "{}");
+    ASSERT_EQ(spool.scanIncoming(),
+              std::vector<std::string>{"r.json"});
+
+    ASSERT_TRUE(spool.claim("r.json"));
+    EXPECT_TRUE(spool.scanIncoming().empty());
+    ASSERT_EQ(spool.scanActive(), std::vector<std::string>{"r.json"});
+
+    spool.finish("r.json", /*ok=*/true);
+    EXPECT_TRUE(spool.scanActive().empty());
+    EXPECT_TRUE(fs::exists(spool.doneDir() + "/r.json"));
+
+    submit(spool, "bad.json", "{");
+    spool.reject("bad.json");
+    EXPECT_TRUE(fs::exists(spool.failedDir() + "/bad.json"));
+
+    EXPECT_FALSE(spool.claim("vanished.json"));
+}
+
+TEST(ServeSpool, ScansSkipTempAndForeignFiles)
+{
+    serve::Spool spool(scratchDir("cobra_spool_scan"));
+    writeFile(spool.incomingDir() + "/half.json.tmp", "{");
+    writeFile(spool.incomingDir() + "/notes.txt", "hi");
+    submit(spool, "b.json", "{}");
+    submit(spool, "a.json", "{}");
+    EXPECT_EQ(spool.scanIncoming(),
+              (std::vector<std::string>{"a.json", "b.json"}));
+}
+
+TEST(ServeSpool, AtomicWriteLeavesNoTemp)
+{
+    const std::string dir = scratchDir("cobra_spool_atomic");
+    serve::writeFileAtomic(dir + "/out.json", "{\"x\": 1}\n");
+    EXPECT_EQ(serve::readFileText(dir + "/out.json"), "{\"x\": 1}\n");
+    EXPECT_FALSE(fs::exists(dir + "/out.json.tmp"));
+}
+
+// ---------------------------------------------------------------------
+// Write-ahead journal
+// ---------------------------------------------------------------------
+
+TEST(ServeJournal, AppendsReplayInOrder)
+{
+    const std::string dir = scratchDir("cobra_journal_basic");
+    const std::string path = dir + "/journal.log";
+    {
+        serve::Journal j(path);
+        j.append(serve::Journal::acceptLine("r1", "ci", 2, 4));
+        j.append(serve::Journal::pointLine("r1", 0, "ok", "", "", 1,
+                                           "FRAG"));
+        j.append(serve::Journal::pointLine(
+            "r1", 1, "failed", "deadlock", "no progress", 3, ""));
+        j.append(serve::Journal::doneLine("r1", "failed"));
+    }
+    std::vector<std::string> evs;
+    std::vector<std::string> extras;
+    const std::size_t n = serve::Journal::replay(
+        path, [&](const serve::Json& rec) {
+            evs.push_back(rec.getString("ev", ""));
+            extras.push_back(rec.getString("fragment", "") +
+                             rec.getString("error_class", ""));
+        });
+    EXPECT_EQ(n, 4u);
+    EXPECT_EQ(evs, (std::vector<std::string>{"accept", "point",
+                                             "point", "done"}));
+    EXPECT_EQ(extras[1], "FRAG");
+    EXPECT_EQ(extras[2], "deadlock");
+}
+
+TEST(ServeJournal, TornTailStopsReplayWithoutError)
+{
+    const std::string dir = scratchDir("cobra_journal_torn");
+    const std::string path = dir + "/journal.log";
+    {
+        serve::Journal j(path);
+        j.append(serve::Journal::acceptLine("r1", "ci", 1, 1));
+        j.append(serve::Journal::pointLine("r1", 0, "ok", "", "", 1,
+                                           "FRAG"));
+    }
+    // Simulate a crash mid-append: cut the last record short.
+    std::string text = serve::readFileText(path);
+    writeFile(path, text.substr(0, text.size() - 20));
+
+    std::size_t points = 0;
+    const std::size_t n = serve::Journal::replay(
+        path, [&](const serve::Json& rec) {
+            if (rec.getString("ev", "") == "point")
+                ++points;
+        });
+    EXPECT_EQ(n, 1u); // The accept survived; the torn point did not.
+    EXPECT_EQ(points, 0u);
+    EXPECT_EQ(serve::Journal::replay(dir + "/absent.log",
+                                     [](const serve::Json&) {}),
+              0u);
+}
+
+TEST(ServeJournal, CheckpointAtomicallyRewrites)
+{
+    const std::string dir = scratchDir("cobra_journal_ckpt");
+    const std::string path = dir + "/journal.log";
+    serve::Journal j(path);
+    for (int i = 0; i < 10; ++i)
+        j.append(serve::Journal::acceptLine("old", "c", 0, 1));
+    j.checkpoint({serve::Journal::acceptLine("kept", "c", 1, 2)});
+    j.append(serve::Journal::doneLine("kept", "ok"));
+
+    std::vector<std::string> ids;
+    serve::Journal::replay(path, [&](const serve::Json& rec) {
+        ids.push_back(rec.getString("id", ""));
+    });
+    EXPECT_EQ(ids, (std::vector<std::string>{"kept", "kept"}));
+    EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(ServeJournal, FragmentsWithNewlinesStayLineOriented)
+{
+    const std::string dir = scratchDir("cobra_journal_frag");
+    const std::string path = dir + "/journal.log";
+    const std::string frag = "    {\n      \"label\": \"a/b\"\n    }";
+    {
+        serve::Journal j(path);
+        j.append(serve::Journal::pointLine("r", 0, "ok", "", "", 1,
+                                           frag));
+        j.append(serve::Journal::doneLine("r", "ok"));
+    }
+    std::string recovered;
+    const std::size_t n = serve::Journal::replay(
+        path, [&](const serve::Json& rec) {
+            if (rec.getString("ev", "") == "point")
+                recovered = rec.getString("fragment", "");
+        });
+    EXPECT_EQ(n, 2u); // The embedded newlines did not split records.
+    EXPECT_EQ(recovered, frag);
+}
+
+// ---------------------------------------------------------------------
+// Warm-state cache poisoning
+// ---------------------------------------------------------------------
+
+TEST(ServeWarmCache, RoundTripsAndCountsHits)
+{
+    serve::WarmCache cache(scratchDir("cobra_warm_rt"));
+    warp::Snapshot snap;
+    snap.fingerprint = 0xF00D;
+    snap.cycle = 123;
+    snap.insts = 456;
+    snap.payload = {1, 2, 3, 4};
+
+    const std::string key = cache.keyPath("leela", 0xABCD, 4, 2);
+    warp::Snapshot out;
+    EXPECT_FALSE(cache.lookup(key, out)); // miss
+    cache.store(key, snap);
+    ASSERT_TRUE(cache.lookup(key, out)); // hit
+    EXPECT_EQ(out.fingerprint, 0xF00Du);
+    EXPECT_EQ(out.insts, 456u);
+    EXPECT_EQ(out.payload, snap.payload);
+    EXPECT_EQ(cache.stats().get("hits"), 1u);
+    EXPECT_EQ(cache.stats().get("misses"), 1u);
+    EXPECT_EQ(cache.stats().get("stores"), 1u);
+}
+
+TEST(ServeWarmCache, KeysSeparateWorkloadConfigAndSlot)
+{
+    serve::WarmCache cache(scratchDir("cobra_warm_keys"));
+    const std::string a = cache.keyPath("leela", 1, 4, 0);
+    EXPECT_NE(a, cache.keyPath("x264", 1, 4, 0));
+    EXPECT_NE(a, cache.keyPath("leela", 2, 4, 0));
+    EXPECT_NE(a, cache.keyPath("leela", 1, 8, 0));
+    EXPECT_NE(a, cache.keyPath("leela", 1, 4, 1));
+}
+
+TEST(ServeWarmCache, TruncatedEntryIsEvictedAsAMiss)
+{
+    serve::WarmCache cache(scratchDir("cobra_warm_trunc"));
+    warp::Snapshot snap;
+    snap.payload.assign(64, 7);
+    const std::string key = cache.keyPath("leela", 9, 2, 0);
+    cache.store(key, snap);
+
+    std::string bytes = serve::readFileText(key);
+    writeFile(key, bytes.substr(0, bytes.size() / 2));
+
+    warp::Snapshot out;
+    EXPECT_FALSE(cache.lookup(key, out));
+    EXPECT_EQ(cache.stats().get("rejected"), 1u);
+    EXPECT_FALSE(fs::exists(key)); // evicted for regeneration
+    EXPECT_FALSE(cache.lookup(key, out)); // now a plain miss
+    EXPECT_EQ(cache.stats().get("misses"), 1u);
+}
+
+TEST(ServeWarmCache, BitFlippedEntryIsEvictedAsAMiss)
+{
+    serve::WarmCache cache(scratchDir("cobra_warm_flip"));
+    warp::Snapshot snap;
+    snap.payload.assign(64, 7);
+    const std::string key = cache.keyPath("leela", 9, 2, 1);
+    cache.store(key, snap);
+
+    std::string bytes = serve::readFileText(key);
+    bytes[bytes.size() - 3] ^= 0x40; // corrupt the payload tail
+    writeFile(key, bytes);
+
+    warp::Snapshot out;
+    EXPECT_FALSE(cache.lookup(key, out));
+    EXPECT_EQ(cache.stats().get("rejected"), 1u);
+    EXPECT_FALSE(fs::exists(key));
+}
+
+// ---------------------------------------------------------------------
+// Concurrent workload-cache use
+// ---------------------------------------------------------------------
+
+TEST(ServeWorkloadCache, ConcurrentGetsShareOnePerName)
+{
+    prog::WorkloadCache cache;
+    const auto names = prog::WorkloadLibrary::all();
+    ASSERT_GE(names.size(), 2u);
+
+    // Hammer the cache from many threads; every thread must observe
+    // the same Program address per name (one build, shared borrow).
+    std::vector<std::vector<const prog::Program*>> seen(8);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < seen.size(); ++t) {
+        threads.emplace_back([&, t] {
+            for (int rep = 0; rep < 4; ++rep)
+                for (const auto& n : names)
+                    seen[t].push_back(&cache.get(n));
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    for (std::size_t t = 1; t < seen.size(); ++t)
+        EXPECT_EQ(seen[t], seen[0]);
+    EXPECT_EQ(cache.size(), names.size());
+}
+
+// ---------------------------------------------------------------------
+// Daemon end to end
+// ---------------------------------------------------------------------
+
+TEST(ServeDaemon, HealthyGridRetiresOk)
+{
+    const std::string root = scratchDir("cobra_serve_ok");
+    serve::Spool spool(root);
+    submit(spool, "grid.json",
+           "{\"id\": \"grid\", \"client\": \"ci\", "
+           "\"designs\": [\"tagel\", \"b2\"], "
+           "\"workloads\": [\"leela\"], "
+           "\"insts\": 8000, \"warmup\": 1000}");
+
+    EXPECT_EQ(runOnce(onceConfig(root)), 1u);
+    EXPECT_TRUE(fs::exists(spool.doneDir() + "/grid.json"));
+
+    const serve::Json doc = serve::Json::parse(resultText(spool,
+                                                          "grid"));
+    EXPECT_EQ(doc.getString("tool", ""), "cobra_serve");
+    EXPECT_EQ(doc.getString("status", ""), "ok");
+    const auto& pts = doc.find("points")->asArray();
+    ASSERT_EQ(pts.size(), 2u);
+    EXPECT_EQ(pts[0].getString("label", ""), "TAGE-L/leela");
+    EXPECT_EQ(pts[0].getString("status", ""), "ok");
+    EXPECT_EQ(pts[0].getU64("attempts", 0), 1u);
+    EXPECT_GT(pts[0].getU64("insts", 0), 0u);
+    EXPECT_GT(pts[0].getDouble("ipc", 0.0), 0.0);
+    EXPECT_EQ(pts[1].getString("status", ""), "ok");
+
+    // The health document reflects the retire.
+    const serve::Json status =
+        serve::Json::parse(serve::readFileText(spool.statusPath()));
+    EXPECT_EQ(status.getString("state", ""), "stopped");
+    EXPECT_EQ(status.getU64("retired", 0), 1u);
+}
+
+TEST(ServeDaemon, InvalidRequestBecomesStructuredRejection)
+{
+    const std::string root = scratchDir("cobra_serve_invalid");
+    serve::Spool spool(root);
+    submit(spool, "broken.json", "this is not json");
+    submit(spool, "unknown.json",
+           "{\"client\": \"ci\", \"designs\": [\"warpcore\"], "
+           "\"workloads\": [\"leela\"]}");
+
+    EXPECT_EQ(runOnce(onceConfig(root)), 0u);
+    EXPECT_TRUE(fs::exists(spool.failedDir() + "/broken.json"));
+    EXPECT_TRUE(fs::exists(spool.failedDir() + "/unknown.json"));
+
+    const serve::Json doc =
+        serve::Json::parse(resultText(spool, "broken"));
+    EXPECT_EQ(doc.getString("status", ""), "rejected");
+    EXPECT_EQ(doc.getString("reason", ""), "invalid_request");
+    EXPECT_NE(doc.getString("detail", ""), "");
+
+    const serve::Json doc2 =
+        serve::Json::parse(resultText(spool, "unknown"));
+    EXPECT_EQ(doc2.getString("reason", ""), "invalid_request");
+    EXPECT_NE(doc2.getString("detail", "").find("design"),
+              std::string::npos);
+}
+
+TEST(ServeDaemon, TimeoutPointFailsWithRetriesRecorded)
+{
+    const std::string root = scratchDir("cobra_serve_timeout");
+    serve::Spool spool(root);
+    submit(spool, "slow.json",
+           "{\"id\": \"slow\", \"client\": \"ci\", "
+           "\"designs\": [\"tagel\"], \"workloads\": [\"leela\"], "
+           "\"insts\": 400000, \"warmup\": 1000, "
+           "\"point_timeout_ms\": 1, \"max_retries\": 1}");
+
+    serve::ServeConfig cfg = onceConfig(root);
+    cfg.watchdogSliceCycles = 500; // Check the deadline early.
+    EXPECT_EQ(runOnce(cfg), 1u);
+    EXPECT_TRUE(fs::exists(spool.failedDir() + "/slow.json"));
+
+    const serve::Json doc = serve::Json::parse(resultText(spool,
+                                                          "slow"));
+    EXPECT_EQ(doc.getString("status", ""), "failed");
+    const auto& pts = doc.find("points")->asArray();
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_EQ(pts[0].getString("status", ""), "failed");
+    EXPECT_EQ(pts[0].getString("error_class", ""), "timeout");
+    // Transient class: one retry consumed before the final record.
+    EXPECT_EQ(pts[0].getU64("attempts", 0), 2u);
+}
+
+TEST(ServeDaemon, AdmissionControlQuotaAndSize)
+{
+    const std::string root = scratchDir("cobra_serve_admission");
+    serve::Spool spool(root);
+    submit(spool, "big.json",
+           "{\"id\": \"big\", \"client\": \"ci\", "
+           "\"designs\": [\"tagel\", \"b2\"], "
+           "\"workloads\": [\"leela\", \"x264\"], "
+           "\"insts\": 8000, \"warmup\": 1000}");
+    submit(spool, "ok1.json", smallRequest("ok1"));
+    submit(spool, "ok2.json", smallRequest("ok2"));
+
+    serve::ServeConfig cfg = onceConfig(root);
+    cfg.maxPointsPerRequest = 2; // "big" (4 points) is too large.
+    cfg.maxPointsPerClient = 1;  // "ok1" fits; "ok2" busts the quota.
+    EXPECT_EQ(runOnce(cfg), 1u);
+
+    const serve::Json big = serve::Json::parse(resultText(spool,
+                                                          "big"));
+    EXPECT_EQ(big.getString("reason", ""), "too_large");
+    EXPECT_EQ(big.find("points")->asArray().size(), 4u);
+    EXPECT_EQ(big.find("points")->asArray()[0].getString("status", ""),
+              "rejected");
+
+    EXPECT_EQ(serve::Json::parse(resultText(spool, "ok1"))
+                  .getString("status", ""),
+              "ok");
+    EXPECT_EQ(serve::Json::parse(resultText(spool, "ok2"))
+                  .getString("reason", ""),
+              "quota");
+}
+
+TEST(ServeDaemon, FullQueueShedsLowestPriority)
+{
+    const std::string root = scratchDir("cobra_serve_shed");
+    serve::Spool spool(root);
+    // Scanned in name order: a (prio 1) fills the queue, b (prio 1)
+    // cannot displace it, c (prio 3) sheds a.
+    submit(spool, "a.json", smallRequest("a", "\"priority\": 1"));
+    submit(spool, "b.json", smallRequest("b", "\"priority\": 1"));
+    submit(spool, "c.json", smallRequest("c", "\"priority\": 3"));
+
+    serve::ServeConfig cfg = onceConfig(root);
+    cfg.maxQueue = 1;
+    EXPECT_EQ(runOnce(cfg), 1u);
+
+    EXPECT_EQ(serve::Json::parse(resultText(spool, "a"))
+                  .getString("reason", ""),
+              "shed");
+    EXPECT_EQ(serve::Json::parse(resultText(spool, "b"))
+                  .getString("reason", ""),
+              "queue_full");
+    EXPECT_EQ(serve::Json::parse(resultText(spool, "c"))
+                  .getString("status", ""),
+              "ok");
+    EXPECT_TRUE(fs::exists(spool.failedDir() + "/a.json"));
+    EXPECT_TRUE(fs::exists(spool.failedDir() + "/b.json"));
+    EXPECT_TRUE(fs::exists(spool.doneDir() + "/c.json"));
+}
+
+TEST(ServeDaemon, RecoveryReplaysJournaledPointsWithoutRerun)
+{
+    const std::string root = scratchDir("cobra_serve_recover");
+    serve::Spool spool(root);
+
+    // Manufacture a crashed daemon's state: a claimed two-point
+    // request in active/ whose first point already journaled. The
+    // sentinel fragment is bytes a re-run could never produce.
+    const std::string frag =
+        "    {\n      \"label\": \"TAGE-L/leela\",\n"
+        "      \"status\": \"ok\",\n      \"attempts\": 1,\n"
+        "      \"insts\": 424242,\n      \"cycles\": 9,\n"
+        "      \"ipc\": 1.0,\n      \"mpki\": 1.0,\n"
+        "      \"accuracy\": 1.0,\n"
+        "      \"wall_seconds\": 0.125\n    }";
+    writeFile(spool.activeDir() + "/crashed.json",
+              "{\"id\": \"crashed\", \"client\": \"ci\", "
+              "\"designs\": [\"tagel\", \"b2\"], "
+              "\"workloads\": [\"leela\"], "
+              "\"insts\": 8000, \"warmup\": 1000}");
+    {
+        serve::Journal j(spool.journalPath());
+        j.append(serve::Journal::acceptLine("crashed", "ci", 1, 2));
+        j.append(serve::Journal::pointLine("crashed", 0, "ok", "", "",
+                                           1, frag));
+    }
+
+    EXPECT_EQ(runOnce(onceConfig(root)), 1u);
+    EXPECT_TRUE(fs::exists(spool.doneDir() + "/crashed.json"));
+
+    const std::string text = resultText(spool, "crashed");
+    // The journaled fragment was republished verbatim (424242 insts
+    // prove point 0 was not re-simulated)...
+    EXPECT_NE(text.find("424242"), std::string::npos);
+    const serve::Json doc = serve::Json::parse(text);
+    EXPECT_EQ(doc.getString("status", ""), "ok");
+    const auto& pts = doc.find("points")->asArray();
+    ASSERT_EQ(pts.size(), 2u);
+    // ...while point 1 genuinely ran.
+    EXPECT_EQ(pts[1].getString("label", ""), "B2/leela");
+    EXPECT_EQ(pts[1].getU64("insts", 0), 8000u);
+}
+
+TEST(ServeDaemon, RecoveryRetiresDoneRequestsWithoutRerun)
+{
+    const std::string root = scratchDir("cobra_serve_recover_done");
+    serve::Spool spool(root);
+
+    // Crash window: result published and done journaled, but the
+    // retire rename never happened.
+    writeFile(spool.activeDir() + "/finished.json",
+              smallRequest("finished"));
+    spool.writeResult("finished", "{\"sentinel\": true}\n");
+    {
+        serve::Journal j(spool.journalPath());
+        j.append(serve::Journal::acceptLine("finished", "test", 1, 1));
+        j.append(serve::Journal::doneLine("finished", "ok"));
+    }
+
+    EXPECT_EQ(runOnce(onceConfig(root)), 1u);
+    EXPECT_TRUE(fs::exists(spool.doneDir() + "/finished.json"));
+    // The published result was NOT overwritten by a re-run.
+    EXPECT_EQ(resultText(spool, "finished"), "{\"sentinel\": true}\n");
+}
+
+TEST(ServeDaemon, WarpRequestsReuseWarmStateBitIdentically)
+{
+    const std::string root = scratchDir("cobra_serve_warm_e2e");
+    serve::Spool spool(root);
+    const std::string body =
+        "\"client\": \"ci\", \"designs\": [\"b2\"], "
+        "\"workloads\": [\"leela\"], "
+        "\"insts\": 30000, \"warmup\": 2000, "
+        "\"warp\": {\"intervals\": 2, \"warmup_cycles\": 2000}";
+    submit(spool, "cold.json", "{\"id\": \"cold\", " + body + "}");
+
+    serve::ServeConfig cfg = onceConfig(root);
+    EXPECT_EQ(runOnce(cfg), 1u);
+    submit(spool, "warm.json", "{\"id\": \"warm\", " + body + "}");
+    EXPECT_EQ(runOnce(cfg), 1u);
+
+    const serve::Json cold = serve::Json::parse(resultText(spool,
+                                                           "cold"));
+    const serve::Json warm = serve::Json::parse(resultText(spool,
+                                                           "warm"));
+    const serve::Json& cp = cold.find("points")->asArray()[0];
+    const serve::Json& wp = warm.find("points")->asArray()[0];
+    ASSERT_EQ(cp.getString("status", ""), "ok");
+    ASSERT_EQ(wp.getString("status", ""), "ok");
+
+    const serve::Json* cw = cp.find("warp");
+    const serve::Json* ww = wp.find("warp");
+    ASSERT_NE(cw, nullptr);
+    ASSERT_NE(ww, nullptr);
+    EXPECT_EQ(cw->getU64("warm_hits", 99), 0u);
+    EXPECT_GT(cw->getU64("ff_insts", 0), 0u);
+    EXPECT_EQ(ww->getU64("warm_hits", 0), 2u); // both intervals hit
+    EXPECT_EQ(ww->getU64("ff_insts", 99), 0u); // fast-forward skipped
+
+    // Warm-path estimates are bit-identical to the cold run.
+    EXPECT_EQ(cp.getU64("cycles", 1), wp.getU64("cycles", 2));
+    EXPECT_EQ(cp.getU64("insts", 1), wp.getU64("insts", 2));
+    EXPECT_EQ(cp.getU64("cond_mispredicts", 1),
+              wp.getU64("cond_mispredicts", 2));
+}
+
+TEST(ServeDaemon, PoisonedWarmCacheRegeneratesCleanly)
+{
+    const std::string root = scratchDir("cobra_serve_warm_poison");
+    serve::Spool spool(root);
+    const std::string body =
+        "\"client\": \"ci\", \"designs\": [\"b2\"], "
+        "\"workloads\": [\"leela\"], "
+        "\"insts\": 30000, \"warmup\": 2000, "
+        "\"warp\": {\"intervals\": 2, \"warmup_cycles\": 2000}";
+    submit(spool, "cold.json", "{\"id\": \"cold\", " + body + "}");
+    EXPECT_EQ(runOnce(onceConfig(root)), 1u);
+
+    // Corrupt every cached snapshot.
+    std::size_t poisoned = 0;
+    for (const auto& e : fs::directory_iterator(spool.warmDir())) {
+        std::string bytes = serve::readFileText(e.path().string());
+        bytes[bytes.size() / 2] ^= 0x01;
+        writeFile(e.path().string(), bytes);
+        ++poisoned;
+    }
+    ASSERT_EQ(poisoned, 2u);
+
+    submit(spool, "again.json", "{\"id\": \"again\", " + body + "}");
+    EXPECT_EQ(runOnce(onceConfig(root)), 1u);
+
+    const serve::Json cold = serve::Json::parse(resultText(spool,
+                                                           "cold"));
+    const serve::Json again = serve::Json::parse(resultText(spool,
+                                                            "again"));
+    const serve::Json& cp = cold.find("points")->asArray()[0];
+    const serve::Json& ap = again.find("points")->asArray()[0];
+    ASSERT_EQ(ap.getString("status", ""), "ok");
+    // Poison forced a cold pass (no warm hits), and the regenerated
+    // run still produced the identical estimate.
+    EXPECT_EQ(ap.find("warp")->getU64("warm_hits", 99), 0u);
+    EXPECT_GT(ap.find("warp")->getU64("ff_insts", 0), 0u);
+    EXPECT_EQ(cp.getU64("cycles", 1), ap.getU64("cycles", 2));
+}

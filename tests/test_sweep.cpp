@@ -7,8 +7,10 @@
  * Program per name.
  */
 
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -145,6 +147,139 @@ TEST(SweepEngine, FailedPointIsIsolated)
     EXPECT_NE(outs[1].error.find("synthetic topology failure"),
               std::string::npos);
     EXPECT_TRUE(outs[2].ok());
+}
+
+TEST(SweepEngine, FailuresCarryTheirTaxonomyClass)
+{
+    sim::SweepEngine engine(2);
+
+    // A structural config violation -> "config".
+    sim::SweepPoint badCfg = smallPoint(sim::Design::B2, "leela");
+    badCfg.label = "badcfg";
+    badCfg.cfg.deadlockCycles = 0;
+    engine.add(std::move(badCfg));
+
+    // An untyped exception from the topology factory -> "internal".
+    sim::SweepPoint boom = smallPoint(sim::Design::B2, "leela");
+    boom.label = "boom";
+    boom.topology = []() -> bpu::Topology {
+        throw std::runtime_error("synthetic topology failure");
+    };
+    engine.add(std::move(boom));
+
+    engine.add(smallPoint(sim::Design::B2, "x264"));
+
+    const auto outs = engine.run();
+    ASSERT_EQ(outs.size(), 3u);
+    EXPECT_FALSE(outs[0].ok());
+    EXPECT_EQ(outs[0].errorClass, "config");
+    EXPECT_FALSE(outs[1].ok());
+    EXPECT_EQ(outs[1].errorClass, "internal");
+    EXPECT_TRUE(outs[2].ok());
+    EXPECT_TRUE(outs[2].errorClass.empty());
+}
+
+TEST(SweepEngine, SerialAndParallelAgreeOnFailuresToo)
+{
+    // The determinism contract extends to mixed grids: error text and
+    // class must not depend on the worker schedule.
+    auto grid = [](unsigned jobs) {
+        sim::SweepEngine engine(jobs);
+        engine.add(smallPoint(sim::Design::B2, "leela"));
+        sim::SweepPoint bad = smallPoint(sim::Design::B2, "leela");
+        bad.label = "bad";
+        bad.cfg.deadlockCycles = 0;
+        engine.add(std::move(bad));
+        engine.add(smallPoint(sim::Design::TageL, "x264"));
+        return engine.run();
+    };
+    const auto serial = grid(1);
+    const auto parallel = grid(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].error, parallel[i].error);
+        EXPECT_EQ(serial[i].errorClass, parallel[i].errorClass);
+        if (serial[i].ok())
+            EXPECT_EQ(serial[i].result, parallel[i].result);
+    }
+}
+
+TEST(SweepEngine, StopFlagCancelsUnstartedPoints)
+{
+    sim::SweepEngine engine(1);
+    std::atomic<bool> stop{true}; // set before run(): nothing starts
+    engine.setStopFlag(&stop);
+    engine.add(smallPoint(sim::Design::B2, "leela"));
+    engine.add(smallPoint(sim::Design::B2, "x264"));
+
+    const auto outs = engine.run();
+    ASSERT_EQ(outs.size(), 2u);
+    for (const auto& o : outs) {
+        EXPECT_FALSE(o.ok());
+        EXPECT_EQ(o.errorClass, "interrupted");
+    }
+
+    // Cleared flag: the same engine runs normally again.
+    engine.setStopFlag(nullptr);
+    engine.add(smallPoint(sim::Design::B2, "leela"));
+    const auto outs2 = engine.run();
+    ASSERT_EQ(outs2.size(), 1u);
+    EXPECT_TRUE(outs2[0].ok());
+}
+
+TEST(SweepEngine, OnOutcomeSeesEveryPointOnce)
+{
+    sim::SweepEngine engine(4);
+    const unsigned kPoints = 6;
+    for (unsigned i = 0; i < kPoints; ++i)
+        engine.add(smallPoint(sim::Design::Tourney, "leela"));
+    sim::SweepPoint bad = smallPoint(sim::Design::Tourney, "leela");
+    bad.label = "bad";
+    bad.cfg.deadlockCycles = 0;
+    engine.add(std::move(bad));
+
+    std::mutex m;
+    std::vector<int> seen(kPoints + 1, 0);
+    std::vector<std::string> classes(kPoints + 1);
+    engine.setOnOutcome(
+        [&](std::size_t idx, const sim::SweepOutcome& o) {
+            std::lock_guard<std::mutex> lk(m);
+            ASSERT_LT(idx, seen.size());
+            ++seen[idx];
+            classes[idx] = o.errorClass;
+        });
+
+    const auto outs = engine.run();
+    ASSERT_EQ(outs.size(), kPoints + 1);
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], 1) << "point " << i;
+    EXPECT_EQ(classes[kPoints], "config"); // the hook saw the failure
+}
+
+TEST(SweepEngine, ExecuteHookDrivesThePoint)
+{
+    // The serve daemon's wall-clock watchdog rides this hook; check
+    // that a custom driver (a) is actually used and (b) produces the
+    // same result as Simulator::run() when it advances to completion.
+    sim::SweepEngine ref(1);
+    ref.add(smallPoint(sim::Design::B2, "leela"));
+    const auto want = ref.run();
+    ASSERT_TRUE(want[0].ok());
+
+    sim::SweepEngine engine(1);
+    sim::SweepPoint hooked = smallPoint(sim::Design::B2, "leela");
+    std::atomic<unsigned> slices{0};
+    hooked.execute = [&](sim::Simulator& s) {
+        while (s.advanceTo(s.cycles() + 2000))
+            ++slices;
+        return s.run();
+    };
+    engine.add(std::move(hooked));
+    const auto outs = engine.run();
+    ASSERT_TRUE(outs[0].ok()) << outs[0].error;
+    EXPECT_GT(slices.load(), 0u);
+    EXPECT_EQ(outs[0].result, want[0].result)
+        << "sliced advanceTo drive diverged from run()";
 }
 
 TEST(SweepEngine, RejectsIncompletePoints)

@@ -6,8 +6,10 @@
  * snapshots, functional fast-forward, and warp-driver determinism.
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -432,6 +434,137 @@ TEST(Warp, CheckpointDirPersistsRestorableSnapshots)
             << "interval " << i;
     }
     std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Warm-state cache hooks (cobra_serve)
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** An in-memory snapshot store wired into WarpConfig's cache hooks. */
+struct MemorySnapshotStore
+{
+    std::map<unsigned, std::vector<std::uint8_t>> entries;
+    unsigned lookups = 0;
+
+    void
+    wire(warp::WarpConfig& w)
+    {
+        w.snapshotLookup = [this](unsigned i, warp::Snapshot& out) {
+            ++lookups;
+            auto it = entries.find(i);
+            if (it == entries.end())
+                return false;
+            out = warp::decodeSnapshot(it->second); // may throw
+            return true;
+        };
+        w.snapshotStore = [this](unsigned i,
+                                 const warp::Snapshot& snap) {
+            entries[i] = warp::encodeSnapshot(snap);
+        };
+    }
+};
+
+warp::WarpEstimate
+runHookedWarp(MemorySnapshotStore& store)
+{
+    const prog::Program& p = cache().get("leela");
+    const sim::SimConfig cfg = smallCfg(sim::Design::B2);
+    warp::WarpConfig w;
+    w.intervals = 4;
+    w.sampleInsts = 4000;
+    w.warmupCycles = 2000;
+    w.jobs = 1;
+    store.wire(w);
+    return warp::runWarp(
+        p, [] { return sim::buildTopology(sim::Design::B2); }, cfg, w);
+}
+
+} // namespace
+
+TEST(Warp, WarmCacheSkipsFastForwardBitIdentically)
+{
+    MemorySnapshotStore store;
+
+    // Cold pass: every lookup misses, every snapshot is offered.
+    const warp::WarpEstimate cold = runHookedWarp(store);
+    EXPECT_EQ(cold.warmHits, 0u);
+    EXPECT_GT(cold.ffInsts, 0u);
+    EXPECT_EQ(store.entries.size(), 4u);
+
+    // Warm pass: all four intervals hit, fast-forward is skipped, and
+    // the estimate is bit-identical to the cold run.
+    const warp::WarpEstimate warm = runHookedWarp(store);
+    EXPECT_EQ(warm.warmHits, 4u);
+    EXPECT_EQ(warm.ffInsts, 0u);
+    EXPECT_EQ(warm.estimate, cold.estimate);
+    EXPECT_DOUBLE_EQ(warm.ipc, cold.ipc);
+    ASSERT_EQ(warm.intervals.size(), cold.intervals.size());
+    for (std::size_t i = 0; i < cold.intervals.size(); ++i)
+        EXPECT_EQ(warm.intervals[i].result, cold.intervals[i].result)
+            << "interval " << i << " diverged on the warm path";
+}
+
+TEST(Warp, PartialWarmCacheFallsBackToColdPass)
+{
+    MemorySnapshotStore store;
+    const warp::WarpEstimate cold = runHookedWarp(store);
+
+    // Drop one interval: the all-or-nothing warm hit must fail and
+    // the run regenerate every entry via a full cold pass.
+    store.entries.erase(2);
+    const warp::WarpEstimate again = runHookedWarp(store);
+    EXPECT_EQ(again.warmHits, 0u);
+    EXPECT_GT(again.ffInsts, 0u);
+    EXPECT_EQ(again.estimate, cold.estimate);
+    EXPECT_EQ(store.entries.size(), 4u); // regenerated
+}
+
+TEST(Warp, PoisonedWarmEntryIsASafeMiss)
+{
+    MemorySnapshotStore store;
+    const warp::WarpEstimate cold = runHookedWarp(store);
+
+    // Corrupt one cached snapshot. cobra_serve's WarmCache turns the
+    // decoder's CheckpointError into a miss; model the same contract
+    // here — the lookup hook must not propagate a snapshot it cannot
+    // vouch for.
+    auto poisoned = store.entries;
+    poisoned[1][poisoned[1].size() / 2] ^= 0x20;
+    MemorySnapshotStore bad;
+    bad.entries = poisoned;
+
+    const prog::Program& p = cache().get("leela");
+    const sim::SimConfig cfg = smallCfg(sim::Design::B2);
+    warp::WarpConfig w;
+    w.intervals = 4;
+    w.sampleInsts = 4000;
+    w.warmupCycles = 2000;
+    w.jobs = 1;
+    unsigned rejected = 0;
+    w.snapshotLookup = [&](unsigned i, warp::Snapshot& out) {
+        auto it = bad.entries.find(i);
+        if (it == bad.entries.end())
+            return false;
+        try {
+            out = warp::decodeSnapshot(it->second);
+        } catch (const guard::CheckpointError&) {
+            ++rejected;
+            bad.entries.erase(it); // evict, regenerate below
+            return false;
+        }
+        return true;
+    };
+    w.snapshotStore = [&](unsigned i, const warp::Snapshot& snap) {
+        bad.entries[i] = warp::encodeSnapshot(snap);
+    };
+
+    const warp::WarpEstimate est = warp::runWarp(
+        p, [] { return sim::buildTopology(sim::Design::B2); }, cfg, w);
+    EXPECT_EQ(rejected, 1u);     // the poison was caught, not trusted
+    EXPECT_EQ(est.warmHits, 0u); // one miss forces a full cold pass
+    EXPECT_EQ(est.estimate, cold.estimate);
 }
 
 TEST(Warp, InvalidConfigurationsAreRejected)

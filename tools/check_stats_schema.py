@@ -9,8 +9,15 @@ invariants (counter values are non-negative integers, the group tree
 nests properly, histograms carry samples/mean/buckets) are encoded
 here.
 
+Also validates the cobra_serve document family (--kind):
+
+    stats         a cobra_sim/bench --stats-json document (default)
+    serve-result  a spool/results/<id>.json result document
+    serve-status  the daemon's spool/status.json health document
+
 Usage:
-    python3 tools/check_stats_schema.py STATS.json [--schema FILE]
+    python3 tools/check_stats_schema.py DOC.json [--schema FILE]
+                                        [--kind KIND]
 
 Exits 0 when the document conforms, 1 with a list of violations
 otherwise.
@@ -133,25 +140,160 @@ class Checker:
         return not self.errors
 
 
+# cobra_serve failure taxonomy (guard::errorClassOf plus the stop-flag
+# cancellation class); docs/SERVICE.md is the authoritative list.
+ERROR_CLASSES = {
+    "config",
+    "contract",
+    "deadlock",
+    "checkpoint",
+    "timeout",
+    "sim",
+    "internal",
+    "interrupted",
+}
+
+RESULT_STATUSES = {"ok", "failed", "rejected", "interrupted"}
+POINT_STATUSES = {"ok", "failed", "rejected", "pending"}
+DAEMON_STATES = {"running", "draining", "stopped"}
+
+# Numeric fields every successful point carries (writeResultFields
+# emits more; these are the stable core the dashboards consume).
+OK_POINT_NUMBERS = ["cycles", "insts", "ipc", "mpki", "accuracy",
+                    "wall_seconds"]
+
+
+class ServeResultChecker(Checker):
+    """Validates one spool/results/<id>.json document."""
+
+    def __init__(self):
+        super().__init__(schema=None)
+
+    def check_serve_point(self, where, point):
+        if not self.expect_type(where, point, "dict"):
+            return
+        for key, ty in (("label", "string"), ("status", "string"),
+                        ("attempts", "int")):
+            if key not in point:
+                self.fail(where, f"missing '{key}'")
+            else:
+                self.expect_type(f"{where}.{key}", point[key], ty)
+        status = point.get("status")
+        if status is not None and status not in POINT_STATUSES:
+            self.fail(f"{where}.status", f"unknown status '{status}'")
+        if status == "ok":
+            for key in OK_POINT_NUMBERS:
+                if key not in point:
+                    self.fail(where, f"missing '{key}'")
+                else:
+                    self.expect_type(f"{where}.{key}", point[key],
+                                     "number")
+            if "deadlocked" in point:
+                self.expect_type(f"{where}.deadlocked",
+                                 point["deadlocked"], "bool")
+            if "warp" in point and self.expect_type(
+                f"{where}.warp", point["warp"], "dict"
+            ):
+                for key in ("intervals", "warm_hits", "ff_insts"):
+                    if key not in point["warp"]:
+                        self.fail(f"{where}.warp", f"missing '{key}'")
+        elif status == "failed":
+            cls = point.get("error_class")
+            if cls not in ERROR_CLASSES:
+                self.fail(f"{where}.error_class",
+                          f"unknown class '{cls}'")
+            if not isinstance(point.get("error"), str):
+                self.fail(f"{where}.error", "missing string 'error'")
+
+    def run(self, doc):
+        if doc.get("tool") != "cobra_serve":
+            self.fail("$.tool", "expected 'cobra_serve'")
+        for key, ty in (("id", "string"), ("client", "string"),
+                        ("priority", "int"), ("status", "string"),
+                        ("points", "list")):
+            if key not in doc:
+                self.fail("$", f"missing top-level key '{key}'")
+            else:
+                self.expect_type(f"$.{key}", doc[key], ty)
+        status = doc.get("status")
+        if status is not None and status not in RESULT_STATUSES:
+            self.fail("$.status", f"unknown status '{status}'")
+        if status == "rejected" and not isinstance(
+            doc.get("reason"), str
+        ):
+            self.fail("$.reason", "rejected documents need a reason")
+        for i, point in enumerate(doc.get("points", []) or []):
+            self.check_serve_point(f"$.points[{i}]", point)
+        return not self.errors
+
+
+class ServeStatusChecker(Checker):
+    """Validates the daemon's spool/status.json health document."""
+
+    def __init__(self):
+        super().__init__(schema={
+            "leaf_counters_key": "counters",
+            "leaf_histograms_key": "histograms",
+            "histogram_required": ["samples", "mean", "buckets"],
+        })
+
+    def run(self, doc):
+        if doc.get("tool") != "cobra_serve":
+            self.fail("$.tool", "expected 'cobra_serve'")
+        state = doc.get("state")
+        if state not in DAEMON_STATES:
+            self.fail("$.state", f"unknown state '{state}'")
+        for key in ("queued", "parked", "retired"):
+            value = doc.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                self.fail(f"$.{key}", "must be an integer")
+            elif value < 0:
+                self.fail(f"$.{key}", "must be >= 0")
+        stats = doc.get("stats")
+        if not isinstance(stats, dict):
+            self.fail("$.stats", "missing stats object")
+        else:
+            if "serve" not in stats:
+                self.fail("$.stats", "missing 'serve' group")
+            self.check_tree("$.stats", stats)
+        return not self.errors
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("stats", help="the --stats-json document to validate")
+    parser.add_argument("stats", help="the JSON document to validate")
     parser.add_argument(
         "--schema",
         default=os.path.join(os.path.dirname(__file__), "stats_schema.json"),
         help="schema file (default: tools/stats_schema.json)",
     )
+    parser.add_argument(
+        "--kind",
+        choices=["stats", "serve-result", "serve-status"],
+        default="stats",
+        help="document family to validate (default: stats)",
+    )
     args = parser.parse_args()
 
-    with open(args.schema) as f:
-        schema = json.load(f)
     with open(args.stats) as f:
         doc = json.load(f)
 
-    checker = Checker(schema)
+    if args.kind == "serve-result":
+        checker = ServeResultChecker()
+    elif args.kind == "serve-status":
+        checker = ServeStatusChecker()
+    else:
+        with open(args.schema) as f:
+            schema = json.load(f)
+        checker = Checker(schema)
+
     if checker.run(doc):
         points = doc.get("points", [])
-        errored = sum(1 for p in points if "error" in p)
+        errored = sum(
+            1
+            for p in points
+            if "error" in p or p.get("status") == "failed"
+        )
         print(
             f"OK: {args.stats} conforms "
             f"({len(points)} points, {errored} error stubs)"

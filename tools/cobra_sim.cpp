@@ -24,7 +24,9 @@
  * combinations exit 2 like any other usage error.
  */
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -42,6 +44,20 @@
 using namespace cobra;
 
 namespace {
+
+/**
+ * SIGINT/SIGTERM request a clean interrupt: points already running
+ * finish (their results are flushed), unstarted points are skipped,
+ * any --json document is still valid (flagged "interrupted": true),
+ * and the process exits 130.
+ */
+std::atomic<bool> g_interrupted{false};
+
+void
+onSignal(int)
+{
+    g_interrupted.store(true, std::memory_order_relaxed);
+}
 
 void
 usage()
@@ -335,6 +351,9 @@ runMain(int argc, char** argv)
     prog::WorkloadCache cache;
     sim::SweepEngine engine(jobs);
     engine.setProgress(progress);
+    engine.setStopFlag(&g_interrupted);
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
     std::vector<std::string> headers;
     std::vector<sim::Design> pointDesigns;
     std::vector<sim::SweepPoint> warpJobs;
@@ -414,6 +433,14 @@ runMain(int argc, char** argv)
             std::cout << headers[i];
             sim::SweepOutcome o;
             o.label = pt.label;
+            if (g_interrupted.load(std::memory_order_relaxed)) {
+                o.error = "interrupted before start";
+                o.errorClass = "interrupted";
+                std::cerr << "skipped (interrupted): " << pt.label
+                          << "\n";
+                outcomes.push_back(std::move(o));
+                continue;
+            }
             const auto t0 = std::chrono::steady_clock::now();
             try {
                 warp::WarpConfig w = wcfg;
@@ -443,13 +470,22 @@ runMain(int argc, char** argv)
         }
         const unsigned effJobs =
             jobs == 0 ? sim::SweepEngine::defaultJobs() : jobs;
-        if (!out.resultsJsonPath.empty())
+        const bool interrupted =
+            g_interrupted.load(std::memory_order_relaxed);
+        if (!out.resultsJsonPath.empty()) {
+            std::string extra = "\"mode\": \"warp\"";
+            if (interrupted)
+                extra += ",\n  \"interrupted\": true";
             sim::writeSweepJson(out.resultsJsonPath, "cobra_sim",
-                                outcomes, effJobs,
-                                "\"mode\": \"warp\"");
+                                outcomes, effJobs, extra);
+        }
         if (!out.statsJsonPath.empty())
             sim::writeStatsJson(out.statsJsonPath, "cobra_sim",
                                 outcomes, effJobs);
+        if (interrupted) {
+            std::cerr << "interrupted: completed points flushed\n";
+            return 130;
+        }
         return anyFail ? 1 : 0;
     }
 
@@ -496,8 +532,13 @@ runMain(int argc, char** argv)
             std::cout << "\n";
         std::cout << headers[i];
         if (!o.ok()) {
-            std::cerr << "error: " << o.error << "\n";
-            anyFail = true;
+            if (o.errorClass == "interrupted") {
+                std::cerr << "skipped (interrupted): " << o.label
+                          << "\n";
+            } else {
+                std::cerr << "error: " << o.error << "\n";
+                anyFail = true;
+            }
             continue;
         }
         const sim::SimResult& r = o.result;
@@ -537,15 +578,22 @@ runMain(int argc, char** argv)
         std::cout << o.postRunText;
     }
 
+    const bool interrupted =
+        g_interrupted.load(std::memory_order_relaxed);
     if (!out.resultsJsonPath.empty())
         sim::writeSweepJson(out.resultsJsonPath, "cobra_sim", outcomes,
-                            engine.jobs());
+                            engine.jobs(),
+                            interrupted ? "\"interrupted\": true" : "");
     if (!out.statsJsonPath.empty())
         sim::writeStatsJson(out.statsJsonPath, "cobra_sim", outcomes,
                             engine.jobs());
     if (!out.traceEventsPath.empty())
         sim::writeTraceEvents(out.traceEventsPath, outcomes);
 
+    if (interrupted) {
+        std::cerr << "interrupted: completed points flushed\n";
+        return 130;
+    }
     return anyFail ? 1 : 0;
 }
 

@@ -12,7 +12,11 @@
 # machine-readable bench_results/<name>.json side-car. progress.log
 # records one "name rc=N" line per harness so a partial refresh is
 # visible in review.
-set -u
+#
+# Artifacts are written atomically (temp + mv): a failing or killed
+# harness never leaves a truncated .txt behind to be committed by
+# mistake — the previous artifact survives untouched.
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
@@ -45,26 +49,39 @@ bench_warp
 mkdir -p bench_results
 : > bench_results/progress.log
 
+# run_harness NAME [CAPTURE]: run one harness, recording its rc in
+# progress.log; with CAPTURE=1 its stdout is published atomically as
+# bench_results/NAME.txt on success only.
+run_harness() {
+    local b="$1" capture="${2:-1}" rc=0
+    echo "== $b =="
+    if [ "$capture" -eq 1 ]; then
+        "$BUILD/bench/$b" > "bench_results/$b.txt.tmp" || rc=$?
+        if [ "$rc" -eq 0 ]; then
+            mv "bench_results/$b.txt.tmp" "bench_results/$b.txt"
+        else
+            rm -f "bench_results/$b.txt.tmp"
+        fi
+    else
+        "$BUILD/bench/$b" || rc=$?
+    fi
+    echo "$b rc=$rc" >> bench_results/progress.log
+    return "$rc"
+}
+
 fails=0
 for b in $HARNESSES; do
-    echo "== $b =="
-    "$BUILD/bench/$b" > "bench_results/$b.txt"
-    rc=$?
-    echo "$b rc=$rc" >> bench_results/progress.log
-    [ "$rc" -eq 0 ] || fails=$((fails + 1))
+    run_harness "$b" 1 || fails=$((fails + 1))
 done
 
 # Host-throughput gate: JSON only (wall-clock tables are host-specific
 # noise in review diffs, the JSON carries the comparable numbers).
-echo "== bench_host_throughput =="
-"$BUILD/bench/bench_host_throughput"
-rc=$?
-echo "bench_host_throughput rc=$rc" >> bench_results/progress.log
-[ "$rc" -eq 0 ] || fails=$((fails + 1))
+run_harness bench_host_throughput 0 || fails=$((fails + 1))
 
 echo "ALL-DONE" >> bench_results/progress.log
 echo
-grep -c "SHAPE PASS" bench_results/*.txt /dev/null | sed 's/^bench_results\///'
+grep -c "SHAPE PASS" bench_results/*.txt /dev/null \
+    | sed 's/^bench_results\///' || true
 echo
 if [ "$fails" -ne 0 ]; then
     echo "$fails harness(es) failed — see bench_results/progress.log" >&2
