@@ -132,6 +132,8 @@ main()
             best = std::max(best, o.host.kiloCyclesPerSec());
         }
         const std::string label = outs.at(pi * reps).label;
+        const std::string& loop = outs.at(pi * reps).loop;
+        const unsigned group = outs.at(pi * reps).replicaGroup;
         const double base = baselineKcps(baselineDoc, label);
         const double speedup = base > 0.0 ? best / base : 0.0;
         if (base > 0.0) {
@@ -144,7 +146,10 @@ main()
         if (pi != 0)
             pointsJson << ",\n";
         pointsJson << "    { \"label\": \"" << sim::jsonEscape(label)
-                   << "\", \"kilocycles_per_sec\": " << best
+                   << "\", \"loop\": \""
+                   << sim::jsonEscape(loop.empty() ? "generic" : loop)
+                   << "\", \"replica_group\": " << group
+                   << ", \"kilocycles_per_sec\": " << best
                    << ", \"baseline_kilocycles_per_sec\": " << base
                    << ", \"speedup\": " << speedup << " }";
     }

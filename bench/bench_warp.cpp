@@ -138,6 +138,8 @@ main()
         j << "{\n  \"bench\": \"warp\",\n"
           << "  \"shape_ok\": " << (ok ? "true" : "false") << ",\n"
           << "  \"fast\": " << (fast ? "true" : "false") << ",\n"
+          << "  \"loop\": \"" << full.loopVariant() << "\",\n"
+          << "  \"replica_group\": 1,\n"
           << "  \"workload\": \"mcf\",\n  \"design\": \"B2\",\n"
           << "  \"warmup_insts\": " << cfg.warmupInsts << ",\n"
           << "  \"measure_insts\": " << cfg.maxInsts << ",\n"

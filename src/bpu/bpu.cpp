@@ -74,6 +74,20 @@ BranchPredictorUnit::beginQuery(QueryState& q, Addr pc, unsigned valid_slots)
                 pred_.components().size()),
             cfg_.fetchWidth, ++querySerial_);
     ++queries_;
+
+    // Host cache hint (architecturally inert): pull the tables'
+    // indexed rows toward the cache now, one-plus cycles ahead of the
+    // stage >= 2 reads. The speculative histories here may differ from
+    // the ones captured at the end of Fetch-1; a stale index merely
+    // prefetches a nearby row.
+    PredictContext ctx;
+    ctx.pc = pc;
+    ctx.validSlots = valid_slots;
+    ctx.ghist = &ghist_.current();
+    ctx.lhist = lhist_.read(pc);
+    ctx.phist = phist_.current();
+    ctx.serial = querySerial_;
+    pred_.prefetchAll(ctx);
 }
 
 PredictionBundle
@@ -351,14 +365,22 @@ BranchPredictorUnit::tick()
         break;
     }
 
+    // Gather this cycle's eligible commit updates without dequeuing
+    // (events hold pointers into the entries), deliver them in one
+    // component-major batch, then dequeue. Per-component event order
+    // matches the sequential loop, so training is bit-identical.
     unsigned updated = 0;
-    while (updated < cfg_.updateWidth && !hf_.empty()) {
-        HistoryFileEntry& head = hf_.head();
+    SmallVector<ResolveEvent, 4> evs;
+    SmallVector<const MetadataBundle*, 4> evMetas;
+    SmallVector<const std::array<std::uint8_t, kMaxFetchWidth>*, 4>
+        evProviders;
+    while (updated < cfg_.updateWidth && updated < hf_.size()) {
+        HistoryFileEntry& head = hf_.at(hf_.headPos() + updated);
         if (!head.committed || !head.resolved)
             break;
         // Suppress training for SFB-converted branches (§VI-C): they
         // neither mispredict nor consume predictor entries.
-        ResolveEvent ev = makeEvent(head, hf_.headPos());
+        ResolveEvent ev = makeEvent(head, hf_.headPos() + updated);
         for (unsigned i = 0; i < kMaxFetchWidth; ++i) {
             if (head.sfbMask[i]) {
                 ev.brMask[i] = false;
@@ -371,13 +393,20 @@ BranchPredictorUnit::tick()
         anyWork |= ev.cfiValid && !(head.cfiValid &&
                                     head.sfbMask[head.cfiIdx]);
         if (anyWork) {
-            pred_.update(ev, head.metas);
-            pred_.creditResolution(ev, head.dirProvider);
+            evs.push_back(ev);
+            evMetas.push_back(&head.metas);
+            evProviders.push_back(&head.dirProvider);
             ++updates_;
         }
-        hf_.dequeueHead();
         ++updated;
     }
+    if (!evs.empty()) {
+        pred_.updateBatch(evs.data(), evMetas.data(), evs.size());
+        for (std::size_t i = 0; i < evs.size(); ++i)
+            pred_.creditResolution(evs[i], *evProviders[i]);
+    }
+    for (unsigned i = 0; i < updated; ++i)
+        hf_.dequeueHead();
 }
 
 std::uint64_t

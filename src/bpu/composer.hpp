@@ -23,6 +23,10 @@ class StateWriter;
 class StateReader;
 } // namespace cobra::warp
 
+namespace cobra::bpu::spec {
+struct CompOps;
+} // namespace cobra::bpu::spec
+
 namespace cobra::bpu {
 
 /** Field groups a component can provide for a slot (pass-through
@@ -185,12 +189,49 @@ class ComposedPredictor
      */
     PredictionBundle evaluateStage(QueryState& q, unsigned d);
 
+    // ---- Specialized loops (ROADMAP item 4; bpu/specialize.hpp) ------
+
+    /**
+     * Try to bind the devirtualized fused loop: succeeds when the
+     * topology's specializedKey() names a registered tuple and every
+     * component resolves to a known call table. On success the
+     * evaluate/event hot paths run the flattened per-stage plan with
+     * direct calls; on failure (guard-wrapped or unknown components,
+     * unregistered tuple) the generic path stays bound. Bit-identical
+     * either way — the fused loop shares the generic algorithm code
+     * and only changes call dispatch. Idempotent.
+     */
+    bool specialize();
+
+    /** True when the fused (devirtualized) loop is bound. */
+    bool specialized() const { return specialized_; }
+
     // ---- Event broadcast (management glue, §IV-B2) -------------------
 
     void fire(FireEvent ev, MetadataBundle& metas);
     void mispredict(ResolveEvent ev, const MetadataBundle& metas);
     void repair(ResolveEvent ev, const MetadataBundle& metas);
     void update(ResolveEvent ev, const MetadataBundle& metas);
+
+    /**
+     * Batched commit-time update: deliver @p n resolve events
+     * component-major (component 0 sees event 0..n-1, then component
+     * 1, ...), coalescing one table touch per component per cycle
+     * instead of n. Per-component event order is preserved, and
+     * components are mutually independent, so the final state is
+     * bit-identical to n sequential update() broadcasts.
+     * @p metas[e] is event e's metadata bundle.
+     */
+    void updateBatch(ResolveEvent* evs, const MetadataBundle* const* metas,
+                     std::size_t n);
+
+    /**
+     * Host-side prefetch sweep: forward @p ctx to every component's
+     * prefetch() hint (architecturally inert; see
+     * PredictorComponent::prefetch). Called by the BPU at Fetch-0,
+     * one packet ahead of the table reads at stage >= 2.
+     */
+    void prefetchAll(const PredictContext& ctx) const;
 
     /**
      * Credit the recorded per-slot direction providers against the
@@ -220,14 +261,27 @@ class ComposedPredictor
     bool usesLocalHistory() const;
 
   private:
+    /** One step of a flattened per-stage evaluation plan. */
+    struct PlanStep
+    {
+        std::uint32_t node = 0; ///< Topology node index.
+        bool arb = false;       ///< Apply as an arbiter (with children).
+    };
+
     /** Evaluate node @p idx at stage @p d, transforming @p bundle. */
     void evalNode(QueryState& q, std::size_t idx, unsigned d,
                   PredictionBundle& bundle);
 
-    /** Compute-or-replay node @p idx's component patch onto @p bundle. */
+    /** Compute-or-replay node @p idx's component patch onto @p bundle.
+     *  @tparam Spec dispatch policy: devirtualized thunks vs virtual. */
+    template <bool Spec>
     void applyComponent(QueryState& q, std::size_t idx, unsigned d,
                         PredictionBundle& bundle,
                         const std::vector<std::size_t>* arbChildren);
+
+    /** Record the tree walk evalNode would perform at stage @p d. */
+    void buildPlan(std::size_t idx, unsigned d,
+                   std::vector<PlanStep>& out) const;
 
     /** Index of @p comp in components_ (construction-time only). */
     std::size_t compIndex(const PredictorComponent* comp) const;
@@ -243,6 +297,14 @@ class ComposedPredictor
     std::vector<std::size_t> nodeCompIdx_;
     /** Attribution counters, one group per component (same index). */
     std::vector<std::unique_ptr<CompAttribution>> attribution_;
+
+    // ---- Specialized-loop bindings (empty until specialize()) --------
+
+    bool specialized_ = false;
+    /** Devirtualized call tables, parallel to components_. */
+    SmallVector<const spec::CompOps*, 8> ops_;
+    /** Flattened evaluation plans, one per stage d in [1, maxLatency]. */
+    std::vector<std::vector<PlanStep>> plans_;
 };
 
 /** Diff two slots; returns the ProvideMask of changed field groups. */

@@ -45,7 +45,7 @@ struct HbimParams
 /**
  * History-indexed bimodal counter table.
  */
-class Hbim : public bpu::PredictorComponent
+class Hbim final : public bpu::PredictorComponent
 {
   public:
     Hbim(std::string name, const HbimParams& p);
@@ -83,6 +83,10 @@ class Hbim : public bpu::PredictorComponent
                  bpu::Metadata& meta) override;
 
     void update(const bpu::ResolveEvent& ev) override;
+
+    const char* typeKey() const override { return "bim"; }
+
+    void prefetch(const bpu::PredictContext& ctx) const override;
 
     void saveState(warp::StateWriter& w) const override;
     void restoreState(warp::StateReader& r) override;

@@ -18,8 +18,8 @@ Btb::Btb(std::string name, const BtbParams& p)
 {
     assert(isPow2(p.sets));
     ways_.resize(static_cast<std::size_t>(p.sets) * p.ways);
-    for (auto& w : ways_)
-        w.slots.resize(p.fetchWidth);
+    slots_.assign(static_cast<std::size_t>(p.sets) * p.ways * p.fetchWidth,
+                  SlotEntry{});
 }
 
 std::size_t
@@ -72,9 +72,10 @@ Btb::predict(const bpu::PredictContext& ctx, bpu::PredictionBundle& inout,
     if (!hit)
         return; // Pass the incoming prediction through (Fig. 3).
 
-    const Way& way = ways_[set * params_.ways + hitWay];
+    const SlotEntry* waySlots =
+        &slots_[(set * params_.ways + hitWay) * fetchWidth()];
     for (unsigned i = 0; i < ctx.validSlots && i < inout.width; ++i) {
-        const SlotEntry& se = way.slots[i];
+        const SlotEntry& se = waySlots[i];
         if (!se.valid)
             continue;
         auto& out = inout.slots[i];
@@ -126,22 +127,33 @@ Btb::update(const bpu::ResolveEvent& ev)
     }
 
     Way& way = ways_[set * params_.ways + w];
+    SlotEntry* waySlots = &slots_[(set * params_.ways + w) * fetchWidth()];
     if (!way.valid || way.tag != tag) {
         way.valid = true;
         way.tag = tag;
-        for (auto& s : way.slots)
-            s = SlotEntry{};
+        for (unsigned i = 0; i < fetchWidth(); ++i)
+            waySlots[i] = SlotEntry{};
     }
     way.lruStamp = ++stamp_;
 
-    if (ev.cfiIdx < way.slots.size()) {
-        SlotEntry& se = way.slots[ev.cfiIdx];
+    if (ev.cfiIdx < fetchWidth()) {
+        SlotEntry& se = waySlots[ev.cfiIdx];
         se.valid = true;
         se.target = ev.target;
         se.type = ev.cfiType;
         se.isCall = ev.cfiIsCall;
         se.isRet = ev.cfiIsRet;
     }
+}
+
+void
+Btb::prefetch(const bpu::PredictContext& ctx) const
+{
+    // Host cache hint only: pull the indexed set's tag strip and its
+    // first way's slot run into cache one packet ahead of predict().
+    const std::size_t set = setOf(ctx.pc);
+    __builtin_prefetch(&ways_[set * params_.ways], 0, 1);
+    __builtin_prefetch(&slots_[set * params_.ways * fetchWidth()], 0, 1);
 }
 
 std::uint64_t
@@ -277,12 +289,14 @@ void
 Btb::saveState(warp::StateWriter& w) const
 {
     w.u64(ways_.size());
-    for (const Way& way : ways_) {
+    for (std::size_t wi = 0; wi < ways_.size(); ++wi) {
+        const Way& way = ways_[wi];
         w.boolean(way.valid);
         w.u64(way.tag);
         w.u32(way.lruStamp);
-        w.u64(way.slots.size());
-        for (const SlotEntry& s : way.slots) {
+        w.u64(fetchWidth());
+        for (unsigned i = 0; i < fetchWidth(); ++i) {
+            const SlotEntry& s = slots_[wi * fetchWidth() + i];
             w.boolean(s.valid);
             w.u64(s.target);
             w.u8(static_cast<std::uint8_t>(s.type));
@@ -299,13 +313,15 @@ Btb::restoreState(warp::StateReader& r)
 {
     if (r.u64() != ways_.size())
         r.fail("BTB way count does not match");
-    for (Way& way : ways_) {
+    for (std::size_t wi = 0; wi < ways_.size(); ++wi) {
+        Way& way = ways_[wi];
         way.valid = r.boolean();
         way.tag = r.u64();
         way.lruStamp = r.u32();
-        if (r.u64() != way.slots.size())
+        if (r.u64() != fetchWidth())
             r.fail("BTB slot count does not match");
-        for (SlotEntry& s : way.slots) {
+        for (unsigned i = 0; i < fetchWidth(); ++i) {
+            SlotEntry& s = slots_[wi * fetchWidth() + i];
             s.valid = r.boolean();
             s.target = r.u64();
             s.type = static_cast<bpu::CfiType>(r.u8());

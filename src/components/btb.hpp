@@ -34,7 +34,7 @@ struct BtbParams
  * Set-associative BTB indexed by fetch-packet PC; each way holds a
  * tag and per-slot target records.
  */
-class Btb : public bpu::PredictorComponent
+class Btb final : public bpu::PredictorComponent
 {
   public:
     Btb(std::string name, const BtbParams& p);
@@ -50,6 +50,10 @@ class Btb : public bpu::PredictorComponent
                  bpu::Metadata& meta) override;
 
     void update(const bpu::ResolveEvent& ev) override;
+
+    const char* typeKey() const override { return "btb"; }
+
+    void prefetch(const bpu::PredictContext& ctx) const override;
 
     void saveState(warp::StateWriter& w) const override;
     void restoreState(warp::StateReader& r) override;
@@ -83,10 +87,12 @@ class Btb : public bpu::PredictorComponent
     {
         if (ways_.empty())
             return false;
-        Way& w = ways_[rand % ways_.size()];
+        const std::size_t wi = rand % ways_.size();
+        Way& w = ways_[wi];
         const std::uint64_t pick = rand >> 32;
-        if (!w.slots.empty() && (pick & 1) != 0) {
-            SlotEntry& s = w.slots[(rand >> 16) % w.slots.size()];
+        if ((pick & 1) != 0) {
+            SlotEntry& s =
+                slots_[wi * fetchWidth() + (rand >> 16) % fetchWidth()];
             if (s.valid && s.target != kInvalidAddr) {
                 s.target ^= 1ull << ((pick >> 1) % 32);
                 return true;
@@ -108,19 +114,23 @@ class Btb : public bpu::PredictorComponent
         bool isRet = false;
     };
 
+    /** Way control state; the slot payloads live in the flat slots_
+     *  array so a set probe touches one dense tag strip (SoA). */
     struct Way
     {
         bool valid = false;
         std::uint64_t tag = 0;
         std::uint32_t lruStamp = 0;
-        std::vector<SlotEntry> slots;
     };
 
     std::size_t setOf(Addr pc) const;
     std::uint64_t tagOf(Addr pc) const;
 
     BtbParams params_;
-    std::vector<Way> ways_; ///< sets * ways, row-major.
+    std::vector<Way> ways_;        ///< sets * ways, row-major.
+    /** Slot payloads, sets * ways * fetchWidth; way w's slots are the
+     *  contiguous run [w*fetchWidth, (w+1)*fetchWidth). */
+    std::vector<SlotEntry> slots_;
     std::uint32_t stamp_ = 0;
     Rng rng_;
 };
@@ -138,7 +148,7 @@ struct MicroBtbParams
  * complete early prediction (direction + target + type) for the slot
  * it remembers. PC-only: it responds before histories are available.
  */
-class MicroBtb : public bpu::PredictorComponent
+class MicroBtb final : public bpu::PredictorComponent
 {
   public:
     MicroBtb(std::string name, const MicroBtbParams& p);
@@ -153,6 +163,8 @@ class MicroBtb : public bpu::PredictorComponent
                  bpu::Metadata& meta) override;
 
     void update(const bpu::ResolveEvent& ev) override;
+
+    const char* typeKey() const override { return "ubtb"; }
 
     void saveState(warp::StateWriter& w) const override;
     void restoreState(warp::StateReader& r) override;

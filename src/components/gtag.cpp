@@ -15,13 +15,10 @@ Gtag::Gtag(std::string name, const GtagParams& p)
 {
     assert(isPow2(p.sets));
     assert(p.latency >= 2);
-    rows_.resize(p.sets);
-    for (auto& r : rows_) {
-        r.ctrs.assign(p.fetchWidth,
-                      SatCounter(p.ctrBits, (1u << p.ctrBits) / 2));
-        r.tags.assign(p.fetchWidth, 0);
-        r.valids.assign(p.fetchWidth, false);
-    }
+    const std::size_t n = static_cast<std::size_t>(p.sets) * p.fetchWidth;
+    valids_.assign(n, 0);
+    tags_.assign(n, 0);
+    ctrs_.assign(n, SatCounter(p.ctrBits, (1u << p.ctrBits) / 2));
 }
 
 std::size_t
@@ -48,19 +45,19 @@ Gtag::predict(const bpu::PredictContext& ctx, bpu::PredictionBundle& inout,
               bpu::Metadata& meta)
 {
     const HistoryRegister& gh = requireGhist(ctx);
-    const Row& row = rows_[indexOf(ctx.pc, gh)];
+    const std::size_t base = indexOf(ctx.pc, gh) * fetchWidth();
     const std::uint32_t tag = tagOf(ctx.pc, gh);
 
     // Per-counter partial tags ("2K partially tagged counters"): each
     // slot hits independently; misses pass predict_in through.
     for (unsigned i = 0; i < ctx.validSlots && i < inout.width; ++i) {
-        const bool hit = row.valids[i] && row.tags[i] == tag;
+        const bool hit = valids_[base + i] != 0 && tags_[base + i] == tag;
         if (!hit)
             continue;
         inout.slots[i].valid = true;
-        inout.slots[i].taken = row.ctrs[i].taken();
+        inout.slots[i].taken = ctrs_[base + i].taken();
         meta[0] |= 1ull << i; // hit mask
-        meta[0] |= static_cast<std::uint64_t>(row.ctrs[i].value())
+        meta[0] |= static_cast<std::uint64_t>(ctrs_[base + i].value())
                    << (8 + i * params_.ctrBits);
     }
 }
@@ -69,26 +66,26 @@ void
 Gtag::update(const bpu::ResolveEvent& ev)
 {
     assert(ev.ghist != nullptr);
-    Row& row = rows_[indexOf(ev.pc, *ev.ghist)];
+    const std::size_t base = indexOf(ev.pc, *ev.ghist) * fetchWidth();
     const std::uint32_t tag = tagOf(ev.pc, *ev.ghist);
 
     for (unsigned i = 0; i < fetchWidth(); ++i) {
         if (!ev.brMask[i])
             continue;
         const bool taken = ev.takenMask[i];
-        const bool hit = row.valids[i] && row.tags[i] == tag;
+        const bool hit = valids_[base + i] != 0 && tags_[base + i] == tag;
         if (hit) {
-            row.ctrs[i].train(taken);
+            ctrs_[base + i].train(taken);
             continue;
         }
         // Allocate on a direction mispredict (the cheaper predictors
         // below this one got it wrong) — including not-taken
         // mispredicts, which carry no taken CFI.
         if (ev.slotMispredicted(i)) {
-            row.valids[i] = true;
-            row.tags[i] = tag;
+            valids_[base + i] = 1;
+            tags_[base + i] = tag;
             const unsigned mid = (1u << params_.ctrBits) / 2;
-            row.ctrs[i] =
+            ctrs_[base + i] =
                 SatCounter(params_.ctrBits, taken ? mid : mid - 1);
         }
     }
@@ -105,33 +102,40 @@ Gtag::describe() const
 }
 
 void
+Gtag::prefetch(const bpu::PredictContext& ctx) const
+{
+    // Host cache hint only: pull the indexed row's strips one packet
+    // ahead of predict(). Uses the caller's current (speculative)
+    // history — a slightly stale index still lands near the row.
+    if (ctx.ghist == nullptr)
+        return;
+    const std::size_t base = indexOf(ctx.pc, *ctx.ghist) * fetchWidth();
+    __builtin_prefetch(&valids_[base], 0, 1);
+    __builtin_prefetch(&tags_[base], 0, 1);
+    __builtin_prefetch(&ctrs_[base], 0, 1);
+}
+
+void
 Gtag::saveState(warp::StateWriter& w) const
 {
-    w.u64(rows_.size());
-    for (const Row& row : rows_) {
-        w.u64(row.valids.size());
-        for (bool v : row.valids)
-            w.boolean(v);
-        for (std::uint32_t t : row.tags)
-            w.u32(t);
-        warp::saveSatVec(w, row.ctrs);
-    }
+    w.u64(valids_.size());
+    for (std::uint8_t v : valids_)
+        w.boolean(v != 0);
+    for (std::uint32_t t : tags_)
+        w.u32(t);
+    warp::saveSatVec(w, ctrs_);
 }
 
 void
 Gtag::restoreState(warp::StateReader& r)
 {
-    if (r.u64() != rows_.size())
-        r.fail("GTAG row count does not match");
-    for (Row& row : rows_) {
-        if (r.u64() != row.valids.size())
-            r.fail("GTAG slot count does not match");
-        for (std::size_t i = 0; i < row.valids.size(); ++i)
-            row.valids[i] = r.boolean();
-        for (std::uint32_t& t : row.tags)
-            t = r.u32();
-        warp::loadSatVec(r, row.ctrs);
-    }
+    if (r.u64() != valids_.size())
+        r.fail("GTAG entry count does not match");
+    for (std::uint8_t& v : valids_)
+        v = r.boolean() ? 1 : 0;
+    for (std::uint32_t& t : tags_)
+        t = r.u32();
+    warp::loadSatVec(r, ctrs_);
 }
 
 } // namespace cobra::comps

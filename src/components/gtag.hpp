@@ -32,7 +32,7 @@ struct GtagParams
  * counter predicts only on its own tag hit, passing predict_in
  * through on a miss; counters are allocated on direction mispredicts.
  */
-class Gtag : public bpu::PredictorComponent
+class Gtag final : public bpu::PredictorComponent
 {
   public:
     Gtag(std::string name, const GtagParams& p);
@@ -48,6 +48,10 @@ class Gtag : public bpu::PredictorComponent
                  bpu::Metadata& meta) override;
 
     void update(const bpu::ResolveEvent& ev) override;
+
+    const char* typeKey() const override { return "gtag"; }
+
+    void prefetch(const bpu::PredictContext& ctx) const override;
 
     void saveState(warp::StateWriter& w) const override;
     void restoreState(warp::StateReader& r) override;
@@ -83,18 +87,16 @@ class Gtag : public bpu::PredictorComponent
     const GtagParams& params() const { return params_; }
 
   private:
-    struct Row
-    {
-        std::vector<bool> valids;
-        std::vector<std::uint32_t> tags;
-        std::vector<SatCounter> ctrs;
-    };
-
     std::size_t indexOf(Addr pc, const HistoryRegister& gh) const;
     std::uint32_t tagOf(Addr pc, const HistoryRegister& gh) const;
 
     GtagParams params_;
-    std::vector<Row> rows_;
+    /** SoA strips, sets * fetchWidth each: entry (row r, slot i) is
+     *  index r*fetchWidth+i. A probe touches one dense run per strip
+     *  instead of chasing three per-row heap vectors. */
+    std::vector<std::uint8_t> valids_;
+    std::vector<std::uint32_t> tags_;
+    std::vector<SatCounter> ctrs_;
 };
 
 } // namespace cobra::comps

@@ -35,7 +35,7 @@ struct IttageParams
 /**
  * History-tagged indirect target tables with provider selection.
  */
-class Ittage : public bpu::PredictorComponent
+class Ittage final : public bpu::PredictorComponent
 {
   public:
     Ittage(std::string name, const IttageParams& p);
@@ -52,6 +52,8 @@ class Ittage : public bpu::PredictorComponent
                  bpu::Metadata& meta) override;
 
     void update(const bpu::ResolveEvent& ev) override;
+
+    const char* typeKey() const override { return "ittage"; }
 
     void saveState(warp::StateWriter& w) const override;
     void restoreState(warp::StateReader& r) override;

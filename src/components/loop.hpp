@@ -33,7 +33,7 @@ struct LoopParams
  * Direct-mapped loop predictor tracking one loop branch per entry
  * (it learns the slot within the fetch packet, §III-C).
  */
-class LoopPredictor : public bpu::PredictorComponent
+class LoopPredictor final : public bpu::PredictorComponent
 {
   public:
     LoopPredictor(std::string name, const LoopParams& p);
@@ -59,6 +59,8 @@ class LoopPredictor : public bpu::PredictorComponent
 
     /** Commit-time training of trip counts and confidence. */
     void update(const bpu::ResolveEvent& ev) override;
+
+    const char* typeKey() const override { return "loop"; }
 
     void saveState(warp::StateWriter& w) const override;
     void restoreState(warp::StateReader& r) override;

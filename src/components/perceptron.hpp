@@ -36,7 +36,7 @@ struct PerceptronParams
  * Global-history perceptron providing one prediction per packet, at
  * the learned slot.
  */
-class Perceptron : public bpu::PredictorComponent
+class Perceptron final : public bpu::PredictorComponent
 {
   public:
     Perceptron(std::string name, const PerceptronParams& p);
@@ -52,6 +52,8 @@ class Perceptron : public bpu::PredictorComponent
                  bpu::Metadata& meta) override;
 
     void update(const bpu::ResolveEvent& ev) override;
+
+    const char* typeKey() const override { return "perceptron"; }
 
     void saveState(warp::StateWriter& w) const override;
     void restoreState(warp::StateReader& r) override;

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The specialization registry's concrete side: maps component
+ * typeKey() tags to devirtualized call tables over the library's
+ * final component classes, and pre-registers the composed tuples of
+ * the paper's designs. Lives in components/ (not bpu/) because it is
+ * the one place the composition layer is allowed to know every
+ * concrete type.
+ */
+
+#include "bpu/specialize.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <string_view>
+
+#include "components/bim.hpp"
+#include "components/btb.hpp"
+#include "components/gtag.hpp"
+#include "components/ittage.hpp"
+#include "components/loop.hpp"
+#include "components/perceptron.hpp"
+#include "components/stat_corrector.hpp"
+#include "components/tage.hpp"
+#include "components/tourney.hpp"
+#include "components/yags.hpp"
+
+namespace cobra::bpu::spec {
+
+const CompOps*
+opsFor(const PredictorComponent& c)
+{
+    const std::string_view k = c.typeKey();
+    if (k.empty())
+        return nullptr;
+    if (k == "bim")
+        return opsOf<comps::Hbim>();
+    if (k == "btb")
+        return opsOf<comps::Btb>();
+    if (k == "ubtb")
+        return opsOf<comps::MicroBtb>();
+    if (k == "gtag")
+        return opsOf<comps::Gtag>();
+    if (k == "tage")
+        return opsOf<comps::Tage>();
+    if (k == "loop")
+        return opsOf<comps::LoopPredictor>();
+    if (k == "tourney")
+        return opsOf<comps::Tourney>();
+    if (k == "ittage")
+        return opsOf<comps::Ittage>();
+    if (k == "perceptron")
+        return opsOf<comps::Perceptron>();
+    if (k == "scl")
+        return opsOf<comps::StatCorrector>();
+    if (k == "yags")
+        return opsOf<comps::Yags>();
+    return nullptr;
+}
+
+namespace {
+
+std::mutex&
+registryMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::set<std::string>&
+registry()
+{
+    // The paper's evaluated tuples (sim/presets.cpp): Tournament, B2,
+    // and the TAGE-L chain that REF-BIG shares.
+    static std::set<std::string> keys = {
+        "tourney[bim>btb,bim]",
+        "gtag>btb>bim",
+        "loop>tage>btb>bim>ubtb",
+    };
+    return keys;
+}
+
+} // namespace
+
+bool
+isRegisteredKey(const std::string& key)
+{
+    if (key.empty())
+        return false;
+    std::lock_guard<std::mutex> lock(registryMutex());
+    return registry().count(key) != 0;
+}
+
+void
+registerKey(const std::string& key)
+{
+    if (key.empty())
+        return;
+    std::lock_guard<std::mutex> lock(registryMutex());
+    registry().insert(key);
+}
+
+std::vector<std::string>
+registeredKeys()
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    return {registry().begin(), registry().end()};
+}
+
+} // namespace cobra::bpu::spec

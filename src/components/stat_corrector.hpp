@@ -37,7 +37,7 @@ struct StatCorrectorParams
 /**
  * Confidence-voted corrector over the incoming prediction.
  */
-class StatCorrector : public bpu::PredictorComponent
+class StatCorrector final : public bpu::PredictorComponent
 {
   public:
     StatCorrector(std::string name, const StatCorrectorParams& p);
@@ -49,6 +49,8 @@ class StatCorrector : public bpu::PredictorComponent
                  bpu::Metadata& meta) override;
 
     void update(const bpu::ResolveEvent& ev) override;
+
+    const char* typeKey() const override { return "scl"; }
 
     void saveState(warp::StateWriter& w) const override;
     void restoreState(warp::StateReader& r) override;

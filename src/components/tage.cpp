@@ -79,9 +79,8 @@ Tage::Tage(std::string name, const TageParams& p)
         Table t;
         t.p = tp;
         t.rows.resize(tp.sets);
-        for (auto& r : t.rows)
-            r.ctrs.assign(p.fetchWidth,
-                          SatCounter(p.ctrBits, (1u << p.ctrBits) / 2));
+        t.ctrs.assign(static_cast<std::size_t>(tp.sets) * p.fetchWidth,
+                      SatCounter(p.ctrBits, (1u << p.ctrBits) / 2));
         tables_.push_back(std::move(t));
     }
 }
@@ -130,16 +129,18 @@ Tage::flipStateBit(std::uint64_t rand)
     Table& t = tables_[rand % tables_.size()];
     if (t.rows.empty())
         return false;
-    Row& r = t.rows[(rand >> 8) % t.rows.size()];
+    const std::size_t ri = (rand >> 8) % t.rows.size();
+    Row& r = t.rows[ri];
     const std::uint64_t pick = rand >> 32;
-    if (t.p.tagBits > 0 && (r.ctrs.empty() || (pick & 1) != 0)) {
+    if (t.p.tagBits > 0 && (fetchWidth() == 0 || (pick & 1) != 0)) {
         // Tag bit: the row now misses (or aliases) for its branch.
         r.tag ^= 1u << ((pick >> 1) % t.p.tagBits);
         return true;
     }
-    if (r.ctrs.empty())
+    if (fetchWidth() == 0)
         return false;
-    SatCounter& c = r.ctrs[(pick >> 1) % r.ctrs.size()];
+    SatCounter& c =
+        t.ctrs[ri * fetchWidth() + (pick >> 1) % fetchWidth()];
     const unsigned bit = static_cast<unsigned>((pick >> 16) % c.numBits());
     c.set(c.value() ^ (1u << bit));
     return true;
@@ -198,8 +199,10 @@ Tage::predict(const bpu::PredictContext& ctx, bpu::PredictionBundle& inout,
 
         std::uint64_t m = 0;
         if (provider >= 0) {
-            const Row& prow = tables_[provider].rows[idx[provider]];
-            const SatCounter& ctr = prow.ctrs[i];
+            const Table& ptab = tables_[provider];
+            const Row& prow = ptab.rows[idx[provider]];
+            const SatCounter& ctr =
+                ptab.ctrs[idx[provider] * fetchWidth() + i];
             const bool providerTaken = ctr.taken();
             const unsigned mid = (1u << params_.ctrBits) / 2;
             const bool weak = ctr.value() == mid || ctr.value() == mid - 1;
@@ -209,7 +212,9 @@ Tage::predict(const bpu::PredictContext& ctx, bpu::PredictionBundle& inout,
             bool altTaken = false;
             if (alt >= 0) {
                 altValid = true;
-                altTaken = tables_[alt].rows[idx[alt]].ctrs[i].taken();
+                altTaken = tables_[alt]
+                               .ctrs[idx[alt] * fetchWidth() + i]
+                               .taken();
             } else if (inout.slots[i].valid) {
                 // The base predictor below TAGE is the alternate.
                 altValid = true;
@@ -271,10 +276,11 @@ Tage::update(const bpu::ResolveEvent& ev)
         int provider = static_cast<int>(providerPlus1) - 1;
         bool providerValidNow = false;
         if (provider >= 0) {
-            Row& prow = tables_[provider].rows[idx[provider]];
+            Table& ptab = tables_[provider];
+            Row& prow = ptab.rows[idx[provider]];
             providerValidNow = prow.valid && prow.tag == tag[provider];
             if (providerValidNow) {
-                prow.ctrs[i].train(taken);
+                ptab.ctrs[idx[provider] * fetchWidth() + i].train(taken);
                 // Useful bit: provider disagreed with alternate and
                 // was right (or wrong).
                 if (altValid && providerTaken != altTaken) {
@@ -324,14 +330,16 @@ Tage::update(const bpu::ResolveEvent& ev)
                     if (seen == numFree || !rng_.chance(0.5))
                         break;
                 }
-                Row& r = tables_[pick].rows[idx[pick]];
+                Table& at = tables_[pick];
+                Row& r = at.rows[idx[pick]];
                 r.valid = true;
                 r.tag = tag[pick];
                 r.u = 0;
+                SatCounter* rowCtrs = &at.ctrs[idx[pick] * fetchWidth()];
                 for (unsigned s = 0; s < fetchWidth(); ++s)
-                    r.ctrs[s] = SatCounter(params_.ctrBits, mid);
-                r.ctrs[i] = SatCounter(params_.ctrBits,
-                                       taken ? mid : mid - 1);
+                    rowCtrs[s] = SatCounter(params_.ctrBits, mid);
+                rowCtrs[i] = SatCounter(params_.ctrBits,
+                                        taken ? mid : mid - 1);
             }
         }
 
@@ -376,16 +384,34 @@ Tage::describe() const
 }
 
 void
+Tage::prefetch(const bpu::PredictContext& ctx) const
+{
+    // Host cache hint only: pull each table's indexed row header and
+    // counter run one packet ahead of predict(). Uses the caller's
+    // current (speculative) history; a stale index is harmless.
+    if (ctx.ghist == nullptr)
+        return;
+    for (const Table& t : tables_) {
+        const std::size_t ri = indexOf(t, ctx.pc, *ctx.ghist);
+        __builtin_prefetch(&t.rows[ri], 0, 1);
+        __builtin_prefetch(&t.ctrs[ri * fetchWidth()], 0, 1);
+    }
+}
+
+void
 Tage::saveState(warp::StateWriter& w) const
 {
     w.u64(tables_.size());
     for (const Table& t : tables_) {
         w.u64(t.rows.size());
-        for (const Row& row : t.rows) {
+        for (std::size_t ri = 0; ri < t.rows.size(); ++ri) {
+            const Row& row = t.rows[ri];
             w.boolean(row.valid);
             w.u32(row.tag);
             w.u8(row.u);
-            warp::saveSatVec(w, row.ctrs);
+            w.u64(fetchWidth());
+            for (unsigned s = 0; s < fetchWidth(); ++s)
+                warp::saveSat(w, t.ctrs[ri * fetchWidth() + s]);
         }
     }
     warp::saveSigned(w, useAltOnNa_);
@@ -401,11 +427,15 @@ Tage::restoreState(warp::StateReader& r)
     for (Table& t : tables_) {
         if (r.u64() != t.rows.size())
             r.fail("TAGE row count does not match");
-        for (Row& row : t.rows) {
+        for (std::size_t ri = 0; ri < t.rows.size(); ++ri) {
+            Row& row = t.rows[ri];
             row.valid = r.boolean();
             row.tag = r.u32();
             row.u = r.u8();
-            warp::loadSatVec(r, row.ctrs);
+            if (r.u64() != fetchWidth())
+                r.fail("TAGE counter count does not match");
+            for (unsigned s = 0; s < fetchWidth(); ++s)
+                warp::loadSat(r, t.ctrs[ri * fetchWidth() + s]);
         }
     }
     warp::loadSigned(r, useAltOnNa_);

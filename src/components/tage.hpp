@@ -54,7 +54,7 @@ struct TageParams
  * table hits (otherwise predict_in — the base predictor below it in
  * the topology — passes through, §III-F).
  */
-class Tage : public bpu::PredictorComponent
+class Tage final : public bpu::PredictorComponent
 {
   public:
     Tage(std::string name, const TageParams& p);
@@ -66,6 +66,10 @@ class Tage : public bpu::PredictorComponent
                  bpu::Metadata& meta) override;
 
     void update(const bpu::ResolveEvent& ev) override;
+
+    const char* typeKey() const override { return "tage"; }
+
+    void prefetch(const bpu::PredictContext& ctx) const override;
 
     void saveState(warp::StateWriter& w) const override;
     void restoreState(warp::StateReader& r) override;
@@ -86,18 +90,22 @@ class Tage : public bpu::PredictorComponent
     bool flipStateBit(std::uint64_t rand) override;
 
   private:
+    /** Row control state; counters live in the table's flat ctrs
+     *  strip (SoA) so tag probes scan a dense header array. */
     struct Row
     {
         bool valid = false;
         std::uint32_t tag = 0;
         std::uint8_t u = 0;
-        std::vector<SatCounter> ctrs;
     };
 
     struct Table
     {
         TageTableParams p;
         std::vector<Row> rows;
+        /** sets * fetchWidth counters; row r's run starts at
+         *  r*fetchWidth. */
+        std::vector<SatCounter> ctrs;
     };
 
     std::size_t indexOf(const Table& t, Addr pc,

@@ -32,7 +32,7 @@ struct TourneyParams
  * the global-history predictor, input 1 = the local-history
  * predictor; counter high = trust input 0).
  */
-class Tourney : public bpu::PredictorComponent
+class Tourney final : public bpu::PredictorComponent
 {
   public:
     Tourney(std::string name, const TourneyParams& p);
@@ -58,6 +58,8 @@ class Tourney : public bpu::PredictorComponent
                    bpu::Metadata& meta) override;
 
     void update(const bpu::ResolveEvent& ev) override;
+
+    const char* typeKey() const override { return "tourney"; }
 
     void saveState(warp::StateWriter& w) const override;
     void restoreState(warp::StateReader& r) override;

@@ -33,7 +33,7 @@ struct YagsParams
 /**
  * Choice PHT + tagged direction caches.
  */
-class Yags : public bpu::PredictorComponent
+class Yags final : public bpu::PredictorComponent
 {
   public:
     Yags(std::string name, const YagsParams& p);
@@ -49,6 +49,8 @@ class Yags : public bpu::PredictorComponent
                  bpu::Metadata& meta) override;
 
     void update(const bpu::ResolveEvent& ev) override;
+
+    const char* typeKey() const override { return "yags"; }
 
     void saveState(warp::StateWriter& w) const override;
     void restoreState(warp::StateReader& r) override;

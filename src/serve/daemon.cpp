@@ -453,6 +453,8 @@ Daemon::runDetailedRound(RequestState& rs,
         };
         pt.program = &programs_.get(spec.workload);
         pt.cfg = rs.req.makeConfig(spec.design);
+        if (cfg_.noSpecialize)
+            pt.cfg.specialize = sim::SpecializeMode::Off;
         if (rs.req.pointTimeoutMs > 0) {
             // Cooperative wall-clock watchdog: drive the simulation
             // in bounded cycle slices and check the deadline between
@@ -472,7 +474,10 @@ Daemon::runDetailedRound(RequestState& rs,
                         throw guard::TimeoutError(label, limit_ms);
                     stop_cycle += slice;
                 }
-                return s.run();
+                // finishRun(), not run(): a stalled point then
+                // reports the same cycle count as an unwatched one
+                // (run() would issue one more probe tick).
+                return s.finishRun();
             };
         }
         engine.add(std::move(pt));
@@ -511,10 +516,13 @@ Daemon::runWarpPoint(RequestState& rs, std::size_t idx,
     const warp::WarpEstimate* estp = nullptr;
     warp::WarpEstimate est;
     try {
+        sim::SimConfig wcfg = req.makeConfig(spec.design);
+        if (cfg_.noSpecialize)
+            wcfg.specialize = sim::SpecializeMode::Off;
         est = warp::runWarp(
             programs_.get(spec.workload),
             [d = spec.design] { return sim::buildTopology(d); },
-            req.makeConfig(spec.design), w);
+            wcfg, w);
         o.result = est.estimate;
         estp = &est;
     } catch (const std::exception& e) {

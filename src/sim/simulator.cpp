@@ -1,8 +1,32 @@
 #include "sim/simulator.hpp"
 
+#include "bpu/specialize.hpp"
 #include "warp/state_io.hpp"
 
 namespace cobra::sim {
+
+const char*
+specializeModeName(SpecializeMode m)
+{
+    switch (m) {
+      case SpecializeMode::Auto: return "auto";
+      case SpecializeMode::Off: return "off";
+      case SpecializeMode::Require: return "require";
+    }
+    return "?";
+}
+
+bool
+specializeAvailable(const bpu::Topology& topo, const SimConfig& cfg)
+{
+    // Audit and fault injection wrap every component in a guard whose
+    // typeKey is empty, so the Simulator's composed predictor will
+    // refuse to fuse; mirror that here without building one.
+    if (cfg.audit || cfg.faultRate > 0.0)
+        return false;
+    const std::string key = topo.specializedKey();
+    return !key.empty() && bpu::spec::isRegisteredKey(key);
+}
 
 void
 OutputConfig::validate() const
@@ -94,6 +118,22 @@ Simulator::Simulator(const prog::Program& program, bpu::Topology topo,
     caches_ = std::make_unique<core::CacheHierarchy>(cfg.caches);
     bpu_ = std::make_unique<bpu::BranchPredictorUnit>(std::move(topo),
                                                       cfg.bpu);
+    // Bind the fused (devirtualized) simulation loop when requested
+    // and available. Guard wrappers installed above keep the generic
+    // path (they must observe every virtual call), as do topologies
+    // whose tuple is not registered. Bit-identical either way.
+    if (cfg_.specialize != SpecializeMode::Off)
+        bpu_->predictor().specialize();
+    if (cfg_.specialize == SpecializeMode::Require &&
+        !bpu_->predictor().specialized()) {
+        throw guard::ConfigError(
+            "specialize",
+            "the fused loop is unavailable for this run (unregistered "
+            "component tuple, or audit/fault-injection wrappers are "
+            "active); drop the explicit specialize request or register "
+            "the tuple (see docs/PERFORMANCE.md)");
+    }
+
     frontend_ = std::make_unique<core::Frontend>(program, *oracle_, *bpu_,
                                                  *caches_, cfg.frontend);
     backend_ = std::make_unique<core::Backend>(*oracle_, *bpu_, *frontend_,
@@ -301,6 +341,26 @@ Simulator::advanceTo(Cycle stop_cycle)
             return false;
     }
     return backend_->committedInsts() < target && now_ < cfg_.maxCycles;
+}
+
+SimResult
+Simulator::finishRun()
+{
+    if (!baseCaptured_) {
+        // advanceTo() can only bail out before the measurement base is
+        // captured on a warmup stall: report run()'s warmup-deadlock
+        // result (zero metrics, deadlocked flag set).
+        SimResult r;
+        finishResult(r, true, now_ - lastProgressCycle_);
+        return r;
+    }
+    // advanceTo() returned false either because the budget/cycle limit
+    // was reached (the loop conditions below are false) or because the
+    // watchdog saw a stall mid-region — exactly run()'s dichotomy.
+    const std::uint64_t target = cfg_.warmupInsts + cfg_.maxInsts;
+    const bool deadlocked =
+        backend_->committedInsts() < target && now_ < cfg_.maxCycles;
+    return measuredResult(deadlocked);
 }
 
 SimResult

@@ -184,6 +184,33 @@ struct OutputConfig
     void validate() const;
 };
 
+/**
+ * Specialized-loop selection (ROADMAP item 4). The fused
+ * (devirtualized) loop is bit-identical to the generic path; the mode
+ * only controls whether binding is attempted and whether a failure to
+ * bind is an error.
+ */
+enum class SpecializeMode : std::uint8_t
+{
+    Auto,    ///< Fuse when the topology matches a registered tuple.
+    Off,     ///< Always run the generic (virtual-dispatch) path.
+    Require, ///< Error (guard::ConfigError) if fusing is unavailable.
+};
+
+const char* specializeModeName(SpecializeMode m);
+
+/**
+ * Would a Simulator built from @p topo and @p cfg bind the fused
+ * specialized loop? Mirrors the construction-time decision: contract
+ * audit and fault injection wrap components in guards (forcing the
+ * generic loop), and the component tuple must render to a registered
+ * key (bpu/specialize.hpp). CLIs use this to reject an explicit
+ * specialize request up front as a usage error (exit 2) instead of
+ * failing every sweep point at run time.
+ */
+bool specializeAvailable(const bpu::Topology& topo,
+                         const struct SimConfig& cfg);
+
 /** Full simulation configuration. */
 struct SimConfig
 {
@@ -196,6 +223,9 @@ struct SimConfig
     std::uint64_t warmupInsts = 50'000; ///< Stats reset after this.
     std::uint64_t maxCycles = 40'000'000;
     std::uint64_t oracleSeed = 0xD15EA5E;
+
+    /** Specialized-loop selection (cycle-exact either way). */
+    SpecializeMode specialize = SpecializeMode::Auto;
 
     // ---- SimGuard -------------------------------------------------------
 
@@ -263,6 +293,17 @@ class Simulator
     bool advanceTo(Cycle stop_cycle);
 
     /**
+     * Produce the final SimResult for a run that advanceTo() has
+     * driven to completion (it returned false): exactly the result an
+     * uninterrupted run() would have returned, including the deadlock
+     * flag. Unlike calling run() after the fact, no further probe
+     * tick is issued, so a stalled run reports the same cycle count
+     * as the direct path. The lockstep sweep driver finishes each
+     * replica through this.
+     */
+    SimResult finishRun();
+
+    /**
      * Serialize the complete mid-flight simulation state — oracle,
      * caches, predictor composition, frontend (in-flight packets and
      * all), backend (ROB and all), fault RNG, run-loop progress
@@ -294,6 +335,18 @@ class Simulator
     /** The pipeline event tracer; nullptr unless tracing is on. */
     scope::Tracer* tracer() { return tracer_.get(); }
     const scope::Tracer* tracer() const { return tracer_.get(); }
+
+    /**
+     * Which simulation loop this run uses: "specialized" when the
+     * fused (devirtualized) loop bound, "generic" otherwise. Exported
+     * into bench/sweep JSON so recorded throughput is attributable.
+     */
+    const char*
+    loopVariant() const
+    {
+        return bpu_->predictor().specialized() ? "specialized"
+                                               : "generic";
+    }
 
     bpu::BranchPredictorUnit& bpu() { return *bpu_; }
     core::Frontend& frontend() { return *frontend_; }

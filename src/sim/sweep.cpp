@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <deque>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
@@ -31,6 +32,18 @@ SweepPoint::preset(Design d, const prog::Program& program)
 SweepEngine::SweepEngine(unsigned jobs)
     : jobs_(jobs == 0 ? defaultJobs() : jobs)
 {
+    // COBRA_LOCKSTEP=1/0: enable/disable replica grouping
+    // process-wide (results are bit-identical either way; only wall
+    // clock moves). COBRA_LOCKSTEP_SLICE=N: override the rotation
+    // slice, for tuning the cache-residency / fairness trade on a
+    // given host.
+    if (const char* env = std::getenv("COBRA_LOCKSTEP"))
+        lockstep_ = env[0] == '1';
+    if (const char* env = std::getenv("COBRA_LOCKSTEP_SLICE")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n >= 1)
+            lockstepSlice_ = static_cast<Cycle>(n);
+    }
 }
 
 unsigned
@@ -55,33 +68,19 @@ SweepEngine::add(SweepPoint p)
     return points_.size() - 1;
 }
 
-SweepOutcome
-SweepEngine::runPoint(std::size_t idx, const SweepPoint& pt,
-                      const PostRun& postRun) const
+namespace {
+
+/**
+ * Fill a failed outcome's error/errorClass from the exception in
+ * flight (call from a catch block). Shared by the solo path and the
+ * lockstep driver so degrouped replicas report the exact taxonomy a
+ * solo run would.
+ */
+void
+captureCurrentException(SweepOutcome& out)
 {
-    SweepOutcome out;
-    out.label = pt.label;
-    const auto t0 = std::chrono::steady_clock::now();
     try {
-        Simulator s(*pt.program, pt.topology(), pt.cfg);
-        out.result = pt.execute ? pt.execute(s) : s.run();
-        out.host.simCycles = s.cycles();
-        out.host.simInsts = s.backend().committedInsts();
-        if (postRun) {
-            std::ostringstream oss;
-            postRun(idx, s, out.result, pt, oss);
-            out.postRunText = oss.str();
-        }
-        // CobraScope renders on the worker, while the Simulator is
-        // alive; the writers later concatenate in submission order.
-        if (!pt.cfg.output.statsJsonPath.empty())
-            out.statsJson = renderPointStats(pt.label, s, out.result);
-        if (s.tracer() != nullptr) {
-            std::ostringstream oss;
-            s.tracer()->writeChromeTrace(
-                oss, static_cast<unsigned>(idx), pt.label);
-            out.traceEvents = oss.str();
-        }
+        throw;
     } catch (const guard::DeadlockError& e) {
         // Keep the watchdog's pipeline post-mortem attached so CLI
         // consumers can still print it.
@@ -96,10 +95,162 @@ SweepEngine::runPoint(std::size_t idx, const SweepPoint& pt,
         out.error = "unknown non-std exception";
         out.errorClass = "internal";
     }
+}
+
+} // namespace
+
+void
+SweepEngine::finishPoint(std::size_t idx, const SweepPoint& pt,
+                         Simulator& s, SweepOutcome& out,
+                         const PostRun& postRun) const
+{
+    out.loop = s.loopVariant();
+    out.host.simCycles = s.cycles();
+    out.host.simInsts = s.backend().committedInsts();
+    if (postRun) {
+        std::ostringstream oss;
+        postRun(idx, s, out.result, pt, oss);
+        out.postRunText = oss.str();
+    }
+    // CobraScope renders on the worker, while the Simulator is
+    // alive; the writers later concatenate in submission order.
+    if (!pt.cfg.output.statsJsonPath.empty())
+        out.statsJson = renderPointStats(pt.label, s, out.result);
+    if (s.tracer() != nullptr) {
+        std::ostringstream oss;
+        s.tracer()->writeChromeTrace(oss, static_cast<unsigned>(idx),
+                                     pt.label);
+        out.traceEvents = oss.str();
+    }
+}
+
+SweepOutcome
+SweepEngine::runPoint(std::size_t idx, const SweepPoint& pt,
+                      const PostRun& postRun) const
+{
+    SweepOutcome out;
+    out.label = pt.label;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        Simulator s(*pt.program, pt.topology(), pt.cfg);
+        out.result = pt.execute ? pt.execute(s) : s.run();
+        finishPoint(idx, pt, s, out, postRun);
+    } catch (...) {
+        captureCurrentException(out);
+    }
     const auto t1 = std::chrono::steady_clock::now();
     out.host.wallSeconds =
         std::chrono::duration<double>(t1 - t0).count();
     return out;
+}
+
+std::vector<std::vector<std::size_t>>
+SweepEngine::buildTasks(const std::vector<SweepPoint>& points) const
+{
+    std::vector<std::vector<std::size_t>> tasks;
+    if (!lockstep_) {
+        for (std::size_t i = 0; i < points.size(); ++i)
+            tasks.push_back({i});
+        return tasks;
+    }
+    // Group by (Program, oracle seed) in first-seen submission order,
+    // so task layout — and therefore scheduling — is deterministic.
+    // Points with a custom execute hook drive their Simulator
+    // themselves (warp interval runs restore checkpoints) and cannot
+    // be sliced with advanceTo(), so they stay solo.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        bool joined = false;
+        if (!points[i].execute) {
+            for (auto& t : tasks) {
+                const SweepPoint& head = points[t.front()];
+                if (!head.execute &&
+                    head.program == points[i].program &&
+                    head.cfg.oracleSeed == points[i].cfg.oracleSeed) {
+                    t.push_back(i);
+                    joined = true;
+                    break;
+                }
+            }
+        }
+        if (!joined)
+            tasks.push_back({i});
+    }
+    return tasks;
+}
+
+std::vector<SweepOutcome>
+SweepEngine::runLockstepGroup(const std::vector<std::size_t>& idxs,
+                              const std::vector<SweepPoint>& points,
+                              const PostRun& postRun) const
+{
+    struct Replica
+    {
+        std::unique_ptr<Simulator> sim;
+        double wall = 0.0;
+        bool active = false;
+    };
+    const std::size_t n = idxs.size();
+    std::vector<SweepOutcome> outs(n);
+    std::vector<Replica> reps(n);
+    std::size_t active = 0;
+
+    // Build every replica first; a topology factory or Simulator ctor
+    // that throws (e.g. --specialize on an unregistered tuple) fails
+    // only its own point, exactly as it would solo.
+    for (std::size_t i = 0; i < n; ++i) {
+        const SweepPoint& pt = points[idxs[i]];
+        outs[i].label = pt.label;
+        outs[i].replicaGroup = static_cast<unsigned>(n);
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+            reps[i].sim = std::make_unique<Simulator>(
+                *pt.program, pt.topology(), pt.cfg);
+            reps[i].active = true;
+            ++active;
+        } catch (...) {
+            captureCurrentException(outs[i]);
+        }
+        reps[i].wall += std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+        outs[i].host.wallSeconds = reps[i].wall;
+    }
+
+    // Advance the survivors round-robin in cycle slices: every active
+    // replica consumes the same stretch of the shared oracle stream
+    // before any moves on, so the stream's decode structures stay hot
+    // across the whole group. Each replica's wall clock accumulates
+    // only its own slices — per-point kcps keeps meaning.
+    while (active > 0) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!reps[i].active)
+                continue;
+            const SweepPoint& pt = points[idxs[i]];
+            const auto t0 = std::chrono::steady_clock::now();
+            try {
+                Simulator& s = *reps[i].sim;
+                if (!s.advanceTo(s.cycles() + lockstepSlice_)) {
+                    outs[i].result = s.finishRun();
+                    finishPoint(idxs[i], pt, s, outs[i], postRun);
+                    reps[i].active = false;
+                    --active;
+                }
+            } catch (...) {
+                // Degroup: this replica reports its usual errorClass
+                // and leaves; the rest of the group keeps advancing.
+                captureCurrentException(outs[i]);
+                reps[i].active = false;
+                --active;
+            }
+            reps[i].wall += std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+            outs[i].host.wallSeconds = reps[i].wall;
+            if (!reps[i].active)
+                reps[i].sim.reset();
+        }
+    }
+    return outs;
 }
 
 std::vector<SweepOutcome>
@@ -130,68 +281,80 @@ SweepEngine::run(const PostRun& postRun)
         outcomes[idx].errorClass = "interrupted";
     };
 
+    // The schedulable unit is a task: a lockstep replica group when
+    // grouping applies, a single point otherwise. The stop flag is
+    // polled between tasks, so a cancelled group cancels whole.
+    const std::vector<std::vector<std::size_t>> tasks =
+        buildTasks(points);
+    auto runTask = [&](const std::vector<std::size_t>& task) {
+        if (stopped()) {
+            for (std::size_t idx : task)
+                cancel(idx);
+            return;
+        }
+        if (task.size() == 1) {
+            outcomes[task[0]] = runPoint(task[0], points[task[0]],
+                                         postRun);
+            report(task[0], outcomes[task[0]]);
+            return;
+        }
+        std::vector<SweepOutcome> outs =
+            runLockstepGroup(task, points, postRun);
+        for (std::size_t k = 0; k < task.size(); ++k) {
+            outcomes[task[k]] = std::move(outs[k]);
+            report(task[k], outcomes[task[k]]);
+        }
+    };
+
     const unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(jobs_, points.size()));
+        std::min<std::size_t>(jobs_, tasks.size()));
 
     if (workers <= 1) {
         // Inline serial path: the deterministic reference, and the
         // zero-overhead path for single-point "sweeps" (cobra_sim).
-        for (std::size_t i = 0; i < points.size(); ++i) {
-            if (stopped()) {
-                cancel(i);
-                continue;
-            }
-            outcomes[i] = runPoint(i, points[i], postRun);
-            report(i, outcomes[i]);
-        }
+        for (const auto& task : tasks)
+            runTask(task);
         return outcomes;
     }
 
-    // Work-stealing deques: points are dealt round-robin; a worker
+    // Work-stealing deques: tasks are dealt round-robin; a worker
     // pops its own queue from the back (LIFO keeps its cache warm)
     // and steals from other queues' fronts (FIFO takes the oldest,
-    // largest-remaining work first). Each point writes only its own
-    // outcome slot, so no synchronisation is needed on results.
+    // largest-remaining work first). Each task writes only its own
+    // outcome slots, so no synchronisation is needed on results.
     struct WorkerQueue
     {
         std::mutex m;
         std::deque<std::size_t> q;
     };
     std::vector<WorkerQueue> queues(workers);
-    for (std::size_t i = 0; i < points.size(); ++i)
+    for (std::size_t i = 0; i < tasks.size(); ++i)
         queues[i % workers].q.push_back(i);
 
     auto work = [&](unsigned self) {
         for (;;) {
-            std::size_t idx = SIZE_MAX;
+            std::size_t t = SIZE_MAX;
             {
                 std::lock_guard<std::mutex> lk(queues[self].m);
                 if (!queues[self].q.empty()) {
-                    idx = queues[self].q.back();
+                    t = queues[self].q.back();
                     queues[self].q.pop_back();
                 }
             }
-            if (idx == SIZE_MAX) {
-                for (unsigned v = 1; v < workers && idx == SIZE_MAX;
+            if (t == SIZE_MAX) {
+                for (unsigned v = 1; v < workers && t == SIZE_MAX;
                      ++v) {
                     WorkerQueue& victim = queues[(self + v) % workers];
                     std::lock_guard<std::mutex> lk(victim.m);
                     if (!victim.q.empty()) {
-                        idx = victim.q.front();
+                        t = victim.q.front();
                         victim.q.pop_front();
                     }
                 }
             }
-            if (idx == SIZE_MAX)
+            if (t == SIZE_MAX)
                 return; // All queues drained.
-            if (stopped()) {
-                // Drain mode: mark the remaining claim cancelled and
-                // keep pulling so every queued index gets an outcome.
-                cancel(idx);
-                continue;
-            }
-            outcomes[idx] = runPoint(idx, points[idx], postRun);
-            report(idx, outcomes[idx]);
+            runTask(tasks[t]);
         }
     };
 
@@ -257,7 +420,11 @@ writeSweepJson(const std::string& path, const std::string& name,
         } else {
             writeResultFields(f, o.result, "      ",
                               /*trailing_comma=*/true);
-            f << "      \"host\": {\n"
+            f << "      \"loop\": \""
+              << jsonEscape(o.loop.empty() ? "generic" : o.loop)
+              << "\",\n"
+              << "      \"replica_group\": " << o.replicaGroup << ",\n"
+              << "      \"host\": {\n"
               << "        \"wall_seconds\": " << o.host.wallSeconds
               << ",\n"
               << "        \"sim_cycles\": " << o.host.simCycles << ",\n"

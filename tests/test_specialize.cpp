@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Specialized-loop exactness tests: the fused (devirtualized, SoA,
+ * prefetching) cycle loop must be a pure host-side optimisation.
+ * Every test here compares SpecializeMode::Off (the generic
+ * virtual-dispatch reference) against Auto/Require and demands
+ * bit-identical SimResults and stats documents — across designs,
+ * SFB/ghist variants, warp snapshots taken mid-run on one mode and
+ * resumed on the other, and the guard-wrapped configurations that
+ * must fall back to the generic loop.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bpu/specialize.hpp"
+#include "guard/errors.hpp"
+#include "program/workload.hpp"
+#include "sim/presets.hpp"
+#include "sim/sweep.hpp"
+#include "warp/snapshot.hpp"
+
+using namespace cobra;
+
+namespace {
+
+prog::WorkloadCache&
+cache()
+{
+    static prog::WorkloadCache c;
+    return c;
+}
+
+sim::SimConfig
+smallCfg(sim::Design d, sim::SpecializeMode mode)
+{
+    sim::SimConfig cfg = sim::makeConfig(d);
+    cfg.warmupInsts = 2000;
+    cfg.maxInsts = 40'000;
+    cfg.specialize = mode;
+    return cfg;
+}
+
+/** Run one (design, workload) point and return result + stats doc. */
+std::pair<sim::SimResult, std::string>
+runOnce(sim::Design d, const std::string& wl, sim::SimConfig cfg,
+        const char* expect_loop = nullptr)
+{
+    sim::Simulator s(cache().get(wl), sim::buildTopology(d), cfg);
+    if (expect_loop != nullptr) {
+        EXPECT_STREQ(s.loopVariant(), expect_loop)
+            << sim::designName(d) << "/" << wl;
+    }
+    const sim::SimResult r = s.run();
+    return {r, sim::renderPointStats("p", s, r)};
+}
+
+} // namespace
+
+TEST(Specialize, EveryRegisteredDesignFusesAndMatchesGeneric)
+{
+    for (sim::Design d : sim::paperDesigns()) {
+        const sim::SimConfig off =
+            smallCfg(d, sim::SpecializeMode::Off);
+        const sim::SimConfig req =
+            smallCfg(d, sim::SpecializeMode::Require);
+
+        // The three paper designs are pre-registered tuples; Require
+        // must bind, Off must not.
+        ASSERT_TRUE(
+            sim::specializeAvailable(sim::buildTopology(d), req))
+            << sim::designName(d);
+
+        const auto [rg, sg] = runOnce(d, "leela", off, "generic");
+        const auto [rs, ss] = runOnce(d, "leela", req, "specialized");
+        EXPECT_EQ(rg, rs)
+            << sim::designName(d)
+            << ": specialized loop diverged from generic";
+        EXPECT_EQ(sg, ss)
+            << sim::designName(d) << ": stats documents diverged";
+    }
+}
+
+TEST(Specialize, AutoModeMatchesAvailability)
+{
+    // Auto must bind exactly when specializeAvailable() says so, for
+    // every design including the unregistered ones.
+    const sim::Design all[] = {sim::Design::Tourney, sim::Design::B2,
+                               sim::Design::TageL, sim::Design::RefBig};
+    for (sim::Design d : all) {
+        sim::SimConfig cfg = smallCfg(d, sim::SpecializeMode::Auto);
+        cfg.maxInsts = 2000; // Availability only; keep it cheap.
+        const bool avail =
+            sim::specializeAvailable(sim::buildTopology(d), cfg);
+        sim::Simulator s(cache().get("dhrystone"),
+                         sim::buildTopology(d), cfg);
+        EXPECT_EQ(std::string(s.loopVariant()),
+                  avail ? "specialized" : "generic")
+            << sim::designName(d);
+    }
+}
+
+TEST(Specialize, SfbAndGhistVariantsStayBitIdentical)
+{
+    const bpu::GhistRepairMode modes[] = {
+        bpu::GhistRepairMode::None, bpu::GhistRepairMode::RepairOnly,
+        bpu::GhistRepairMode::RepairAndReplay};
+    for (bpu::GhistRepairMode gm : modes) {
+        for (bool sfb : {false, true}) {
+            sim::SimConfig off =
+                smallCfg(sim::Design::TageL, sim::SpecializeMode::Off);
+            off.frontend.ghistMode = gm;
+            off.backend.ghistMode = gm;
+            off.backend.sfbEnabled = sfb;
+            sim::SimConfig req = off;
+            req.specialize = sim::SpecializeMode::Require;
+
+            const auto [rg, sg] =
+                runOnce(sim::Design::TageL, "x264", off, "generic");
+            const auto [rs, ss] = runOnce(sim::Design::TageL, "x264",
+                                          req, "specialized");
+            EXPECT_EQ(rg, rs) << "ghist="
+                              << bpu::ghistRepairModeName(gm)
+                              << " sfb=" << sfb;
+            EXPECT_EQ(sg, ss);
+        }
+    }
+}
+
+TEST(Specialize, AuditFallsBackToGenericAndRuns)
+{
+    sim::SimConfig cfg =
+        smallCfg(sim::Design::B2, sim::SpecializeMode::Auto);
+    cfg.audit = true;
+    EXPECT_FALSE(
+        sim::specializeAvailable(sim::buildTopology(sim::Design::B2),
+                                 cfg));
+    const auto [r, stats] =
+        runOnce(sim::Design::B2, "gcc", cfg, "generic");
+    EXPECT_GT(r.auditChecks, 0u);
+    EXPECT_FALSE(r.deadlocked);
+}
+
+TEST(Specialize, FaultInjectionFallsBackToGenericDeterministically)
+{
+    sim::SimConfig cfg =
+        smallCfg(sim::Design::Tourney, sim::SpecializeMode::Auto);
+    cfg.faultRate = 0.01;
+    const auto [a, sa] =
+        runOnce(sim::Design::Tourney, "mcf", cfg, "generic");
+    // Auto silently degrades; an explicit Off must reproduce the
+    // exact same faulted run (the fault RNG stream is config-keyed,
+    // not loop-keyed).
+    cfg.specialize = sim::SpecializeMode::Off;
+    const auto [b, sb] =
+        runOnce(sim::Design::Tourney, "mcf", cfg, "generic");
+    EXPECT_GT(a.faultsInjected, 0u);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(sa, sb);
+}
+
+TEST(Specialize, RequireThrowsConfigErrorWhenGuardsAreActive)
+{
+    sim::SimConfig cfg =
+        smallCfg(sim::Design::TageL, sim::SpecializeMode::Require);
+    cfg.audit = true;
+    EXPECT_THROW(sim::Simulator(cache().get("leela"),
+                                sim::buildTopology(sim::Design::TageL),
+                                cfg),
+                 guard::ConfigError);
+
+    sim::SimConfig faulted =
+        smallCfg(sim::Design::TageL, sim::SpecializeMode::Require);
+    faulted.faultRate = 0.001;
+    EXPECT_THROW(sim::Simulator(cache().get("leela"),
+                                sim::buildTopology(sim::Design::TageL),
+                                faulted),
+                 guard::ConfigError);
+}
+
+TEST(Specialize, SnapshotsAreInterchangeableBetweenLoops)
+{
+    // A warp snapshot captured under one loop must restore and resume
+    // bit-exactly under the other: the fingerprint deliberately does
+    // not encode the specialize mode, because the modes share all
+    // architectural state (SoA strips serialize in the same stream
+    // format the generic loop uses).
+    const prog::Program& p = cache().get("x264");
+    for (sim::Design d : sim::paperDesigns()) {
+        const sim::SimConfig off = smallCfg(d, sim::SpecializeMode::Off);
+        const sim::SimConfig req =
+            smallCfg(d, sim::SpecializeMode::Require);
+
+        sim::Simulator ref(p, sim::buildTopology(d), off);
+        const sim::SimResult want = ref.run();
+        ASSERT_GT(want.cycles, 0u);
+
+        // Capture mid-run on the generic loop, resume specialized.
+        sim::Simulator a(p, sim::buildTopology(d), off);
+        ASSERT_TRUE(a.advanceTo(want.cycles / 2));
+        const warp::Snapshot snapG = warp::captureSnapshot(a);
+        sim::Simulator b(p, sim::buildTopology(d), req);
+        ASSERT_STREQ(b.loopVariant(), "specialized");
+        warp::restoreSnapshot(b, snapG);
+        EXPECT_EQ(b.run(), want)
+            << sim::designName(d) << ": generic->specialized resume";
+
+        // And the reverse: capture specialized, resume generic.
+        sim::Simulator c(p, sim::buildTopology(d), req);
+        ASSERT_TRUE(c.advanceTo(want.cycles / 3));
+        const warp::Snapshot snapS = warp::captureSnapshot(c);
+        sim::Simulator e(p, sim::buildTopology(d), off);
+        warp::restoreSnapshot(e, snapS);
+        EXPECT_EQ(e.run(), want)
+            << sim::designName(d) << ": specialized->generic resume";
+
+        // The capturing specialized simulator itself resumes exactly.
+        EXPECT_EQ(c.run(), want)
+            << sim::designName(d) << ": capture perturbed the run";
+    }
+}
+
+TEST(Specialize, RegistryRoundTrips)
+{
+    // The shipped designs' keys are pre-registered...
+    for (sim::Design d : sim::paperDesigns()) {
+        const std::string key =
+            sim::buildTopology(d).specializedKey();
+        ASSERT_FALSE(key.empty()) << sim::designName(d);
+        EXPECT_TRUE(bpu::spec::isRegisteredKey(key)) << key;
+    }
+    // ...and user registration is additive and idempotent.
+    const std::string fake = "bim>bim>bim";
+    EXPECT_FALSE(bpu::spec::isRegisteredKey(fake));
+    bpu::spec::registerKey(fake);
+    bpu::spec::registerKey(fake);
+    EXPECT_TRUE(bpu::spec::isRegisteredKey(fake));
+    const auto keys = bpu::spec::registeredKeys();
+    EXPECT_GE(keys.size(), 4u);
+}

@@ -10,6 +10,12 @@ refresh (``bench_results/bench_host_throughput.json``), overridable
 with ``--expected-geomean`` for hosts much faster or slower than the
 reference container.
 
+The gate is additionally per design: each point's speedup is compared
+against the same point's ``speedup`` recorded in the committed report,
+with its own (wider, noise-tolerant) ``--point-threshold`` allowance.
+A specialized-loop regression on one topology therefore cannot hide
+behind wins on the others, even when the geomean still clears.
+
 Stdlib only; exit code 0 = pass, 1 = regression, 2 = bad input.
 
 Usage:
@@ -63,6 +69,11 @@ def main():
                          "path under bench_results/)")
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="max allowed fractional regression (default 0.15)")
+    ap.add_argument("--point-threshold", type=float, default=0.25,
+                    help="max allowed fractional per-design regression "
+                         "vs the committed report's per-point speedup "
+                         "(default 0.25; wider than --threshold because "
+                         "single points are noisier than the geomean)")
     ap.add_argument("--expected-geomean", type=float,
                     help="override the expected geomean speedup")
     args = ap.parse_args()
@@ -71,11 +82,22 @@ def main():
     base = points_by_label(load(args.baseline), args.baseline)
 
     expected = args.expected_geomean
+    expected_points = {}
+    committed = args.committed or \
+        "bench_results/bench_host_throughput.json"
+    try:
+        with open(committed, "r", encoding="utf-8") as f:
+            committed_doc = json.load(f)
+    except (OSError, ValueError) as e:
+        if expected is None:
+            sys.exit(f"error: cannot read {committed}: {e}")
+        committed_doc = {}  # explicit expectation; per-point gate off
+    for p in committed_doc.get("points", []):
+        s = p.get("speedup", 0.0)
+        if p.get("label") and isinstance(s, (int, float)) and s > 0:
+            expected_points[p["label"]] = float(s)
     if expected is None:
-        committed = args.committed or \
-            "bench_results/bench_host_throughput.json"
-        doc = load(committed)
-        expected = doc.get("geomean_speedup", 0.0)
+        expected = committed_doc.get("geomean_speedup", 0.0)
         if not isinstance(expected, (int, float)) or expected <= 0:
             sys.exit(f"error: {committed}: no usable geomean_speedup "
                      "(pass --expected-geomean)")
@@ -86,24 +108,44 @@ def main():
                  f"{missing} — the gate must cover every point")
 
     log_sum = 0.0
-    print(f"{'point':24} {'kcycles/s':>10} {'baseline':>10} {'speedup':>8}")
+    point_failures = []
+    print(f"{'point':24} {'kcycles/s':>10} {'baseline':>10} "
+          f"{'speedup':>8} {'floor':>8}")
     for label in sorted(base):
         speedup = fresh[label] / base[label]
         log_sum += math.log(speedup)
+        want = expected_points.get(label)
+        point_floor = (1.0 - args.point_threshold) * want if want else None
+        floor_txt = f"{point_floor:7.2f}x" if point_floor else f"{'-':>8}"
         print(f"{label:24} {fresh[label]:10.1f} {base[label]:10.1f} "
-              f"{speedup:7.2f}x")
+              f"{speedup:7.2f}x {floor_txt}")
+        if point_floor is not None and speedup < point_floor:
+            point_failures.append(
+                f"  {label}: {speedup:.2f}x < floor {point_floor:.2f}x "
+                f"(committed {want:.2f}x, "
+                f"{args.point_threshold:.0%} allowance)")
     geomean = math.exp(log_sum / len(base))
     floor = (1.0 - args.threshold) * expected
 
     print(f"\ngeomean speedup: {geomean:.3f}x "
           f"(expected {expected:.3f}x, floor {floor:.3f}x "
           f"= {args.threshold:.0%} regression allowance)")
+    failed = False
+    if point_failures:
+        print("PER-DESIGN REGRESSION: these points fell below their own "
+              "floor (a loss on one topology cannot hide behind wins "
+              "elsewhere):\n" + "\n".join(point_failures),
+              file=sys.stderr)
+        failed = True
     if geomean < floor:
         print("PERF REGRESSION: geomean speedup fell below the floor — "
               "either fix the regression or follow the baseline-update "
               "runbook in bench_results/README.md", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
-    print("OK: throughput within the regression allowance")
+    print("OK: throughput within the regression allowance "
+          "(geomean and every per-design point)")
     return 0
 
 
