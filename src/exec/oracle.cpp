@@ -53,6 +53,47 @@ Oracle::retireUpTo(SeqNum seq)
     }
 }
 
+void
+Oracle::bindCfSource(CfSource* cf)
+{
+    cf_ = cf;
+    if (cf_ != nullptr)
+        cf_->seek(cfConsumed());
+}
+
+std::uint64_t
+Oracle::cfConsumed() const
+{
+    std::uint64_t n = 0;
+    for (const BranchState& b : branchState_)
+        n += b.occurrence;
+    for (const IndirectState& s : indirectState_)
+        n += s.occurrence;
+    return n;
+}
+
+void
+Oracle::applyReplayDirection(const StaticInst& si, bool taken)
+{
+    const prog::BranchBehavior& b = prog_.branchBehavior(si.behaviorId);
+    BranchState& st = branchState_[si.behaviorId];
+    if (b.kind == prog::BranchBehavior::Kind::Loop) {
+        // Mirror evalDirection's trip bookkeeping so loop state (and
+        // therefore checkpoints) stays byte-identical across modes.
+        if (st.loopCount == 0) {
+            unsigned trip = b.trip;
+            if (b.tripJitter > 0) {
+                trip += static_cast<unsigned>(
+                    mix64(b.seed ^ st.occurrence) % (b.tripJitter + 1));
+            }
+            st.curTrip = trip < 1 ? 1 : trip;
+        }
+        st.loopCount = taken ? st.loopCount + 1 : 0;
+    }
+    ++st.occurrence;
+    st.localHist = (st.localHist << 1) | (taken ? 1 : 0);
+}
+
 bool
 Oracle::evalDirection(const StaticInst& si)
 {
@@ -190,7 +231,12 @@ Oracle::generateOne()
 
     switch (si.op) {
       case OpClass::CondBranch: {
-        di.taken = evalDirection(si);
+        if (cf_ != nullptr) {
+            di.taken = cf_->nextCond(pc);
+            applyReplayDirection(si, di.taken);
+        } else {
+            di.taken = evalDirection(si);
+        }
         if (di.taken) {
             assert(si.target != kInvalidAddr);
             di.nextPc = si.target;
@@ -209,11 +255,21 @@ Oracle::generateOne()
         break;
       case OpClass::IndirectJump:
         di.taken = true;
-        di.nextPc = evalIndirect(si);
+        if (cf_ != nullptr) {
+            di.nextPc = cf_->nextIndirect(pc);
+            ++indirectState_[si.behaviorId].occurrence;
+        } else {
+            di.nextPc = evalIndirect(si);
+        }
         break;
       case OpClass::IndirectCall:
         di.taken = true;
-        di.nextPc = evalIndirect(si);
+        if (cf_ != nullptr) {
+            di.nextPc = cf_->nextIndirect(pc);
+            ++indirectState_[si.behaviorId].occurrence;
+        } else {
+            di.nextPc = evalIndirect(si);
+        }
         callStack_.push_back(pc + kInstBytes);
         break;
       case OpClass::Return:
@@ -410,6 +466,8 @@ Oracle::restoreState(warp::StateReader& r)
     cursor_ = r.u64();
     if (cursor_ > buffer_.size())
         r.fail("oracle cursor beyond its buffer");
+    if (cf_ != nullptr)
+        cf_->seek(cfConsumed());
 }
 
 } // namespace cobra::exec

@@ -57,6 +57,40 @@ struct DynInst
 };
 
 /**
+ * Source of recorded committed control-flow outcomes for trace
+ * replay. The oracle's synthetic stream is deterministic in exactly
+ * two non-derivable inputs per instruction class: the direction of
+ * each conditional branch and the target of each indirect jump/call
+ * (everything else — dependences, call/return targets, memory
+ * addresses, wrong-path synthesis — is a pure function of the static
+ * image, the seed, and those outcomes). A bound CfSource supplies
+ * those two streams in generation order, so a replayed oracle
+ * reconstructs the execute-mode instruction stream bit-identically
+ * without evaluating any behaviour hash.
+ *
+ * Implementations validate the site (@p pc) of every read and raise
+ * guard::CheckpointError on mismatch or exhaustion — a desync means
+ * the trace does not belong to this Program/seed.
+ */
+class CfSource
+{
+  public:
+    virtual ~CfSource() = default;
+
+    /** Direction of the next recorded conditional branch at @p pc. */
+    virtual bool nextCond(Addr pc) = 0;
+
+    /** Target of the next recorded indirect jump/call at @p pc. */
+    virtual Addr nextIndirect(Addr pc) = 0;
+
+    /** Reposition so record @p idx is read next (checkpoint restore). */
+    virtual void seek(std::uint64_t idx) = 0;
+
+    /** Index of the record the next read returns. */
+    virtual std::uint64_t position() const = 0;
+};
+
+/**
  * Architectural executor with a rewindable output buffer.
  *
  * Usage:
@@ -114,6 +148,30 @@ class Oracle
     void saveState(warp::StateWriter& w) const;
     void restoreState(warp::StateReader& r);
 
+    /**
+     * Bind a recorded control-flow source: subsequent generation
+     * takes conditional directions and indirect targets from @p cf
+     * instead of evaluating behaviour hashes, while every piece of
+     * behaviour state (occurrence counters, loop trip state, local
+     * and global history) is advanced exactly as execute mode would —
+     * so checkpoints are byte-identical across modes and freely
+     * interchangeable. The source is repositioned to this oracle's
+     * current stream position (cfConsumed()) at bind and after every
+     * restoreState(). Pass nullptr to unbind.
+     */
+    void bindCfSource(CfSource* cf);
+
+    /** True when generation replays a bound CfSource. */
+    bool replaying() const { return cf_ != nullptr; }
+
+    /**
+     * Control-flow records consumed so far: the number of conditional
+     * branches plus indirect jumps/calls generated. Derived from the
+     * per-site occurrence counters, so it needs no extra checkpoint
+     * state — restoring any snapshot re-derives the replay position.
+     */
+    std::uint64_t cfConsumed() const;
+
   private:
     /** Generate one more correct-path instruction into the buffer. */
     void generateOne();
@@ -123,6 +181,13 @@ class Oracle
 
     /** Evaluate an indirect CF's architectural target. */
     Addr evalIndirect(const prog::StaticInst& si);
+
+    /**
+     * Apply evalDirection's behaviour-state side effects for a
+     * replayed direction (occurrence, loop trip tracking, local
+     * history) without evaluating the outcome hash.
+     */
+    void applyReplayDirection(const prog::StaticInst& si, bool taken);
 
     /** Evaluate a load/store effective address. */
     Addr evalMemAddr(const prog::StaticInst& si);
@@ -149,6 +214,7 @@ class Oracle
 
     const prog::Program& prog_;
     std::uint64_t seed_;
+    CfSource* cf_ = nullptr; ///< Replay source; nullptr = execute mode.
 
     // Architectural execution state (forward-only).
     Addr pc_;

@@ -51,4 +51,88 @@ Program::countOpClass(OpClass op) const
     return n;
 }
 
+namespace {
+
+/** Incremental FNV-1a over explicitly-fed scalars (host-independent:
+ *  every value is folded in as little-endian bytes of a u64). */
+struct Fnv
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= static_cast<std::uint8_t>(v >> (8 * i));
+            h *= 0x100000001b3ull;
+        }
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+};
+
+} // namespace
+
+std::uint64_t
+programFingerprint(const Program& p)
+{
+    Fnv f;
+    f.u64(p.base());
+    f.u64(p.entry());
+    f.u64(p.size());
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        const StaticInst& si = p.at(p.pcOf(i));
+        f.u64(static_cast<std::uint64_t>(si.op));
+        f.u64(si.dst);
+        f.u64(si.src1);
+        f.u64(si.src2);
+        f.u64(si.target);
+        f.u64(si.behaviorId);
+        f.u64(si.memStreamId);
+        f.u64(si.sfbEligible ? 1 : 0);
+    }
+    f.u64(p.numBranchBehaviors());
+    for (std::size_t i = 0; i < p.numBranchBehaviors(); ++i) {
+        const BranchBehavior& b =
+            p.branchBehavior(static_cast<std::uint32_t>(i));
+        f.u64(static_cast<std::uint64_t>(b.kind));
+        f.f64(b.pTaken);
+        f.u64(b.trip);
+        f.u64(b.tripJitter);
+        f.u64(b.pattern);
+        f.u64(b.patternLen);
+        f.u64(b.depth);
+        f.f64(b.noise);
+        f.u64(b.seed);
+    }
+    f.u64(p.numIndirectBehaviors());
+    for (std::size_t i = 0; i < p.numIndirectBehaviors(); ++i) {
+        const IndirectBehavior& b =
+            p.indirectBehavior(static_cast<std::uint32_t>(i));
+        f.u64(static_cast<std::uint64_t>(b.kind));
+        f.u64(b.targets.size());
+        for (Addr t : b.targets)
+            f.u64(t);
+        f.u64(b.depth);
+        f.u64(b.seed);
+    }
+    f.u64(p.numMemStreams());
+    for (std::size_t i = 0; i < p.numMemStreams(); ++i) {
+        const MemStream& m = p.memStream(static_cast<std::uint32_t>(i));
+        f.u64(static_cast<std::uint64_t>(m.kind));
+        f.u64(m.base);
+        f.u64(static_cast<std::uint64_t>(m.stride));
+        f.u64(m.windowBytes);
+        f.u64(m.seed);
+    }
+    return f.h;
+}
+
 } // namespace cobra::prog

@@ -215,6 +215,18 @@ class Program
     std::vector<MemStream> memStreams_;
 };
 
+/**
+ * Content fingerprint of a Program: an FNV-1a hash over the code
+ * image (every StaticInst field), the behaviour and memory-stream
+ * tables, the base and the entry point — everything the oracle's
+ * stream depends on except the seed. Captured traces embed it so a
+ * replay against a different Program fails up front with a
+ * structured error instead of desyncing mid-stream. The name is
+ * deliberately excluded: renaming a workload does not change its
+ * stream.
+ */
+std::uint64_t programFingerprint(const Program& p);
+
 } // namespace cobra::prog
 
 #endif // COBRA_PROGRAM_PROGRAM_HPP

@@ -5,6 +5,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "trace/replay.hpp"
+
 namespace cobra::prog {
 
 namespace {
@@ -388,6 +390,37 @@ WorkloadLibrary::all()
     for (const auto& [k, v] : library())
         names.push_back(k);
     return names;
+}
+
+std::shared_ptr<const trace::DecodedTrace>
+WorkloadCache::getTrace(const std::string& path)
+{
+    // Map and validate outside the lock (cheap: header + checksums),
+    // then key on the file's content digest so byte-identical traces
+    // at different paths still share one decode.
+    trace::TraceReader reader(path);
+    const std::uint64_t digest = reader.contentDigest();
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = traces_.find(digest);
+    if (it == traces_.end()) {
+        it = traces_.emplace(digest, trace::decodeTrace(reader)).first;
+        ++traceDecodes_;
+    }
+    return it->second;
+}
+
+std::size_t
+WorkloadCache::traceCount() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return traces_.size();
+}
+
+std::uint64_t
+WorkloadCache::traceDecodes() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return traceDecodes_;
 }
 
 } // namespace cobra::prog

@@ -11,12 +11,17 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "program/builder.hpp"
 #include "program/program.hpp"
+
+namespace cobra::trace {
+struct DecodedTrace; // trace/replay.hpp
+} // namespace cobra::trace
 
 namespace cobra::prog {
 
@@ -144,9 +149,30 @@ class WorkloadCache
         return cache_.size();
     }
 
+    /**
+     * Open, validate, and decode the trace file at @p path —
+     * content-addressed: the decoded object is cached under the
+     * file's content digest, so repeated gets (same path, a renamed
+     * copy, or N sweep points over one workload) share a single
+     * immutable DecodedTrace and the decode runs once. Thread-safe;
+     * malformed files raise guard::CheckpointError.
+     */
+    std::shared_ptr<const trace::DecodedTrace>
+    getTrace(const std::string& path);
+
+    /** Distinct decoded traces currently held. */
+    std::size_t traceCount() const;
+
+    /** Total decode operations performed (cache misses) — the
+     *  counter bench_trace_replay uses to prove decode-once. */
+    std::uint64_t traceDecodes() const;
+
   private:
     mutable std::mutex m_;
     std::map<std::string, Program> cache_;
+    std::map<std::uint64_t, std::shared_ptr<const trace::DecodedTrace>>
+        traces_;
+    std::uint64_t traceDecodes_ = 0;
 };
 
 } // namespace cobra::prog

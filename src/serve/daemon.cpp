@@ -9,6 +9,7 @@
 #include "common/json.hpp"
 #include "guard/errors.hpp"
 #include "sim/presets.hpp"
+#include "trace/replay.hpp"
 #include "warp/warp.hpp"
 
 namespace cobra::serve {
@@ -248,6 +249,25 @@ Daemon::admitOne(const std::string& fname)
     }
     const std::vector<PointSpec> specs = req.points();
 
+    if (!req.tracePath.empty()) {
+        // Open, decode and check the replay trace now: a corrupt file
+        // or a (program, seed, budget) mismatch is an admission-time
+        // rejection with the validator's own message, not N failing
+        // points later. The decode is content-addressed, so the
+        // worker-side getTrace below is a cache hit.
+        try {
+            const auto tr = programs_.getTrace(req.tracePath);
+            trace::validateReplayMeta(
+                tr->meta, programs_.get(req.workloads.front()),
+                req.makeConfig(req.designs.front()).oracleSeed,
+                req.warmup + req.insts);
+        } catch (const std::exception& e) {
+            rejectIncoming(fname, req.id, "invalid_trace", e.what(),
+                           specs);
+            return false;
+        }
+    }
+
     for (const RequestState& rs : queue_) {
         if (rs.req.id == req.id) {
             rejectIncoming(fname, req.id, "duplicate_id",
@@ -453,6 +473,8 @@ Daemon::runDetailedRound(RequestState& rs,
         };
         pt.program = &programs_.get(spec.workload);
         pt.cfg = rs.req.makeConfig(spec.design);
+        if (!rs.req.tracePath.empty())
+            pt.cfg.replayTrace = programs_.getTrace(rs.req.tracePath);
         if (cfg_.noSpecialize)
             pt.cfg.specialize = sim::SpecializeMode::Off;
         if (rs.req.pointTimeoutMs > 0) {
@@ -517,6 +539,8 @@ Daemon::runWarpPoint(RequestState& rs, std::size_t idx,
     warp::WarpEstimate est;
     try {
         sim::SimConfig wcfg = req.makeConfig(spec.design);
+        if (!req.tracePath.empty())
+            wcfg.replayTrace = programs_.getTrace(req.tracePath);
         if (cfg_.noSpecialize)
             wcfg.specialize = sim::SpecializeMode::Off;
         est = warp::runWarp(

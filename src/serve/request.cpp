@@ -81,6 +81,7 @@ SweepRequest::parse(const std::string& text,
             r.designs.push_back(designFromName(d));
         r.workloads = stringList(doc, "workloads");
 
+        r.tracePath = doc.getString("trace", "");
         r.insts = doc.getU64("insts", r.insts);
         r.warmup = doc.getU64("warmup", r.warmup);
         r.ghist = ghistFromName(doc.getString("ghist", "replay"));
@@ -156,6 +157,9 @@ SweepRequest::parse(const std::string& text,
                 throw RequestError("duplicate workload '" + w + "'");
         }
     }
+    if (!r.tracePath.empty() && r.workloads.size() != 1)
+        throw RequestError("'trace' requires exactly one workload "
+                           "(a capture is tied to one program)");
     if (r.warp) {
         if (r.intervals < 1)
             throw RequestError("'warp.intervals' must be >= 1");

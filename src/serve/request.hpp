@@ -54,6 +54,17 @@ struct SweepRequest
     std::vector<sim::Design> designs;
     std::vector<std::string> workloads;
 
+    /**
+     * "trace" field: path to a captured (CapturedOracle) trace file;
+     * every point replays the oracle stream from it instead of
+     * regenerating outcomes — bit-identical results, decode shared
+     * across the grid. Requires exactly one workload (a capture is
+     * tied to one program). The file itself is opened and validated
+     * at admission, so a corrupt or mismatched trace becomes an
+     * `invalid_trace` rejection document, never a failing point.
+     */
+    std::string tracePath;
+
     // ---- Run options (cobra_sim flag equivalents) ---------------------
     std::uint64_t insts = 400'000;
     std::uint64_t warmup = 120'000;

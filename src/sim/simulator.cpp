@@ -115,6 +115,14 @@ Simulator::Simulator(const prog::Program& program, bpu::Topology topo,
     }
 
     oracle_ = std::make_unique<exec::Oracle>(program, cfg.oracleSeed);
+    if (cfg_.replayTrace) {
+        trace::validateReplayMeta(cfg_.replayTrace->meta, program,
+                                  cfg_.oracleSeed,
+                                  cfg_.warmupInsts + cfg_.maxInsts);
+        replayCursor_ =
+            std::make_unique<trace::TraceCursor>(cfg_.replayTrace);
+        oracle_->bindCfSource(replayCursor_.get());
+    }
     caches_ = std::make_unique<core::CacheHierarchy>(cfg.caches);
     bpu_ = std::make_unique<bpu::BranchPredictorUnit>(std::move(topo),
                                                       cfg.bpu);

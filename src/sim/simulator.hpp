@@ -24,6 +24,7 @@
 #include "program/program.hpp"
 #include "scope/stat_registry.hpp"
 #include "scope/tracer.hpp"
+#include "trace/replay.hpp"
 
 namespace cobra::sim {
 
@@ -227,6 +228,19 @@ struct SimConfig
     /** Specialized-loop selection (cycle-exact either way). */
     SpecializeMode specialize = SpecializeMode::Auto;
 
+    /**
+     * When set, the oracle replays this captured trace instead of
+     * evaluating behaviour hashes — bit-identical to execute mode
+     * (same SimResult, same stats, interchangeable checkpoints). The
+     * trace is immutable and shared: all replicas of a sweep hold the
+     * same decoded object (prog::WorkloadCache::getTrace decodes each
+     * workload once) while every Simulator walks it through its own
+     * cursor. Validated against the run at construction: kind,
+     * program fingerprint, oracle seed, and instruction budget must
+     * all match or the constructor raises guard::ConfigError.
+     */
+    std::shared_ptr<const trace::DecodedTrace> replayTrace;
+
     // ---- SimGuard -------------------------------------------------------
 
     /** Watchdog: abort after this many cycles without a commit. */
@@ -389,6 +403,7 @@ class Simulator
     SimConfig cfg_;
     const prog::Program& program_;
     std::unique_ptr<guard::FaultEngine> faults_;
+    std::unique_ptr<trace::TraceCursor> replayCursor_;
     std::unique_ptr<exec::Oracle> oracle_;
     std::unique_ptr<core::CacheHierarchy> caches_;
     std::unique_ptr<bpu::BranchPredictorUnit> bpu_;

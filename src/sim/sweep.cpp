@@ -153,7 +153,8 @@ SweepEngine::buildTasks(const std::vector<SweepPoint>& points) const
             tasks.push_back({i});
         return tasks;
     }
-    // Group by (Program, oracle seed) in first-seen submission order,
+    // Group by (Program, oracle seed, shared replay trace) in
+    // first-seen submission order,
     // so task layout — and therefore scheduling — is deterministic.
     // Points with a custom execute hook drive their Simulator
     // themselves (warp interval runs restore checkpoints) and cannot
@@ -165,7 +166,8 @@ SweepEngine::buildTasks(const std::vector<SweepPoint>& points) const
                 const SweepPoint& head = points[t.front()];
                 if (!head.execute &&
                     head.program == points[i].program &&
-                    head.cfg.oracleSeed == points[i].cfg.oracleSeed) {
+                    head.cfg.oracleSeed == points[i].cfg.oracleSeed &&
+                    head.cfg.replayTrace == points[i].cfg.replayTrace) {
                     t.push_back(i);
                     joined = true;
                     break;

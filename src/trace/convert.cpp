@@ -1,0 +1,209 @@
+#include "trace/convert.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "guard/errors.hpp"
+
+#ifdef COBRA_HAVE_BZ2
+#include <bzlib.h>
+#endif
+
+namespace cobra::trace {
+
+bool
+bz2Available()
+{
+#ifdef COBRA_HAVE_BZ2
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+parseCbpLine(const std::string& line, std::uint64_t lineno,
+             unsigned fetch_width, TraceRecord& out)
+{
+    std::size_t i = 0;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])))
+        ++i;
+    if (i == line.size() || line[i] == '#')
+        return false;
+
+    auto malformed = [&](const char* what) -> void {
+        throw guard::CheckpointError(
+            "cbp record line " + std::to_string(lineno), what);
+    };
+
+    // pc: hex, optional 0x prefix.
+    if (line.compare(i, 2, "0x") == 0 || line.compare(i, 2, "0X") == 0)
+        i += 2;
+    Addr pc = 0;
+    std::size_t digits = 0;
+    while (i < line.size() &&
+           std::isxdigit(static_cast<unsigned char>(line[i]))) {
+        const char c = line[i];
+        const unsigned d =
+            c <= '9' ? static_cast<unsigned>(c - '0')
+                     : static_cast<unsigned>(
+                           std::tolower(static_cast<unsigned char>(c)) -
+                           'a' + 10);
+        if (pc > (kInvalidAddr >> 4))
+            malformed("pc overflows 64 bits");
+        pc = (pc << 4) | d;
+        ++i;
+        ++digits;
+    }
+    if (digits == 0)
+        malformed("expected a hex pc");
+    if (i == line.size() ||
+        !std::isspace(static_cast<unsigned char>(line[i])))
+        malformed("expected whitespace after the pc");
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])))
+        ++i;
+    if (i == line.size())
+        malformed("missing outcome");
+
+    bool taken = false;
+    switch (line[i]) {
+      case '0': case 'N': case 'n': taken = false; break;
+      case '1': case 'T': case 't': taken = true; break;
+      default:
+        malformed("outcome must be 0/1/N/T");
+    }
+    ++i;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])))
+        ++i;
+    if (i != line.size())
+        malformed("trailing characters after the outcome");
+
+    out = TraceRecord{};
+    out.pc = pc;
+    out.type = RecordType::Cond;
+    out.taken = taken;
+    out.target = kInvalidAddr;
+    out.slot = static_cast<std::uint8_t>((pc / kInstBytes) &
+                                         (fetch_width - 1));
+    return true;
+}
+
+ImportStats
+importCbpText(std::istream& in, unsigned fetch_width, TraceWriter& writer)
+{
+    ImportStats stats;
+    std::string line;
+    std::uint64_t lineno = 0;
+    TraceRecord r;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (!parseCbpLine(line, lineno, fetch_width, r))
+            continue;
+        writer.add(r);
+        ++stats.lines;
+        ++stats.records;
+        stats.taken += r.taken;
+    }
+    return stats;
+}
+
+namespace {
+
+TraceMeta
+externalMeta(const std::string& name, unsigned fetch_width)
+{
+    TraceMeta meta;
+    meta.kind = TraceKind::External;
+    meta.fetchWidth = fetch_width;
+    meta.name = name;
+    return meta;
+}
+
+} // namespace
+
+ImportStats
+convertCbpFile(const std::string& in_path, const std::string& out_path,
+               const std::string& name, unsigned fetch_width)
+{
+    std::ifstream in(in_path);
+    if (!in) {
+        throw guard::CheckpointError("cbp trace " + in_path,
+                                     "cannot open");
+    }
+    TraceWriter writer(out_path, externalMeta(name, fetch_width));
+    ImportStats stats = importCbpText(in, fetch_width, writer);
+    if (stats.records == 0) {
+        throw guard::CheckpointError("cbp trace " + in_path,
+                                     "no records found");
+    }
+    writer.finalize();
+    return stats;
+}
+
+ImportStats
+convertAlphaBz2File(const std::string& in_path,
+                    const std::string& out_path, const std::string& name,
+                    unsigned fetch_width)
+{
+#ifdef COBRA_HAVE_BZ2
+    std::FILE* f = std::fopen(in_path.c_str(), "rb");
+    if (f == nullptr) {
+        throw guard::CheckpointError("alpha trace " + in_path,
+                                     "cannot open");
+    }
+    int bzerr = BZ_OK;
+    BZFILE* bz = BZ2_bzReadOpen(&bzerr, f, 0, 0, nullptr, 0);
+    if (bz == nullptr || bzerr != BZ_OK) {
+        if (bz != nullptr)
+            BZ2_bzReadClose(&bzerr, bz);
+        std::fclose(f);
+        throw guard::CheckpointError("alpha trace " + in_path,
+                                     "not a bzip2 stream");
+    }
+
+    // Inflate the whole stream into a string; Alpha course traces are
+    // tens of MB decompressed, well within memory.
+    std::string text;
+    char buf[1 << 16];
+    while (true) {
+        const int got = BZ2_bzRead(&bzerr, bz, buf, sizeof(buf));
+        if (got > 0)
+            text.append(buf, static_cast<std::size_t>(got));
+        if (bzerr == BZ_STREAM_END)
+            break;
+        if (bzerr != BZ_OK) {
+            BZ2_bzReadClose(&bzerr, bz);
+            std::fclose(f);
+            throw guard::CheckpointError("alpha trace " + in_path,
+                                         "bzip2 stream corrupt");
+        }
+    }
+    BZ2_bzReadClose(&bzerr, bz);
+    std::fclose(f);
+
+    std::istringstream in(text);
+    TraceWriter writer(out_path, externalMeta(name, fetch_width));
+    ImportStats stats = importCbpText(in, fetch_width, writer);
+    if (stats.records == 0) {
+        throw guard::CheckpointError("alpha trace " + in_path,
+                                     "no records found");
+    }
+    writer.finalize();
+    return stats;
+#else
+    (void)in_path;
+    (void)out_path;
+    (void)name;
+    (void)fetch_width;
+    throw guard::CheckpointError(
+        "alpha trace", "this build has no libbz2 (bzip2'd Alpha traces "
+                       "unsupported)");
+#endif
+}
+
+} // namespace cobra::trace

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Importers for the course-trace formats of ROADMAP item 2 into the
+ * binary container (trace/format.hpp):
+ *
+ *  - CBP-style text records (`int_1` / `fp_1` / `mm_1` and friends):
+ *    one branch per line, `<pc> <outcome>`, pc in hex (with or
+ *    without 0x) and outcome one of 0/1/N/T/n/t. Blank lines and
+ *    `#` comments are skipped.
+ *  - bzip2'd Alpha traces (the `bunzip2 -kc <trace> | ./predictor`
+ *    corpus): the same line records, bzip2-compressed on disk.
+ *    Available when the build has libbz2 (bz2Available()).
+ *
+ * Imported traces are TraceKind::External: they carry no Program
+ * fingerprint and drive the idealized TraceDrivenEvaluator (and any
+ * future trace-driven frontend), not full-core replay.
+ */
+
+#ifndef COBRA_TRACE_CONVERT_HPP
+#define COBRA_TRACE_CONVERT_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trace/format.hpp"
+
+namespace cobra::trace {
+
+/** True when this build can read bzip2'd Alpha traces. */
+bool bz2Available();
+
+/** Import statistics returned by the converters. */
+struct ImportStats
+{
+    std::uint64_t lines = 0;   ///< Non-blank, non-comment lines read.
+    std::uint64_t records = 0; ///< Records written (== lines).
+    std::uint64_t taken = 0;
+};
+
+/**
+ * Parse one CBP text record line into @p out. Returns false for
+ * blank/comment lines; malformed lines raise guard::CheckpointError
+ * carrying @p lineno. Slots are derived from the pc and
+ * @p fetch_width, matching capture mode.
+ */
+bool parseCbpLine(const std::string& line, std::uint64_t lineno,
+                  unsigned fetch_width, TraceRecord& out);
+
+/**
+ * Import a CBP-style text stream into @p writer (caller finalizes).
+ */
+ImportStats importCbpText(std::istream& in, unsigned fetch_width,
+                          TraceWriter& writer);
+
+/**
+ * Convert a CBP text file at @p in_path into a binary trace at
+ * @p out_path (External kind, named @p name).
+ */
+ImportStats convertCbpFile(const std::string& in_path,
+                           const std::string& out_path,
+                           const std::string& name,
+                           unsigned fetch_width = 4);
+
+/**
+ * Convert a bzip2'd Alpha trace at @p in_path into a binary trace at
+ * @p out_path. Raises guard::CheckpointError when the build has no
+ * libbz2 or the stream is corrupt.
+ */
+ImportStats convertAlphaBz2File(const std::string& in_path,
+                                const std::string& out_path,
+                                const std::string& name,
+                                unsigned fetch_width = 4);
+
+} // namespace cobra::trace
+
+#endif // COBRA_TRACE_CONVERT_HPP

@@ -1,5 +1,7 @@
 #include "trace/trace.hpp"
 
+#include "trace/replay.hpp"
+
 namespace cobra::trace {
 
 BranchTrace
@@ -34,67 +36,89 @@ TraceDrivenEvaluator::TraceDrivenEvaluator(bpu::ComposedPredictor pred,
 {
 }
 
+void
+TraceDrivenEvaluator::step(Addr pc, unsigned slot_idx, bool taken,
+                           Addr target, bool measured, TraceResult& res)
+{
+    const unsigned numComps =
+        static_cast<unsigned>(pred_.components().size());
+    const std::size_t lidx = (pc >> 4) % lhist_.size();
+
+    // Idealized predict: perfect, instantly-updated histories.
+    bpu::QueryState q;
+    q.reset(pc, pred_.width(), numComps, pred_.width());
+    q.captureHistory(ghist_, lhist_[lidx]);
+    bpu::PredictionBundle bundle;
+    for (unsigned d = 1; d <= pred_.maxLatency(); ++d)
+        bundle = pred_.evaluateStage(q, d);
+
+    const auto& slot = bundle.slots[slot_idx];
+    const bool pred = slot.valid && slot.taken;
+    if (measured) {
+        ++res.branches;
+        res.mispredicts += pred != taken;
+    }
+
+    // Immediate, in-order update — no speculation, no delay.
+    bpu::ResolveEvent ev;
+    ev.pc = pc;
+    ev.ghist = &q.ghist();
+    ev.lhist = q.lhist();
+    ev.brMask[slot_idx] = true;
+    ev.takenMask[slot_idx] = taken;
+    ev.cfiValid = taken;
+    ev.cfiIdx = slot_idx;
+    ev.cfiType = bpu::CfiType::Br;
+    ev.cfiTaken = taken;
+    ev.target = target;
+    ev.mispredicted = pred != taken;
+    ev.predicted = &bundle;
+
+    // Fire (speculative components like the loop predictor count
+    // at query time, and in a trace model speculation is perfect).
+    bpu::FireEvent fev;
+    fev.pc = pc;
+    fev.finalPred = &bundle;
+    fev.ghist = &q.ghist();
+    fev.lhist = q.lhist();
+    bpu::MetadataBundle metas = q.metadata();
+    pred_.fire(fev, metas);
+    if (ev.mispredicted) {
+        // Immediate resolution: the fast mispredict event fires
+        // right away (perfect repair, zero delay).
+        pred_.mispredict(ev, metas);
+    }
+    pred_.update(ev, metas);
+
+    ghist_.push(taken);
+    lhist_[lidx] = ((lhist_[lidx] << 1) | (taken ? 1 : 0)) &
+                   maskBits(lhistBits_);
+}
+
 TraceResult
 TraceDrivenEvaluator::evaluate(const BranchTrace& trace,
                                std::size_t warmup)
 {
     TraceResult res;
-    const unsigned numComps =
-        static_cast<unsigned>(pred_.components().size());
-
     for (std::size_t n = 0; n < trace.records.size(); ++n) {
         const BranchRecord& r = trace.records[n];
-        const std::size_t lidx = (r.pc >> 4) % lhist_.size();
+        step(r.pc, r.slot, r.taken, r.target, n >= warmup, res);
+    }
+    return res;
+}
 
-        // Idealized predict: perfect, instantly-updated histories.
-        bpu::QueryState q;
-        q.reset(r.pc, pred_.width(), numComps, pred_.width());
-        q.captureHistory(ghist_, lhist_[lidx]);
-        bpu::PredictionBundle bundle;
-        for (unsigned d = 1; d <= pred_.maxLatency(); ++d)
-            bundle = pred_.evaluateStage(q, d);
-
-        const auto& slot = bundle.slots[r.slot];
-        const bool pred = slot.valid && slot.taken;
-        if (n >= warmup) {
-            ++res.branches;
-            res.mispredicts += pred != r.taken;
-        }
-
-        // Immediate, in-order update — no speculation, no delay.
-        bpu::ResolveEvent ev;
-        ev.pc = r.pc;
-        ev.ghist = &q.ghist();
-        ev.lhist = q.lhist();
-        ev.brMask[r.slot] = true;
-        ev.takenMask[r.slot] = r.taken;
-        ev.cfiValid = r.taken;
-        ev.cfiIdx = r.slot;
-        ev.cfiType = bpu::CfiType::Br;
-        ev.cfiTaken = r.taken;
-        ev.target = r.target;
-        ev.mispredicted = pred != r.taken;
-        ev.predicted = &bundle;
-
-        // Fire (speculative components like the loop predictor count
-        // at query time, and in a trace model speculation is perfect).
-        bpu::FireEvent fev;
-        fev.pc = r.pc;
-        fev.finalPred = &bundle;
-        fev.ghist = &q.ghist();
-        fev.lhist = q.lhist();
-        bpu::MetadataBundle metas = q.metadata();
-        pred_.fire(fev, metas);
-        if (ev.mispredicted) {
-            // Immediate resolution: the fast mispredict event fires
-            // right away (perfect repair, zero delay).
-            pred_.mispredict(ev, metas);
-        }
-        pred_.update(ev, metas);
-
-        ghist_.push(r.taken);
-        lhist_[lidx] = ((lhist_[lidx] << 1) | (r.taken ? 1 : 0)) &
-                       maskBits(lhistBits_);
+TraceResult
+TraceDrivenEvaluator::evaluate(const DecodedTrace& trace,
+                               std::size_t warmup)
+{
+    TraceResult res;
+    std::size_t cond = 0;
+    for (std::size_t n = 0; n < trace.size(); ++n) {
+        if (trace.typeAt(n) != RecordType::Cond)
+            continue;
+        step(trace.pc[n], trace.slotAt(n), trace.takenAt(n),
+             trace.target[n], cond >= warmup, res);
+        ++cond;
     }
     return res;
 }

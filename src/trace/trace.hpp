@@ -21,6 +21,8 @@
 
 namespace cobra::trace {
 
+struct DecodedTrace; // trace/replay.hpp
+
 /** One record of a CBP-style conditional-branch trace. */
 struct BranchRecord
 {
@@ -84,7 +86,21 @@ class TraceDrivenEvaluator
     TraceResult evaluate(const BranchTrace& trace,
                          std::size_t warmup = 0);
 
+    /**
+     * Evaluate the conditional-branch records of a decoded binary
+     * trace (trace/replay.hpp); non-conditional records are skipped,
+     * so a captured trace evaluates exactly like the recordTrace
+     * stream of the same workload. @p warmup counts conditional
+     * records.
+     */
+    TraceResult evaluate(const DecodedTrace& trace,
+                         std::size_t warmup = 0);
+
   private:
+    /** One idealized predict/update step; counts when @p measured. */
+    void step(Addr pc, unsigned slot, bool taken, Addr target,
+              bool measured, TraceResult& res);
+
     bpu::ComposedPredictor pred_;
     HistoryRegister ghist_;
     unsigned lhistBits_;

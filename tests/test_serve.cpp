@@ -25,6 +25,7 @@
 #include "serve/request.hpp"
 #include "serve/spool.hpp"
 #include "serve/warm_cache.hpp"
+#include "trace/replay.hpp"
 #include "warp/snapshot.hpp"
 
 using namespace cobra;
@@ -810,4 +811,105 @@ TEST(ServeDaemon, PoisonedWarmCacheRegeneratesCleanly)
     EXPECT_EQ(ap.find("warp")->getU64("warm_hits", 99), 0u);
     EXPECT_GT(ap.find("warp")->getU64("ff_insts", 0), 0u);
     EXPECT_EQ(cp.getU64("cycles", 1), ap.getU64("cycles", 2));
+}
+
+// ---------------------------------------------------------------------
+// Replay traces through the service
+// ---------------------------------------------------------------------
+
+TEST(ServeDaemon, TraceRequestReplaysBitIdenticallyToExecute)
+{
+    const std::string root = scratchDir("cobra_serve_trace");
+    serve::Spool spool(root);
+
+    // Capture the workload the request will replay.
+    prog::WorkloadCache programs;
+    const std::string tracePath = root + "/leela.cbtr";
+    trace::captureTrace(programs.get("leela"), tracePath, 10'000);
+
+    const std::string opts =
+        "\"designs\": [\"tagel\", \"b2\"], "
+        "\"workloads\": [\"leela\"], "
+        "\"insts\": 8000, \"warmup\": 1000";
+    submit(spool, "exec.json",
+           "{\"id\": \"exec\", \"client\": \"ci\", " + opts + "}");
+    submit(spool, "replay.json",
+           "{\"id\": \"replay\", \"client\": \"ci\", " + opts +
+               ", \"trace\": \"" + tracePath + "\"}");
+    EXPECT_EQ(runOnce(onceConfig(root)), 2u);
+
+    const serve::Json execDoc =
+        serve::Json::parse(resultText(spool, "exec"));
+    const serve::Json replayDoc =
+        serve::Json::parse(resultText(spool, "replay"));
+    const auto& ep = execDoc.find("points")->asArray();
+    const auto& rp = replayDoc.find("points")->asArray();
+    ASSERT_EQ(ep.size(), 2u);
+    ASSERT_EQ(rp.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        ASSERT_EQ(rp[i].getString("status", ""), "ok");
+        EXPECT_EQ(rp[i].getU64("cycles", 1), ep[i].getU64("cycles", 2))
+            << rp[i].getString("label", "");
+        EXPECT_EQ(rp[i].getU64("insts", 1), ep[i].getU64("insts", 2));
+        EXPECT_EQ(rp[i].getU64("cond_mispredicts", 1),
+                  ep[i].getU64("cond_mispredicts", 2));
+    }
+}
+
+TEST(ServeDaemon, BadTraceRequestsAreRejectedAtAdmission)
+{
+    const std::string root = scratchDir("cobra_serve_trace_bad");
+    serve::Spool spool(root);
+
+    prog::WorkloadCache programs;
+    const std::string tracePath = root + "/leela.cbtr";
+    trace::captureTrace(programs.get("leela"), tracePath, 6'000);
+
+    // Corrupt copy: flip one payload byte.
+    const std::string corrupt = root + "/corrupt.cbtr";
+    {
+        std::string bytes = serve::readFileText(tracePath);
+        bytes[200] ^= 0x20;
+        writeFile(corrupt, bytes);
+    }
+
+    const std::string head =
+        "\"client\": \"ci\", \"designs\": [\"b2\"], "
+        "\"insts\": 4000, \"warmup\": 1000, ";
+    // Missing file, corrupt file, wrong workload, budget overrun:
+    // all must become invalid_trace rejection documents.
+    submit(spool, "gone.json",
+           "{\"id\": \"gone\", " + head +
+               "\"workloads\": [\"leela\"], \"trace\": \"" + root +
+               "/absent.cbtr\"}");
+    submit(spool, "corrupt.json",
+           "{\"id\": \"corrupt\", " + head +
+               "\"workloads\": [\"leela\"], \"trace\": \"" + corrupt +
+               "\"}");
+    submit(spool, "mismatch.json",
+           "{\"id\": \"mismatch\", " + head +
+               "\"workloads\": [\"x264\"], \"trace\": \"" + tracePath +
+               "\"}");
+    submit(spool, "overrun.json",
+           "{\"id\": \"overrun\", \"client\": \"ci\", "
+           "\"designs\": [\"b2\"], \"workloads\": [\"leela\"], "
+           "\"insts\": 400000, \"warmup\": 1000, \"trace\": \"" +
+               tracePath + "\"}");
+    EXPECT_EQ(runOnce(onceConfig(root)), 0u);
+
+    for (const char* id : {"gone", "corrupt", "mismatch", "overrun"}) {
+        const serve::Json doc =
+            serve::Json::parse(resultText(spool, id));
+        EXPECT_EQ(doc.getString("status", ""), "rejected") << id;
+        EXPECT_EQ(doc.getString("reason", ""), "invalid_trace") << id;
+        EXPECT_NE(doc.getString("detail", ""), "") << id;
+    }
+
+    // A trace with more than one workload is a parse-level rejection.
+    EXPECT_THROW(serve::SweepRequest::parse(
+                     "{\"client\": \"c\", \"designs\": [\"b2\"], "
+                     "\"workloads\": [\"leela\", \"x264\"], "
+                     "\"trace\": \"t.cbtr\"}",
+                     "f"),
+                 serve::RequestError);
 }

@@ -1,0 +1,33 @@
+# CLI-level capture -> replay round trip: the replay run's stdout must
+# be byte-identical to the execute run it reproduces. Driven as a CMake
+# script so the comparison works on hosts without a POSIX shell.
+set(trace "${WORK_DIR}/cli_capture_replay.cbtr")
+set(flags --workload leela --design b2 --insts 20000 --warmup 5000)
+
+execute_process(
+    COMMAND "${COBRA_SIM}" --workload leela --insts 20000 --warmup 5000
+            --capture-trace "${trace}"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "capture failed: rc=${rc}")
+endif()
+
+execute_process(
+    COMMAND "${COBRA_SIM}" ${flags}
+    OUTPUT_VARIABLE exec_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "execute run failed: rc=${rc}")
+endif()
+
+execute_process(
+    COMMAND "${COBRA_SIM}" --replay-trace "${trace}" --design b2
+            --insts 20000 --warmup 5000
+    OUTPUT_VARIABLE replay_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "replay run failed: rc=${rc}")
+endif()
+
+if(NOT exec_out STREQUAL replay_out)
+    message(FATAL_ERROR "replay stdout differs from execute stdout")
+endif()
+file(REMOVE "${trace}")

@@ -41,6 +41,7 @@
 #include "sim/presets.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
+#include "trace/replay.hpp"
 #include "warp/warp.hpp"
 
 using namespace cobra;
@@ -114,6 +115,17 @@ usage()
         "  --trace-start N      first traced cycle (default 0)\n"
         "  --trace-cycles N     trace window length in cycles\n"
         "                       (default 0 = unbounded)\n"
+        "  --capture-trace P    record the workload's committed\n"
+        "                       control-flow stream to P (CBTR trace)\n"
+        "                       and exit; no detailed simulation runs\n"
+        "  --capture-insts N    capture budget in committed\n"
+        "                       instructions (default: warmup + insts)\n"
+        "  --replay-trace P     drive the oracle from a captured trace\n"
+        "                       instead of regenerating outcomes;\n"
+        "                       bit-identical to the execute-mode run\n"
+        "                       for the same (workload, seed, flags).\n"
+        "                       Without --workload the trace's own\n"
+        "                       workload is selected\n"
         "  --stats              dump detailed pipeline statistics\n"
         "  --area               print the predictor/core area breakdown\n"
         "  --list               list designs and workloads\n";
@@ -261,6 +273,10 @@ runMain(int argc, char** argv)
     bool progress = false;
     warp::WarpConfig wcfg;
     sim::OutputConfig out;
+    std::string captureTracePath;
+    std::uint64_t captureInsts = 0; // 0 = warmup + insts
+    std::string replayTracePath;
+    bool workloadSet = false;
 
     std::vector<sim::Design> designs;
     std::vector<std::string> workloads;
@@ -274,8 +290,10 @@ runMain(int argc, char** argv)
             };
             if (a == "--design")
                 designArg = next();
-            else if (a == "--workload")
+            else if (a == "--workload") {
                 workloadArg = next();
+                workloadSet = true;
+            }
             else if (a == "--insts")
                 insts = parseU64(a, next());
             else if (a == "--warmup")
@@ -313,6 +331,12 @@ runMain(int argc, char** argv)
                 wcfg.checkpointDir = next();
             else if (a == "--progress")
                 progress = true;
+            else if (a == "--capture-trace")
+                captureTracePath = next();
+            else if (a == "--capture-insts")
+                captureInsts = parseU64(a, next());
+            else if (a == "--replay-trace")
+                replayTracePath = next();
             else if (a == "--json")
                 out.resultsJsonPath = next();
             else if (a == "--stats-json")
@@ -344,6 +368,28 @@ runMain(int argc, char** argv)
         for (const std::string& d : splitList(designArg))
             designs.push_back(parseDesign(d));
         workloads = splitList(workloadArg);
+        if (!captureTracePath.empty()) {
+            if (!replayTracePath.empty()) {
+                throw std::runtime_error(
+                    "--capture-trace cannot be combined with "
+                    "--replay-trace");
+            }
+            if (warpMode) {
+                throw std::runtime_error(
+                    "--capture-trace cannot be combined with --warp "
+                    "(capture runs no detailed simulation)");
+            }
+            if (workloads.size() != 1) {
+                throw std::runtime_error(
+                    "--capture-trace records exactly one workload");
+            }
+        }
+        if (!replayTracePath.empty() && workloadSet &&
+            workloads.size() != 1) {
+            throw std::runtime_error(
+                "--replay-trace drives a single workload; drop "
+                "--workload to use the trace's own");
+        }
         out.validate(); // Bad flag combinations are usage errors.
         if (warpMode) {
             if (out.tracing()) {
@@ -367,6 +413,35 @@ runMain(int argc, char** argv)
     }
 
     prog::WorkloadCache cache;
+
+    if (!captureTracePath.empty()) {
+        // Capture is design-independent: it freezes the committed
+        // oracle stream, which only depends on (workload, seed). A
+        // malformed path or I/O failure is a structured error
+        // (exit 1), not a usage error.
+        const prog::Program& program = cache.get(workloads.front());
+        const std::uint64_t budget =
+            captureInsts != 0 ? captureInsts : warmup + insts;
+        const trace::TraceMeta tm =
+            trace::captureTrace(program, captureTracePath, budget);
+        std::cout << "captured " << tm.recordCount
+                  << " control-flow records (" << tm.condCount
+                  << " conditional) covering " << tm.sourceInsts
+                  << " committed instructions\n"
+                  << "workload: " << program.name() << "\n"
+                  << "trace:    " << captureTracePath << "\n";
+        return 0;
+    }
+
+    std::shared_ptr<const trace::DecodedTrace> replayTrace;
+    if (!replayTracePath.empty()) {
+        // Content-addressed decode: a corrupt/truncated/mismatched
+        // file raises guard::CheckpointError here (exit 1).
+        replayTrace = cache.getTrace(replayTracePath);
+        if (!workloadSet)
+            workloads = {replayTrace->meta.name};
+    }
+
     sim::SweepEngine engine(jobs);
     engine.setProgress(progress);
     engine.setStopFlag(&g_interrupted);
@@ -423,6 +498,10 @@ runMain(int argc, char** argv)
             cfg.faultSeed = faultSeed;
             cfg.specialize = specMode;
             cfg.output = out;
+            // Like --specialize, --replay-trace is NOT echoed in the
+            // header: a replay run's stdout must `cmp` equal to the
+            // execute-mode run it reproduces.
+            cfg.replayTrace = replayTrace;
             cfg.validate(/*strict=*/true);
 
             // An explicit --specialize that cannot be honoured is a

@@ -21,6 +21,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
+# A harness killed mid-write (SIGINT, OOM) skips run_harness's own
+# rm -f; sweep any orphaned temp files on every exit path so a stray
+# *.txt.tmp can never be committed by mistake.
+trap 'rm -f bench_results/*.tmp' EXIT INT TERM
+
 if [ ! -x "$BUILD/bench/bench_table1_storage" ]; then
     echo "error: $BUILD/bench does not contain built harnesses" >&2
     echo "       (cmake --build $BUILD first)" >&2
@@ -74,9 +79,11 @@ for b in $HARNESSES; do
     run_harness "$b" 1 || fails=$((fails + 1))
 done
 
-# Host-throughput gate: JSON only (wall-clock tables are host-specific
-# noise in review diffs, the JSON carries the comparable numbers).
+# Host-throughput and trace-replay gates: JSON only (wall-clock
+# tables are host-specific noise in review diffs, the JSON carries
+# the comparable numbers).
 run_harness bench_host_throughput 0 || fails=$((fails + 1))
+run_harness bench_trace_replay 0 || fails=$((fails + 1))
 
 echo "ALL-DONE" >> bench_results/progress.log
 echo
