@@ -1,0 +1,300 @@
+#include "search/space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace cobra::search {
+
+using sim::ComponentSpec;
+using sim::DesignSpec;
+using sim::TageTableSpec;
+using sim::TreeSpec;
+
+namespace {
+
+/** Pick one element of a fixed list. */
+std::uint64_t
+pick(Rng& rng, std::initializer_list<std::uint64_t> choices)
+{
+    return choices.begin()[rng.below(choices.size())];
+}
+
+ComponentSpec
+makeBtb(Rng& rng)
+{
+    ComponentSpec c;
+    c.id = "BTB";
+    c.kind = "btb";
+    c.knobs["sets"] = pick(rng, {128, 256, 512, 1024});
+    c.knobs["ways"] = pick(rng, {1, 2, 4});
+    c.knobs["tag_bits"] = 20;
+    c.knobs["latency"] = 2;
+    return c;
+}
+
+ComponentSpec
+makeBaseBim(Rng& rng)
+{
+    ComponentSpec c;
+    c.id = "BIM";
+    c.kind = "bim";
+    c.mode = "pc";
+    c.knobs["sets"] =
+        pick(rng, {2048, 4096, 8192});
+    c.knobs["ctr_bits"] = 2;
+    c.knobs["latency"] = 1;
+    return c;
+}
+
+ComponentSpec
+makeUbtb(Rng& rng)
+{
+    ComponentSpec c;
+    c.id = "uBTB";
+    c.kind = "ubtb";
+    c.knobs["entries"] =
+        pick(rng, {16, 32, 64});
+    c.knobs["ctr_bits"] = 2;
+    return c;
+}
+
+ComponentSpec
+makeLoop(Rng& rng)
+{
+    ComponentSpec c;
+    c.id = "LOOP";
+    c.kind = "loop";
+    c.knobs["entries"] =
+        pick(rng, {128, 256, 512});
+    c.knobs["latency"] = 3;
+    return c;
+}
+
+/** Geometric TAGE history series from 4 up to @p cap. */
+std::vector<TageTableSpec>
+makeTageTables(Rng& rng, unsigned num_tables, unsigned cap)
+{
+    const std::uint64_t sets =
+        pick(rng, {256, 512, 1024, 2048});
+    std::vector<TageTableSpec> tables(num_tables);
+    const double lo = 4.0;
+    const double hi = std::max<double>(lo + 1, cap);
+    for (unsigned i = 0; i < num_tables; ++i) {
+        double len = lo;
+        if (num_tables > 1)
+            len = lo * std::pow(hi / lo,
+                                static_cast<double>(i) /
+                                    (num_tables - 1));
+        tables[i].sets = sets;
+        tables[i].histLen = std::min<std::uint64_t>(
+            cap, std::max<std::uint64_t>(
+                     1, static_cast<std::uint64_t>(len + 0.5)));
+        if (i > 0 && tables[i].histLen <= tables[i - 1].histLen)
+            tables[i].histLen = tables[i - 1].histLen + 1;
+        tables[i].tagBits = 9 + i / 3;
+    }
+    // Monotone bump above can exceed the cap on short histories;
+    // clamp by construction: cap >= num_tables is guaranteed below.
+    for (auto& t : tables)
+        t.histLen = std::min<std::uint64_t>(t.histLen, cap);
+    for (unsigned i = 1; i < num_tables; ++i)
+        if (tables[i].histLen <= tables[i - 1].histLen)
+            tables[i].histLen =
+                std::min<std::uint64_t>(cap, tables[i - 1].histLen + 1);
+    return tables;
+}
+
+} // namespace
+
+DesignSpec
+SearchSpace::sample()
+{
+    DesignSpec s;
+    s.name = "candidate";
+    s.fetchWidth = 4;
+    s.bpu.ghistBits = static_cast<unsigned>(
+        pick(rng_, {16, 32, 64}));
+
+    const unsigned archetype = static_cast<unsigned>(rng_.below(4));
+    const bool withUbtb = rng_.chance(0.5);
+    const bool withLoop =
+        (archetype == 1 || archetype == 2) && rng_.chance(0.4);
+
+    std::vector<TreeSpec> chain;
+    if (withLoop) {
+        s.components.push_back(makeLoop(rng_));
+        chain.push_back(TreeSpec::leaf("LOOP"));
+    }
+
+    switch (archetype) {
+      case 0: { // gshare bimodal stack: GBIM > BTB > BIM [> uBTB]
+        ComponentSpec g;
+        g.id = "GBIM";
+        g.kind = "bim";
+        g.mode = "gshare";
+        g.knobs["sets"] =
+            pick(rng_, {4096, 8192, 16384});
+        g.knobs["ctr_bits"] = 2;
+        g.knobs["hist_bits"] = std::min<std::uint64_t>(
+            s.bpu.ghistBits,
+            pick(rng_, {8, 10, 12, 14}));
+        g.knobs["latency"] = 2;
+        s.components.push_back(g);
+        chain.push_back(TreeSpec::leaf("GBIM"));
+        break;
+      }
+      case 1: { // partially-tagged hybrid: GTAG > BTB > BIM
+        ComponentSpec g;
+        g.id = "GTAG";
+        g.kind = "gtag";
+        g.knobs["sets"] = pick(rng_, {512, 1024, 2048, 4096});
+        g.knobs["ctr_bits"] = 2;
+        g.knobs["tag_bits"] =
+            pick(rng_, {7, 9, 11});
+        g.knobs["hist_bits"] = std::min<std::uint64_t>(
+            s.bpu.ghistBits,
+            pick(rng_, {8, 12, 16}));
+        g.knobs["latency"] = 3;
+        s.components.push_back(g);
+        chain.push_back(TreeSpec::leaf("GTAG"));
+        break;
+      }
+      case 2: { // TAGE pipeline
+        ComponentSpec t;
+        t.id = "TAGE";
+        t.kind = "tage";
+        t.knobs["ctr_bits"] = 3;
+        t.knobs["u_bits"] = 2;
+        t.knobs["latency"] = 3;
+        t.knobs["u_decay_period"] = 1u << 18;
+        const unsigned numTables = static_cast<unsigned>(
+            rng_.range(4, 8));
+        t.tables =
+            makeTageTables(rng_, numTables, s.bpu.ghistBits);
+        s.components.push_back(t);
+        chain.push_back(TreeSpec::leaf("TAGE"));
+        break;
+      }
+      default: break; // tournament handled after the stack
+    }
+
+    s.components.push_back(makeBtb(rng_));
+    s.components.push_back(makeBaseBim(rng_));
+    chain.push_back(TreeSpec::leaf("BTB"));
+    chain.push_back(TreeSpec::leaf("BIM"));
+    if (withUbtb) {
+        s.components.push_back(makeUbtb(rng_));
+        chain.push_back(TreeSpec::leaf("uBTB"));
+    }
+
+    if (archetype == 3) {
+        // Tournament: TOURNEY > [GBIM > BTB > BIM..., LBIM]
+        ComponentSpec g;
+        g.id = "GBIM";
+        g.kind = "bim";
+        g.mode = "gshare";
+        g.knobs["sets"] =
+            pick(rng_, {2048, 4096, 8192});
+        g.knobs["ctr_bits"] = 2;
+        g.knobs["hist_bits"] = std::min<std::uint64_t>(
+            s.bpu.ghistBits,
+            pick(rng_, {10, 12, 14}));
+        g.knobs["latency"] = 2;
+
+        ComponentSpec l;
+        l.id = "LBIM";
+        l.kind = "bim";
+        l.mode = "lshare";
+        l.knobs["sets"] =
+            pick(rng_, {512, 1024, 2048});
+        l.knobs["ctr_bits"] = 2;
+        l.knobs["hist_bits"] = std::min<std::uint64_t>(
+            s.bpu.lhistBits,
+            pick(rng_, {8, 10, 12}));
+        l.knobs["latency"] = 2;
+
+        ComponentSpec a;
+        a.id = "TOURNEY";
+        a.kind = "tourney";
+        a.knobs["sets"] =
+            pick(rng_, {512, 1024, 2048});
+        a.knobs["ctr_bits"] = 2;
+        a.knobs["hist_bits"] = std::min<std::uint64_t>(
+            s.bpu.ghistBits,
+            pick(rng_, {8, 10, 12}));
+        a.knobs["latency"] = 3;
+
+        s.components.insert(s.components.begin(), {g, l});
+        s.components.push_back(a);
+
+        std::vector<TreeSpec> global;
+        global.push_back(TreeSpec::leaf("GBIM"));
+        for (auto& node : chain)
+            global.push_back(node); // BTB, BIM, maybe uBTB
+        s.tree = TreeSpec::arb(
+            "TOURNEY",
+            {TreeSpec::chain(std::move(global)),
+             TreeSpec::leaf("LBIM")});
+    } else {
+        s.tree = TreeSpec::chain(std::move(chain));
+    }
+
+    s.validate();
+    return s;
+}
+
+DesignSpec
+SearchSpace::mutate(const sim::DesignSpec& base)
+{
+    // Mutable knob slots: (component index, knob name, lo, hi).
+    struct Slot
+    {
+        std::size_t comp;
+        const char* knob; ///< nullptr = TAGE table sets.
+        std::uint64_t lo, hi;
+    };
+    std::vector<Slot> slots;
+    for (std::size_t i = 0; i < base.components.size(); ++i) {
+        const auto& c = base.components[i];
+        if (c.kind == "bim")
+            slots.push_back({i, "sets", 1024, 65536});
+        else if (c.kind == "btb")
+            slots.push_back({i, "sets", 64, 2048});
+        else if (c.kind == "gtag")
+            slots.push_back({i, "sets", 256, 8192});
+        else if (c.kind == "tourney")
+            slots.push_back({i, "sets", 256, 4096});
+        else if (c.kind == "loop")
+            slots.push_back({i, "entries", 64, 1024});
+        else if (c.kind == "ubtb")
+            slots.push_back({i, "entries", 16, 128});
+        else if (c.kind == "tage")
+            slots.push_back({i, nullptr, 128, 8192});
+    }
+    if (slots.empty())
+        return base;
+
+    DesignSpec out = base;
+    const Slot& s = slots[rng_.below(slots.size())];
+    const bool up = rng_.chance(0.5);
+    auto step = [&](std::uint64_t v) {
+        const std::uint64_t next = up ? v * 2 : v / 2;
+        return std::clamp(next, s.lo, s.hi);
+    };
+    auto& c = out.components[s.comp];
+    if (s.knob == nullptr) {
+        for (auto& t : c.tables)
+            t.sets = step(t.sets);
+    } else {
+        auto it = c.knobs.find(s.knob);
+        if (it != c.knobs.end())
+            it->second = step(it->second);
+    }
+    out.validate();
+    return out;
+}
+
+} // namespace cobra::search

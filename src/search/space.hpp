@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The composition search space: a seeded generator of valid
+ * DesignSpecs spanning the structures the paper composes (§IV) —
+ * bimodal/gshare stacks, partially-tagged GTAG hybrids, multi-table
+ * TAGE pipelines with optional loop predictor and uBTB front-ends,
+ * and tournament-arbitrated global/local pairs — with per-component
+ * sizing drawn from power-of-two ranges.
+ *
+ * sample() draws a fresh structure + sizing; mutate() perturbs one
+ * sizing knob of an existing spec by one power-of-two step (used to
+ * grow the pool around the paper-preset anchors). Every returned
+ * spec passes DesignSpec::validate(); budget enforcement (area /
+ * storage) is the driver's job, which resamples until a candidate
+ * fits.
+ *
+ * Determinism: all randomness comes from the embedded xoshiro Rng —
+ * the same seed and call sequence reproduce the same specs on any
+ * host.
+ */
+
+#ifndef COBRA_SEARCH_SPACE_HPP
+#define COBRA_SEARCH_SPACE_HPP
+
+#include <cstdint>
+
+#include "common/random.hpp"
+#include "sim/design_spec.hpp"
+
+namespace cobra::search {
+
+class SearchSpace
+{
+  public:
+    explicit SearchSpace(std::uint64_t seed) : rng_(seed) {}
+
+    /** Draw one fresh, validated candidate spec. */
+    sim::DesignSpec sample();
+
+    /**
+     * Perturb one sizing knob of @p base by a power-of-two step
+     * (table sets, BTB geometry, loop/uBTB entries, TAGE table
+     * sets). The result is validated; when @p base has no mutable
+     * knob it is returned unchanged.
+     */
+    sim::DesignSpec mutate(const sim::DesignSpec& base);
+
+  private:
+    Rng rng_;
+};
+
+} // namespace cobra::search
+
+#endif // COBRA_SEARCH_SPACE_HPP

@@ -1,0 +1,136 @@
+#include "search/surrogate.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace cobra::search {
+
+namespace {
+
+/**
+ * Solve the symmetric positive-definite system a*x = b in place by
+ * Gaussian elimination with partial pivoting. With the ridge term on
+ * the diagonal the system is never singular in practice; a vanishing
+ * pivot (all-constant features) zeroes that weight instead of
+ * dividing by ~0.
+ */
+std::vector<double>
+solve(std::vector<std::vector<double>> a, std::vector<double> b)
+{
+    const std::size_t n = b.size();
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r)
+            if (std::fabs(a[r][col]) > std::fabs(a[pivot][col]))
+                pivot = r;
+        if (pivot != col) {
+            std::swap(a[pivot], a[col]);
+            std::swap(b[pivot], b[col]);
+        }
+        const double p = a[col][col];
+        if (std::fabs(p) < 1e-12) {
+            b[col] = 0.0;
+            continue;
+        }
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double f = a[r][col] / p;
+            if (f == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                a[r][c] -= f * a[col][c];
+            b[r] -= f * b[col];
+        }
+    }
+    std::vector<double> x(n, 0.0);
+    for (std::size_t col = n; col-- > 0;) {
+        if (std::fabs(a[col][col]) < 1e-12) {
+            x[col] = 0.0;
+            continue;
+        }
+        double acc = b[col];
+        for (std::size_t c = col + 1; c < n; ++c)
+            acc -= a[col][c] * x[c];
+        x[col] = acc / a[col][col];
+    }
+    return x;
+}
+
+} // namespace
+
+void
+RidgeModel::fit(const std::vector<std::vector<double>>& x,
+                const std::vector<double>& y, double lambda)
+{
+    assert(!x.empty() && x.size() == y.size());
+    const std::size_t rows = x.size();
+    const std::size_t cols = x.front().size();
+
+    mean_.assign(cols, 0.0);
+    scale_.assign(cols, 1.0);
+    for (const auto& row : x) {
+        assert(row.size() == cols);
+        for (std::size_t c = 0; c < cols; ++c)
+            mean_[c] += row[c];
+    }
+    for (auto& m : mean_)
+        m /= static_cast<double>(rows);
+    std::vector<double> var(cols, 0.0);
+    for (const auto& row : x)
+        for (std::size_t c = 0; c < cols; ++c) {
+            const double d = row[c] - mean_[c];
+            var[c] += d * d;
+        }
+    for (std::size_t c = 0; c < cols; ++c) {
+        const double sd =
+            std::sqrt(var[c] / static_cast<double>(rows));
+        scale_[c] = sd > 1e-12 ? sd : 1.0;
+    }
+
+    double ymean = 0.0;
+    for (double v : y)
+        ymean += v;
+    ymean /= static_cast<double>(rows);
+    intercept_ = ymean;
+
+    // Normal equations on standardized features, centered target.
+    std::vector<std::vector<double>> ztz(
+        cols, std::vector<double>(cols, 0.0));
+    std::vector<double> zty(cols, 0.0);
+    std::vector<double> z(cols, 0.0);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c)
+            z[c] = (x[r][c] - mean_[c]) / scale_[c];
+        const double yc = y[r] - ymean;
+        for (std::size_t i = 0; i < cols; ++i) {
+            zty[i] += z[i] * yc;
+            for (std::size_t j = i; j < cols; ++j)
+                ztz[i][j] += z[i] * z[j];
+        }
+    }
+    for (std::size_t i = 0; i < cols; ++i) {
+        for (std::size_t j = 0; j < i; ++j)
+            ztz[i][j] = ztz[j][i];
+        ztz[i][i] += lambda;
+    }
+    w_ = solve(std::move(ztz), std::move(zty));
+    fitted_ = true;
+
+    double sse = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+        const double e = predict(x[r]) - y[r];
+        sse += e * e;
+    }
+    rmse_ = std::sqrt(sse / static_cast<double>(rows));
+}
+
+double
+RidgeModel::predict(const std::vector<double>& x) const
+{
+    assert(fitted_ && x.size() == w_.size());
+    double acc = intercept_;
+    for (std::size_t c = 0; c < x.size(); ++c)
+        acc += w_[c] * (x[c] - mean_[c]) / scale_[c];
+    return acc;
+}
+
+} // namespace cobra::search

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ridge-regression surrogate for the search autopilot. Fit on the
+ * tier-0 seed evaluations (feature row -> functional accuracy) and
+ * used to score the rest of the candidate pool so only promising
+ * candidates pay for a real evaluation.
+ *
+ * Deliberately tiny and deterministic: features are standardized
+ * in-model, the normal equations (Z'Z + lambda*I) w = Z'y are solved
+ * by Gaussian elimination with partial pivoting, and there is no
+ * randomness anywhere — the same training set always yields the same
+ * model and therefore the same pruning decisions (the search
+ * determinism test relies on this).
+ */
+
+#ifndef COBRA_SEARCH_SURROGATE_HPP
+#define COBRA_SEARCH_SURROGATE_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace cobra::search {
+
+class RidgeModel
+{
+  public:
+    /**
+     * Fit on @p x (rows of equal width) against @p y. @p lambda is
+     * the L2 penalty on standardized features (the intercept is
+     * unpenalized). Requires at least one row; constant features get
+     * zero weight.
+     */
+    void fit(const std::vector<std::vector<double>>& x,
+             const std::vector<double>& y, double lambda);
+
+    /** Predict one row; requires fitted(). */
+    double predict(const std::vector<double>& x) const;
+
+    bool fitted() const { return fitted_; }
+
+    /** Root-mean-square error on the training rows. */
+    double trainRmse() const { return rmse_; }
+
+    std::size_t featureCount() const { return mean_.size(); }
+
+  private:
+    std::vector<double> mean_;  ///< Per-feature training mean.
+    std::vector<double> scale_; ///< Per-feature training stddev (>= eps).
+    std::vector<double> w_;     ///< Weights on standardized features.
+    double intercept_ = 0.0;
+    double rmse_ = 0.0;
+    bool fitted_ = false;
+};
+
+} // namespace cobra::search
+
+#endif // COBRA_SEARCH_SURROGATE_HPP

@@ -8,6 +8,7 @@
 
 #include "common/json.hpp"
 #include "guard/errors.hpp"
+#include "search/driver.hpp"
 #include "sim/presets.hpp"
 #include "trace/replay.hpp"
 #include "warp/warp.hpp"
@@ -78,6 +79,40 @@ stubFragment(const std::string& label, const std::string& status,
              unsigned attempts)
 {
     return fragmentHead(label, status, attempts) + "\n    }";
+}
+
+/** Re-indent a pretty-printed JSON document for inline embedding:
+ *  every line but the first gets @p pad; the trailing newline goes. */
+std::string
+indentInline(const std::string& doc, const char* pad)
+{
+    std::string out;
+    out.reserve(doc.size());
+    for (std::size_t i = 0; i < doc.size(); ++i) {
+        out += doc[i];
+        if (doc[i] == '\n' && i + 1 < doc.size())
+            out += pad;
+    }
+    while (!out.empty() && out.back() == '\n')
+        out.pop_back();
+    return out;
+}
+
+std::string
+searchFragment(const std::string& label, unsigned attempts,
+               const search::SearchResult& r, double wall_seconds)
+{
+    std::ostringstream os;
+    os << fragmentHead(label, "ok", attempts) << ",\n"
+       << "      \"functional_evals\": " << r.functionalEvals << ",\n"
+       << "      \"warp_evals\": " << r.warpEvals << ",\n"
+       << "      \"detailed_evals\": " << r.detailedEvals << ",\n"
+       << "      \"evals_saved\": " << r.evalsSaved << ",\n"
+       << "      \"frontier_size\": " << r.frontier.size() << ",\n"
+       << "      \"search\": "
+       << indentInline(search::frontierJson(r), "      ") << ",\n"
+       << "      \"wall_seconds\": " << wall_seconds << "\n    }";
+    return os.str();
 }
 
 std::string
@@ -431,7 +466,16 @@ Daemon::executeRequest(RequestState& rs, const std::atomic<bool>& stop)
             if (stop.load(std::memory_order_relaxed))
                 break;
         }
-        if (rs.req.warp) {
+        if (rs.req.kind == "search") {
+            // A search request is one logical point: the autopilot
+            // drives its own SweepEngine tiers internally. It rides
+            // the same retry/backoff/drain machinery as sweep points.
+            for (std::size_t idx : pending) {
+                if (stop.load(std::memory_order_relaxed))
+                    break;
+                runSearchPoint(rs, idx, attempt);
+            }
+        } else if (rs.req.warp) {
             // Warp points run one at a time: each runWarp drives its
             // own SweepEngine over the intervals (that is where the
             // parallelism goes), mirroring cobra_sim --warp.
@@ -567,6 +611,49 @@ Daemon::runWarpPoint(RequestState& rs, std::size_t idx,
         rec.error.clear();
         rec.fragment = okFragment(rec.label, rec.attempts, o.result,
                                   o.host.wallSeconds, estp);
+        finalizePoint(rs, idx, std::move(rec));
+    } else {
+        handleOutcome(rs, idx, o, attempt);
+    }
+}
+
+void
+Daemon::runSearchPoint(RequestState& rs, std::size_t idx,
+                       unsigned attempt)
+{
+    search::SearchConfig cfg = rs.req.searchCfg;
+    if (cfg.jobs == 0)
+        cfg.jobs = cfg_.jobs;
+
+    sim::SweepOutcome o;
+    o.label = rs.specs[idx].label;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::string fragment;
+    try {
+        const search::SearchResult r =
+            search::runSearch(cfg, programs_);
+        const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        fragment =
+            searchFragment(o.label, attempt + 1, r, wall);
+    } catch (const std::exception& e) {
+        o.error = e.what();
+        o.errorClass = guard::errorClassOf(e);
+    }
+    o.host.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    std::lock_guard<std::mutex> lk(finalizeM_);
+    if (!fragment.empty()) {
+        PointRecord rec = rs.points[idx];
+        rec.attempts = attempt + 1;
+        rec.status = "ok";
+        rec.errorClass.clear();
+        rec.error.clear();
+        rec.fragment = std::move(fragment);
         finalizePoint(rs, idx, std::move(rec));
     } else {
         handleOutcome(rs, idx, o, attempt);
@@ -773,14 +860,18 @@ Daemon::checkpointJournal()
 }
 
 std::uint64_t
-Daemon::configHash(const SweepRequest& r, sim::Design d) const
+Daemon::configHash(const SweepRequest& r,
+                   const sim::DesignSpec& d) const
 {
     // Every field that can influence checkpointed simulator state
     // feeds the content address; an extra field only costs a cold
     // fast-forward pass, a missing one would be caught anyway by the
     // fingerprint check inside warp::runWarp (defense in depth).
+    // Hashing the full serialized spec (not just its name) keeps two
+    // inline "design_spec" documents that share a name from aliasing
+    // each other's warm snapshots.
     std::ostringstream os;
-    os << sim::designName(d) << '|' << r.insts << '|' << r.warmup
+    os << d.toJson() << '|' << r.insts << '|' << r.warmup
        << '|' << static_cast<int>(r.ghist) << '|' << r.sfb << '|'
        << r.serialize << '|' << r.audit << '|' << r.faultRate << '|'
        << r.faultSeed << '|' << r.deadlockCycles << '|' << r.intervals

@@ -155,6 +155,11 @@ class Daemon
                           const std::atomic<bool>& stop);
     void runWarpPoint(RequestState& rs, std::size_t idx,
                       unsigned attempt);
+    /** Execute a `"kind": "search"` request's single point: run the
+     *  composition-search autopilot and publish the frontier artifact
+     *  as the point's result fragment. */
+    void runSearchPoint(RequestState& rs, std::size_t idx,
+                        unsigned attempt);
     /** Classify one execution outcome: finalize, or leave pending
      *  for a retry round. Called under finalizeM_ (sweep workers
      *  report concurrently). */
@@ -180,7 +185,7 @@ class Daemon
     void checkpointJournal();
 
     std::uint64_t configHash(const SweepRequest& r,
-                             sim::Design d) const;
+                             const sim::DesignSpec& d) const;
 
     ServeConfig cfg_;
     Spool spool_;

@@ -9,21 +9,6 @@
 
 namespace cobra::serve {
 
-sim::Design
-designFromName(const std::string& name)
-{
-    if (name == "tourney")
-        return sim::Design::Tourney;
-    if (name == "b2")
-        return sim::Design::B2;
-    if (name == "tagel")
-        return sim::Design::TageL;
-    if (name == "refbig")
-        return sim::Design::RefBig;
-    throw RequestError("unknown design '" + name +
-                       "' (tourney | b2 | tagel | refbig)");
-}
-
 namespace {
 
 bpu::GhistRepairMode
@@ -56,6 +41,103 @@ stringList(const Json& doc, const char* key)
     return out;
 }
 
+/**
+ * Resolve the request's designs through the one DesignSpec path:
+ * "designs" holds preset names (sim::presetSpec), "design_spec" holds
+ * inline spec documents (object or array of objects). Either field
+ * alone suffices; together they concatenate, names first.
+ */
+std::vector<sim::DesignSpec>
+parseDesigns(const Json& doc)
+{
+    std::vector<sim::DesignSpec> out;
+    const Json* names = doc.find("designs");
+    const Json* specs = doc.find("design_spec");
+    if (names == nullptr && specs == nullptr)
+        throw RequestError(
+            "a sweep request needs 'designs' (preset names) and/or "
+            "'design_spec' (inline spec documents)");
+    if (names != nullptr) {
+        for (const std::string& d : stringList(doc, "designs")) {
+            try {
+                out.push_back(sim::presetSpec(d));
+            } catch (const guard::ConfigError&) {
+                throw RequestError("unknown design '" + d +
+                                   "' (tourney | b2 | tagel | refbig)");
+            }
+        }
+    }
+    if (specs != nullptr) {
+        const std::vector<Json> one;
+        const std::vector<Json>& entries =
+            specs->isArray() ? specs->asArray() : one;
+        try {
+            if (specs->isArray()) {
+                if (entries.empty())
+                    throw RequestError(
+                        "'design_spec' must not be an empty array");
+                for (const Json& e : entries)
+                    out.push_back(sim::DesignSpec::fromJson(e));
+            } else {
+                out.push_back(sim::DesignSpec::fromJson(*specs));
+            }
+        } catch (const guard::ConfigError& e) {
+            throw RequestError(std::string("'design_spec': ") +
+                               e.what());
+        }
+        for (std::size_t i = out.size() - (specs->isArray()
+                                               ? entries.size()
+                                               : 1);
+             i < out.size(); ++i) {
+            if (out[i].name.empty())
+                throw RequestError("'design_spec' documents need a "
+                                   "non-empty \"name\" (it labels "
+                                   "result points)");
+        }
+    }
+    return out;
+}
+
+/** The "search" block of a `"kind": "search"` request. */
+search::SearchConfig
+parseSearchBlock(const Json& doc)
+{
+    search::SearchConfig cfg;
+    const Json* s = doc.find("search");
+    if (s == nullptr)
+        return cfg; // All-defaults search is valid.
+    if (!s->isObject())
+        throw RequestError("'search' must be an object");
+    cfg.seed = s->getU64("seed", cfg.seed);
+    cfg.pool =
+        static_cast<unsigned>(s->getU64("pool", cfg.pool));
+    cfg.budget.storageKb =
+        s->getU64("budget_kb", cfg.budget.storageKb);
+    cfg.budget.areaUm2 =
+        s->getDouble("budget_um2", cfg.budget.areaUm2);
+    cfg.anchors = s->getBool("anchors", cfg.anchors);
+    cfg.seedEvals = static_cast<unsigned>(
+        s->getU64("seed_evals", cfg.seedEvals));
+    cfg.functionalSurvivors = static_cast<unsigned>(
+        s->getU64("survivors", cfg.functionalSurvivors));
+    cfg.warpSurvivors = static_cast<unsigned>(
+        s->getU64("warp_survivors", cfg.warpSurvivors));
+    cfg.finalists = static_cast<unsigned>(
+        s->getU64("finalists", cfg.finalists));
+    cfg.traceBranches =
+        s->getU64("trace_branches", cfg.traceBranches);
+    cfg.traceWarmup = s->getU64("trace_warmup", cfg.traceWarmup);
+    cfg.warpInsts = s->getU64("warp_insts", cfg.warpInsts);
+    cfg.warpIntervals = static_cast<unsigned>(
+        s->getU64("intervals", cfg.warpIntervals));
+    cfg.warpSampleInsts =
+        s->getU64("sample_insts", cfg.warpSampleInsts);
+    cfg.detailInsts = s->getU64("insts", cfg.detailInsts);
+    cfg.detailWarmup = s->getU64("warmup", cfg.detailWarmup);
+    cfg.ridgeLambda = s->getDouble("ridge_lambda", cfg.ridgeLambda);
+    return cfg;
+}
+
 } // namespace
 
 SweepRequest
@@ -76,9 +158,17 @@ SweepRequest::parse(const std::string& text,
         r.id = doc.getString("id", fallback_id);
         r.client = doc.getString("client", "");
         r.priority = static_cast<int>(doc.getU64("priority", 1));
+        r.kind = doc.getString("kind", "sweep");
+        if (r.kind != "sweep" && r.kind != "search")
+            throw RequestError("'kind' must be sweep | search, got '" +
+                               r.kind + "'");
 
-        for (const std::string& d : stringList(doc, "designs"))
-            r.designs.push_back(designFromName(d));
+        if (r.kind == "sweep")
+            r.designs = parseDesigns(doc);
+        else if (doc.find("designs") != nullptr ||
+                 doc.find("design_spec") != nullptr)
+            throw RequestError("a search request explores designs "
+                               "itself; drop 'designs'/'design_spec'");
         r.workloads = stringList(doc, "workloads");
 
         r.tracePath = doc.getString("trace", "");
@@ -120,6 +210,13 @@ SweepRequest::parse(const std::string& text,
                 w->getU64("warmup_cycles", r.warmupCycles);
             r.sampleInsts = w->getU64("sample_insts", r.sampleInsts);
         }
+        if (r.kind == "search") {
+            r.searchCfg = parseSearchBlock(doc);
+            r.searchCfg.workloads = r.workloads;
+        } else if (doc.find("search") != nullptr) {
+            throw RequestError(
+                "'search' needs \"kind\": \"search\"");
+        }
     } catch (const JsonError& e) {
         // A typed-accessor mismatch (e.g. "insts": "lots").
         throw RequestError(e.what());
@@ -139,12 +236,11 @@ SweepRequest::parse(const std::string& text,
     if (r.maxRetries > 8)
         throw RequestError("'max_retries' must be <= 8");
     {
-        std::set<sim::Design> seenDesigns;
-        for (sim::Design d : r.designs) {
-            if (!seenDesigns.insert(d).second)
-                throw RequestError(
-                    std::string("duplicate design '") +
-                    sim::designName(d) + "'");
+        std::set<std::string> seenDesigns;
+        for (const sim::DesignSpec& d : r.designs) {
+            if (!seenDesigns.insert(d.name).second)
+                throw RequestError("duplicate design '" + d.name +
+                                   "'");
         }
         const auto known = prog::WorkloadLibrary::all();
         const std::set<std::string> knownSet(known.begin(),
@@ -156,6 +252,21 @@ SweepRequest::parse(const std::string& text,
             if (!seen.insert(w).second)
                 throw RequestError("duplicate workload '" + w + "'");
         }
+    }
+    if (r.kind == "search") {
+        if (!r.tracePath.empty())
+            throw RequestError(
+                "'trace' does not apply to search requests");
+        if (r.warp)
+            throw RequestError("'warp' does not apply to search "
+                               "requests (the search block has its "
+                               "own warp tier)");
+        try {
+            r.searchCfg.validate();
+        } catch (const guard::ConfigError& e) {
+            throw RequestError(std::string("'search': ") + e.what());
+        }
+        return r;
     }
     if (!r.tracePath.empty() && r.workloads.size() != 1)
         throw RequestError("'trace' requires exactly one workload "
@@ -173,7 +284,7 @@ SweepRequest::parse(const std::string& text,
     // e.g. warmup > insts or fault_rate > 1 is rejected at admission
     // with the validator's own message, per design.
     try {
-        for (sim::Design d : r.designs)
+        for (const sim::DesignSpec& d : r.designs)
             r.makeConfig(d).validate(/*strict=*/true);
     } catch (const guard::ConfigError& e) {
         throw RequestError(e.what());
@@ -183,13 +294,13 @@ SweepRequest::parse(const std::string& text,
     // (audit/fault guards active, or an unregistered tuple) is
     // rejected up front instead of failing every point.
     if (r.specialize == sim::SpecializeMode::Require) {
-        for (sim::Design d : r.designs) {
+        for (const sim::DesignSpec& d : r.designs) {
             if (!sim::specializeAvailable(sim::buildTopology(d),
                                           r.makeConfig(d)))
                 throw RequestError(
-                    std::string("'specialize': 'require' cannot be "
-                                "honoured for design '") +
-                    sim::designName(d) +
+                    "'specialize': 'require' cannot be honoured for "
+                    "design '" +
+                    d.name +
                     "' (audit/fault injection active, or the "
                     "component tuple is not registered)");
         }
@@ -201,12 +312,18 @@ std::vector<PointSpec>
 SweepRequest::points() const
 {
     std::vector<PointSpec> out;
+    if (kind == "search") {
+        PointSpec p;
+        p.label = "search";
+        out.push_back(std::move(p));
+        return out;
+    }
     for (const std::string& wl : workloads) {
-        for (sim::Design d : designs) {
+        for (const sim::DesignSpec& d : designs) {
             PointSpec p;
             p.design = d;
             p.workload = wl;
-            p.label = std::string(sim::designName(d)) + "/" + wl;
+            p.label = d.name + "/" + wl;
             out.push_back(std::move(p));
         }
     }
@@ -214,7 +331,7 @@ SweepRequest::points() const
 }
 
 sim::SimConfig
-SweepRequest::makeConfig(sim::Design d) const
+SweepRequest::makeConfig(const sim::DesignSpec& d) const
 {
     sim::SimConfig cfg = sim::makeConfig(d);
     cfg.maxInsts = insts;

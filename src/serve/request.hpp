@@ -2,11 +2,17 @@
  * @file
  * cobra_serve request documents: the JSON schema a client drops into
  * `spool/incoming/`, parsed and validated into a SweepRequest before
- * any simulation work is admitted. A request names a (design x
+ * any simulation work is admitted. A sweep request names a (design x
  * workload) grid plus the run options cobra_sim exposes as flags, an
  * optional warp block, and the robustness envelope (priority class,
- * per-point wall-clock timeout, retry budget). See docs/SERVICE.md
- * for the full schema.
+ * per-point wall-clock timeout, retry budget). Designs come from the
+ * "designs" list (preset names, resolved via sim::presetSpec) and/or
+ * the "design_spec" field (inline DesignSpec documents) — both feed
+ * the same sim::DesignSpec construction path, so a preset name and
+ * its dumped spec produce bit-identical points. A `"kind": "search"`
+ * request instead carries a "search" block (the cobra_search knobs)
+ * and retires as a single point whose result is the Pareto-frontier
+ * artifact. See docs/SERVICE.md for the full schema.
  *
  * Parsing is total: every malformed document becomes a RequestError
  * whose text names the offending field — the daemon turns it into a
@@ -21,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "search/driver.hpp"
+#include "sim/design_spec.hpp"
 #include "sim/presets.hpp"
 
 namespace cobra::serve {
@@ -38,20 +46,22 @@ class RequestError : public std::runtime_error
 /** One grid cell of a request: a (design, workload) evaluation. */
 struct PointSpec
 {
-    sim::Design design;
+    sim::DesignSpec design;
     std::string workload;
     std::string label; ///< "<design>/<workload>", unique per request.
 };
 
-/** A parsed, validated sweep-request document. */
+/** A parsed, validated sweep- or search-request document. */
 struct SweepRequest
 {
     std::string id;     ///< Unique id (document or spool filename).
     std::string client; ///< Submitting client (quota accounting).
     /** Priority class 0..3; higher wins admission and scheduling. */
     int priority = 1;
+    /** "sweep" (default) or "search" (budgeted composition search). */
+    std::string kind = "sweep";
 
-    std::vector<sim::Design> designs;
+    std::vector<sim::DesignSpec> designs;
     std::vector<std::string> workloads;
 
     /**
@@ -96,6 +106,10 @@ struct SweepRequest
     std::uint64_t warmupCycles = 10'000;
     std::uint64_t sampleInsts = 0;
 
+    // ---- Search block ("kind": "search" only) --------------------------
+    /** cobra_search configuration; workloads come from "workloads". */
+    search::SearchConfig searchCfg;
+
     /**
      * Parse and validate one request document. @p fallback_id names
      * the request when the document carries no "id" (the daemon
@@ -106,15 +120,15 @@ struct SweepRequest
     static SweepRequest parse(const std::string& text,
                               const std::string& fallback_id);
 
-    /** The request's grid, workload-major (cobra_sim's order). */
+    /**
+     * The request's grid, workload-major (cobra_sim's order). A
+     * search request is a single point labeled "search".
+     */
     std::vector<PointSpec> points() const;
 
     /** cobra_sim-equivalent SimConfig for one design of this request. */
-    sim::SimConfig makeConfig(sim::Design d) const;
+    sim::SimConfig makeConfig(const sim::DesignSpec& d) const;
 };
-
-/** Design from its CLI name; throws RequestError on an unknown name. */
-sim::Design designFromName(const std::string& name);
 
 } // namespace cobra::serve
 

@@ -1,6 +1,7 @@
 #include "sim/core_area.hpp"
 
 #include "core/cache.hpp"
+#include "sim/design_spec.hpp"
 
 namespace cobra::sim {
 
@@ -19,12 +20,18 @@ cacheArea(const core::CacheParams& p, const phys::AreaModel& model)
 phys::AreaReport
 coreAreaReport(Design d, const phys::AreaModel& model)
 {
-    const SimConfig cfg = makeConfig(d);
+    return coreAreaReport(presetSpec(d), model);
+}
+
+phys::AreaReport
+coreAreaReport(const DesignSpec& spec, const phys::AreaModel& model)
+{
+    const SimConfig cfg = makeConfig(spec);
     phys::AreaReport r;
-    r.title = std::string("core area (") + designName(d) + ")";
+    r.title = std::string("core area (") + spec.name + ")";
 
     // ---- Branch predictor (the COBRA-generated pipeline) -------------
-    bpu::BranchPredictorUnit unit(buildTopology(d), cfg.bpu);
+    bpu::BranchPredictorUnit unit(buildTopology(spec), cfg.bpu);
     r.add("BPU", unit.areaReport(model).total());
 
     // ---- Caches -------------------------------------------------------

@@ -14,11 +14,17 @@
 
 namespace cobra::sim {
 
+struct DesignSpec;
+
 /**
  * Full-core area report for a design: caches, backend structures,
  * execution units, and the COBRA-generated branch predictor.
  */
 phys::AreaReport coreAreaReport(Design d, const phys::AreaModel& model);
+
+/** Same report for an arbitrary (spec-described) design. */
+phys::AreaReport coreAreaReport(const DesignSpec& spec,
+                                const phys::AreaModel& model);
 
 } // namespace cobra::sim
 

@@ -1,15 +1,8 @@
 #include "sim/presets.hpp"
 
-#include "components/bim.hpp"
-#include "components/btb.hpp"
-#include "components/gtag.hpp"
-#include "components/loop.hpp"
-#include "components/tage.hpp"
-#include "components/tourney.hpp"
+#include "sim/design_spec.hpp"
 
 namespace cobra::sim {
-
-using namespace cobra::comps;
 
 const char*
 designName(Design d)
@@ -65,208 +58,18 @@ designTopologyNotation(Design d)
 bpu::Topology
 buildTopology(Design d, unsigned w)
 {
-    bpu::Topology topo;
-    switch (d) {
-      case Design::Tourney: {
-        // TOURNEY3 > [GBIM2 > BTB2, LBIM2] (paper §V-A).
-        HbimParams gp;
-        gp.sets = 4096; // 16K 2-bit counters at w=4 ("16K-entry BHT").
-        gp.mode = IndexMode::GshareHash;
-        gp.histBits = 12;
-        gp.latency = 2;
-        gp.fetchWidth = w;
-        auto* gbim = topo.make<Hbim>("GBIM", gp);
-
-        HbimParams lp;
-        lp.sets = 1024;
-        lp.mode = IndexMode::LshareHash;
-        lp.histBits = 10;
-        lp.latency = 2;
-        lp.fetchWidth = w;
-        auto* lbim = topo.make<Hbim>("LBIM", lp);
-
-        BtbParams bp;
-        bp.sets = 256; // 2K entries at 2 ways x 4 slots.
-        bp.ways = 2;
-        bp.latency = 2;
-        bp.fetchWidth = w;
-        auto* btb = topo.make<Btb>("BTB", bp);
-
-        TourneyParams tp;
-        tp.sets = 1024;
-        tp.histBits = 10;
-        tp.latency = 3;
-        tp.fetchWidth = w;
-        auto* tourney = topo.make<Tourney>("TOURNEY", tp);
-
-        auto globalSide = topo.chain({topo.leaf(gbim), topo.leaf(btb)});
-        // NOTE: paper notation is "GBIM2 > BTB2": the direction table
-        // overrides; the BTB supplies targets underneath.
-        auto root = topo.arb(tourney, {globalSide, topo.leaf(lbim)});
-        topo.setRoot(root);
-        break;
-      }
-      case Design::B2: {
-        // GTAG3 > BTB2 > BIM2.
-        GtagParams gp;
-        gp.sets = 512; // 2K partially tagged counters at w=4.
-        gp.histBits = 16;
-        gp.latency = 3;
-        gp.fetchWidth = w;
-        auto* gtag = topo.make<Gtag>("GTAG", gp);
-
-        BtbParams bp;
-        bp.sets = 256;
-        bp.ways = 2;
-        bp.latency = 2;
-        bp.fetchWidth = w;
-        auto* btb = topo.make<Btb>("BTB", bp);
-
-        HbimParams ip;
-        ip.sets = 4096; // 16K untagged counters.
-        ip.mode = IndexMode::Pc;
-        ip.latency = 2;
-        ip.fetchWidth = w;
-        auto* bim = topo.make<Hbim>("BIM", ip);
-
-        topo.setRoot(topo.chainOf({gtag, btb, bim}));
-        break;
-      }
-      case Design::TageL: {
-        // LOOP3 > TAGE3 > BTB2 > BIM2 > uBTB1.
-        LoopParams lp;
-        lp.entries = 256;
-        lp.latency = 3;
-        lp.fetchWidth = w;
-        auto* loop = topo.make<LoopPredictor>("LOOP", lp);
-
-        TageParams tp = TageParams::tageL(w);
-        for (auto& t : tp.tables)
-            t.sets = 1024; // ~28 KB total (Table I).
-        auto* tage = topo.make<Tage>("TAGE", tp);
-
-        BtbParams bp;
-        bp.sets = 256;
-        bp.ways = 2;
-        bp.latency = 2;
-        bp.fetchWidth = w;
-        auto* btb = topo.make<Btb>("BTB", bp);
-
-        HbimParams ip;
-        ip.sets = 4096;
-        ip.mode = IndexMode::Pc;
-        ip.latency = 2;
-        ip.fetchWidth = w;
-        auto* bim = topo.make<Hbim>("BIM", ip);
-
-        MicroBtbParams up;
-        up.entries = 32;
-        up.fetchWidth = w;
-        auto* ubtb = topo.make<MicroBtb>("uBTB", up);
-
-        topo.setRoot(topo.chainOf({loop, tage, btb, bim, ubtb}));
-        break;
-      }
-      case Design::RefBig: {
-        // Commercial-class stand-in: enlarged TAGE-L.
-        LoopParams lp;
-        lp.entries = 512;
-        lp.latency = 3;
-        lp.fetchWidth = w;
-        auto* loop = topo.make<LoopPredictor>("LOOP", lp);
-
-        TageParams tp = TageParams::tageL(w);
-        for (auto& t : tp.tables) {
-            t.sets = 4096;
-            t.tagBits += 2;
-        }
-        {
-            // An eighth, even longer table.
-            TageTableParams extra = tp.tables.back();
-            extra.histLen = 64;
-            tp.tables.push_back(extra);
-        }
-        auto* tage = topo.make<Tage>("TAGE", tp);
-
-        BtbParams bp;
-        bp.sets = 512;
-        bp.ways = 4;
-        bp.latency = 2;
-        bp.fetchWidth = w;
-        auto* btb = topo.make<Btb>("BTB", bp);
-
-        HbimParams ip;
-        ip.sets = 8192;
-        ip.mode = IndexMode::Pc;
-        ip.latency = 2;
-        ip.fetchWidth = w;
-        auto* bim = topo.make<Hbim>("BIM", ip);
-
-        MicroBtbParams up;
-        up.entries = 64;
-        up.fetchWidth = w;
-        auto* ubtb = topo.make<MicroBtb>("uBTB", up);
-
-        topo.setRoot(topo.chainOf({loop, tage, btb, bim, ubtb}));
-        break;
-      }
-    }
-    topo.validate();
-    return topo;
+    // The enum presets are thin wrappers over their DesignSpec
+    // re-expression (presetSpec): one construction path, bit-identical
+    // designs (tests/test_design_spec.cpp locks this down).
+    DesignSpec spec = presetSpec(d);
+    spec.fetchWidth = w;
+    return sim::buildTopology(spec);
 }
 
 SimConfig
 makeConfig(Design d)
 {
-    SimConfig cfg;
-
-    // ---- Table II core --------------------------------------------------
-    cfg.frontend.fetchWidth = 4; // 16-byte fetch.
-    cfg.frontend.fetchBufferInsts = 32;
-    cfg.frontend.rasEntries = 16;
-    cfg.backend.coreWidth = 4;
-    cfg.backend.robEntries = 128;
-    cfg.backend.intIqEntries = 32;
-    cfg.backend.memIqEntries = 32;
-    cfg.backend.fpIqEntries = 32;
-    cfg.backend.ldqEntries = 32;
-    cfg.backend.stqEntries = 32;
-    cfg.backend.aluPorts = 4;
-    cfg.backend.memPorts = 2;
-    cfg.backend.fpPorts = 2;
-
-    cfg.bpu.fetchWidth = 4;
-    cfg.bpu.historyFileEntries = 64;
-    cfg.bpu.updateWidth = 2;
-
-    switch (d) {
-      case Design::Tourney:
-        cfg.bpu.ghistBits = 32;
-        cfg.bpu.lhistSets = 256;
-        cfg.bpu.lhistBits = 32;
-        break;
-      case Design::B2:
-        cfg.bpu.ghistBits = 16;
-        break;
-      case Design::TageL:
-        cfg.bpu.ghistBits = 64;
-        break;
-      case Design::RefBig:
-        cfg.bpu.ghistBits = 64;
-        // A wider, deeper commercial-class core.
-        cfg.backend.coreWidth = 6;
-        cfg.backend.robEntries = 224;
-        cfg.backend.aluPorts = 6;
-        cfg.backend.memPorts = 3;
-        cfg.backend.intIqEntries = 64;
-        cfg.backend.memIqEntries = 48;
-        cfg.caches.l1i.sizeBytes = 64 * 1024;
-        cfg.caches.l1d.sizeBytes = 64 * 1024;
-        cfg.caches.l2.sizeBytes = 1024 * 1024;
-        cfg.caches.l3.sizeBytes = 16 * 1024 * 1024;
-        break;
-    }
-    return cfg;
+    return sim::makeConfig(presetSpec(d));
 }
 
 std::vector<Design>

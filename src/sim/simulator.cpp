@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include "bpu/specialize.hpp"
+#include "sim/design_spec.hpp"
 #include "warp/state_io.hpp"
 
 namespace cobra::sim {
@@ -92,27 +93,11 @@ Simulator::Simulator(const prog::Program& program, bpu::Topology topo,
 
     faults_ = std::make_unique<guard::FaultEngine>(cfg_.faultRate,
                                                    cfg_.faultSeed);
-    if (faults_->enabled()) {
-        topo.wrapEach(
-            [this](std::unique_ptr<bpu::PredictorComponent> c)
-                -> std::unique_ptr<bpu::PredictorComponent> {
-                return std::make_unique<guard::FaultInjector>(
-                    std::move(c), *faults_);
-            });
-    }
-    if (cfg_.audit) {
-        // Auditor outermost: it observes the composer's calls, not the
-        // injector's perturbations, so injected faults are (correctly)
-        // not reported as contract violations.
-        topo.wrapEach(
-            [this](std::unique_ptr<bpu::PredictorComponent> c)
-                -> std::unique_ptr<bpu::PredictorComponent> {
-                auto a = std::make_unique<guard::ContractAuditor>(
-                    std::move(c));
-                auditors_.push_back(a.get());
-                return a;
-            });
-    }
+    // One wrapping path for every construction route (presets, spec
+    // files, search candidates): the builder's guard hook applies the
+    // fault injector innermost and the contract auditor outermost.
+    applyGuardWrappers(topo,
+                       GuardHooks{cfg_.audit, faults_.get(), &auditors_});
 
     oracle_ = std::make_unique<exec::Oracle>(program, cfg.oracleSeed);
     if (cfg_.replayTrace) {

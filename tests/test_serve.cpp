@@ -180,7 +180,7 @@ TEST(ServeRequest, ParsesFullDocumentWithDefaults)
     EXPECT_EQ(r.client, "test");
     EXPECT_EQ(r.priority, 1);
     ASSERT_EQ(r.designs.size(), 1u);
-    EXPECT_EQ(r.designs[0], sim::Design::TageL);
+    EXPECT_EQ(r.designs[0], sim::presetSpec(sim::Design::TageL));
     EXPECT_EQ(r.workloads, std::vector<std::string>{"leela"});
     EXPECT_EQ(r.insts, 8000u);
     EXPECT_EQ(r.warmup, 1000u);
@@ -250,6 +250,106 @@ TEST(ServeRequest, SemanticViolationsAreRejected)
             << "accepted: " << text;
 }
 
+TEST(ServeRequest, InlineDesignSpecResolvesLikeThePresetName)
+{
+    const std::string spec = sim::presetSpec("tagel").toJson();
+    const serve::SweepRequest r = serve::SweepRequest::parse(
+        "{\"id\": \"s\", \"client\": \"c\", \"design_spec\": " + spec +
+            ", \"workloads\": [\"leela\"]}",
+        "s");
+    ASSERT_EQ(r.designs.size(), 1u);
+    EXPECT_EQ(r.designs[0], sim::presetSpec(sim::Design::TageL));
+    const auto pts = r.points();
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_EQ(pts[0].label, "TAGE-L/leela");
+}
+
+TEST(ServeRequest, DesignSpecArrayConcatenatesAfterNames)
+{
+    const std::string spec = sim::presetSpec("b2").toJson();
+    const serve::SweepRequest r = serve::SweepRequest::parse(
+        "{\"id\": \"s\", \"client\": \"c\", "
+        "\"designs\": [\"tagel\"], \"design_spec\": [" +
+            spec + "], \"workloads\": [\"leela\"]}",
+        "s");
+    ASSERT_EQ(r.designs.size(), 2u);
+    EXPECT_EQ(r.designs[0].name, "TAGE-L");
+    EXPECT_EQ(r.designs[1].name, "B2");
+}
+
+TEST(ServeRequest, BadInlineSpecsAreRejected)
+{
+    const char* bad[] = {
+        // Malformed spec document (unknown component kind).
+        "{\"client\": \"c\", \"workloads\": [\"leela\"], "
+        "\"design_spec\": {\"name\": \"x\", \"components\": "
+        "[{\"id\": \"A\", \"kind\": \"nope\"}], \"tree\": \"A\"}}",
+        // Duplicate name across designs and design_spec: points would
+        // collide on their labels.
+        "{\"client\": \"c\", \"workloads\": [\"leela\"], "
+        "\"designs\": [\"b2\"], \"design_spec\": {\"name\": \"B2\", "
+        "\"components\": [{\"id\": \"A\", \"kind\": \"bim\"}], "
+        "\"tree\": \"A\"}}",
+        // Empty design_spec array.
+        "{\"client\": \"c\", \"workloads\": [\"leela\"], "
+        "\"design_spec\": []}",
+        // Neither designs nor design_spec.
+        "{\"client\": \"c\", \"workloads\": [\"leela\"]}",
+    };
+    for (const char* text : bad)
+        EXPECT_THROW(serve::SweepRequest::parse(text, "f"),
+                     serve::RequestError)
+            << "accepted: " << text;
+}
+
+TEST(ServeRequest, SearchKindParsesIntoOnePoint)
+{
+    const serve::SweepRequest r = serve::SweepRequest::parse(
+        "{\"id\": \"s\", \"client\": \"c\", \"kind\": \"search\", "
+        "\"workloads\": [\"mcf\", \"leela\"], "
+        "\"search\": {\"seed\": 9, \"pool\": 6, \"budget_kb\": 512, "
+        "\"seed_evals\": 3, \"survivors\": 4}}",
+        "s");
+    EXPECT_EQ(r.kind, "search");
+    EXPECT_TRUE(r.designs.empty());
+    EXPECT_EQ(r.searchCfg.seed, 9u);
+    EXPECT_EQ(r.searchCfg.pool, 6u);
+    EXPECT_EQ(r.searchCfg.budget.storageKb, 512u);
+    ASSERT_EQ(r.searchCfg.workloads.size(), 2u);
+    EXPECT_EQ(r.searchCfg.workloads[0], "mcf");
+    const auto pts = r.points();
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_EQ(pts[0].label, "search");
+}
+
+TEST(ServeRequest, SearchKindRejectsIncompatibleFields)
+{
+    const char* bad[] = {
+        // Search requests explore designs themselves.
+        "{\"client\": \"c\", \"kind\": \"search\", "
+        "\"workloads\": [\"mcf\"], \"designs\": [\"b2\"]}",
+        // No warp block (search runs its own warp tier).
+        "{\"client\": \"c\", \"kind\": \"search\", "
+        "\"workloads\": [\"mcf\"], \"warp\": {}}",
+        // No trace replay.
+        "{\"client\": \"c\", \"kind\": \"search\", "
+        "\"workloads\": [\"mcf\"], \"trace\": \"x.cbtr\"}",
+        // Invalid search block (pool 0).
+        "{\"client\": \"c\", \"kind\": \"search\", "
+        "\"workloads\": [\"mcf\"], \"search\": {\"pool\": 0}}",
+        // A search block on a sweep request is a schema error.
+        "{\"client\": \"c\", \"designs\": [\"b2\"], "
+        "\"workloads\": [\"mcf\"], \"search\": {\"pool\": 4}}",
+        // Unknown kind.
+        "{\"client\": \"c\", \"kind\": \"census\", "
+        "\"workloads\": [\"mcf\"], \"designs\": [\"b2\"]}",
+    };
+    for (const char* text : bad)
+        EXPECT_THROW(serve::SweepRequest::parse(text, "f"),
+                     serve::RequestError)
+            << "accepted: " << text;
+}
+
 TEST(ServeRequest, SpecializeModeParsesAndValidatesAtAdmission)
 {
     const serve::SweepRequest req = serve::SweepRequest::parse(
@@ -257,7 +357,7 @@ TEST(ServeRequest, SpecializeModeParsesAndValidatesAtAdmission)
         "\"workloads\": [\"leela\"], \"specialize\": \"require\"}",
         "f");
     EXPECT_EQ(req.specialize, sim::SpecializeMode::Require);
-    EXPECT_EQ(req.makeConfig(sim::Design::B2).specialize,
+    EXPECT_EQ(req.makeConfig(req.designs[0]).specialize,
               sim::SpecializeMode::Require);
 
     const serve::SweepRequest off = serve::SweepRequest::parse(

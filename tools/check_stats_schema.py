@@ -11,9 +11,11 @@ here.
 
 Also validates the cobra_serve document family (--kind):
 
-    stats         a cobra_sim/bench --stats-json document (default)
-    serve-result  a spool/results/<id>.json result document
-    serve-status  the daemon's spool/status.json health document
+    stats            a cobra_sim/bench --stats-json document (default)
+    serve-result     a spool/results/<id>.json result document
+    serve-status     the daemon's spool/status.json health document
+    search-frontier  a cobra_search Pareto-frontier artifact
+                     (docs/SEARCH.md)
 
 Usage:
     python3 tools/check_stats_schema.py DOC.json [--schema FILE]
@@ -181,6 +183,23 @@ class ServeResultChecker(Checker):
         status = point.get("status")
         if status is not None and status not in POINT_STATUSES:
             self.fail(f"{where}.status", f"unknown status '{status}'")
+        if status == "ok" and "search" in point:
+            # A "kind": "search" request's single point embeds the
+            # frontier artifact instead of sweep-point metrics.
+            for key in ("functional_evals", "warp_evals",
+                        "detailed_evals", "evals_saved",
+                        "frontier_size"):
+                if key not in point:
+                    self.fail(where, f"missing '{key}'")
+                else:
+                    self.expect_type(f"{where}.{key}", point[key], "int")
+            if "wall_seconds" not in point:
+                self.fail(where, "missing 'wall_seconds'")
+            sub = SearchFrontierChecker()
+            if not sub.run(point["search"]):
+                for err in sub.errors:
+                    self.fail(f"{where}.search", err)
+            return
         if status == "ok":
             for key in OK_POINT_NUMBERS:
                 if key not in point:
@@ -259,6 +278,140 @@ class ServeStatusChecker(Checker):
         return not self.errors
 
 
+CANDIDATE_TIERS = {"pool", "surrogate", "functional", "warp", "detailed"}
+
+
+class SearchFrontierChecker(Checker):
+    """Validates a cobra_search frontier artifact (docs/SEARCH.md).
+
+    Beyond key/type presence, the checker enforces the invariants the
+    artifact promises: every frontier entry names an on_frontier
+    candidate that reached the detailed tier, carries a full inline
+    DesignSpec (the artifact alone reproduces the design), and the
+    frontier list is sorted by area ascending.
+    """
+
+    def __init__(self):
+        super().__init__(schema=None)
+
+    def check_block(self, where, block, fields):
+        if not self.expect_type(where, block, "dict"):
+            return
+        for key, ty in fields:
+            if key not in block:
+                self.fail(where, f"missing '{key}'")
+            else:
+                self.expect_type(f"{where}.{key}", block[key], ty)
+
+    def check_candidate(self, where, cand):
+        if not self.expect_type(where, cand, "dict"):
+            return
+        self.check_block(
+            where,
+            cand,
+            (("id", "string"), ("name", "string"), ("anchor", "bool"),
+             ("tier", "string"), ("storage_bits", "int"),
+             ("storage_kb", "number"), ("area_um2", "number"),
+             ("latency", "int"), ("on_frontier", "bool")),
+        )
+        tier = cand.get("tier")
+        if isinstance(tier, str) and tier not in CANDIDATE_TIERS:
+            self.fail(f"{where}.tier", f"unknown tier '{tier}'")
+        if cand.get("on_frontier") is True and "detailed" not in cand:
+            self.fail(where, "frontier member lacks detailed metrics")
+
+    def check_frontier_entry(self, where, entry, by_id):
+        if not self.expect_type(where, entry, "dict"):
+            return
+        self.check_block(
+            where,
+            entry,
+            (("id", "string"), ("accuracy", "number"),
+             ("mpki", "number"), ("ipc", "number"),
+             ("area_um2", "number"), ("storage_kb", "number"),
+             ("latency", "int"), ("spec", "dict")),
+        )
+        cand = by_id.get(entry.get("id"))
+        if cand is None:
+            self.fail(f"{where}.id",
+                      f"'{entry.get('id')}' is not a candidate")
+        elif cand.get("on_frontier") is not True:
+            self.fail(f"{where}.id",
+                      f"candidate '{entry['id']}' is not on_frontier")
+        spec = entry.get("spec")
+        if isinstance(spec, dict):
+            # Provenance: the inline spec must be reloadable, so it
+            # needs the DesignSpec skeleton.
+            for key in ("name", "components", "tree"):
+                if key not in spec:
+                    self.fail(f"{where}.spec", f"missing '{key}'")
+
+    def run(self, doc):
+        if doc.get("tool") != "cobra_search":
+            self.fail("$.tool", "expected 'cobra_search'")
+        if doc.get("version") != 1:
+            self.fail("$.version", f"expected 1, got {doc.get('version')}")
+        for key, ty in (("seed", "int"), ("workloads", "list"),
+                        ("workload_features", "list"),
+                        ("candidates", "list"), ("frontier", "list")):
+            if key not in doc:
+                self.fail("$", f"missing top-level key '{key}'")
+            else:
+                self.expect_type(f"$.{key}", doc[key], ty)
+        self.check_block("$.budget", doc.get("budget"),
+                         (("storage_kb", "int"), ("area_um2", "number")))
+        self.check_block(
+            "$.tiers",
+            doc.get("tiers"),
+            (("pool", "int"), ("seed_evals", "int"),
+             ("functional_survivors", "int"), ("warp_survivors", "int"),
+             ("finalists", "int")),
+        )
+        self.check_block(
+            "$.evals",
+            doc.get("evals"),
+            (("pool", "int"), ("functional", "int"), ("warp", "int"),
+             ("detailed", "int"), ("saved_by_surrogate", "int"),
+             ("anchors_dropped", "int")),
+        )
+        self.check_block(
+            "$.surrogate",
+            doc.get("surrogate"),
+            (("used", "bool"), ("lambda", "number"),
+             ("train_rmse", "number"), ("features", "list")),
+        )
+
+        candidates = doc.get("candidates") or []
+        for i, cand in enumerate(candidates):
+            self.check_candidate(f"$.candidates[{i}]", cand)
+        by_id = {
+            c.get("id"): c for c in candidates if isinstance(c, dict)
+        }
+        frontier = doc.get("frontier") or []
+        if not frontier:
+            self.fail("$.frontier", "frontier is empty")
+        for i, entry in enumerate(frontier):
+            self.check_frontier_entry(f"$.frontier[{i}]", entry, by_id)
+        areas = [
+            e["area_um2"] for e in frontier
+            if isinstance(e, dict)
+            and isinstance(e.get("area_um2"), (int, float))
+        ]
+        if areas != sorted(areas):
+            self.fail("$.frontier", "entries not sorted by area_um2")
+        flagged = sum(
+            1 for c in candidates
+            if isinstance(c, dict) and c.get("on_frontier") is True
+        )
+        if flagged != len(frontier):
+            self.fail(
+                "$.frontier",
+                f"{flagged} candidates flagged on_frontier but "
+                f"{len(frontier)} frontier entries",
+            )
+        return not self.errors
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("stats", help="the JSON document to validate")
@@ -269,7 +422,8 @@ def main():
     )
     parser.add_argument(
         "--kind",
-        choices=["stats", "serve-result", "serve-status"],
+        choices=["stats", "serve-result", "serve-status",
+                 "search-frontier"],
         default="stats",
         help="document family to validate (default: stats)",
     )
@@ -282,12 +436,21 @@ def main():
         checker = ServeResultChecker()
     elif args.kind == "serve-status":
         checker = ServeStatusChecker()
+    elif args.kind == "search-frontier":
+        checker = SearchFrontierChecker()
     else:
         with open(args.schema) as f:
             schema = json.load(f)
         checker = Checker(schema)
 
     if checker.run(doc):
+        if args.kind == "search-frontier":
+            print(
+                f"OK: {args.stats} conforms "
+                f"({len(doc.get('candidates') or [])} candidates, "
+                f"{len(doc.get('frontier') or [])} frontier points)"
+            )
+            return 0
         points = doc.get("points", [])
         errored = sum(
             1

@@ -1,0 +1,33 @@
+# CLI-level DesignSpec round trip: a preset's spec dumped with
+# --dump-spec and fed back via --design-spec must reproduce the bare
+# preset-name run byte for byte (metrics + full --stats dump). Driven
+# as a CMake script so the comparison works on hosts without a POSIX
+# shell.
+set(spec "${WORK_DIR}/cli_design_spec.json")
+set(flags --workload leela --insts 20000 --warmup 5000 --stats)
+
+execute_process(
+    COMMAND "${COBRA_SIM}" --dump-spec tagel
+    OUTPUT_FILE "${spec}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "--dump-spec tagel failed: rc=${rc}")
+endif()
+
+execute_process(
+    COMMAND "${COBRA_SIM}" --design tagel ${flags}
+    OUTPUT_VARIABLE preset_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "preset run failed: rc=${rc}")
+endif()
+
+execute_process(
+    COMMAND "${COBRA_SIM}" --design-spec "${spec}" ${flags}
+    OUTPUT_VARIABLE spec_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "--design-spec run failed: rc=${rc}")
+endif()
+
+if(NOT preset_out STREQUAL spec_out)
+    message(FATAL_ERROR "--design-spec stdout differs from --design")
+endif()
+file(REMOVE "${spec}")

@@ -9,7 +9,8 @@
  * one.
  *
  * Usage:
- *   cobra_sim [--design NAMES] [--workload NAMES] [--insts N]
+ *   cobra_sim [--design NAMES] [--design-spec FILES] [--workload NAMES]
+ *             [--insts N]
  *             [--warmup N] [--ghist none|repair|replay] [--sfb]
  *             [--serialize] [--audit] [--inject-faults RATE]
  *             [--fault-seed N] [--deadlock-cycles N] [--jobs N]
@@ -30,6 +31,7 @@
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -38,6 +40,7 @@
 #include "common/table.hpp"
 #include "program/workload.hpp"
 #include "sim/core_area.hpp"
+#include "sim/design_spec.hpp"
 #include "sim/presets.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
@@ -70,6 +73,12 @@ usage()
         "\n"
         "  --design NAMES       tourney | b2 | tagel | refbig (default tagel);\n"
         "                       comma-separated list runs a sweep\n"
+        "  --design-spec FILES  DesignSpec JSON documents (see\n"
+        "                       docs/SEARCH.md); comma-separated list.\n"
+        "                       Replaces the preset default; combines\n"
+        "                       with an explicit --design\n"
+        "  --dump-spec NAME     print a preset's DesignSpec JSON and\n"
+        "                       exit (the --design-spec input format)\n"
         "  --workload NAMES     SPECint17 proxy / dhrystone / coremark\n"
         "                       (default leela); comma-separated list\n"
         "                       runs a sweep\n"
@@ -131,18 +140,16 @@ usage()
         "  --list               list designs and workloads\n";
 }
 
-sim::Design
-parseDesign(const std::string& s)
+/** Load and validate one DesignSpec JSON document. */
+sim::DesignSpec
+loadSpecFile(const std::string& path)
 {
-    if (s == "tourney")
-        return sim::Design::Tourney;
-    if (s == "b2")
-        return sim::Design::B2;
-    if (s == "tagel")
-        return sim::Design::TageL;
-    if (s == "refbig")
-        return sim::Design::RefBig;
-    throw std::runtime_error("unknown design: " + s);
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot read design spec: " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return sim::DesignSpec::fromJson(text.str());
 }
 
 bpu::GhistRepairMode
@@ -253,6 +260,8 @@ int
 runMain(int argc, char** argv)
 {
     std::string designArg = "tagel";
+    bool designSet = false;
+    std::string specArg;
     std::string workloadArg = "leela";
     std::uint64_t insts = 400'000;
     std::uint64_t warmup = 120'000;
@@ -278,7 +287,7 @@ runMain(int argc, char** argv)
     std::string replayTracePath;
     bool workloadSet = false;
 
-    std::vector<sim::Design> designs;
+    std::vector<sim::DesignSpec> designs;
     std::vector<std::string> workloads;
     try {
         for (int i = 1; i < argc; ++i) {
@@ -288,8 +297,16 @@ runMain(int argc, char** argv)
                     throw std::runtime_error("missing value for " + a);
                 return argv[i];
             };
-            if (a == "--design")
+            if (a == "--design") {
                 designArg = next();
+                designSet = true;
+            }
+            else if (a == "--design-spec")
+                specArg = next();
+            else if (a == "--dump-spec") {
+                std::cout << sim::presetSpec(next()).toJson();
+                return 0;
+            }
             else if (a == "--workload") {
                 workloadArg = next();
                 workloadSet = true;
@@ -365,8 +382,15 @@ runMain(int argc, char** argv)
                 throw std::runtime_error("unknown option: " + a);
             }
         }
-        for (const std::string& d : splitList(designArg))
-            designs.push_back(parseDesign(d));
+        // Preset names and spec files resolve to the same DesignSpec
+        // construction path; --design-spec alone replaces the preset
+        // default rather than adding to it.
+        if (specArg.empty() || designSet)
+            for (const std::string& d : splitList(designArg))
+                designs.push_back(sim::presetSpec(d));
+        if (!specArg.empty())
+            for (const std::string& f : splitList(specArg))
+                designs.push_back(loadSpecFile(f));
         workloads = splitList(workloadArg);
         if (!captureTracePath.empty()) {
             if (!replayTracePath.empty()) {
@@ -448,17 +472,17 @@ runMain(int argc, char** argv)
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
     std::vector<std::string> headers;
-    std::vector<sim::Design> pointDesigns;
+    std::vector<sim::DesignSpec> pointDesigns;
     std::vector<sim::SweepPoint> warpJobs;
 
     for (const std::string& wl : workloads) {
         const prog::Program& program = cache.get(wl);
-        for (sim::Design design : designs) {
+        for (const sim::DesignSpec& design : designs) {
             // Describe the topology from a throwaway instance; the
             // point builds its own fresh copy on the worker.
             const bpu::Topology topo = sim::buildTopology(design);
             std::ostringstream hdr;
-            hdr << "design:   " << sim::designName(design) << "  ("
+            hdr << "design:   " << design.name << "  ("
                 << topo.describe() << ")\n"
                 << "workload: " << program.name() << " ("
                 << program.size() << " static insts)\n"
@@ -510,7 +534,7 @@ runMain(int argc, char** argv)
                 !sim::specializeAvailable(topo, cfg)) {
                 std::cerr << "error: --specialize: the fused loop is "
                              "unavailable for design '"
-                          << sim::designName(design)
+                          << design.name
                           << "' (unregistered component tuple, or "
                              "--audit/--inject-faults active)\n\n";
                 usage();
@@ -518,8 +542,7 @@ runMain(int argc, char** argv)
             }
 
             sim::SweepPoint pt;
-            pt.label = std::string(sim::designName(design)) + "/" +
-                       program.name();
+            pt.label = design.name + "/" + program.name();
             pt.topology = [design] {
                 return sim::buildTopology(design);
             };

@@ -49,6 +49,7 @@ bench_ablations
 bench_trace_vs_execution
 bench_energy
 bench_warp
+bench_search
 "
 
 mkdir -p bench_results
