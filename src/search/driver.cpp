@@ -12,6 +12,7 @@
 #include "search/space.hpp"
 #include "search/surrogate.hpp"
 #include "sim/sweep.hpp"
+#include "trace/batch_eval.hpp"
 #include "trace/trace.hpp"
 #include "warp/warp.hpp"
 
@@ -290,12 +291,8 @@ runSearch(const SearchConfig& cfg, prog::WorkloadCache& cache)
     // Per-workload accuracies kept aside for the surrogate fit (the
     // candidate record carries only the workload mean).
     std::vector<std::vector<double>> funcAcc(r.candidates.size());
-    auto evalFunctional = [&](std::size_t i) {
+    auto finishFunctional = [&](std::size_t i) {
         auto& c = r.candidates[i];
-        if (c.hasFunctional)
-            return;
-        funcAcc[i] =
-            functionalAccuracies(c.spec, traces, cfg.traceWarmup);
         double mean = 0.0;
         for (double a : funcAcc[i])
             mean += a;
@@ -304,6 +301,58 @@ runSearch(const SearchConfig& cfg, prog::WorkloadCache& cache)
         c.hasFunctional = true;
         c.tier = "functional";
         ++r.functionalEvals;
+    };
+    // Evaluate every not-yet-measured candidate in @p set. Batched
+    // mode streams each shared trace once and fans it across
+    // wavefront lanes (trace/batch_eval.hpp); lanes are independent,
+    // so the per-candidate accuracies — and therefore the frontier
+    // artifact — are bit-identical to the serial per-candidate walk
+    // (the CI batch-exactness leg byte-compares both).
+    auto evalFunctionalSet = [&](const std::vector<std::size_t>& set) {
+        std::vector<std::size_t> need;
+        for (std::size_t i : set)
+            if (!r.candidates[i].hasFunctional)
+                need.push_back(i);
+        if (need.empty())
+            return;
+        if (!cfg.batchEval) {
+            for (std::size_t i : need) {
+                funcAcc[i] = functionalAccuracies(
+                    r.candidates[i].spec, traces, cfg.traceWarmup);
+                finishFunctional(i);
+            }
+            return;
+        }
+        for (std::size_t i : need)
+            funcAcc[i].resize(traces.size());
+        for (std::size_t wi = 0; wi < traces.size(); ++wi) {
+            trace::BatchTraceEvaluator be(cfg.jobs);
+            for (std::size_t i : need) {
+                const auto& c = r.candidates[i];
+                trace::BatchLane lane;
+                lane.label = c.id;
+                const sim::DesignSpec* spec = &c.spec;
+                lane.predictor = [spec] {
+                    return bpu::ComposedPredictor(
+                        sim::buildTopology(*spec), spec->fetchWidth);
+                };
+                lane.ghistBits = c.spec.bpu.ghistBits;
+                lane.lhistBits = c.spec.bpu.lhistBits;
+                be.addLane(std::move(lane));
+            }
+            const auto outs = be.evaluate(traces[wi], cfg.traceWarmup);
+            for (std::size_t k = 0; k < need.size(); ++k) {
+                if (!outs[k].ok()) {
+                    // Serial semantics: a candidate that cannot be
+                    // built/evaluated fails the whole search with
+                    // its original exception.
+                    std::rethrow_exception(outs[k].exception);
+                }
+                funcAcc[need[k]][wi] = outs[k].result.accuracy();
+            }
+        }
+        for (std::size_t i : need)
+            finishFunctional(i);
     };
 
     std::vector<std::size_t> all(r.candidates.size());
@@ -329,8 +378,7 @@ runSearch(const SearchConfig& cfg, prog::WorkloadCache& cache)
              k += stride)
             seedSet.push_back(rest[k]);
     }
-    for (std::size_t i : seedSet)
-        evalFunctional(i);
+    evalFunctionalSet(seedSet);
     note(cfg, "tier 0: " + std::to_string(seedSet.size()) +
                   " seed evaluations");
 
@@ -386,8 +434,7 @@ runSearch(const SearchConfig& cfg, prog::WorkloadCache& cache)
         if (!r.candidates[i].anchor)
             survivors.push_back(i);
     }
-    for (std::size_t i : survivors)
-        evalFunctional(i);
+    evalFunctionalSet(survivors);
     note(cfg, "tier 1: " + std::to_string(survivors.size()) +
                   " functional survivors");
 

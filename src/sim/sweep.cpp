@@ -308,29 +308,38 @@ SweepEngine::run(const PostRun& postRun)
         }
     };
 
+    runTasks(tasks.size(),
+             [&](std::size_t t) { runTask(tasks[t]); });
+    return outcomes;
+}
+
+void
+SweepEngine::runTasks(std::size_t num_tasks,
+                      const std::function<void(std::size_t)>& task) const
+{
     const unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(jobs_, tasks.size()));
+        std::min<std::size_t>(jobs_, num_tasks));
 
     if (workers <= 1) {
         // Inline serial path: the deterministic reference, and the
         // zero-overhead path for single-point "sweeps" (cobra_sim).
-        for (const auto& task : tasks)
-            runTask(task);
-        return outcomes;
+        for (std::size_t i = 0; i < num_tasks; ++i)
+            task(i);
+        return;
     }
 
     // Work-stealing deques: tasks are dealt round-robin; a worker
     // pops its own queue from the back (LIFO keeps its cache warm)
     // and steals from other queues' fronts (FIFO takes the oldest,
     // largest-remaining work first). Each task writes only its own
-    // outcome slots, so no synchronisation is needed on results.
+    // result slots, so no synchronisation is needed on results.
     struct WorkerQueue
     {
         std::mutex m;
         std::deque<std::size_t> q;
     };
     std::vector<WorkerQueue> queues(workers);
-    for (std::size_t i = 0; i < tasks.size(); ++i)
+    for (std::size_t i = 0; i < num_tasks; ++i)
         queues[i % workers].q.push_back(i);
 
     auto work = [&](unsigned self) {
@@ -356,7 +365,7 @@ SweepEngine::run(const PostRun& postRun)
             }
             if (t == SIZE_MAX)
                 return; // All queues drained.
-            runTask(tasks[t]);
+            task(t);
         }
     };
 
@@ -366,7 +375,6 @@ SweepEngine::run(const PostRun& postRun)
         pool.emplace_back(work, w);
     for (auto& t : pool)
         t.join();
-    return outcomes;
 }
 
 std::string

@@ -170,6 +170,23 @@ class SweepEngine
     unsigned jobs() const { return jobs_; }
 
     /**
+     * Run @p num_tasks independent tasks on this engine's
+     * work-stealing pool: task indices are dealt round-robin across
+     * min(jobs, num_tasks) workers; each worker pops its own deque
+     * from the back (LIFO keeps its cache warm) and steals from
+     * other queues' fronts (FIFO takes the oldest, largest-remaining
+     * work first). Tasks must write only their own result slots —
+     * completion order is unspecified, but every task has finished
+     * when the call returns. With one worker the tasks run inline in
+     * index order on the calling thread (the deterministic,
+     * zero-overhead path). This is the scheduling primitive under
+     * run(); the wavefront batch evaluator (trace/batch_eval.hpp)
+     * schedules its lane chunks on it too.
+     */
+    void runTasks(std::size_t num_tasks,
+                  const std::function<void(std::size_t)>& task) const;
+
+    /**
      * Report each point's completion to stderr (`--progress`):
      * `[completed/total] label: N kcps`. Off by default; stdout is
      * never touched, so sweep output stays byte-identical.

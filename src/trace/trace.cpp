@@ -32,67 +32,92 @@ TraceDrivenEvaluator::TraceDrivenEvaluator(bpu::ComposedPredictor pred,
                                            unsigned ghist_bits,
                                            unsigned lhist_bits)
     : pred_(std::move(pred)), ghist_(ghist_bits),
-      lhistBits_(lhist_bits), lhist_(256, 0)
+      lhistBits_(lhist_bits), lhist_(256, 0),
+      numComps_(static_cast<unsigned>(pred_.components().size()))
 {
 }
 
 void
-TraceDrivenEvaluator::step(Addr pc, unsigned slot_idx, bool taken,
-                           Addr target, bool measured, TraceResult& res)
+TraceDrivenEvaluator::predictStep(Addr pc, unsigned slot_idx,
+                                  bool taken, Addr target,
+                                  bool measured, TraceResult& res)
 {
-    const unsigned numComps =
-        static_cast<unsigned>(pred_.components().size());
-    const std::size_t lidx = (pc >> 4) % lhist_.size();
+    lidx_ = (pc >> 4) % lhist_.size();
 
     // Idealized predict: perfect, instantly-updated histories.
-    bpu::QueryState q;
-    q.reset(pc, pred_.width(), numComps, pred_.width());
-    q.captureHistory(ghist_, lhist_[lidx]);
-    bpu::PredictionBundle bundle;
-    for (unsigned d = 1; d <= pred_.maxLatency(); ++d)
-        bundle = pred_.evaluateStage(q, d);
+    q_.reset(pc, pred_.width(), numComps_, pred_.width());
+    q_.captureHistory(ghist_, lhist_[lidx_]);
+    if (fused_) {
+        pred_.evaluatePacket(q_, bundle_);
+    } else {
+        bundle_ = bpu::PredictionBundle{};
+        bundle_.width = pred_.width();
+        for (unsigned d = 1; d <= pred_.maxLatency(); ++d)
+            bundle_ = pred_.evaluateStage(q_, d);
+    }
 
-    const auto& slot = bundle.slots[slot_idx];
+    const auto& slot = bundle_.slots[slot_idx];
     const bool pred = slot.valid && slot.taken;
     if (measured) {
         ++res.branches;
         res.mispredicts += pred != taken;
     }
 
+    pc_ = pc;
+    slot_ = slot_idx;
+    taken_ = taken;
+    target_ = target;
+    mispredicted_ = pred != taken;
+}
+
+void
+TraceDrivenEvaluator::updateStep()
+{
     // Immediate, in-order update — no speculation, no delay.
     bpu::ResolveEvent ev;
-    ev.pc = pc;
-    ev.ghist = &q.ghist();
-    ev.lhist = q.lhist();
-    ev.brMask[slot_idx] = true;
-    ev.takenMask[slot_idx] = taken;
-    ev.cfiValid = taken;
-    ev.cfiIdx = slot_idx;
+    ev.pc = pc_;
+    ev.ghist = &q_.ghist();
+    ev.lhist = q_.lhist();
+    ev.brMask[slot_] = true;
+    ev.takenMask[slot_] = taken_;
+    ev.cfiValid = taken_;
+    ev.cfiIdx = slot_;
     ev.cfiType = bpu::CfiType::Br;
-    ev.cfiTaken = taken;
-    ev.target = target;
-    ev.mispredicted = pred != taken;
-    ev.predicted = &bundle;
+    ev.cfiTaken = taken_;
+    ev.target = target_;
+    ev.mispredicted = mispredicted_;
+    ev.predicted = &bundle_;
 
     // Fire (speculative components like the loop predictor count
     // at query time, and in a trace model speculation is perfect).
     bpu::FireEvent fev;
-    fev.pc = pc;
-    fev.finalPred = &bundle;
-    fev.ghist = &q.ghist();
-    fev.lhist = q.lhist();
-    bpu::MetadataBundle metas = q.metadata();
-    pred_.fire(fev, metas);
+    fev.pc = pc_;
+    fev.finalPred = &bundle_;
+    fev.ghist = &q_.ghist();
+    fev.lhist = q_.lhist();
+    metas_ = q_.metadata();
+    pred_.fire(fev, metas_);
     if (ev.mispredicted) {
         // Immediate resolution: the fast mispredict event fires
         // right away (perfect repair, zero delay).
-        pred_.mispredict(ev, metas);
+        pred_.mispredict(ev, metas_);
     }
-    pred_.update(ev, metas);
+    pred_.update(ev, metas_);
 
-    ghist_.push(taken);
-    lhist_[lidx] = ((lhist_[lidx] << 1) | (taken ? 1 : 0)) &
-                   maskBits(lhistBits_);
+    ghist_.push(taken_);
+    lhist_[lidx_] = ((lhist_[lidx_] << 1) | (taken_ ? 1 : 0)) &
+                    maskBits(lhistBits_);
+}
+
+void
+TraceDrivenEvaluator::prefetchNext(Addr pc)
+{
+    bpu::PredictContext ctx;
+    ctx.pc = pc;
+    ctx.validSlots = pred_.width();
+    ctx.ghist = &ghist_;
+    ctx.lhist = lhist_[(pc >> 4) % lhist_.size()];
+    pred_.prefetchAll(ctx);
 }
 
 TraceResult

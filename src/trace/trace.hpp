@@ -82,6 +82,24 @@ class TraceDrivenEvaluator
                          unsigned ghist_bits = 64,
                          unsigned lhist_bits = 32);
 
+    /**
+     * Bind the devirtualized fused loop when the pipeline's tuple is
+     * registered (bpu/specialize.hpp); bit-identical either way.
+     */
+    bool specialize() { return pred_.specialize(); }
+    bool specialized() const { return pred_.specialized(); }
+
+    /**
+     * Route predictStep() through the composer's fused packet sweep
+     * (ComposedPredictor::evaluatePacket) instead of the per-stage
+     * evaluateStage() walk. Bit-identical results; off by default so
+     * the serial evaluator stays the reference implementation the
+     * exactness tests compare against. The batch evaluator turns
+     * this on for its lanes.
+     */
+    void setFusedPredict(bool on) { fused_ = on; }
+    bool fusedPredict() const { return fused_; }
+
     /** Evaluate the trace; skips the first @p warmup records. */
     TraceResult evaluate(const BranchTrace& trace,
                          std::size_t warmup = 0);
@@ -96,15 +114,58 @@ class TraceDrivenEvaluator
     TraceResult evaluate(const DecodedTrace& trace,
                          std::size_t warmup = 0);
 
-  private:
-    /** One idealized predict/update step; counts when @p measured. */
-    void step(Addr pc, unsigned slot, bool taken, Addr target,
-              bool measured, TraceResult& res);
+    /**
+     * Split-phase step API for the wavefront batch evaluator
+     * (trace/batch_eval.hpp). One idealized step is predictStep()
+     * immediately followed by updateStep() for the same record; the
+     * split lets a caller schedule many independent lanes' phases
+     * around each other. Each lane still sees exactly the serial
+     * call sequence, so results are bit-identical to step().
+     */
+    void predictStep(Addr pc, unsigned slot, bool taken, Addr target,
+                     bool measured, TraceResult& res);
 
+    /** Phase 2: resolve/update the record passed to predictStep(). */
+    void updateStep();
+
+    /**
+     * Architecturally inert host-cache hint: pull the rows the next
+     * record's predict phase will index toward the cache while other
+     * lanes' work is in flight.
+     */
+    void prefetchNext(Addr pc);
+
+    /** One idealized predict/update step; counts when @p measured. */
+    void
+    step(Addr pc, unsigned slot, bool taken, Addr target,
+         bool measured, TraceResult& res)
+    {
+        predictStep(pc, slot, taken, target, measured, res);
+        updateStep();
+    }
+
+  private:
     bpu::ComposedPredictor pred_;
     HistoryRegister ghist_;
     unsigned lhistBits_;
     std::vector<std::uint64_t> lhist_;
+
+    // Hoisted per-record scratch: QueryState::reset() reuses its
+    // component-result storage across records, so the stream loop
+    // stops constructing/allocating per branch.
+    unsigned numComps_;
+    bool fused_ = false;
+    bpu::QueryState q_;
+    bpu::PredictionBundle bundle_;
+    bpu::MetadataBundle metas_;
+
+    // The record in flight between the two phases.
+    Addr pc_ = kInvalidAddr;
+    Addr target_ = kInvalidAddr;
+    unsigned slot_ = 0;
+    std::size_t lidx_ = 0;
+    bool taken_ = false;
+    bool mispredicted_ = false;
 };
 
 } // namespace cobra::trace

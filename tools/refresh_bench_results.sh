@@ -80,11 +80,12 @@ for b in $HARNESSES; do
     run_harness "$b" 1 || fails=$((fails + 1))
 done
 
-# Host-throughput and trace-replay gates: JSON only (wall-clock
-# tables are host-specific noise in review diffs, the JSON carries
-# the comparable numbers).
+# Host-throughput, trace-replay and batch-eval gates: JSON only
+# (wall-clock tables are host-specific noise in review diffs, the
+# JSON carries the comparable numbers).
 run_harness bench_host_throughput 0 || fails=$((fails + 1))
 run_harness bench_trace_replay 0 || fails=$((fails + 1))
+run_harness bench_batch_eval 0 || fails=$((fails + 1))
 
 echo "ALL-DONE" >> bench_results/progress.log
 echo
